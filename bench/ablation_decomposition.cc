@@ -1,0 +1,57 @@
+// Ablation (beyond the paper's figures, using its §6.4.2 setup): the effect
+// of decomposition granularity. All 2^(n-1) decompositions of the full
+// extension are costed against the Fig. 14 operation mix, separating query
+// and update components — showing how the optimal interior cut points track
+// the mix's entry and exit positions.
+#include <algorithm>
+
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig4Profile());
+  cost::OperationMix mix = Fig14Mix();
+
+  Title("Ablation: decomposition granularity",
+        "full extension, Fig. 14 mix, P_up = 0.3");
+  Header({"decomposition", "query cost", "update cost", "mix cost",
+          "storage MB"});
+
+  struct Row {
+    Decomposition dec = Decomposition::None(4);
+    double mix_cost = 0;
+  };
+  std::vector<Row> rows;
+  for (const Decomposition& dec : Decomposition::EnumerateAll(4)) {
+    double queries = cost::MixCost(model, ExtensionKind::kFull, dec, mix,
+                                   /*p_up=*/0.0);
+    double updates = cost::MixCost(model, ExtensionKind::kFull, dec, mix,
+                                   /*p_up=*/1.0);
+    double total = cost::MixCost(model, ExtensionKind::kFull, dec, mix, 0.3);
+    Cell(dec.ToString());
+    Cell(queries);
+    Cell(updates);
+    Cell(total);
+    std::printf("%16.2f",
+                model.TotalBytes(ExtensionKind::kFull, dec) / 1e6);
+    EndRow();
+    rows.push_back({dec, total});
+  }
+  std::printf("\n");
+
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.mix_cost < b.mix_cost; });
+  std::printf("best decomposition for this mix: %s (%.2f accesses/op)\n",
+              rows.front().dec.ToString().c_str(), rows.front().mix_cost);
+
+  double none_cost = cost::MixCost(model, ExtensionKind::kFull,
+                                   Decomposition::None(4), mix, 0.3);
+  double binary_cost = cost::MixCost(model, ExtensionKind::kFull,
+                                     Decomposition::Binary(4), mix, 0.3);
+  Claim("an intermediate decomposition beats both extremes",
+        rows.front().mix_cost < none_cost &&
+            rows.front().mix_cost < binary_cost);
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation (beyond the paper's single figures): the full grid of update
+// position ins_i (i = 0..n-1) against extension kind, binary decomposition,
+// Fig. 4 profile — exposing the left/right search asymmetry of §6.1 in one
+// table: left-complete degrades towards the left end of the path (backward
+// data searches), right-complete towards the right end, full stays flat, and
+// canonical is expensive everywhere.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig4Profile());
+  Decomposition binary = Decomposition::Binary(4);
+
+  Title("Ablation: update position x extension",
+        "page accesses for ins_i, binary decomposition");
+  Header({"ins_i", "can", "full", "left", "right"});
+  double left_at_0 = 0, left_at_3 = 0, right_at_0 = 0, right_at_3 = 0;
+  double full_max = 0;
+  for (uint32_t i = 0; i < 4; ++i) {
+    Cell("ins_" + std::to_string(i));
+    double can = model.UpdateCost(ExtensionKind::kCanonical, i, binary);
+    double full = model.UpdateCost(ExtensionKind::kFull, i, binary);
+    double left = model.UpdateCost(ExtensionKind::kLeftComplete, i, binary);
+    double right = model.UpdateCost(ExtensionKind::kRightComplete, i, binary);
+    Cell(can);
+    Cell(full);
+    Cell(left);
+    Cell(right);
+    EndRow();
+    if (i == 0) {
+      left_at_0 = left;
+      right_at_0 = right;
+    }
+    if (i == 3) {
+      left_at_3 = left;
+      right_at_3 = right;
+    }
+    full_max = std::max(full_max, full);
+  }
+  std::printf("\n");
+  Claim("left-complete updates get cheaper towards the path's right end",
+        left_at_3 < left_at_0);
+  Claim("right-complete updates get cheaper towards the path's left end",
+        right_at_0 < right_at_3);
+  Claim("full stays cheap across all positions (no data search, one "
+        "affected partition)",
+        full_max < left_at_0 && full_max < right_at_3);
+  return 0;
+}

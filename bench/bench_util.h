@@ -1,0 +1,158 @@
+// Shared profiles and table rendering for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper's evaluation
+// (Sections 4-6) from the analytical cost model, printing the series the
+// figure plots plus the qualitative claim the paper's prose attaches to it.
+// The application profiles are transcribed from the paper's tables.
+#ifndef ASR_BENCH_BENCH_UTIL_H_
+#define ASR_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/opmix.h"
+
+namespace asr::bench {
+
+using cost::ApplicationProfile;
+using cost::OperationMix;
+using cost::QueryDirection;
+
+inline const std::vector<ExtensionKind>& AllExtensions() {
+  static const std::vector<ExtensionKind> kAll = {
+      ExtensionKind::kCanonical, ExtensionKind::kFull,
+      ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete};
+  return kAll;
+}
+
+// §4.4.1 (Fig. 4) and §6.3.1 (Fig. 11) profile.
+inline ApplicationProfile Fig4Profile() {
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {1000, 5000, 10000, 50000, 100000};
+  p.d = {900, 4000, 8000, 20000};
+  p.fan = {2, 2, 3, 4};
+  p.size = {500, 400, 300, 300, 100};
+  return p;
+}
+
+// §4.4.2 (Fig. 5) / §5.9.3 (Fig. 8) base profile with variable d.
+inline ApplicationProfile UniformProfile(double d, double fan,
+                                         double size = 120) {
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {10000, 10000, 10000, 10000, 10000};
+  p.d = {d, d, d, d};
+  p.fan = {fan, fan, fan, fan};
+  p.size = {size, size, size, size, size};
+  return p;
+}
+
+// §5.9.1 (Fig. 6) / §5.9.2 (Fig. 7) profile. The paper prints d_2 = 8000,
+// which exceeds c_2 = 1000; read as 800.
+inline ApplicationProfile Fig6Profile() {
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {100, 500, 1000, 5000, 10000};
+  p.d = {90, 400, 800, 2000};
+  p.fan = {2, 2, 3, 4};
+  p.size = {500, 400, 300, 300, 100};
+  return p;
+}
+
+// §5.9.4 (Fig. 9) profile with variable fan-out.
+inline ApplicationProfile Fig9Profile(double fan) {
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {400000, 400000, 400000, 400000, 400000};
+  p.d = {10, 100, 1000, 100000};
+  p.fan = {fan, fan, fan, fan};
+  p.size = {120, 120, 120, 120, 120};
+  return p;
+}
+
+// §6.3.2 (Fig. 12) profile.
+inline ApplicationProfile Fig12Profile() {
+  ApplicationProfile p = Fig4Profile();
+  p.fan = {2, 1, 1, 4};
+  return p;
+}
+
+// §6.4.4 (Fig. 16) profile, n = 5.
+inline ApplicationProfile Fig16Profile() {
+  ApplicationProfile p;
+  p.n = 5;
+  p.c = {1000, 1000, 5000, 10000, 100000, 100000};
+  p.d = {100, 1000, 3000, 8000, 100000};
+  p.fan = {2, 2, 3, 4, 10};
+  p.size = {600, 500, 400, 300, 300, 100};
+  return p;
+}
+
+// §6.4.5 (Fig. 17) profile, n = 5.
+inline ApplicationProfile Fig17Profile() {
+  ApplicationProfile p;
+  p.n = 5;
+  p.c = {100000, 100000, 50000, 10000, 1000, 1000};
+  p.d = {100000, 10000, 30000, 10000, 100};
+  p.fan = {1, 10, 20, 4, 1};
+  p.size = {600, 500, 400, 300, 200, 700};
+  return p;
+}
+
+// §6.4.2 (Figs. 14/15) operation mix.
+inline OperationMix Fig14Mix() {
+  OperationMix mix;
+  mix.queries = {{0.5, QueryDirection::kBackward, 0, 4},
+                 {0.25, QueryDirection::kBackward, 0, 3},
+                 {0.25, QueryDirection::kForward, 1, 2}};
+  mix.updates = {{0.5, 2}, {0.5, 3}};
+  return mix;
+}
+
+// §6.4.4 (Fig. 16) operation mix.
+inline OperationMix Fig16Mix() {
+  OperationMix mix;
+  mix.queries = {{1.0 / 3, QueryDirection::kBackward, 0, 5},
+                 {1.0 / 3, QueryDirection::kBackward, 0, 4},
+                 {1.0 / 3, QueryDirection::kForward, 0, 5}};
+  mix.updates = {{1.0 / 3, 3}, {1.0 / 3, 0}, {1.0 / 3, 4}};
+  return mix;
+}
+
+// §6.4.5 (Fig. 17) operation mix.
+inline OperationMix Fig17Mix() {
+  OperationMix mix;
+  mix.queries = {{0.5, QueryDirection::kBackward, 0, 5},
+                 {0.25, QueryDirection::kBackward, 1, 5},
+                 {0.25, QueryDirection::kBackward, 2, 5}};
+  mix.updates = {{1.0, 3}};
+  return mix;
+}
+
+// --- Table rendering -----------------------------------------------------
+
+inline void Title(const std::string& figure, const std::string& what) {
+  std::printf("=== %s — %s ===\n", figure.c_str(), what.c_str());
+}
+
+inline void Header(const std::vector<std::string>& cols) {
+  for (const std::string& c : cols) std::printf("%16s", c.c_str());
+  std::printf("\n");
+  for (size_t i = 0; i < cols.size(); ++i) std::printf("%16s", "---------");
+  std::printf("\n");
+}
+
+inline void Cell(double v) { std::printf("%16.1f", v); }
+inline void Cell(const std::string& s) { std::printf("%16s", s.c_str()); }
+inline void EndRow() { std::printf("\n"); }
+
+inline void Claim(const std::string& text, bool holds) {
+  std::printf("[%s] %s\n", holds ? "OK " : "???", text.c_str());
+}
+
+}  // namespace asr::bench
+
+#endif  // ASR_BENCH_BENCH_UTIL_H_

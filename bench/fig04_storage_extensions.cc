@@ -1,0 +1,39 @@
+// Figure 4 (§4.4.1): storage cost of the access support relation for all
+// four extensions under no decomposition and under binary decomposition,
+// for the fixed engineering profile of §4.4.1.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig4Profile());
+  Decomposition none = Decomposition::None(4);
+  Decomposition binary = Decomposition::Binary(4);
+
+  Title("Figure 4", "access relation sizes (bytes, non-redundant)");
+  Header({"extension", "no dec", "binary dec", "ratio"});
+  for (ExtensionKind x : AllExtensions()) {
+    double a = model.TotalBytes(x, none);
+    double b = model.TotalBytes(x, binary);
+    Cell(ExtensionKindName(x));
+    Cell(a);
+    Cell(b);
+    Cell(a / b);
+    EndRow();
+  }
+  std::printf("\n");
+
+  double can = model.TotalBytes(ExtensionKind::kCanonical, none);
+  double left = model.TotalBytes(ExtensionKind::kLeftComplete, none);
+  double right = model.TotalBytes(ExtensionKind::kRightComplete, none);
+  double full = model.TotalBytes(ExtensionKind::kFull, none);
+  Claim(
+      "canonical and left-complete drastically smaller than right-complete "
+      "and full (few objects at the left of the path)",
+      can < right / 2 && left < right / 2 && right <= full);
+  double full_bi = model.TotalBytes(ExtensionKind::kFull, binary);
+  Claim("binary decomposition reduces storage by a factor of ~2",
+        full / full_bi > 1.4 && full / full_bi < 3.0);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 7 (§5.9.2): cost of the backward query Q_{0,4}(bw) as the stored
+// object size varies from 100 to 800 bytes (binary decomposition). The
+// supported costs are flat; only the unsupported cost grows.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  Title("Figure 7", "Q_{0,4}(bw) cost under varying object size");
+  Header({"size_i", "no support", "can", "full", "left", "right"});
+
+  Decomposition binary = Decomposition::Binary(4);
+  double nas_first = 0, nas_last = 0, full_first = 0, full_last = 0;
+  for (double size = 100; size <= 800; size += 100) {
+    cost::ApplicationProfile p = Fig6Profile();
+    p.size = {size, size, size, size, size};
+    cost::CostModel model(p);
+    Cell(size);
+    double nas = model.QueryNoSupport(cost::QueryDirection::kBackward, 0, 4);
+    Cell(nas);
+    for (ExtensionKind x : AllExtensions()) {
+      Cell(model.QuerySupported(x, cost::QueryDirection::kBackward, 0, 4,
+                                binary));
+    }
+    EndRow();
+    if (size == 100) {
+      nas_first = nas;
+      full_first = model.QuerySupported(
+          ExtensionKind::kFull, cost::QueryDirection::kBackward, 0, 4,
+          binary);
+    }
+    nas_last = nas;
+    full_last = model.QuerySupported(ExtensionKind::kFull,
+                                     cost::QueryDirection::kBackward, 0, 4,
+                                     binary);
+  }
+  std::printf("\n");
+  Claim("object size does not influence supported query cost",
+        full_first == full_last);
+  Claim("unsupported query cost grows roughly proportional to object size",
+        nas_last > nas_first * 2.5);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9 (§5.9.4): cost of the backward query Q_{0,4}(bw) while the
+// fan-out sweeps 10..100, for an application that favors canonical and
+// left-complete extensions over full and right-complete (tiny d_0, huge
+// extents).
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  Title("Figure 9",
+        "Q_{0,4}(bw) cost vs fan-out (c_i=400000, d=(10,100,1000,100000))");
+  Header({"fan", "can", "full", "left", "right", "no support"});
+
+  Decomposition binary = Decomposition::Binary(4);
+  bool can_left_never_worse = true;
+  for (double fan = 10; fan <= 100; fan += 15) {
+    cost::CostModel model(Fig9Profile(fan));
+    Cell(fan);
+    double can = model.QuerySupported(
+        ExtensionKind::kCanonical, cost::QueryDirection::kBackward, 0, 4,
+        binary);
+    double full = model.QuerySupported(
+        ExtensionKind::kFull, cost::QueryDirection::kBackward, 0, 4, binary);
+    double left = model.QuerySupported(ExtensionKind::kLeftComplete,
+                                       cost::QueryDirection::kBackward, 0, 4,
+                                       binary);
+    double right = model.QuerySupported(ExtensionKind::kRightComplete,
+                                        cost::QueryDirection::kBackward, 0, 4,
+                                        binary);
+    Cell(can);
+    Cell(full);
+    Cell(left);
+    Cell(right);
+    Cell(model.QueryNoSupport(cost::QueryDirection::kBackward, 0, 4));
+    EndRow();
+    can_left_never_worse &= can <= full * 1.0001 && left <= full * 1.0001 &&
+                            can <= right * 1.0001;
+  }
+  std::printf("\n");
+  Claim(
+      "canonical/left-complete stay at most as expensive as full/right "
+      "(few complete paths, so their relations stay small)",
+      can_left_never_worse);
+  return 0;
+}

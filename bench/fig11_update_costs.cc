@@ -1,0 +1,45 @@
+// Figure 11 (§6.3.1): cost of the update operation ins_3 for all extensions
+// under binary and no decomposition (Fig. 4 profile). The update sits at the
+// right end of the path, so the left-complete extension — whose search for
+// new paths runs forward only — is far superior to the right-complete one.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig4Profile());
+  Decomposition none = Decomposition::None(4);
+  Decomposition binary = Decomposition::Binary(4);
+
+  Title("Figure 11", "update cost ins_3 in page accesses");
+  Header({"extension", "no dec", "binary dec", "search part"});
+  for (ExtensionKind x : AllExtensions()) {
+    Cell(ExtensionKindName(x));
+    Cell(model.UpdateCost(x, 3, none));
+    Cell(model.UpdateCost(x, 3, binary));
+    Cell(model.UpdateSearchCost(x, 3, binary));
+    EndRow();
+  }
+  std::printf("\nno access support: %.1f (object update only)\n\n",
+              model.UpdateCostNoSupport());
+
+  double left = model.UpdateCost(ExtensionKind::kLeftComplete, 3, binary);
+  double right = model.UpdateCost(ExtensionKind::kRightComplete, 3, binary);
+  double can = model.UpdateCost(ExtensionKind::kCanonical, 3, binary);
+  Claim(
+      "left-complete under binary decomposition is very much superior to "
+      "right-complete for ins_3",
+      left < right / 2);
+  Claim(
+      "canonical is problematic under updates (a data search is always "
+      "necessary)",
+      can > left);
+
+  // The paper also notes the flip for ins_0.
+  double left0 = model.UpdateCost(ExtensionKind::kLeftComplete, 0, binary);
+  double right0 = model.UpdateCost(ExtensionKind::kRightComplete, 0, binary);
+  Claim("for ins_0 the asymmetry flips: right-complete beats left-complete",
+        right0 < left0);
+  return 0;
+}

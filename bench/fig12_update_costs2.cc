@@ -1,0 +1,29 @@
+// Figure 12 (§6.3.2): update cost ins_3 for a second profile with fan-out
+// (2, 1, 1, 4); the left-complete and full extensions remain almost
+// comparable.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig12Profile());
+  Decomposition none = Decomposition::None(4);
+  Decomposition binary = Decomposition::Binary(4);
+
+  Title("Figure 12", "update cost ins_3, profile with fan (2,1,1,4)");
+  Header({"extension", "no dec", "binary dec"});
+  for (ExtensionKind x : AllExtensions()) {
+    Cell(ExtensionKindName(x));
+    Cell(model.UpdateCost(x, 3, none));
+    Cell(model.UpdateCost(x, 3, binary));
+    EndRow();
+  }
+  std::printf("\n");
+
+  double left = model.UpdateCost(ExtensionKind::kLeftComplete, 3, binary);
+  double full = model.UpdateCost(ExtensionKind::kFull, 3, binary);
+  Claim("update costs of left-complete and full are almost comparable",
+        left / full < 2.5 && full / left < 2.5);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Figure 13 (§6.3.3): update cost of ins_1 while all object sizes sweep
+// 100..800 bytes (binary decomposition). Canonical and right-complete grow
+// with object size (their searches run through the object representation);
+// left-complete needs only a forward search and is marginally affected.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  Title("Figure 13", "update cost ins_1 under varying object sizes");
+  Header({"size_i", "can", "full", "left", "right"});
+
+  Decomposition binary = Decomposition::Binary(4);
+  double can_first = 0, can_last = 0;
+  double right_first = 0, right_last = 0;
+  double left_first = 0, left_last = 0;
+  for (double size = 100; size <= 800; size += 100) {
+    cost::ApplicationProfile p = Fig4Profile();
+    p.size = {size, size, size, size, size};
+    cost::CostModel model(p);
+    double can = model.UpdateCost(ExtensionKind::kCanonical, 1, binary);
+    double full = model.UpdateCost(ExtensionKind::kFull, 1, binary);
+    double left = model.UpdateCost(ExtensionKind::kLeftComplete, 1, binary);
+    double right = model.UpdateCost(ExtensionKind::kRightComplete, 1, binary);
+    Cell(size);
+    Cell(can);
+    Cell(full);
+    Cell(left);
+    Cell(right);
+    EndRow();
+    if (size == 100) {
+      can_first = can;
+      right_first = right;
+      left_first = left;
+    }
+    can_last = can;
+    right_last = right;
+    left_last = left;
+  }
+  std::printf("\n");
+  Claim("canonical update cost grows as object sizes increase",
+        can_last > can_first * 2);
+  Claim("right-complete update cost grows as object sizes increase",
+        right_last > right_first * 2);
+  Claim("left-complete is only marginally affected (forward search only)",
+        left_last - left_first < (can_last - can_first) / 4);
+  return 0;
+}

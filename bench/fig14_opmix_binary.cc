@@ -1,0 +1,59 @@
+// Figure 14 (§6.4.2): normalized cost of the operation mix under binary
+// decomposition, for update probabilities 0.1 .. 0.9. The paper: "for an
+// update probability less than 0.3 the left-complete extension beats the
+// full extension"; the break-even vs no support is at ~0.998.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig4Profile());
+  cost::OperationMix mix = Fig14Mix();
+  Decomposition binary = Decomposition::Binary(4);
+
+  Title("Figure 14",
+        "normalized operation-mix cost, binary decomposition (1.0 = no "
+        "support)");
+  Header({"P_up", "can", "full", "left", "right"});
+  for (double p_up = 0.1; p_up <= 0.91; p_up += 0.1) {
+    Cell(p_up);
+    for (ExtensionKind x : AllExtensions()) {
+      std::printf("%16.4f",
+                  cost::NormalizedMixCost(model, x, binary, mix, p_up));
+    }
+    EndRow();
+  }
+  std::printf("\n");
+
+  // Locate the left/full break-even point.
+  double break_even = -1;
+  for (double p_up = 0.01; p_up <= 1.0; p_up += 0.01) {
+    double left = cost::MixCost(model, ExtensionKind::kLeftComplete, binary,
+                                mix, p_up);
+    double full = cost::MixCost(model, ExtensionKind::kFull, binary, mix,
+                                p_up);
+    if (left > full) {
+      break_even = p_up;
+      break;
+    }
+  }
+  std::printf("left/full break-even at P_up ~ %.2f\n", break_even);
+  Claim("left-complete beats full below P_up ~ 0.3",
+        break_even > 0.1 && break_even < 0.6);
+
+  // Break-even of full vs no support.
+  double no_support_break = -1;
+  for (double p_up = 0.9; p_up <= 1.0; p_up += 0.0005) {
+    if (cost::NormalizedMixCost(model, ExtensionKind::kFull, binary, mix,
+                                p_up) > 1.0) {
+      no_support_break = p_up;
+      break;
+    }
+  }
+  std::printf("full/no-support break-even at P_up ~ %.4f\n",
+              no_support_break);
+  Claim("no support only wins at extreme update probabilities (~0.998)",
+        no_support_break > 0.97);
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 15 (§6.4.3): the same operation mix as Figure 14, evaluated under
+// the non-binary decomposition (0, 3, 4).
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig4Profile());
+  cost::OperationMix mix = Fig14Mix();
+  Decomposition dec = Decomposition::Of({0, 3, 4}, 4).value();
+  Decomposition binary = Decomposition::Binary(4);
+
+  Title("Figure 15",
+        "normalized operation-mix cost, decomposition (0,3,4)");
+  Header({"P_up", "can", "full", "left", "right"});
+  for (double p_up = 0.1; p_up <= 0.91; p_up += 0.1) {
+    Cell(p_up);
+    for (ExtensionKind x : AllExtensions()) {
+      std::printf("%16.4f",
+                  cost::NormalizedMixCost(model, x, dec, mix, p_up));
+    }
+    EndRow();
+  }
+  std::printf("\n");
+
+  // The (0,3,4) decomposition serves Q_{0,3}(bw) with a direct partition
+  // lookup where the binary decomposition chains three partitions.
+  double q03_dec = model.QueryCost(ExtensionKind::kFull,
+                                   cost::QueryDirection::kBackward, 0, 3,
+                                   dec);
+  double q03_bi = model.QueryCost(ExtensionKind::kFull,
+                                  cost::QueryDirection::kBackward, 0, 3,
+                                  binary);
+  std::printf("Q_{0,3}(bw) full: dec(0,3,4)=%.1f binary=%.1f\n", q03_dec,
+              q03_bi);
+  Claim("(0,3,4) evaluates the Q_{0,3} component cheaper than binary",
+        q03_dec <= q03_bi);
+  return 0;
+}

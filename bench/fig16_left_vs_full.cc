@@ -1,0 +1,36 @@
+// Figure 16 (§6.4.4): left-complete vs full extension for an n = 5 path,
+// under the binary decomposition (0,1,2,3,4,5) and the coarser (0,3,4,5).
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig16Profile());
+  cost::OperationMix mix = Fig16Mix();
+  Decomposition binary = Decomposition::Binary(5);
+  Decomposition coarse = Decomposition::Of({0, 3, 4, 5}, 5).value();
+
+  Title("Figure 16", "operation mix: left-complete vs full, n = 5");
+  Header({"P_up", "left/bin", "full/bin", "left/034", "full/034"});
+  bool left_wins_low = true;
+  for (double p_up : {0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}) {
+    Cell(p_up);
+    double lb = cost::NormalizedMixCost(model, ExtensionKind::kLeftComplete,
+                                        binary, mix, p_up);
+    double fb = cost::NormalizedMixCost(model, ExtensionKind::kFull, binary,
+                                        mix, p_up);
+    double lc = cost::NormalizedMixCost(model, ExtensionKind::kLeftComplete,
+                                        coarse, mix, p_up);
+    double fc = cost::NormalizedMixCost(model, ExtensionKind::kFull, coarse,
+                                        mix, p_up);
+    std::printf("%16.4f%16.4f%16.4f%16.4f\n", lb, fb, lc, fc);
+    if (p_up <= 0.1) left_wins_low &= lb <= fb * 1.001;
+  }
+  std::printf("\n");
+  Claim(
+      "the query mix anchors at t_0, so left-complete is never behind full "
+      "at query-dominated operating points",
+      left_wins_low);
+  return 0;
+}

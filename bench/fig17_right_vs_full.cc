@@ -1,0 +1,51 @@
+// Figure 17 (§6.4.5): right-complete vs full extension for an n = 5 path
+// whose query mix ends at t_n, under the binary decomposition and the
+// coarser (0,3,5). The paper: the (0,3,5) decomposition "is always
+// superior", and below P_up ~ 0.005 the right-complete extension beats full.
+#include "bench_util.h"
+
+int main() {
+  using namespace asr;
+  using namespace asr::bench;
+
+  cost::CostModel model(Fig17Profile());
+  cost::OperationMix mix = Fig17Mix();
+  Decomposition binary = Decomposition::Binary(5);
+  Decomposition coarse = Decomposition::Of({0, 3, 5}, 5).value();
+
+  Title("Figure 17", "operation mix: right-complete vs full, n = 5");
+  Header({"P_up", "right/bin", "full/bin", "right/035", "full/035"});
+  bool coarse_superior = true;
+  for (double p_up : {0.0001, 0.001, 0.005, 0.01, 0.1, 0.3, 0.5, 0.9}) {
+    std::printf("%16.4g", p_up);
+    double rb = cost::MixCost(model, ExtensionKind::kRightComplete, binary,
+                              mix, p_up);
+    double fb = cost::MixCost(model, ExtensionKind::kFull, binary, mix, p_up);
+    double rc = cost::MixCost(model, ExtensionKind::kRightComplete, coarse,
+                              mix, p_up);
+    double fc = cost::MixCost(model, ExtensionKind::kFull, coarse, mix, p_up);
+    std::printf("%16.1f%16.1f%16.1f%16.1f\n", rb, fb, rc, fc);
+    coarse_superior &= rc <= rb * 1.001 && fc <= fb * 1.001;
+  }
+  std::printf("\n");
+
+  // Break-even of right vs full under (0,3,5).
+  double break_even = -1;
+  for (double p_up = 0.00005; p_up <= 0.2; p_up *= 1.3) {
+    double right = cost::MixCost(model, ExtensionKind::kRightComplete,
+                                 coarse, mix, p_up);
+    double full = cost::MixCost(model, ExtensionKind::kFull, coarse, mix,
+                                p_up);
+    if (right > full) {
+      break_even = p_up;
+      break;
+    }
+  }
+  std::printf("right/full break-even under (0,3,5) at P_up ~ %.4f\n",
+              break_even);
+  Claim("the (0,3,5) decomposition is always superior to binary here",
+        coarse_superior);
+  Claim("right-complete beats full only below a tiny update probability",
+        break_even > 0 && break_even < 0.05);
+  return 0;
+}

@@ -1,0 +1,153 @@
+// Google-benchmark microbenchmarks for the hot paths of the library:
+// B+ tree operations, ASR construction, and query evaluation (wall-clock
+// rather than page accesses).
+#include <benchmark/benchmark.h>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "bench_util.h"
+#include "btree/btree.h"
+#include "common/random.h"
+#include "workload/synthetic_base.h"
+
+namespace {
+
+using namespace asr;
+
+std::vector<AsrKey> Tuple2(uint64_t a, uint64_t b) {
+  return {AsrKey::FromOid(Oid::Make(1, a)), AsrKey::FromOid(Oid::Make(1, b))};
+}
+
+void BM_BTreeInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    storage::Disk disk;
+    storage::BufferManager buffers(&disk, 1024);
+    btree::BTree tree(&buffers, "bm", 2, 0);
+    Rng rng(7);
+    state.ResumeTiming();
+    for (int64_t i = 0; i < state.range(0); ++i) {
+      tree.Insert(Tuple2(rng.Uniform(1 << 20) + 1, i + 1));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BTreeInsert)->Arg(1000)->Arg(10000);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 4096);
+  btree::BTree tree(&buffers, "bm", 2, 0);
+  Rng rng(7);
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    tree.Insert(Tuple2(rng.Uniform(1 << 20) + 1, i + 1));
+  }
+  Rng probe(13);
+  for (auto _ : state) {
+    std::vector<std::vector<AsrKey>> rows;
+    tree.Lookup(AsrKey::FromOid(Oid::Make(1, probe.Uniform(1 << 20) + 1)),
+                &rows);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BTreeLookup)->Arg(10000)->Arg(100000);
+
+cost::ApplicationProfile BenchProfile() {
+  cost::ApplicationProfile p;
+  p.n = 3;
+  p.c = {200, 400, 800, 1000};
+  p.d = {160, 300, 600};
+  p.fan = {2, 1, 2};
+  p.size = {200, 200, 200, 100};
+  return p;
+}
+
+void BM_AsrBuild(benchmark::State& state) {
+  auto base = workload::SyntheticBase::Generate(BenchProfile(), {5, 4096})
+                  .value();
+  ExtensionKind kind = static_cast<ExtensionKind>(state.range(0));
+  for (auto _ : state) {
+    auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                            kind, Decomposition::Binary(3))
+                   .value();
+    benchmark::DoNotOptimize(asr);
+  }
+}
+BENCHMARK(BM_AsrBuild)
+    ->Arg(static_cast<int>(ExtensionKind::kCanonical))
+    ->Arg(static_cast<int>(ExtensionKind::kFull));
+
+void BM_SupportedBackwardQuery(benchmark::State& state) {
+  auto base = workload::SyntheticBase::Generate(BenchProfile(), {5, 4096})
+                  .value();
+  auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                          ExtensionKind::kFull,
+                                          Decomposition::Binary(3))
+                 .value();
+  size_t i = 0;
+  for (auto _ : state) {
+    AsrKey target = AsrKey::FromOid(
+        base->objects_at(3)[i++ % base->objects_at(3).size()]);
+    auto result = asr->EvalBackward(target, 0, 3).value();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_SupportedBackwardQuery);
+
+void BM_NavigationalBackwardQuery(benchmark::State& state) {
+  auto base = workload::SyntheticBase::Generate(BenchProfile(), {5, 4096})
+                  .value();
+  QueryEvaluator nav(base->store(), &base->path());
+  size_t i = 0;
+  for (auto _ : state) {
+    AsrKey target = AsrKey::FromOid(
+        base->objects_at(3)[i++ % base->objects_at(3).size()]);
+    auto result = nav.BackwardNoSupport(target, 0, 3).value();
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_NavigationalBackwardQuery);
+
+void BM_IncrementalMaintenance(benchmark::State& state) {
+  auto base = workload::SyntheticBase::Generate(BenchProfile(), {5, 4096})
+                  .value();
+  auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                          ExtensionKind::kLeftComplete,
+                                          Decomposition::Binary(3))
+                 .value();
+  const PathStep& step = base->path().step(3);
+  Rng rng(17);
+  for (auto _ : state) {
+    Oid u = base->objects_at(2)[rng.Uniform(base->objects_at(2).size())];
+    Oid w = base->objects_at(3)[rng.Uniform(base->objects_at(3).size())];
+    AsrKey set_key =
+        base->store()->GetAttributeByName(u, step.attr_name).value();
+    if (set_key.IsNull()) continue;
+    Oid set_oid = set_key.ToOid();
+    if (base->store()->SetContains(set_oid, AsrKey::FromOid(w)).value()) {
+      ASR_CHECK(
+          base->store()->RemoveFromSet(set_oid, AsrKey::FromOid(w)).ok());
+      ASR_CHECK(asr->OnEdgeRemoved(u, 2, AsrKey::FromOid(w)).ok());
+    } else {
+      ASR_CHECK(base->store()->AddToSet(set_oid, AsrKey::FromOid(w)).ok());
+      ASR_CHECK(asr->OnEdgeInserted(u, 2, AsrKey::FromOid(w)).ok());
+    }
+  }
+}
+BENCHMARK(BM_IncrementalMaintenance);
+
+void BM_CostModelMixEvaluation(benchmark::State& state) {
+  cost::CostModel model(bench::Fig4Profile());
+  cost::OperationMix mix = bench::Fig14Mix();
+  Decomposition binary = Decomposition::Binary(4);
+  for (auto _ : state) {
+    double c = cost::MixCost(model, ExtensionKind::kFull, binary, mix, 0.3);
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_CostModelMixEvaluation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,136 @@
+// §5.4 sharing in practice: two path expressions overlapping in a middle
+// chain segment, built through the AsrCatalog with the (0,i,i+j,n) sharing
+// decompositions. Reports the storage saved by sharing the common partition
+// versus building both ASRs privately.
+#include <optional>
+
+#include "asr/query.h"
+#include "asr/sharing.h"
+#include "bench_util.h"
+#include "common/random.h"
+#include "gom/object_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+using namespace asr;
+
+namespace {
+
+struct TwoPathBase {
+  gom::Schema schema;
+  storage::Disk disk;
+  storage::BufferManager buffers{&disk, 256};
+  std::unique_ptr<gom::ObjectStore> store;
+  std::optional<PathExpression> path_a, path_b;
+};
+
+// A0 -> B -> C -> D and A1 -> B -> C -> E share the chain B.Next -> C.
+std::unique_ptr<TwoPathBase> BuildBase(int scale) {
+  auto base = std::make_unique<TwoPathBase>();
+  gom::Schema& s = base->schema;
+  TypeId d = s.DefineTupleType("D", {}, {}).value();
+  TypeId e = s.DefineTupleType("E", {}, {}).value();
+  TypeId c = s.DefineTupleType("C", {},
+                               {{"ToD", d, kInvalidTypeId},
+                                {"ToE", e, kInvalidTypeId}})
+                 .value();
+  TypeId b = s.DefineTupleType("B", {}, {{"Next", c, kInvalidTypeId}})
+                 .value();
+  TypeId a0 = s.DefineTupleType("A0", {}, {{"ToB", b, kInvalidTypeId}})
+                  .value();
+  TypeId a1 = s.DefineTupleType("A1", {}, {{"IntoB", b, kInvalidTypeId}})
+                  .value();
+  base->store = std::make_unique<gom::ObjectStore>(&base->schema,
+                                                   &base->buffers);
+  gom::ObjectStore& st = *base->store;
+
+  Rng rng(5);
+  std::vector<Oid> bs, cs, ds, es;
+  for (int i = 0; i < 6 * scale; ++i) bs.push_back(st.CreateObject(b).value());
+  for (int i = 0; i < 5 * scale; ++i) cs.push_back(st.CreateObject(c).value());
+  for (int i = 0; i < 4 * scale; ++i) ds.push_back(st.CreateObject(d).value());
+  for (int i = 0; i < 4 * scale; ++i) es.push_back(st.CreateObject(e).value());
+  for (int i = 0; i < 5 * scale; ++i) {
+    Oid x = st.CreateObject(a0).value();
+    ASR_CHECK(st.SetRef(x, "ToB", bs[rng.Uniform(bs.size())]).ok());
+    Oid y = st.CreateObject(a1).value();
+    ASR_CHECK(st.SetRef(y, "IntoB", bs[rng.Uniform(bs.size())]).ok());
+  }
+  for (Oid bb : bs) {
+    ASR_CHECK(st.SetRef(bb, "Next", cs[rng.Uniform(cs.size())]).ok());
+  }
+  for (Oid cc : cs) {
+    ASR_CHECK(st.SetRef(cc, "ToD", ds[rng.Uniform(ds.size())]).ok());
+    ASR_CHECK(st.SetRef(cc, "ToE", es[rng.Uniform(es.size())]).ok());
+  }
+  base->path_a.emplace(
+      PathExpression::Parse(s, a0, "ToB.Next.ToD").value());
+  base->path_b.emplace(
+      PathExpression::Parse(s, a1, "IntoB.Next.ToE").value());
+  return base;
+}
+
+uint64_t TreePages(storage::Disk* disk, size_t from_segment) {
+  uint64_t pages = 0;
+  for (size_t seg = from_segment; seg < disk->segment_count(); ++seg) {
+    pages += disk->SegmentPageCount(static_cast<uint32_t>(seg));
+  }
+  return pages;
+}
+
+}  // namespace
+
+int main() {
+  using namespace asr::bench;
+  Title("Sharing (§5.4)",
+        "partition pages with and without a shared middle segment");
+  Header({"scale", "private pages", "shared pages", "saved %"});
+
+  bool always_saves = true;
+  for (int scale : {20, 60, 120}) {
+    uint64_t private_pages, shared_pages;
+    {
+      auto base = BuildBase(scale);
+      size_t before = base->disk.segment_count();
+      PathOverlap overlap = FindLongestOverlap(*base->path_a, *base->path_b);
+      auto a = AccessSupportRelation::Build(
+                   base->store.get(), *base->path_a, ExtensionKind::kFull,
+                   SharingDecomposition(overlap, true, *base->path_a))
+                   .value();
+      auto b = AccessSupportRelation::Build(
+                   base->store.get(), *base->path_b, ExtensionKind::kFull,
+                   SharingDecomposition(overlap, false, *base->path_b))
+                   .value();
+      base->buffers.FlushAll();
+      private_pages = TreePages(&base->disk, before);
+    }
+    {
+      auto base = BuildBase(scale);
+      size_t before = base->disk.segment_count();
+      PathOverlap overlap = FindLongestOverlap(*base->path_a, *base->path_b);
+      AsrCatalog catalog(base->store.get());
+      catalog
+          .Build(*base->path_a, ExtensionKind::kFull,
+                 SharingDecomposition(overlap, true, *base->path_a))
+          .value();
+      catalog
+          .Build(*base->path_b, ExtensionKind::kFull,
+                 SharingDecomposition(overlap, false, *base->path_b))
+          .value();
+      base->buffers.FlushAll();
+      shared_pages = TreePages(&base->disk, before);
+    }
+    double saved = 100.0 * (1.0 - static_cast<double>(shared_pages) /
+                                      static_cast<double>(private_pages));
+    Cell(static_cast<double>(scale));
+    Cell(static_cast<double>(private_pages));
+    Cell(static_cast<double>(shared_pages));
+    Cell(saved);
+    EndRow();
+    always_saves &= shared_pages < private_pages;
+  }
+  std::printf("\n");
+  Claim("sharing the overlapping partition always saves storage",
+        always_saves);
+  return 0;
+}

@@ -1,0 +1,143 @@
+// The paper's company example (§2.3, Figure 2): a path through two
+// set-valued attributes, the four extensions side by side, and Queries 2/3.
+//
+//   type Division is [Name: STRING, Manufactures: ProdSET];
+//   type ProdSET  is {Product};
+//   type Product  is [Name: STRING, Composition: BasePartSET];
+//   type BasePartSET is {BasePart};
+//   type BasePart is [Name: STRING, Price: DECIMAL];
+#include <cstdio>
+
+#include "asr/access_support_relation.h"
+#include "asr/extension.h"
+#include "gom/object_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+using namespace asr;
+
+int main() {
+  gom::Schema schema;
+  using S = gom::Schema;
+  TypeId basepart =
+      schema
+          .DefineTupleType("BasePart", {},
+                           {{"Name", S::kStringType, kInvalidTypeId},
+                            {"Price", S::kDecimalType, kInvalidTypeId}})
+          .value();
+  TypeId basepartset = schema.DefineSetType("BasePartSET", basepart).value();
+  TypeId product =
+      schema
+          .DefineTupleType("Product", {},
+                           {{"Name", S::kStringType, kInvalidTypeId},
+                            {"Composition", basepartset, kInvalidTypeId}})
+          .value();
+  TypeId prodset = schema.DefineSetType("ProdSET", product).value();
+  TypeId division =
+      schema
+          .DefineTupleType("Division", {},
+                           {{"Name", S::kStringType, kInvalidTypeId},
+                            {"Manufactures", prodset, kInvalidTypeId}})
+          .value();
+
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 0);
+  gom::ObjectStore store(&schema, &buffers);
+
+  auto make_division = [&](const char* name) {
+    Oid d = store.CreateObject(division).value();
+    ASR_CHECK(store.SetString(d, "Name", name).ok());
+    return d;
+  };
+  auto make_product = [&](const char* name) {
+    Oid p = store.CreateObject(product).value();
+    ASR_CHECK(store.SetString(p, "Name", name).ok());
+    return p;
+  };
+  auto make_part = [&](const char* name, double price) {
+    Oid b = store.CreateObject(basepart).value();
+    ASR_CHECK(store.SetString(b, "Name", name).ok());
+    ASR_CHECK(store.SetDecimal(b, "Price", price).ok());
+    return b;
+  };
+
+  // Figure 2's extension.
+  Oid auto_div = make_division("Auto");
+  Oid truck_div = make_division("Truck");
+  make_division("Space");  // Manufactures stays NULL
+
+  Oid sec560 = make_product("560 SEC");
+  Oid mbtrak = make_product("MB Trak");  // Composition stays NULL
+  Oid sausage = make_product("Sausage");
+
+  Oid door = make_part("Door", 1205.50);
+  Oid pepper = make_part("Pepper", 0.12);
+
+  Oid auto_products = store.CreateSet(prodset).value();
+  ASR_CHECK(store.SetRef(auto_div, "Manufactures", auto_products).ok());
+  ASR_CHECK(store.AddToSet(auto_products, AsrKey::FromOid(sec560)).ok());
+  Oid truck_products = store.CreateSet(prodset).value();
+  ASR_CHECK(store.SetRef(truck_div, "Manufactures", truck_products).ok());
+  ASR_CHECK(store.AddToSet(truck_products, AsrKey::FromOid(sec560)).ok());
+  ASR_CHECK(store.AddToSet(truck_products, AsrKey::FromOid(mbtrak)).ok());
+
+  Oid sec_parts = store.CreateSet(basepartset).value();
+  ASR_CHECK(store.SetRef(sec560, "Composition", sec_parts).ok());
+  ASR_CHECK(store.AddToSet(sec_parts, AsrKey::FromOid(door)).ok());
+  Oid sausage_parts = store.CreateSet(basepartset).value();
+  ASR_CHECK(store.SetRef(sausage, "Composition", sausage_parts).ok());
+  ASR_CHECK(store.AddToSet(sausage_parts, AsrKey::FromOid(pepper)).ok());
+
+  // --- Path and its four extensions ----------------------------------------
+  PathExpression path =
+      PathExpression::Parse(schema, division, "Manufactures.Composition.Name")
+          .value();
+  std::printf("path: %s  (n=%u, k=%u set occurrences, arity %u)\n\n",
+              path.ToString().c_str(), path.n(), path.k(), path.m() + 1);
+
+  auto render = [&](const rel::Relation& ext) {
+    std::string out;
+    for (const rel::Row& row : ext.rows()) {
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += row[i].IsString()
+                   ? "\"" + store.string_dict()->Get(row[i].ToStringCode()) +
+                         "\""
+                   : row[i].ToString();
+      }
+      out += "\n";
+    }
+    return out;
+  };
+  for (ExtensionKind kind :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    rel::Relation ext =
+        ComputeExtension(&store, path, kind, /*drop_set_columns=*/false)
+            .value();
+    std::printf("E_%s (%zu tuples):\n%s\n", ExtensionKindName(kind).c_str(),
+                ext.size(), render(ext).c_str());
+  }
+
+  // --- Queries 2 and 3 over a full-extension ASR -----------------------------
+  auto asr = AccessSupportRelation::Build(&store, path, ExtensionKind::kFull,
+                                          Decomposition::Binary(path.n()))
+                 .value();
+
+  // Query 2: which Division uses a BasePart named "Door"?
+  // (Backward over positions 0..3: the terminal column holds Name values.)
+  AsrKey door_name = AsrKey::FromString("Door", store.string_dict());
+  std::printf("Query 2 — divisions using a BasePart named \"Door\":\n");
+  for (AsrKey d : asr->EvalBackward(door_name, 0, 3).value()) {
+    std::printf("  %s\n", store.GetString(d.ToOid(), "Name")->c_str());
+  }
+
+  // Query 3: all BasePart names used by the division named "Auto".
+  std::printf("Query 3 — BasePart names used by division \"Auto\":\n");
+  for (AsrKey name : asr->EvalForward(AsrKey::FromOid(auto_div), 0, 3)
+                         .value()) {
+    std::printf("  %s\n",
+                store.string_dict()->Get(name.ToStringCode()).c_str());
+  }
+  return 0;
+}

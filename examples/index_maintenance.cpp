@@ -1,0 +1,75 @@
+// Live index maintenance example (§6): an access support relation kept
+// consistent under object-base updates via incremental maintenance, with
+// page-access metering per update.
+//
+// The scenario follows the paper's ins_i operation: products gain and lose
+// base parts while a left-complete ASR over
+// Division.Manufactures.Composition.Name stays query-consistent.
+#include <cstdio>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "workload/meter.h"
+#include "workload/synthetic_base.h"
+
+using namespace asr;
+
+int main() {
+  // A small synthetic object base: 3-level path with set-valued hops.
+  cost::ApplicationProfile profile;
+  profile.n = 3;
+  profile.c = {50, 120, 300, 200};
+  profile.d = {40, 100, 240};
+  profile.fan = {2, 2, 3};
+  profile.size = {200, 200, 200, 120};
+
+  auto base = workload::SyntheticBase::Generate(profile, {7, 0}).value();
+  gom::ObjectStore* store = base->store();
+  const PathExpression& path = base->path();
+
+  auto asr = AccessSupportRelation::Build(store, path,
+                                          ExtensionKind::kLeftComplete,
+                                          Decomposition::Binary(path.n()))
+                 .value();
+  QueryEvaluator nav(store, &path);
+
+  std::printf("%s\n", asr->Describe().c_str());
+
+  const PathStep& last_step = path.step(3);
+  int performed = 0;
+  for (size_t i = 0; i < base->objects_at(2).size() && performed < 8; i += 9) {
+    Oid u = base->objects_at(2)[i];
+    Oid w = base->objects_at(3)[(7 * i + 3) % base->objects_at(3).size()];
+    AsrKey set_key = store->GetAttributeByName(u, last_step.attr_name).value();
+    if (set_key.IsNull()) continue;
+    Oid set_oid = set_key.ToOid();
+    bool member = store->SetContains(set_oid, AsrKey::FromOid(w)).value();
+
+    storage::AccessStats cost = workload::Meter(base->disk(), [&] {
+      if (member) {
+        ASR_CHECK(store->RemoveFromSet(set_oid, AsrKey::FromOid(w)).ok());
+        ASR_CHECK(asr->OnEdgeRemoved(u, 2, AsrKey::FromOid(w)).ok());
+      } else {
+        ASR_CHECK(store->AddToSet(set_oid, AsrKey::FromOid(w)).ok());
+        ASR_CHECK(asr->OnEdgeInserted(u, 2, AsrKey::FromOid(w)).ok());
+      }
+    });
+    std::printf("%s edge (%s -> %s): %llu page accesses\n",
+                member ? "removed " : "inserted", u.ToString().c_str(),
+                w.ToString().c_str(),
+                static_cast<unsigned long long>(cost.total()));
+    ++performed;
+
+    // The maintained index must agree with navigational evaluation.
+    AsrKey target = AsrKey::FromOid(w);
+    auto via_asr = asr->EvalBackward(target, 0, 3).value();
+    auto via_nav = nav.BackwardNoSupport(target, 0, 3).value();
+    ASR_CHECK(via_asr.size() == via_nav.size());
+  }
+
+  std::printf(
+      "\nall %d updates kept the access support relation consistent with "
+      "the object base\n",
+      performed);
+  return 0;
+}

@@ -1,0 +1,200 @@
+// Query-language example: the paper's Queries 1-3 written in its SQL-like
+// notation and executed through the QueryEngine — first navigationally, then
+// through access support relations — with page-access metering.
+//
+// Pass queries as command-line arguments to run your own against the
+// built-in company database, e.g.:
+//   ./oql 'select p.Name from p in Product'
+#include <cstdio>
+
+#include "asr/access_support_relation.h"
+#include "gom/object_store.h"
+#include "lang/executor.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+#include "workload/meter.h"
+
+using namespace asr;
+
+namespace {
+
+// Builds the §2.3 company database (Figure 2) plus a robot fleet (§2.2).
+struct Database {
+  gom::Schema schema;
+  storage::Disk disk;
+  storage::BufferManager buffers{&disk, 0};
+  std::unique_ptr<gom::ObjectStore> store;
+  std::unique_ptr<AccessSupportRelation> division_asr;
+  std::unique_ptr<AccessSupportRelation> robot_asr;
+};
+
+std::unique_ptr<Database> BuildDatabase() {
+  auto db = std::make_unique<Database>();
+  gom::Schema& s = db->schema;
+  using S = gom::Schema;
+
+  TypeId basepart =
+      s.DefineTupleType("BasePart", {},
+                        {{"Name", S::kStringType, kInvalidTypeId},
+                         {"Price", S::kDecimalType, kInvalidTypeId}})
+          .value();
+  TypeId basepartset = s.DefineSetType("BasePartSET", basepart).value();
+  TypeId product =
+      s.DefineTupleType("Product", {},
+                        {{"Name", S::kStringType, kInvalidTypeId},
+                         {"Composition", basepartset, kInvalidTypeId}})
+          .value();
+  TypeId prodset = s.DefineSetType("ProdSET", product).value();
+  TypeId division =
+      s.DefineTupleType("Division", {},
+                        {{"Name", S::kStringType, kInvalidTypeId},
+                         {"Manufactures", prodset, kInvalidTypeId}})
+          .value();
+  TypeId manufacturer =
+      s.DefineTupleType("MANUFACTURER", {},
+                        {{"Name", S::kStringType, kInvalidTypeId},
+                         {"Location", S::kStringType, kInvalidTypeId}})
+          .value();
+  TypeId tool =
+      s.DefineTupleType("TOOL", {},
+                        {{"Function", S::kStringType, kInvalidTypeId},
+                         {"ManufacturedBy", manufacturer, kInvalidTypeId}})
+          .value();
+  TypeId arm = s.DefineTupleType("ARM", {},
+                                 {{"MountedTool", tool, kInvalidTypeId}})
+                   .value();
+  TypeId robot =
+      s.DefineTupleType("ROBOT", {},
+                        {{"Name", S::kStringType, kInvalidTypeId},
+                         {"Arm", arm, kInvalidTypeId}})
+          .value();
+
+  db->store = std::make_unique<gom::ObjectStore>(&db->schema, &db->buffers);
+  gom::ObjectStore& st = *db->store;
+
+  // Company extension (Figure 2).
+  auto div = [&](const char* name) {
+    Oid d = st.CreateObject(division).value();
+    ASR_CHECK(st.SetString(d, "Name", name).ok());
+    return d;
+  };
+  auto prod = [&](const char* name) {
+    Oid p = st.CreateObject(product).value();
+    ASR_CHECK(st.SetString(p, "Name", name).ok());
+    return p;
+  };
+  auto part = [&](const char* name, double price) {
+    Oid b = st.CreateObject(basepart).value();
+    ASR_CHECK(st.SetString(b, "Name", name).ok());
+    ASR_CHECK(st.SetDecimal(b, "Price", price).ok());
+    return b;
+  };
+  Oid autod = div("Auto"), truck = div("Truck");
+  div("Space");
+  Oid sec = prod("560 SEC"), trak = prod("MB Trak"), sausage = prod("Sausage");
+  (void)trak;
+  Oid door = part("Door", 1205.50), pepper = part("Pepper", 0.12);
+  Oid ps_auto = st.CreateSet(prodset).value();
+  ASR_CHECK(st.SetRef(autod, "Manufactures", ps_auto).ok());
+  ASR_CHECK(st.AddToSet(ps_auto, AsrKey::FromOid(sec)).ok());
+  Oid ps_truck = st.CreateSet(prodset).value();
+  ASR_CHECK(st.SetRef(truck, "Manufactures", ps_truck).ok());
+  ASR_CHECK(st.AddToSet(ps_truck, AsrKey::FromOid(sec)).ok());
+  ASR_CHECK(st.AddToSet(ps_truck, AsrKey::FromOid(trak)).ok());
+  Oid bp_sec = st.CreateSet(basepartset).value();
+  ASR_CHECK(st.SetRef(sec, "Composition", bp_sec).ok());
+  ASR_CHECK(st.AddToSet(bp_sec, AsrKey::FromOid(door)).ok());
+  Oid bp_sau = st.CreateSet(basepartset).value();
+  ASR_CHECK(st.SetRef(sausage, "Composition", bp_sau).ok());
+  ASR_CHECK(st.AddToSet(bp_sau, AsrKey::FromOid(pepper)).ok());
+
+  // Robot fleet (Figure 1).
+  Oid robclone = st.CreateObject(manufacturer).value();
+  ASR_CHECK(st.SetString(robclone, "Name", "RobClone").ok());
+  ASR_CHECK(st.SetString(robclone, "Location", "Utopia").ok());
+  auto mk_robot = [&](const char* name, const char* fn, Oid maker) {
+    Oid t = st.CreateObject(tool).value();
+    ASR_CHECK(st.SetString(t, "Function", fn).ok());
+    if (!maker.IsNull()) ASR_CHECK(st.SetRef(t, "ManufacturedBy", maker).ok());
+    Oid a = st.CreateObject(arm).value();
+    ASR_CHECK(st.SetRef(a, "MountedTool", t).ok());
+    Oid r = st.CreateObject(robot).value();
+    ASR_CHECK(st.SetString(r, "Name", name).ok());
+    ASR_CHECK(st.SetRef(r, "Arm", a).ok());
+    return r;
+  };
+  mk_robot("R2D2", "welding", robclone);
+  mk_robot("X4D5", "gripping", robclone);
+  mk_robot("Robi", "gripping", Oid::Null());
+
+  // Access support relations for the two hot paths.
+  PathExpression division_path =
+      PathExpression::Parse(s, division, "Manufactures.Composition.Name")
+          .value();
+  db->division_asr = AccessSupportRelation::Build(
+                         &st, division_path, ExtensionKind::kFull,
+                         Decomposition::Binary(division_path.n()))
+                         .value();
+  PathExpression robot_path =
+      PathExpression::Parse(s, robot,
+                            "Arm.MountedTool.ManufacturedBy.Location")
+          .value();
+  db->robot_asr = AccessSupportRelation::Build(
+                      &st, robot_path, ExtensionKind::kLeftComplete,
+                      Decomposition::None(robot_path.n()))
+                      .value();
+  return db;
+}
+
+void RunQuery(Database* db, lang::QueryEngine* engine, const char* text) {
+  std::printf("oql> %s\n", text);
+  Result<lang::QueryEngine::QueryPlan> plan = engine->Explain(text);
+  if (plan.ok()) std::printf("%s", plan->ToString().c_str());
+  Result<std::vector<AsrKey>> result(std::vector<AsrKey>{});
+  storage::AccessStats cost = workload::Meter(
+      &db->disk, [&] { result = engine->Execute(text); });
+  if (!result.ok()) {
+    std::printf("  error: %s\n\n", result.status().ToString().c_str());
+    return;
+  }
+  for (AsrKey k : *result) {
+    std::printf("  %s\n", engine->Format(k).c_str());
+  }
+  std::printf("  (%zu results, %llu page accesses)\n\n", result->size(),
+              static_cast<unsigned long long>(cost.total()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto db = BuildDatabase();
+  lang::QueryEngine engine(db->store.get());
+  engine.RegisterAsr(db->division_asr.get());
+  engine.RegisterAsr(db->robot_asr.get());
+
+  if (argc > 1) {
+    for (int i = 1; i < argc; ++i) RunQuery(db.get(), &engine, argv[i]);
+    return 0;
+  }
+
+  // The paper's queries.
+  RunQuery(db.get(), &engine,
+           "select r.Name from r in ROBOT where "
+           "r.Arm.MountedTool.ManufacturedBy.Location = \"Utopia\"");
+  RunQuery(db.get(), &engine,
+           "select d.Name from d in Division, b in "
+           "d.Manufactures.Composition where b.Name = \"Door\"");
+  RunQuery(db.get(), &engine,
+           "select d.Manufactures.Composition.Name from d in Division "
+           "where d.Name = \"Auto\"");
+  // And a few more.
+  RunQuery(db.get(), &engine,
+           "select b.Name from b in BasePart where b.Price = 1205.50");
+  RunQuery(db.get(), &engine, "select d.Name from d in Division");
+
+  std::printf("evaluations: %llu via access support relations, %llu "
+              "navigational\n",
+              static_cast<unsigned long long>(engine.supported_evals()),
+              static_cast<unsigned long long>(engine.navigational_evals()));
+  return 0;
+}

@@ -1,0 +1,67 @@
+#include "advisor/advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace asr::advisor {
+
+std::string DesignChoice::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%-5s %-18s cost=%10.2f normalized=%7.4f storage=%.0f bytes",
+                ExtensionKindName(kind).c_str(),
+                decomposition.ToString().c_str(), cost, normalized,
+                storage_bytes);
+  return buf;
+}
+
+std::vector<DesignChoice> DesignAdvisor::Rank(const cost::CostModel& model,
+                                              const cost::OperationMix& mix,
+                                              double p_up) {
+  std::vector<DesignChoice> out;
+  const double base = cost::MixCostNoSupport(model, mix, p_up);
+  for (ExtensionKind kind :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    for (const Decomposition& dec : Decomposition::EnumerateAll(model.n())) {
+      DesignChoice choice;
+      choice.kind = kind;
+      choice.decomposition = dec;
+      choice.cost = cost::MixCost(model, kind, dec, mix, p_up);
+      choice.normalized = base > 0 ? choice.cost / base : 0.0;
+      choice.storage_bytes = model.TotalBytes(kind, dec);
+      out.push_back(std::move(choice));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DesignChoice& a, const DesignChoice& b) {
+              return a.cost < b.cost;
+            });
+  return out;
+}
+
+DesignChoice DesignAdvisor::Best(const cost::CostModel& model,
+                                 const cost::OperationMix& mix, double p_up) {
+  std::vector<DesignChoice> ranked = Rank(model, mix, p_up);
+  ASR_CHECK(!ranked.empty());
+  return ranked.front();
+}
+
+DesignChoice DesignAdvisor::BestWithinBudget(const cost::CostModel& model,
+                                             const cost::OperationMix& mix,
+                                             double p_up, double max_bytes) {
+  std::vector<DesignChoice> ranked = Rank(model, mix, p_up);
+  ASR_CHECK(!ranked.empty());
+  if (max_bytes <= 0) return ranked.front();
+  for (const DesignChoice& choice : ranked) {
+    if (choice.storage_bytes <= max_bytes) return choice;
+  }
+  // Nothing fits: fall back to the leanest design (cheapest among ties).
+  const DesignChoice* leanest = &ranked.front();
+  for (const DesignChoice& choice : ranked) {
+    if (choice.storage_bytes < leanest->storage_bytes) leanest = &choice;
+  }
+  return *leanest;
+}
+
+}  // namespace asr::advisor

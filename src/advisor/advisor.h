@@ -1,0 +1,51 @@
+// Physical design advisor: the application of the cost model the paper
+// proposes in §7 — "for a recorded database usage pattern the system could
+// (semi-)automatically adjust the physical database design".
+//
+// Given an application profile and an operation mix, the advisor enumerates
+// the full design space (4 extensions x all 2^(n-1) decompositions) and
+// ranks the designs by expected page accesses per operation.
+#ifndef ASR_ADVISOR_ADVISOR_H_
+#define ASR_ADVISOR_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "cost/opmix.h"
+
+namespace asr::advisor {
+
+struct DesignChoice {
+  ExtensionKind kind = ExtensionKind::kFull;
+  Decomposition decomposition = Decomposition::None(1);
+  // Expected page accesses per operation of the mix.
+  double cost = 0.0;
+  // cost / cost-without-any-access-relation; < 1 means the design pays off.
+  double normalized = 0.0;
+  // Bytes of the (non-redundant) access relation under this design.
+  double storage_bytes = 0.0;
+
+  std::string ToString() const;
+};
+
+class DesignAdvisor {
+ public:
+  // All designs, best (lowest cost) first.
+  static std::vector<DesignChoice> Rank(const cost::CostModel& model,
+                                        const cost::OperationMix& mix,
+                                        double p_up);
+
+  // The single best design.
+  static DesignChoice Best(const cost::CostModel& model,
+                           const cost::OperationMix& mix, double p_up);
+
+  // Best design subject to a storage budget in bytes (0 = unlimited).
+  static DesignChoice BestWithinBudget(const cost::CostModel& model,
+                                       const cost::OperationMix& mix,
+                                       double p_up, double max_bytes);
+};
+
+}  // namespace asr::advisor
+
+#endif  // ASR_ADVISOR_ADVISOR_H_

@@ -1,0 +1,35 @@
+#include "advisor/auto_tuner.h"
+
+namespace asr::advisor {
+
+Result<TuningResult> AutoTuner::Tune(gom::ObjectStore* store,
+                                     const PathExpression& path,
+                                     const workload::UsageRecorder& recorder,
+                                     const Options& options) {
+  if (recorder.operation_count() == 0) {
+    return Status::InvalidArgument(
+        "no recorded operations: nothing to tune against");
+  }
+  TuningResult result;
+  Result<cost::ApplicationProfile> profile =
+      workload::EstimateProfile(store, path);
+  ASR_RETURN_IF_ERROR(profile.status());
+  result.measured_profile = std::move(*profile);
+  result.update_probability = recorder.UpdateProbability();
+
+  cost::CostModel model(result.measured_profile);
+  cost::OperationMix mix = recorder.ToMix();
+  result.chosen = DesignAdvisor::BestWithinBudget(
+      model, mix, result.update_probability, options.max_storage_bytes);
+
+  if (options.materialize) {
+    Result<std::unique_ptr<AccessSupportRelation>> asr =
+        AccessSupportRelation::Build(store, path, result.chosen.kind,
+                                     result.chosen.decomposition);
+    ASR_RETURN_IF_ERROR(asr.status());
+    result.asr = std::move(*asr);
+  }
+  return result;
+}
+
+}  // namespace asr::advisor

@@ -1,0 +1,49 @@
+// Self-tuning loop from the paper's conclusion (§7): measure the live
+// object base, take the recorded usage pattern, run the cost model over the
+// whole design space, and materialize the winning access support relation.
+#ifndef ASR_ADVISOR_AUTO_TUNER_H_
+#define ASR_ADVISOR_AUTO_TUNER_H_
+
+#include <memory>
+
+#include "advisor/advisor.h"
+#include "asr/access_support_relation.h"
+#include "workload/profile_estimator.h"
+#include "workload/usage_recorder.h"
+
+namespace asr::advisor {
+
+struct TuningResult {
+  cost::ApplicationProfile measured_profile;
+  double update_probability = 0.0;
+  DesignChoice chosen;
+  // The materialized ASR for the chosen design (null when materialize was
+  // false or no operations were recorded).
+  std::unique_ptr<AccessSupportRelation> asr;
+};
+
+class AutoTuner {
+ public:
+  struct Options {
+    // Build the winning ASR immediately (costs one extension computation).
+    bool materialize = true;
+    // Storage budget in bytes; 0 = unlimited.
+    double max_storage_bytes = 0;
+  };
+
+  // Estimates the profile from `store`, converts the recorder's history into
+  // an operation mix, ranks all designs, and (optionally) builds the winner.
+  static Result<TuningResult> Tune(gom::ObjectStore* store,
+                                   const PathExpression& path,
+                                   const workload::UsageRecorder& recorder,
+                                   const Options& options);
+  static Result<TuningResult> Tune(gom::ObjectStore* store,
+                                   const PathExpression& path,
+                                   const workload::UsageRecorder& recorder) {
+    return Tune(store, path, recorder, Options());
+  }
+};
+
+}  // namespace asr::advisor
+
+#endif  // ASR_ADVISOR_AUTO_TUNER_H_

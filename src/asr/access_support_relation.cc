@@ -1,0 +1,315 @@
+#include "asr/access_support_relation.h"
+
+#include <unordered_set>
+
+namespace asr {
+
+namespace {
+
+bool AllNull(const rel::Row& row) {
+  for (AsrKey k : row) {
+    if (!k.IsNull()) return false;
+  }
+  return true;
+}
+
+rel::Row Slice(const rel::Row& row, uint32_t first, uint32_t last) {
+  return rel::Row(row.begin() + first, row.begin() + last + 1);
+}
+
+}  // namespace
+
+AccessSupportRelation::AccessSupportRelation(gom::ObjectStore* store,
+                                             PathExpression path,
+                                             ExtensionKind kind,
+                                             Decomposition decomposition,
+                                             AsrOptions options)
+    : store_(store),
+      path_(std::move(path)),
+      kind_(kind),
+      decomposition_(std::move(decomposition)),
+      options_(options) {
+  width_ = (options_.drop_set_columns ? path_.n() : path_.m()) + 1;
+}
+
+uint32_t AccessSupportRelation::ColumnOfPosition(uint32_t pos) const {
+  return options_.drop_set_columns ? pos : path_.ColumnOfPosition(pos);
+}
+
+Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
+    gom::ObjectStore* store, PathExpression path, ExtensionKind kind,
+    Decomposition decomposition, AsrOptions options,
+    const PartitionProvider& provider) {
+  uint32_t m = options.drop_set_columns ? path.n() : path.m();
+  if (decomposition.m() != m) {
+    return Status::InvalidArgument(
+        "decomposition " + decomposition.ToString() +
+        " does not match the relation arity m=" + std::to_string(m));
+  }
+  Result<rel::Relation> extension =
+      ComputeExtension(store, path, kind, options.drop_set_columns,
+                       options.anchor_collection);
+  ASR_RETURN_IF_ERROR(extension.status());
+
+  std::unique_ptr<AccessSupportRelation> asr(
+      new AccessSupportRelation(store, std::move(path), kind,
+                                std::move(decomposition), options));
+
+  std::string base = asr->path_.ToString() + ":" + ExtensionKindName(kind);
+  for (size_t p = 0; p < asr->decomposition_.partition_count(); ++p) {
+    auto [first, last] = asr->decomposition_.partition(p);
+    Partition part;
+    part.first = first;
+    part.last = last;
+    uint32_t w = last - first + 1;
+    if (provider != nullptr) part.store = provider(p, first, last);
+    if (part.store != nullptr) {
+      if (part.store->width != w) {
+        return Status::InvalidArgument(
+            "shared partition store has width " +
+            std::to_string(part.store->width) + ", partition needs " +
+            std::to_string(w));
+      }
+    } else {
+      std::string pname =
+          base + ":" + std::to_string(first) + "-" + std::to_string(last);
+      part.store = std::make_shared<PartitionStore>();
+      part.store->width = w;
+      part.store->forward = std::make_unique<btree::BTree>(
+          store->buffers(), pname + ":fwd", w, 0);
+      part.store->backward = std::make_unique<btree::BTree>(
+          store->buffers(), pname + ":bwd", w, w - 1);
+    }
+    ++part.store->owners;
+    asr->partitions_.push_back(std::move(part));
+  }
+
+  for (const rel::Row& row : extension->rows()) {
+    asr->InsertRow(row);
+  }
+  return asr;
+}
+
+void AccessSupportRelation::InsertRow(const rel::Row& row) {
+  ASR_DCHECK(row.size() == width_);
+  if (!full_rows_.insert(row).second) return;  // already present
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
+    rel::Row slice = Slice(row, part.first, part.last);
+    if (AllNull(slice)) continue;
+    uint32_t& count = part.store->refcounts[slice];
+    if (count++ == 0) {
+      part.store->forward->Insert(slice);
+      part.store->backward->Insert(slice);
+    }
+  }
+}
+
+void AccessSupportRelation::EraseRow(const rel::Row& row) {
+  ASR_DCHECK(row.size() == width_);
+  if (full_rows_.erase(row) == 0) return;  // row was not present
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
+    rel::Row slice = Slice(row, part.first, part.last);
+    if (AllNull(slice)) continue;
+    auto it = part.store->refcounts.find(slice);
+    if (it == part.store->refcounts.end()) continue;  // row was not present
+    if (--it->second == 0) {
+      part.store->forward->Erase(slice);
+      part.store->backward->Erase(slice);
+      part.store->refcounts.erase(it);
+    }
+  }
+}
+
+Result<std::vector<rel::Row>> AccessSupportRelation::PartitionRowsWithValue(
+    size_t p_idx, uint32_t col, AsrKey value) {
+  Partition& part = partitions_[p_idx];
+  ASR_CHECK(part.first <= col && col <= part.last);
+  std::vector<rel::Row> out;
+  if (col == part.first) {
+    part.store->forward->Lookup(value, &out);
+    return out;
+  }
+  if (col == part.last) {
+    part.store->backward->Lookup(value, &out);
+    return out;
+  }
+  // Interior column: every page of the partition must be inspected (the ap
+  // term of Eqs. 33/34).
+  uint32_t rel_col = col - part.first;
+  Status st = part.store->forward->ScanAll(
+      [&](const std::vector<AsrKey>& row) -> Status {
+        if (row[rel_col] == value) out.push_back(row);
+        return Status::OK();
+      });
+  ASR_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
+                                                               uint32_t i,
+                                                               uint32_t j) {
+  if (i >= j || j > path_.n()) {
+    return Status::InvalidArgument("need 0 <= i < j <= n");
+  }
+  if (!SupportsQuery(i, j)) {
+    return Status::NotSupported(
+        "the " + ExtensionKindName(kind_) +
+        " extension does not support Q_{" + std::to_string(i) + "," +
+        std::to_string(j) + "}");
+  }
+  uint32_t c = ColumnOfPosition(i);
+  const uint32_t cj = ColumnOfPosition(j);
+  std::unordered_set<AsrKey> frontier{start};
+
+  while (c < cj && !frontier.empty()) {
+    int p_idx = decomposition_.PartitionStartingAt(c);
+    bool via_lookup = (p_idx >= 0 && c < decomposition_.m());
+    if (!via_lookup) p_idx = decomposition_.PartitionCovering(c);
+    ASR_CHECK(p_idx >= 0);
+    const Partition& part = partitions_[p_idx];
+    uint32_t target = std::min(part.last, cj);
+    std::unordered_set<AsrKey> next;
+    if (via_lookup) {
+      for (AsrKey key : frontier) {
+        if (key.IsNull()) continue;
+        std::vector<rel::Row> rows;
+        partitions_[p_idx].store->forward->Lookup(key, &rows);
+        for (const rel::Row& row : rows) {
+          AsrKey v = row[target - part.first];
+          if (!v.IsNull()) next.insert(v);
+        }
+      }
+    } else {
+      uint32_t rel_c = c - part.first;
+      Status st = partitions_[p_idx].store->forward->ScanAll(
+          [&](const std::vector<AsrKey>& row) -> Status {
+            if (frontier.count(row[rel_c]) > 0 && !row[rel_c].IsNull()) {
+              AsrKey v = row[target - part.first];
+              if (!v.IsNull()) next.insert(v);
+            }
+            return Status::OK();
+          });
+      ASR_RETURN_IF_ERROR(st);
+    }
+    frontier = std::move(next);
+    c = target;
+  }
+  return std::vector<AsrKey>(frontier.begin(), frontier.end());
+}
+
+Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
+                                                                uint32_t i,
+                                                                uint32_t j) {
+  if (i >= j || j > path_.n()) {
+    return Status::InvalidArgument("need 0 <= i < j <= n");
+  }
+  if (!SupportsQuery(i, j)) {
+    return Status::NotSupported(
+        "the " + ExtensionKindName(kind_) +
+        " extension does not support Q_{" + std::to_string(i) + "," +
+        std::to_string(j) + "}");
+  }
+  const uint32_t ci = ColumnOfPosition(i);
+  uint32_t c = ColumnOfPosition(j);
+  std::unordered_set<AsrKey> frontier{target};
+
+  while (c > ci && !frontier.empty()) {
+    int p_idx = decomposition_.PartitionEndingAt(c);
+    bool via_lookup = (p_idx >= 0 && c > 0);
+    if (!via_lookup) p_idx = decomposition_.PartitionCovering(c);
+    ASR_CHECK(p_idx >= 0);
+    const Partition& part = partitions_[p_idx];
+    uint32_t dest = std::max(part.first, ci);
+    std::unordered_set<AsrKey> next;
+    if (via_lookup) {
+      for (AsrKey key : frontier) {
+        if (key.IsNull()) continue;
+        std::vector<rel::Row> rows;
+        partitions_[p_idx].store->backward->Lookup(key, &rows);
+        for (const rel::Row& row : rows) {
+          AsrKey v = row[dest - part.first];
+          if (!v.IsNull()) next.insert(v);
+        }
+      }
+    } else {
+      uint32_t rel_c = c - part.first;
+      Status st = partitions_[p_idx].store->forward->ScanAll(
+          [&](const std::vector<AsrKey>& row) -> Status {
+            if (frontier.count(row[rel_c]) > 0 && !row[rel_c].IsNull()) {
+              AsrKey v = row[dest - part.first];
+              if (!v.IsNull()) next.insert(v);
+            }
+            return Status::OK();
+          });
+      ASR_RETURN_IF_ERROR(st);
+    }
+    frontier = std::move(next);
+    c = dest;
+  }
+  return std::vector<AsrKey>(frontier.begin(), frontier.end());
+}
+
+Status AccessSupportRelation::Rebuild() {
+  Result<rel::Relation> extension =
+      ComputeExtension(store_, path_, kind_, options_.drop_set_columns,
+                       options_.anchor_collection);
+  ASR_RETURN_IF_ERROR(extension.status());
+  // Retract this ASR's current rows (leaves sibling contributions to shared
+  // stores untouched), then install the fresh extension.
+  std::vector<rel::Row> old_rows(full_rows_.begin(), full_rows_.end());
+  for (const rel::Row& row : old_rows) {
+    EraseRow(row);
+  }
+  for (const rel::Row& row : extension->rows()) {
+    InsertRow(row);
+  }
+  return Status::OK();
+}
+
+Result<rel::Relation> AccessSupportRelation::DumpPartition(size_t idx) {
+  ASR_CHECK(idx < partitions_.size());
+  Partition& part = partitions_[idx];
+  rel::Relation out(part.last - part.first + 1);
+  Status st = part.store->forward->ScanAll(
+      [&](const std::vector<AsrKey>& row) -> Status {
+        out.AddRow(row);
+        return Status::OK();
+      });
+  ASR_RETURN_IF_ERROR(st);
+  return out;
+}
+
+std::string AccessSupportRelation::Describe() const {
+  std::string out = "ASR over " + path_.ToString() + "  extension=" +
+                    ExtensionKindName(kind_) + "  decomposition=" +
+                    decomposition_.ToString() + "\n";
+  out += "  rows=" + std::to_string(full_rows_.size()) + "  pages=" +
+         std::to_string(TotalPages()) + "\n";
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const Partition& part = partitions_[p];
+    out += "  partition [" + std::to_string(part.first) + ".." +
+           std::to_string(part.last) + "]";
+    if (part.store->owners > 1) {
+      out += " (shared by " + std::to_string(part.store->owners) + " ASRs)";
+    }
+    out += ": tuples=" + std::to_string(part.store->forward->tuple_count()) +
+           " leaf_pages=" +
+           std::to_string(part.store->forward->leaf_page_count()) +
+           "+" + std::to_string(part.store->backward->leaf_page_count()) +
+           " height=" + std::to_string(part.store->forward->height()) +
+           "\n";
+  }
+  return out;
+}
+
+uint64_t AccessSupportRelation::TotalPages() const {
+  uint64_t pages = 0;
+  for (const Partition& part : partitions_) {
+    pages += part.store->TotalPages();
+  }
+  return pages;
+}
+
+}  // namespace asr

@@ -1,0 +1,217 @@
+// Access support relations: materialized path extensions stored in pairs of
+// B+ trees, with supported query evaluation and incremental maintenance.
+//
+// For a chosen extension (Defs. 3.4-3.7) and decomposition (Def. 3.8), every
+// partition E^{i,j} is stored in two redundant B+ trees — clustered on its
+// first and on its last column (§5.2) — so that partial paths can be chased
+// forward and backward with one cluster lookup per partition. Queries whose
+// entry column is not a partition boundary must inspect every page of the
+// covering partition, exactly the ap term of the analytical model (Eq. 33).
+#ifndef ASR_ASR_ACCESS_SUPPORT_RELATION_H_
+#define ASR_ASR_ACCESS_SUPPORT_RELATION_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "asr/decomposition.h"
+#include "asr/extension.h"
+#include "asr/path_expression.h"
+#include "btree/btree.h"
+#include "common/status.h"
+#include "gom/object_store.h"
+#include "rel/relation.h"
+
+namespace asr {
+
+struct AsrOptions {
+  // Drop set-instance OID columns (the paper's no-set-sharing
+  // simplification, §3): the relation then has arity n+1 and incremental
+  // maintenance is available. With false, set columns are retained (arity
+  // n+k+1) and updates require a rebuild.
+  bool drop_set_columns = true;
+
+  // Anchor the path at a particular collection C of t_0 elements instead of
+  // the whole extent — the alternative §3 mentions ("we could have chosen a
+  // particular collection C of elements of type t0 as the anchor"). When
+  // set, only paths originating in members of this set/list instance are
+  // materialized. Membership changes of C require Rebuild(); edge
+  // maintenance within the paths stays incremental.
+  Oid anchor_collection = Oid::Null();
+};
+
+// Storage of one partition, shareable between access support relations over
+// overlapping path expressions (§5.4). Holds the partition's two redundant
+// B+ trees plus the slice reference counts; when several ASRs share the
+// store, each contributes its own projections and the counts sum, so one
+// ASR's maintenance never drops a slice another ASR still covers — provided
+// every sharing ASR is maintained on every base update (the §5.4 contract).
+struct PartitionStore {
+  uint32_t width = 0;
+  // Number of ASRs whose partitions attach this store. A shared store
+  // (owners > 1) can transiently hold another path's not-yet-maintained
+  // contribution, so maintenance answers existence questions from the
+  // object store instead of the trees.
+  uint32_t owners = 0;
+  std::unique_ptr<btree::BTree> forward;   // clustered on the first column
+  std::unique_ptr<btree::BTree> backward;  // clustered on the last column
+  std::map<rel::Row, uint32_t> refcounts;
+
+  uint64_t TotalPages() const {
+    return forward->leaf_page_count() + forward->inner_page_count() +
+           backward->leaf_page_count() + backward->inner_page_count();
+  }
+};
+
+// Callback consulted per partition during Build: return an existing store to
+// share it (its width must match), or nullptr to create a fresh one.
+// Arguments: partition index, first column, last column.
+using PartitionProvider = std::function<std::shared_ptr<PartitionStore>(
+    size_t, uint32_t, uint32_t)>;
+
+class AccessSupportRelation {
+ public:
+  // Materializes the extension from the object store and loads every
+  // partition into its two B+ trees.
+  static Result<std::unique_ptr<AccessSupportRelation>> Build(
+      gom::ObjectStore* store, PathExpression path, ExtensionKind kind,
+      Decomposition decomposition, AsrOptions options = {},
+      const PartitionProvider& provider = nullptr);
+
+  const PathExpression& path() const { return path_; }
+  ExtensionKind kind() const { return kind_; }
+  const Decomposition& decomposition() const { return decomposition_; }
+  const AsrOptions& options() const { return options_; }
+
+  // Number of columns of the (undecomposed) relation.
+  uint32_t width() const { return width_; }
+
+  // Column of path position `pos` (equals pos when set columns are dropped).
+  uint32_t ColumnOfPosition(uint32_t pos) const;
+
+  // Eq. 35: which Q_{i,j} this extension can answer (i < j path positions).
+  bool SupportsQuery(uint32_t i, uint32_t j) const {
+    return ExtensionSupportsQuery(kind_, i, j, path_.n());
+  }
+
+  // Supported forward query Q_{i,j}(fw): keys at position j reachable from
+  // `start` (a position-i object/value). NotSupported when Eq. 35 says so.
+  Result<std::vector<AsrKey>> EvalForward(AsrKey start, uint32_t i,
+                                          uint32_t j);
+
+  // Supported backward query Q_{i,j}(bw): position-i keys with a path to
+  // `target` (a position-j object/value).
+  Result<std::vector<AsrKey>> EvalBackward(AsrKey target, uint32_t i,
+                                           uint32_t j);
+
+  // --- Incremental maintenance (§6) --------------------------------------
+  // To be called AFTER the object store change has been applied. The edge at
+  // attribute A_{p+1} connects `u` (an object at path position p) to `w`
+  // (the position p+1 object, or the atomic value when p+1 == n). Follows
+  // the paper's simplifying assumption that an object occurs at only one
+  // path position (§6). Requires drop_set_columns.
+  Status OnEdgeInserted(Oid u, uint32_t p, AsrKey w);
+  Status OnEdgeRemoved(Oid u, uint32_t p, AsrKey w);
+
+  // Single-valued attribute assignment u.A_{p+1} := new_value (old value
+  // `old_value`); either side may be NULL. Call after the store update.
+  Status OnAttributeAssigned(Oid u, uint32_t p, AsrKey old_value,
+                             AsrKey new_value);
+
+  // Recomputes the extension from the object base and reloads every
+  // partition in place. The fallback maintenance path for ASRs with
+  // retained set columns (where incremental maintenance is unavailable) and
+  // for bulk changes. Shared partition stores keep contributions of other
+  // ASRs intact. Note: the rebuilt trees reuse their segments' pages only
+  // logically; the simulated disk does not reclaim old pages.
+  Status Rebuild();
+
+  // --- Introspection -------------------------------------------------------
+  size_t partition_count() const { return partitions_.size(); }
+  const btree::BTree& forward_tree(size_t idx) const {
+    return *partitions_[idx].store->forward;
+  }
+  const btree::BTree& backward_tree(size_t idx) const {
+    return *partitions_[idx].store->backward;
+  }
+  // The (possibly shared) storage of partition `idx`.
+  const std::shared_ptr<PartitionStore>& partition_store(size_t idx) const {
+    return partitions_[idx].store;
+  }
+  std::pair<uint32_t, uint32_t> partition_range(size_t idx) const {
+    return decomposition_.partition(idx);
+  }
+
+  // Materializes partition `idx` as a relation (test oracle; scans pages).
+  Result<rel::Relation> DumpPartition(size_t idx);
+
+  // Total leaf+inner pages over all partition trees (storage footprint).
+  uint64_t TotalPages() const;
+
+  // Multi-line human-readable summary: path, extension, decomposition, and
+  // per-partition tuple/page/height statistics.
+  std::string Describe() const;
+
+ private:
+  struct Partition {
+    uint32_t first = 0;
+    uint32_t last = 0;
+    std::shared_ptr<PartitionStore> store;
+  };
+
+  AccessSupportRelation(gom::ObjectStore* store, PathExpression path,
+                        ExtensionKind kind, Decomposition decomposition,
+                        AsrOptions options);
+
+  // Rows of partition `p_idx` whose absolute column `col` equals `value`;
+  // uses a tree lookup when `col` is the partition's first/last column and a
+  // page scan otherwise (the Eq. 33/34 interior-column case).
+  Result<std::vector<rel::Row>> PartitionRowsWithValue(size_t p_idx,
+                                                       uint32_t col,
+                                                       AsrKey value);
+
+  // Inserts/erases a full-width row into/from all partitions (projected).
+  void InsertRow(const rel::Row& row);
+  void EraseRow(const rel::Row& row);
+
+  // --- maintenance helpers (maintenance.cc) ---------------------------
+  // Maximal partial paths over columns [0..p] ending in `u` (NULL-padded on
+  // the left when the fragment does not reach position 0).
+  Result<std::vector<rel::Row>> LeftFragments(Oid u, uint32_t p);
+  // Maximal partial paths over columns [p+1..n] starting at `w`.
+  Result<std::vector<rel::Row>> RightFragments(AsrKey w, uint32_t p1);
+
+  Result<std::vector<rel::Row>> LeftFragmentsFromAsr(Oid u, uint32_t p);
+  Result<std::vector<rel::Row>> RightFragmentsFromAsr(AsrKey w, uint32_t p1);
+  Result<std::vector<rel::Row>> LeftFragmentsFromStore(Oid u, uint32_t p);
+  Result<std::vector<rel::Row>> RightFragmentsFromStore(AsrKey w,
+                                                        uint32_t p1);
+
+  // Current out-edges of `u` along A_{p+1} (reads the object store).
+  Result<std::vector<AsrKey>> OutEdges(Oid u, uint32_t p);
+  // Is A_{q+1} of the position-q object `x` non-NULL? (An empty set counts
+  // as defined — it occupies a tuple of E_q per Def. 3.3.)
+  Result<bool> AttrDefined(AsrKey x, uint32_t q);
+  // Does any object other than `exclude` currently reference `w` at
+  // position p1 = p+1? Answered from the ASR when the extension carries the
+  // information, else from the object store.
+  Result<bool> HasOtherInEdge(AsrKey w, uint32_t p1, Oid exclude);
+
+  gom::ObjectStore* store_;
+  PathExpression path_;
+  ExtensionKind kind_;
+  Decomposition decomposition_;
+  AsrOptions options_;
+  uint32_t width_ = 0;
+  std::vector<Partition> partitions_;
+  // The materialized full-width extension as a set. Insert/erase of
+  // full-width rows is exact set semantics; re-inserting an existing row or
+  // erasing an absent one is a no-op that must not disturb the partitions.
+  std::set<rel::Row> full_rows_;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_ACCESS_SUPPORT_RELATION_H_

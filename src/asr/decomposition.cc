@@ -1,0 +1,86 @@
+#include "asr/decomposition.h"
+
+namespace asr {
+
+Decomposition Decomposition::None(uint32_t m) {
+  ASR_CHECK(m >= 1);
+  return Decomposition({0, m});
+}
+
+Decomposition Decomposition::Binary(uint32_t m) {
+  ASR_CHECK(m >= 1);
+  std::vector<uint32_t> cuts(m + 1);
+  for (uint32_t i = 0; i <= m; ++i) cuts[i] = i;
+  return Decomposition(std::move(cuts));
+}
+
+Result<Decomposition> Decomposition::Of(std::vector<uint32_t> cuts,
+                                        uint32_t m) {
+  if (cuts.size() < 2 || cuts.front() != 0 || cuts.back() != m) {
+    return Status::InvalidArgument(
+        "decomposition must run from 0 to m inclusive");
+  }
+  for (size_t i = 1; i < cuts.size(); ++i) {
+    if (cuts[i] <= cuts[i - 1]) {
+      return Status::InvalidArgument(
+          "decomposition cut points must be strictly increasing");
+    }
+  }
+  return Decomposition(std::move(cuts));
+}
+
+std::vector<Decomposition> Decomposition::EnumerateAll(uint32_t m) {
+  ASR_CHECK(m >= 1 && m <= 20);
+  std::vector<Decomposition> out;
+  uint32_t interior = m - 1;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << interior); ++mask) {
+    std::vector<uint32_t> cuts{0};
+    for (uint32_t b = 0; b < interior; ++b) {
+      if ((mask >> b) & 1) cuts.push_back(b + 1);
+    }
+    cuts.push_back(m);
+    out.push_back(Decomposition(std::move(cuts)));
+  }
+  return out;
+}
+
+bool Decomposition::IsBoundary(uint32_t col) const {
+  for (uint32_t c : cuts_) {
+    if (c == col) return true;
+  }
+  return false;
+}
+
+int Decomposition::PartitionStartingAt(uint32_t col) const {
+  for (size_t i = 0; i + 1 < cuts_.size(); ++i) {
+    if (cuts_[i] == col) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Decomposition::PartitionEndingAt(uint32_t col) const {
+  for (size_t i = 1; i < cuts_.size(); ++i) {
+    if (cuts_[i] == col) return static_cast<int>(i - 1);
+  }
+  return -1;
+}
+
+int Decomposition::PartitionCovering(uint32_t col) const {
+  ASR_CHECK(col <= m());
+  for (size_t i = 0; i + 1 < cuts_.size(); ++i) {
+    if (cuts_[i] <= col && col <= cuts_[i + 1]) return static_cast<int>(i);
+  }
+  return static_cast<int>(partition_count() - 1);
+}
+
+std::string Decomposition::ToString() const {
+  std::string out = "(";
+  for (size_t i = 0; i < cuts_.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(cuts_[i]);
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace asr

@@ -1,0 +1,71 @@
+// Decompositions of an (m+1)-ary access support relation (Def. 3.8).
+//
+// A decomposition (0, i_1, ..., i_k, m) splits the relation into partitions
+// [S_0..S_{i_1}], [S_{i_1}..S_{i_2}], ..., [S_{i_k}..S_m]; adjacent partitions
+// overlap in the boundary column, which is what makes every decomposition
+// lossless (Theorem 3.9). The two distinguished cases are *no decomposition*
+// (0, m) and the *binary* decomposition (0, 1, ..., m).
+#ifndef ASR_ASR_DECOMPOSITION_H_
+#define ASR_ASR_DECOMPOSITION_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asr {
+
+class Decomposition {
+ public:
+  // (0, m): the relation is kept in one piece.
+  static Decomposition None(uint32_t m);
+
+  // (0, 1, ..., m): all partitions binary.
+  static Decomposition Binary(uint32_t m);
+
+  // Validates 0 = cuts[0] < cuts[1] < ... < cuts[last] = m.
+  static Result<Decomposition> Of(std::vector<uint32_t> cuts, uint32_t m);
+
+  // All 2^(m-1) decompositions of an (m+1)-ary relation (each interior
+  // boundary 1..m-1 is either cut or not). Intended for the design advisor;
+  // m must be modest.
+  static std::vector<Decomposition> EnumerateAll(uint32_t m);
+
+  const std::vector<uint32_t>& cuts() const { return cuts_; }
+  uint32_t m() const { return cuts_.back(); }
+  size_t partition_count() const { return cuts_.size() - 1; }
+
+  // Column range [first, last] of partition `idx`.
+  std::pair<uint32_t, uint32_t> partition(size_t idx) const {
+    ASR_DCHECK(idx + 1 < cuts_.size());
+    return {cuts_[idx], cuts_[idx + 1]};
+  }
+
+  bool IsBoundary(uint32_t col) const;
+
+  // Index of the partition whose range begins at `col`, or -1.
+  int PartitionStartingAt(uint32_t col) const;
+  // Index of the partition whose range ends at `col`, or -1.
+  int PartitionEndingAt(uint32_t col) const;
+  // Index of the leftmost partition whose range contains `col`.
+  int PartitionCovering(uint32_t col) const;
+
+  bool operator==(const Decomposition& other) const {
+    return cuts_ == other.cuts_;
+  }
+
+  // "(0,1,3,5)"
+  std::string ToString() const;
+
+ private:
+  explicit Decomposition(std::vector<uint32_t> cuts)
+      : cuts_(std::move(cuts)) {}
+
+  std::vector<uint32_t> cuts_;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_DECOMPOSITION_H_

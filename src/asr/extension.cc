@@ -1,0 +1,162 @@
+#include "asr/extension.h"
+
+#include <unordered_set>
+
+namespace asr {
+
+std::string ExtensionKindName(ExtensionKind kind) {
+  switch (kind) {
+    case ExtensionKind::kCanonical:
+      return "can";
+    case ExtensionKind::kFull:
+      return "full";
+    case ExtensionKind::kLeftComplete:
+      return "left";
+    case ExtensionKind::kRightComplete:
+      return "right";
+  }
+  return "?";
+}
+
+bool ExtensionSupportsQuery(ExtensionKind kind, uint32_t i, uint32_t j,
+                            uint32_t n) {
+  ASR_DCHECK(i < j && j <= n);
+  switch (kind) {
+    case ExtensionKind::kCanonical:
+      return i == 0 && j == n;
+    case ExtensionKind::kFull:
+      return true;
+    case ExtensionKind::kLeftComplete:
+      return i == 0;
+    case ExtensionKind::kRightComplete:
+      return j == n;
+  }
+  return false;
+}
+
+namespace {
+
+// Runs `fn` over every live tuple object whose type is `type` or a subtype
+// of it ("the constrained type constitutes only an upper bound", §2).
+Status ScanExtent(gom::ObjectStore* store, TypeId type,
+                  const std::function<Status(const gom::TupleView&)>& fn) {
+  const gom::Schema& schema = store->schema();
+  for (TypeId t = 0; t < schema.type_count(); ++t) {
+    if (!schema.IsTuple(t) || !schema.IsSubtypeOf(t, type)) continue;
+    ASR_RETURN_IF_ERROR(store->ScanTuples(t, fn));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<rel::Relation> BuildAuxiliaryRelation(gom::ObjectStore* store,
+                                             const PathExpression& path,
+                                             uint32_t j,
+                                             bool drop_set_columns,
+                                             Oid anchor_collection) {
+  ASR_CHECK(j >= 1 && j <= path.n());
+  const PathStep& step = path.step(j);
+  const bool ternary = step.set_occurrence && !drop_set_columns;
+  rel::Relation out(ternary ? 3 : 2);
+
+  // Collection-anchored paths: E_0 only carries members of C.
+  std::unordered_set<AsrKey> anchor_members;
+  const bool anchored = j == 1 && !anchor_collection.IsNull();
+  if (anchored) {
+    Result<gom::SetView> view = store->GetSet(anchor_collection);
+    ASR_RETURN_IF_ERROR(view.status());
+    anchor_members.insert(view->members.begin(), view->members.end());
+  }
+
+  // The attribute index must be resolved per concrete object type: an
+  // attribute inherited from step.domain_type keeps its flattened index in
+  // every subtype because inherited attributes come first, but multiple
+  // supertypes can shift it, so resolve by name per type.
+  const gom::Schema& schema = store->schema();
+  Status st = ScanExtent(
+      store, step.domain_type,
+      [&](const gom::TupleView& view) -> Status {
+        AsrKey self = AsrKey::FromOid(view.oid);
+        if (anchored && anchor_members.count(self) == 0) {
+          return Status::OK();  // t_0 object outside the anchor collection
+        }
+        Result<uint32_t> idx =
+            schema.FindAttribute(view.oid.type_id(), step.attr_name);
+        ASR_RETURN_IF_ERROR(idx.status());
+        AsrKey value = view.attrs[*idx];
+        if (value.IsNull()) return Status::OK();  // undefined A_j: no tuple
+        if (!step.set_occurrence) {
+          out.AddRow({self, value});
+          return Status::OK();
+        }
+        // Set occurrence: expand the set instance's members.
+        Result<gom::SetView> set = store->GetSet(value.ToOid());
+        ASR_RETURN_IF_ERROR(set.status());
+        if (set->members.empty()) {
+          // "In the special case that o'_j is an empty set the relation
+          // contains the tuple (id(o_{j-1}), id(o'_j), NULL)" (Def. 3.3).
+          if (ternary) {
+            out.AddRow({self, value, AsrKey::Null()});
+          } else {
+            out.AddRow({self, AsrKey::Null()});
+          }
+          return Status::OK();
+        }
+        for (AsrKey member : set->members) {
+          if (ternary) {
+            out.AddRow({self, value, member});
+          } else {
+            out.AddRow({self, member});
+          }
+        }
+        return Status::OK();
+      });
+  ASR_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Result<rel::Relation> ComputeExtension(gom::ObjectStore* store,
+                                       const PathExpression& path,
+                                       ExtensionKind kind,
+                                       bool drop_set_columns,
+                                       Oid anchor_collection) {
+  const uint32_t n = path.n();
+  std::vector<rel::Relation> aux;
+  aux.reserve(n);
+  for (uint32_t j = 1; j <= n; ++j) {
+    Result<rel::Relation> e = BuildAuxiliaryRelation(
+        store, path, j, drop_set_columns, anchor_collection);
+    ASR_RETURN_IF_ERROR(e.status());
+    aux.push_back(std::move(*e));
+  }
+
+  using rel::JoinKind;
+  switch (kind) {
+    case ExtensionKind::kCanonical:
+    case ExtensionKind::kFull:
+    case ExtensionKind::kLeftComplete: {
+      JoinKind jk = kind == ExtensionKind::kCanonical ? JoinKind::kNatural
+                    : kind == ExtensionKind::kFull    ? JoinKind::kFullOuter
+                                                      : JoinKind::kLeftOuter;
+      rel::Relation acc = std::move(aux[0]);
+      for (uint32_t i = 1; i < n; ++i) {
+        acc = rel::Relation::Join(acc, aux[i], jk);
+      }
+      acc.Normalize();
+      return acc;
+    }
+    case ExtensionKind::kRightComplete: {
+      // Right-associated per Def. 3.7.
+      rel::Relation acc = std::move(aux[n - 1]);
+      for (uint32_t i = n - 1; i >= 1; --i) {
+        acc = rel::Relation::Join(aux[i - 1], acc, JoinKind::kRightOuter);
+      }
+      acc.Normalize();
+      return acc;
+    }
+  }
+  return Status::InvalidArgument("unknown extension kind");
+}
+
+}  // namespace asr

@@ -1,0 +1,62 @@
+// The four extensions of an access support relation (Defs. 3.3-3.7).
+//
+// For a path t0.A1.....An the auxiliary relation E_{j-1} materializes the
+// edges contributed by attribute A_j: binary (o_{j-1}, o_j) for single-valued
+// A_j, ternary (o_{j-1}, o'_j, o_j) through the set instance o'_j for a set
+// occurrence (an empty set contributes (o_{j-1}, o'_j, NULL)). The extension
+// then is a join chain over E_0 ... E_{n-1}:
+//
+//   canonical       E_0 |><| ... |><| E_{n-1}        (Def. 3.4)
+//   full            E_0 =|><|= ... =|><|= E_{n-1}    (Def. 3.5)
+//   left-complete   (...(E_0 =|><| E_1) =|><| ...)   (Def. 3.6)
+//   right-complete  (E_0 |><|= (... (E_{n-2} |><|= E_{n-1})...)) (Def. 3.7)
+#ifndef ASR_ASR_EXTENSION_H_
+#define ASR_ASR_EXTENSION_H_
+
+#include <string>
+
+#include "asr/path_expression.h"
+#include "common/status.h"
+#include "gom/object_store.h"
+#include "rel/relation.h"
+
+namespace asr {
+
+enum class ExtensionKind {
+  kCanonical,
+  kFull,
+  kLeftComplete,
+  kRightComplete,
+};
+
+// "can", "full", "left", "right" — the paper's labels.
+std::string ExtensionKindName(ExtensionKind kind);
+
+// Which (sub-)queries Q_{i,j} an extension can evaluate at all (Eq. 35):
+// canonical only i=0 and j=n; left-complete needs i=0; right-complete needs
+// j=n; full supports all 0 <= i < j <= n.
+bool ExtensionSupportsQuery(ExtensionKind kind, uint32_t i, uint32_t j,
+                            uint32_t n);
+
+// Materializes E_{j-1} (1 <= j <= n) by scanning the extent of t_{j-1}
+// (including subtype instances). With `drop_set_columns` the set instance
+// OIDs are projected away (the paper's no-set-sharing simplification).
+// A non-NULL `anchor_collection` restricts E_0 to objects that are members
+// of that collection (the §3 alternative of anchoring at a collection C).
+Result<rel::Relation> BuildAuxiliaryRelation(gom::ObjectStore* store,
+                                             const PathExpression& path,
+                                             uint32_t j,
+                                             bool drop_set_columns,
+                                             Oid anchor_collection = Oid::Null());
+
+// Materializes the chosen extension of the full-width access support
+// relation by joining the auxiliary relations.
+Result<rel::Relation> ComputeExtension(gom::ObjectStore* store,
+                                       const PathExpression& path,
+                                       ExtensionKind kind,
+                                       bool drop_set_columns,
+                                       Oid anchor_collection = Oid::Null());
+
+}  // namespace asr
+
+#endif  // ASR_ASR_EXTENSION_H_

@@ -1,0 +1,103 @@
+#include "asr/path_expression.h"
+
+#include <sstream>
+
+namespace asr {
+
+PathExpression::PathExpression(const gom::Schema* schema, TypeId anchor,
+                               std::vector<PathStep> steps)
+    : schema_(schema), anchor_(anchor), steps_(std::move(steps)) {
+  col_of_pos_.reserve(steps_.size() + 1);
+  col_of_pos_.push_back(0);
+  uint32_t col = 0;
+  for (const PathStep& step : steps_) {
+    ++col;  // column of t_i, or of t'_i when a set occurs
+    if (step.set_occurrence) {
+      ++k_;
+      ++col;  // the member column
+    }
+    col_of_pos_.push_back(col);
+  }
+}
+
+Result<PathExpression> PathExpression::Create(
+    const gom::Schema& schema, TypeId anchor,
+    const std::vector<std::string>& attrs) {
+  if (!schema.IsValidType(anchor) || !schema.IsTuple(anchor)) {
+    return Status::TypeError("path anchor must be a tuple type");
+  }
+  if (attrs.empty()) {
+    return Status::InvalidArgument("path expression must have length >= 1");
+  }
+  std::vector<PathStep> steps;
+  steps.reserve(attrs.size());
+  TypeId domain = anchor;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (!schema.IsTuple(domain)) {
+      return Status::TypeError(
+          "path step '" + attrs[i] +
+          "' applied to non-tuple type '" + schema.name(domain) + "'");
+    }
+    Result<uint32_t> idx = schema.FindAttribute(domain, attrs[i]);
+    ASR_RETURN_IF_ERROR(idx.status());
+    const gom::Attribute& attr = schema.attributes(domain)[*idx];
+    PathStep step;
+    step.attr_name = attrs[i];
+    step.attr_index = *idx;
+    step.domain_type = domain;
+    if (schema.IsCollection(attr.range_type)) {
+      // Lists are handled exactly like sets (§2.1).
+      step.set_occurrence = true;
+      step.set_type = attr.range_type;
+      step.range_type = schema.element_type(attr.range_type);
+    } else {
+      step.range_type = attr.range_type;
+    }
+    // Atomic ranges terminate a path: only the last step may be atomic.
+    if (schema.IsAtomic(step.range_type) && i + 1 != attrs.size()) {
+      return Status::TypeError("attribute '" + attrs[i] +
+                               "' has an atomic range but is not the last "
+                               "step of the path");
+    }
+    domain = step.range_type;
+    steps.push_back(std::move(step));
+  }
+  return PathExpression(&schema, anchor, std::move(steps));
+}
+
+Result<PathExpression> PathExpression::Parse(const gom::Schema& schema,
+                                             TypeId anchor,
+                                             const std::string& dotted) {
+  std::vector<std::string> attrs;
+  std::stringstream ss(dotted);
+  std::string part;
+  while (std::getline(ss, part, '.')) {
+    if (part.empty()) {
+      return Status::InvalidArgument("empty path component in '" + dotted +
+                                     "'");
+    }
+    attrs.push_back(part);
+  }
+  return Create(schema, anchor, attrs);
+}
+
+TypeId PathExpression::type_at(uint32_t pos) const {
+  ASR_DCHECK(pos <= n());
+  if (pos == 0) return anchor_;
+  return steps_[pos - 1].range_type;
+}
+
+bool PathExpression::terminal_is_atomic() const {
+  return schema_->IsAtomic(type_at(n()));
+}
+
+std::string PathExpression::ToString() const {
+  std::string out = schema_->name(anchor_);
+  for (const PathStep& step : steps_) {
+    out += ".";
+    out += step.attr_name;
+  }
+  return out;
+}
+
+}  // namespace asr

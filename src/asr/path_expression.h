@@ -1,0 +1,93 @@
+// Path expressions t0.A1. ... .An over a GOM schema (Def. 3.1).
+//
+// A path expression is valid iff each A_i is an attribute of t_{i-1} whose
+// range is either t_i directly (single-valued) or a set type t'_i = {t_i}
+// (a "set occurrence" at A_i). The terminal range t_n may be atomic, in which
+// case the last ASR column carries the attribute *value* (footnote 3).
+//
+// Column layout of the underlying access support relation (Def. 3.2): with k
+// set occurrences the relation has arity m+1 = n+k+1; a set occurrence at A_i
+// contributes a column for the set instance's OID followed by one for the
+// member. Under the no-set-sharing simplification the set columns are dropped
+// and m = n (§3, remark after Def. 3.8) — AsrOptions::drop_set_columns
+// selects this, and it is the mode the paper's analytical examples use.
+#ifndef ASR_ASR_PATH_EXPRESSION_H_
+#define ASR_ASR_PATH_EXPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "gom/type_system.h"
+
+namespace asr {
+
+// One attribute hop A_i of a path.
+struct PathStep {
+  std::string attr_name;
+  uint32_t attr_index = 0;           // index in attributes(domain_type)
+  TypeId domain_type = kInvalidTypeId;   // t_{i-1}
+  TypeId range_type = kInvalidTypeId;    // t_i (element type if set occurrence)
+  bool set_occurrence = false;
+  TypeId set_type = kInvalidTypeId;      // t'_i when set_occurrence
+};
+
+class PathExpression {
+ public:
+  // Resolves and validates "A1.A2. ... .An" against `anchor` (t0).
+  static Result<PathExpression> Create(const gom::Schema& schema,
+                                       TypeId anchor,
+                                       const std::vector<std::string>& attrs);
+
+  // Convenience: parses a dotted string "Manufactures.Composition.Name".
+  static Result<PathExpression> Parse(const gom::Schema& schema,
+                                      TypeId anchor,
+                                      const std::string& dotted);
+
+  const gom::Schema& schema() const { return *schema_; }
+  TypeId anchor() const { return anchor_; }
+
+  // Path length n.
+  uint32_t n() const { return static_cast<uint32_t>(steps_.size()); }
+  // Number of set occurrences k.
+  uint32_t k() const { return k_; }
+  // Highest column index with set columns retained: m = n + k (Def. 3.2).
+  uint32_t m() const { return n() + k_; }
+
+  const std::vector<PathStep>& steps() const { return steps_; }
+  const PathStep& step(uint32_t i) const {
+    ASR_DCHECK(i >= 1 && i <= n());
+    return steps_[i - 1];
+  }
+
+  // Type at position i (t_i); t_0 = anchor. Positions run 0..n.
+  TypeId type_at(uint32_t pos) const;
+
+  // True when t_n is an atomic type (terminal column holds values).
+  bool terminal_is_atomic() const;
+
+  // Column index of position i in the ASR with set columns retained:
+  // col(0)=0; a set occurrence at A_i inserts one extra column before t_i.
+  uint32_t ColumnOfPosition(uint32_t pos) const {
+    ASR_DCHECK(pos <= n());
+    return col_of_pos_[pos];
+  }
+
+  // "t0.A1.....An" rendering.
+  std::string ToString() const;
+
+ private:
+  PathExpression(const gom::Schema* schema, TypeId anchor,
+                 std::vector<PathStep> steps);
+
+  const gom::Schema* schema_;
+  TypeId anchor_;
+  std::vector<PathStep> steps_;
+  uint32_t k_ = 0;
+  std::vector<uint32_t> col_of_pos_;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_PATH_EXPRESSION_H_

@@ -1,0 +1,97 @@
+#include "asr/query.h"
+
+#include <unordered_set>
+
+namespace asr {
+
+Status QueryEvaluator::ExpandLevel(
+    const std::vector<AsrKey>& sources, uint32_t q,
+    std::vector<std::pair<AsrKey, AsrKey>>* edges) {
+  const PathStep& step = path_->step(q + 1);
+  std::vector<Oid> oids;
+  oids.reserve(sources.size());
+  for (AsrKey key : sources) {
+    if (key.IsOid()) oids.push_back(key.ToOid());
+  }
+  Result<std::vector<std::pair<Oid, std::vector<AsrKey>>>> targets =
+      store_->GetAttributeTargets(std::move(oids), step.attr_name);
+  ASR_RETURN_IF_ERROR(targets.status());
+  for (const auto& [owner, values] : *targets) {
+    for (AsrKey value : values) {
+      edges->emplace_back(AsrKey::FromOid(owner), value);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<AsrKey>> QueryEvaluator::ForwardNoSupport(AsrKey start,
+                                                             uint32_t i,
+                                                             uint32_t j) {
+  if (i >= j || j > path_->n()) {
+    return Status::InvalidArgument("need 0 <= i < j <= n");
+  }
+  std::unordered_set<AsrKey> frontier{start};
+  for (uint32_t q = i; q < j; ++q) {
+    std::vector<std::pair<AsrKey, AsrKey>> edges;
+    std::vector<AsrKey> sources(frontier.begin(), frontier.end());
+    ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &edges));
+    frontier.clear();
+    for (const auto& [src, dst] : edges) frontier.insert(dst);
+    if (frontier.empty()) break;
+  }
+  return std::vector<AsrKey>(frontier.begin(), frontier.end());
+}
+
+Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
+                                                              uint32_t i,
+                                                              uint32_t j) {
+  if (i >= j || j > path_->n()) {
+    return Status::InvalidArgument("need 0 <= i < j <= n");
+  }
+  const gom::Schema& schema = store_->schema();
+
+  // Level i: exhaustive scan of the t_i extent (op_i page accesses, §5.6.2),
+  // collecting every edge of attribute A_{i+1}; deeper levels fetch only the
+  // objects actually referenced — RefBy(i, l, d_i) of them (Eq. 32).
+  std::vector<std::vector<std::pair<AsrKey, AsrKey>>> level_edges(j);
+  std::unordered_set<AsrKey> frontier;
+  {
+    const PathStep& step = path_->step(i + 1);
+    for (TypeId t = 0; t < schema.type_count(); ++t) {
+      if (!schema.IsTuple(t) || !schema.IsSubtypeOf(t, step.domain_type)) {
+        continue;
+      }
+      Status st = store_->ScanWithTargets(
+          t, step.attr_name,
+          [&](Oid owner, const std::vector<AsrKey>& values) -> Status {
+            for (AsrKey value : values) {
+              level_edges[i].emplace_back(AsrKey::FromOid(owner), value);
+            }
+            return Status::OK();
+          });
+      ASR_RETURN_IF_ERROR(st);
+    }
+    for (const auto& [src, dst] : level_edges[i]) frontier.insert(dst);
+  }
+
+  // Intermediate levels i+1 .. j-1: fetch each connected object once.
+  for (uint32_t q = i + 1; q < j && !frontier.empty(); ++q) {
+    std::vector<AsrKey> sources(frontier.begin(), frontier.end());
+    ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &level_edges[q]));
+    frontier.clear();
+    for (const auto& [src, dst] : level_edges[q]) frontier.insert(dst);
+  }
+
+  // Back-propagate connectivity from the target (in memory).
+  std::unordered_set<AsrKey> reaching{target};
+  for (uint32_t q = j; q-- > i;) {
+    std::unordered_set<AsrKey> prev;
+    for (const auto& [src, dst] : level_edges[q]) {
+      if (reaching.count(dst) > 0) prev.insert(src);
+    }
+    reaching = std::move(prev);
+  }
+  return std::vector<AsrKey>(reaching.begin(), reaching.end());
+}
+
+}  // namespace asr

@@ -1,0 +1,51 @@
+// Navigational (unsupported) evaluation of forward and backward path queries
+// over the object representation — the baseline the paper's Qnas formulas
+// model (§5.6).
+//
+// Forward queries chase references level by level from one anchor object;
+// every referenced object is fetched once per level, in page-batched order
+// (Eq. 31). Backward queries cannot chase uni-directional references against
+// their direction, so they perform the exhaustive search of §5.6.2: scan the
+// full extent of t_i, then touch every object of the intermediate types that
+// lies on any path, and finally select the t_i objects connected to the
+// target (Eq. 32).
+#ifndef ASR_ASR_QUERY_H_
+#define ASR_ASR_QUERY_H_
+
+#include <vector>
+
+#include "asr/path_expression.h"
+#include "common/asr_key.h"
+#include "common/status.h"
+#include "gom/object_store.h"
+
+namespace asr {
+
+class QueryEvaluator {
+ public:
+  QueryEvaluator(gom::ObjectStore* store, const PathExpression* path)
+      : store_(store), path_(path) {}
+
+  // Q_{i,j}(fw) without access support: keys at position j reachable from
+  // `start`, an object at position i.
+  Result<std::vector<AsrKey>> ForwardNoSupport(AsrKey start, uint32_t i,
+                                               uint32_t j);
+
+  // Q_{i,j}(bw) without access support: position-i objects with at least one
+  // path to `target`, a position-j object (or atomic value when j == n).
+  Result<std::vector<AsrKey>> BackwardNoSupport(AsrKey target, uint32_t i,
+                                                uint32_t j);
+
+ private:
+  // Reads the A_{q+1} targets of each position-q object in `sources`,
+  // page-batched; appends (source, target) pairs to `edges`.
+  Status ExpandLevel(const std::vector<AsrKey>& sources, uint32_t q,
+                     std::vector<std::pair<AsrKey, AsrKey>>* edges);
+
+  gom::ObjectStore* store_;
+  const PathExpression* path_;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_QUERY_H_

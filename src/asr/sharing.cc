@@ -1,0 +1,163 @@
+#include "asr/sharing.h"
+
+namespace asr {
+
+namespace {
+
+bool StepsMatch(const PathStep& a, const PathStep& b) {
+  return a.attr_name == b.attr_name && a.domain_type == b.domain_type &&
+         a.range_type == b.range_type && a.set_occurrence == b.set_occurrence;
+}
+
+}  // namespace
+
+PathOverlap FindLongestOverlap(const PathExpression& a,
+                               const PathExpression& b) {
+  PathOverlap best;
+  for (uint32_t ia = 0; ia < a.n(); ++ia) {
+    for (uint32_t ib = 0; ib < b.n(); ++ib) {
+      // The segments must start at the same type to share a partition whose
+      // first column holds t_i OIDs.
+      if (a.type_at(ia) != b.type_at(ib)) continue;
+      uint32_t len = 0;
+      while (ia + len < a.n() && ib + len < b.n() &&
+             StepsMatch(a.step(ia + len + 1), b.step(ib + len + 1))) {
+        ++len;
+      }
+      if (len > best.length) {
+        best.a_start = ia;
+        best.b_start = ib;
+        best.length = len;
+      }
+    }
+  }
+  return best;
+}
+
+bool OverlapSharable(const PathOverlap& overlap, ExtensionKind kind,
+                     const PathExpression& a, const PathExpression& b) {
+  if (overlap.empty()) return false;
+  switch (kind) {
+    case ExtensionKind::kFull:
+      // "In general, this sharing is only possible for full extensions."
+      return true;
+    case ExtensionKind::kLeftComplete:
+      // Exception 1: both paths share the segment as a prefix (i = i' = 0).
+      return overlap.a_start == 0 && overlap.b_start == 0;
+    case ExtensionKind::kRightComplete:
+      // Exception 2: both segments end at their path's terminal attribute.
+      return overlap.a_start + overlap.length == a.n() &&
+             overlap.b_start + overlap.length == b.n();
+    case ExtensionKind::kCanonical:
+      return false;
+  }
+  return false;
+}
+
+Decomposition SharingDecomposition(const PathOverlap& overlap, bool for_a,
+                                   const PathExpression& path) {
+  uint32_t start = for_a ? overlap.a_start : overlap.b_start;
+  std::vector<uint32_t> cuts{0};
+  if (start > 0) cuts.push_back(start);
+  uint32_t end = start + overlap.length;
+  if (end > cuts.back()) cuts.push_back(end);
+  if (path.n() > cuts.back()) cuts.push_back(path.n());
+  return Decomposition::Of(std::move(cuts), path.n()).value();
+}
+
+std::string SegmentSignature(const PathExpression& path, uint32_t start,
+                             uint32_t length) {
+  const gom::Schema& schema = path.schema();
+  std::string sig = schema.name(path.type_at(start));
+  for (uint32_t s = 1; s <= length; ++s) {
+    sig += "." + path.step(start + s).attr_name;
+  }
+  return sig;
+}
+
+Result<AccessSupportRelation*> AsrCatalog::Build(PathExpression path,
+                                                 ExtensionKind kind,
+                                                 Decomposition decomposition) {
+  // Sharability per partition (§5.4): a full-extension partition over a
+  // chain segment is always sharable with the same segment of other full
+  // ASRs; left-complete ASRs may share PREFIX partitions (first column 0)
+  // with each other, right-complete ASRs SUFFIX partitions (last column n).
+  // Signatures are namespaced by these rules so kinds never mix.
+  const uint32_t n = path.n();
+  std::vector<std::string> signatures(decomposition.partition_count());
+  for (size_t p = 0; p < decomposition.partition_count(); ++p) {
+    auto [first, last] = decomposition.partition(p);
+    std::string sig = SegmentSignature(path, first, last - first);
+    switch (kind) {
+      case ExtensionKind::kFull:
+        signatures[p] = "full:" + sig;
+        break;
+      case ExtensionKind::kLeftComplete:
+        if (first == 0) signatures[p] = "left0:" + sig;
+        break;
+      case ExtensionKind::kRightComplete:
+        if (last == n) signatures[p] = "rightN:" + sig;
+        break;
+      case ExtensionKind::kCanonical:
+        break;  // never sharable
+    }
+  }
+
+  uint64_t shared_before = shared_count_;
+  PartitionProvider provider = [&](size_t idx, uint32_t, uint32_t)
+      -> std::shared_ptr<PartitionStore> {
+    if (signatures[idx].empty()) return nullptr;
+    auto it = segments_.find(signatures[idx]);
+    if (it == segments_.end()) return nullptr;
+    ++shared_count_;
+    return it->second;
+  };
+
+  Result<std::unique_ptr<AccessSupportRelation>> built =
+      AccessSupportRelation::Build(store_, std::move(path), kind,
+                                   std::move(decomposition), AsrOptions{},
+                                   provider);
+  if (!built.ok()) {
+    shared_count_ = shared_before;
+    return built.status();
+  }
+  AccessSupportRelation* asr = built->get();
+  // Register this ASR's sharable partitions for future builds.
+  for (size_t p = 0; p < asr->partition_count(); ++p) {
+    if (!signatures[p].empty()) {
+      segments_.emplace(signatures[p], asr->partition_store(p));
+    }
+  }
+  asrs_.push_back(std::move(*built));
+  return asr;
+}
+
+Status AsrCatalog::ForwardEdge(Oid u, const std::string& attr_name, AsrKey w,
+                               bool inserted) {
+  const gom::Schema& schema = store_->schema();
+  for (const auto& asr : asrs_) {
+    const PathExpression& path = asr->path();
+    for (uint32_t p = 0; p < path.n(); ++p) {
+      const PathStep& step = path.step(p + 1);
+      if (step.attr_name != attr_name) continue;
+      if (!schema.IsSubtypeOf(u.type_id(), step.domain_type)) continue;
+      Status st = inserted ? asr->OnEdgeInserted(u, p, w)
+                           : asr->OnEdgeRemoved(u, p, w);
+      ASR_RETURN_IF_ERROR(st);
+      break;  // one position per path (the paper's §6 assumption)
+    }
+  }
+  return Status::OK();
+}
+
+Status AsrCatalog::OnEdgeInserted(Oid u, const std::string& attr_name,
+                                  AsrKey w) {
+  return ForwardEdge(u, attr_name, w, true);
+}
+
+Status AsrCatalog::OnEdgeRemoved(Oid u, const std::string& attr_name,
+                                 AsrKey w) {
+  return ForwardEdge(u, attr_name, w, false);
+}
+
+}  // namespace asr

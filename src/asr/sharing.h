@@ -1,0 +1,106 @@
+// Sharing of access support relations across overlapping path expressions
+// (paper §5.4).
+//
+// Two paths
+//   t0 .A1...Ai .A_{i+1}...A_{i+j} .A_{i+j+1}...An         (1)
+//   t0'.A1'...Ai'.A_{i+1}...A_{i+j} .A'_{i'+j+1}...A'_{n'}  (2)
+// that traverse the same attribute chain in their middle may share the
+// partition over that chain: for full extensions the decompositions
+// (0, i, i+j, n) and (0, i', i'+j, n') have E^{i,i+j}_full = Ē^{i',i'+j}_full
+// — both materialize exactly the partial paths of the shared chain. Sharing
+// is generally only possible for full extensions; the exceptions are shared
+// *prefixes* under left-complete and shared *suffixes* under right-complete
+// extensions (§5.4).
+//
+// The AsrCatalog exploits this: when building a full-extension ASR whose
+// decomposition contains a partition over a chain segment that some earlier
+// ASR already stores, the existing PartitionStore is attached instead of a
+// fresh one. Contract: every catalog ASR must receive its maintenance call
+// on every base update, which keeps the summed slice refcounts of shared
+// stores exact.
+#ifndef ASR_ASR_SHARING_H_
+#define ASR_ASR_SHARING_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "asr/access_support_relation.h"
+
+namespace asr {
+
+// A common attribute-chain segment of two paths: steps a_start+1..a_start+len
+// of `a` coincide with steps b_start+1..b_start+len of `b` (same attribute
+// names, domain and range types).
+struct PathOverlap {
+  uint32_t a_start = 0;
+  uint32_t b_start = 0;
+  uint32_t length = 0;  // number of shared steps (j in §5.4)
+
+  bool empty() const { return length == 0; }
+};
+
+// Longest common chain segment (leftmost in `a` on ties).
+PathOverlap FindLongestOverlap(const PathExpression& a,
+                               const PathExpression& b);
+
+// Can the overlap's partition be shared under extension `kind` (§5.4)?
+// full: always; left-complete: only when the segment is a prefix of both
+// paths; right-complete: only when it is a suffix of both.
+bool OverlapSharable(const PathOverlap& overlap, ExtensionKind kind,
+                     const PathExpression& a, const PathExpression& b);
+
+// The §5.4 decomposition (0, i, i+j, m) that isolates the shared segment of
+// one path (degenerate cut points are dropped).
+Decomposition SharingDecomposition(const PathOverlap& overlap, bool for_a,
+                                   const PathExpression& path);
+
+// Canonical signature of the chain segment spanning positions
+// [start, start+len] of `path`: anchor type plus attribute names. Two
+// partitions with equal signatures store the same relation under the full
+// extension.
+std::string SegmentSignature(const PathExpression& path, uint32_t start,
+                             uint32_t length);
+
+// Catalog of ASRs over one object base that transparently shares partition
+// stores between full-extension ASRs whose partitions cover identical chain
+// segments. (Dropped set columns only: signatures address positions.)
+class AsrCatalog {
+ public:
+  explicit AsrCatalog(gom::ObjectStore* store) : store_(store) {}
+  ASR_DISALLOW_COPY_AND_ASSIGN(AsrCatalog);
+
+  // Builds (or shares into) an ASR; the catalog keeps ownership.
+  Result<AccessSupportRelation*> Build(PathExpression path,
+                                       ExtensionKind kind,
+                                       Decomposition decomposition);
+
+  size_t asr_count() const { return asrs_.size(); }
+  AccessSupportRelation* asr(size_t idx) { return asrs_[idx].get(); }
+
+  // Number of partitions attached from the shared segment registry instead
+  // of being rebuilt.
+  uint64_t shared_partition_count() const { return shared_count_; }
+
+  // Forwards a base update to every ASR in the catalog (the sharing
+  // contract): the edge along attribute `attr_name` from object `u` to key
+  // `w` was applied to the store. Each ASR locates the attribute on its own
+  // path (if present) and runs its incremental maintenance.
+  Status OnEdgeInserted(Oid u, const std::string& attr_name, AsrKey w);
+  Status OnEdgeRemoved(Oid u, const std::string& attr_name, AsrKey w);
+
+ private:
+  Status ForwardEdge(Oid u, const std::string& attr_name, AsrKey w,
+                     bool inserted);
+
+  gom::ObjectStore* store_;
+  std::vector<std::unique_ptr<AccessSupportRelation>> asrs_;
+  // Signature of a chain segment -> its shared store (full extension only).
+  std::map<std::string, std::shared_ptr<PartitionStore>> segments_;
+  uint64_t shared_count_ = 0;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_SHARING_H_

@@ -1,0 +1,479 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace asr::btree {
+
+namespace {
+
+using storage::kPageSize;
+using storage::Page;
+using storage::PageGuard;
+using storage::PageId;
+
+constexpr uint32_t kHeaderBytes = 8;
+constexpr uint32_t kInnerEntryBytes = 20;  // key u64 + fingerprint u64 + child u32
+constexpr uint32_t kNoLeaf = UINT32_MAX;
+
+// Header accessors shared by both node kinds.
+bool IsLeaf(const Page& p) { return p.Read<uint8_t>(0) != 0; }
+uint16_t Count(const Page& p) { return p.Read<uint16_t>(2); }
+void SetCount(Page* p, uint16_t c) { p->Write<uint16_t>(2, c); }
+uint32_t NextLeaf(const Page& p) { return p.Read<uint32_t>(4); }
+void SetNextLeaf(Page* p, uint32_t n) { p->Write<uint32_t>(4, n); }
+uint32_t Child0(const Page& p) { return p.Read<uint32_t>(4); }
+void SetChild0(Page* p, uint32_t c) { p->Write<uint32_t>(4, c); }
+
+// Internal node entry accessors.
+struct InnerEntry {
+  uint64_t key;
+  uint64_t fingerprint;
+  uint32_t child;
+};
+
+uint32_t InnerOffset(int i) {
+  return kHeaderBytes + static_cast<uint32_t>(i) * kInnerEntryBytes;
+}
+
+InnerEntry GetInner(const Page& p, int i) {
+  InnerEntry e;
+  e.key = p.Read<uint64_t>(InnerOffset(i));
+  e.fingerprint = p.Read<uint64_t>(InnerOffset(i) + 8);
+  e.child = p.Read<uint32_t>(InnerOffset(i) + 16);
+  return e;
+}
+
+void PutInner(Page* p, int i, const InnerEntry& e) {
+  p->Write<uint64_t>(InnerOffset(i), e.key);
+  p->Write<uint64_t>(InnerOffset(i) + 8, e.fingerprint);
+  p->Write<uint32_t>(InnerOffset(i) + 16, e.child);
+}
+
+}  // namespace
+
+BTree::BTree(storage::BufferManager* buffers, std::string name,
+             uint32_t width, uint32_t key_column)
+    : buffers_(buffers), width_(width), key_column_(key_column) {
+  ASR_CHECK(width_ >= 1 && key_column_ < width_);
+  leaf_entry_bytes_ = 8 + 8 * width_;
+  leaf_capacity_ = (kPageSize - kHeaderBytes) / leaf_entry_bytes_;
+  inner_capacity_ = (kPageSize - kHeaderBytes) / kInnerEntryBytes;
+  ASR_CHECK(leaf_capacity_ >= 4);
+  segment_ = buffers_->disk()->CreateSegment("btree:" + name);
+  PageGuard root = buffers_->AllocatePinned(segment_);
+  InitLeaf(&root.page());
+  root.MarkDirty();
+  root_page_ = root.id().page_no;
+}
+
+void BTree::InitLeaf(Page* page) {
+  page->Zero();
+  page->Write<uint8_t>(0, 1);
+  SetCount(page, 0);
+  SetNextLeaf(page, kNoLeaf);
+}
+
+void BTree::InitInternal(Page* page) {
+  page->Zero();
+  page->Write<uint8_t>(0, 0);
+  SetCount(page, 0);
+  SetChild0(page, kNoLeaf);
+}
+
+uint64_t BTree::Fingerprint(const std::vector<AsrKey>& tuple) {
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (AsrKey k : tuple) {
+    h ^= k.raw();
+    h *= 0x100000001B3ull;
+    h ^= h >> 29;
+  }
+  // Avoid the reserved all-zero fingerprint so (0,0) is a safe -infinity.
+  return h == 0 ? 1 : h;
+}
+
+BTree::CompositeKey BTree::KeyOf(const std::vector<AsrKey>& tuple) const {
+  ASR_DCHECK(tuple.size() == width_);
+  return CompositeKey{tuple[key_column_].raw(), Fingerprint(tuple)};
+}
+
+uint32_t BTree::DescendToLeaf(CompositeKey key, std::vector<uint32_t>* path) {
+  uint32_t page_no = root_page_;
+  while (true) {
+    PageGuard guard = buffers_->Pin(PageId{segment_, page_no});
+    const Page& page = guard.page();
+    if (IsLeaf(page)) return page_no;
+    if (path != nullptr) path->push_back(page_no);
+    uint16_t count = Count(page);
+    // Find the first entry with entry key > key; descend into the child to
+    // its left (child0 when there is none to the left).
+    int lo = 0;
+    int hi = count;
+    while (lo < hi) {
+      int mid = (lo + hi) / 2;
+      InnerEntry e = GetInner(page, mid);
+      CompositeKey ek{e.key, e.fingerprint};
+      if (key < ek) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    page_no = (lo == 0) ? Child0(page) : GetInner(page, lo - 1).child;
+  }
+}
+
+namespace {
+
+// In-memory image of one leaf entry.
+struct LeafEntry {
+  uint64_t fingerprint;
+  std::vector<uint64_t> tuple;
+};
+
+uint32_t LeafOffset(uint32_t entry_bytes, int i) {
+  return kHeaderBytes + static_cast<uint32_t>(i) * entry_bytes;
+}
+
+LeafEntry GetLeaf(const Page& p, uint32_t entry_bytes, uint32_t width, int i) {
+  LeafEntry e;
+  uint32_t off = LeafOffset(entry_bytes, i);
+  e.fingerprint = p.Read<uint64_t>(off);
+  e.tuple.resize(width);
+  p.ReadBytes(off + 8, e.tuple.data(), 8 * width);
+  return e;
+}
+
+void PutLeaf(Page* p, uint32_t entry_bytes, int i, const LeafEntry& e) {
+  uint32_t off = LeafOffset(entry_bytes, i);
+  p->Write<uint64_t>(off, e.fingerprint);
+  p->WriteBytes(off + 8, e.tuple.data(), 8 * e.tuple.size());
+}
+
+// Shifts entries [from, count) one slot to the right.
+void ShiftRight(Page* p, uint32_t entry_bytes, int from, int count) {
+  for (int i = count - 1; i >= from; --i) {
+    std::vector<std::byte> buf(entry_bytes);
+    p->ReadBytes(LeafOffset(entry_bytes, i), buf.data(), entry_bytes);
+    p->WriteBytes(LeafOffset(entry_bytes, i + 1), buf.data(), entry_bytes);
+  }
+}
+
+// Shifts entries [from+1, count) one slot to the left (erasing `from`).
+void ShiftLeft(Page* p, uint32_t entry_bytes, int from, int count) {
+  for (int i = from; i < count - 1; ++i) {
+    std::vector<std::byte> buf(entry_bytes);
+    p->ReadBytes(LeafOffset(entry_bytes, i + 1), buf.data(), entry_bytes);
+    p->WriteBytes(LeafOffset(entry_bytes, i), buf.data(), entry_bytes);
+  }
+}
+
+}  // namespace
+
+bool BTree::Insert(const std::vector<AsrKey>& tuple) {
+  ASR_CHECK(tuple.size() == width_);
+  CompositeKey key = KeyOf(tuple);
+  std::vector<uint32_t> path;
+  uint32_t leaf_no = DescendToLeaf(key, &path);
+  PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+  uint16_t count = Count(leaf.page());
+
+  // Position = first entry >= key (lower bound).
+  int lo = 0;
+  int hi = count;
+  while (lo < hi) {
+    int mid = (lo + hi) / 2;
+    LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, mid);
+    CompositeKey ek{e.tuple[key_column_], e.fingerprint};
+    if (ek < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  // Scan the run of equal composite keys (fingerprint collisions) for the
+  // identical tuple; set semantics make re-insertion a no-op. A run never
+  // crosses a leaf boundary for practical purposes: equal composite keys are
+  // equal tuples except under 64-bit fingerprint collision.
+  for (int i = lo; i < count; ++i) {
+    LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
+    CompositeKey ek{e.tuple[key_column_], e.fingerprint};
+    if (key < ek) break;
+    bool same = true;
+    for (uint32_t c = 0; c < width_; ++c) {
+      if (e.tuple[c] != tuple[c].raw()) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return false;
+  }
+
+  LeafEntry entry;
+  entry.fingerprint = key.fingerprint;
+  entry.tuple.resize(width_);
+  for (uint32_t c = 0; c < width_; ++c) entry.tuple[c] = tuple[c].raw();
+
+  if (count < leaf_capacity_) {
+    ShiftRight(&leaf.page(), leaf_entry_bytes_, lo, count);
+    PutLeaf(&leaf.page(), leaf_entry_bytes_, lo, entry);
+    SetCount(&leaf.page(), static_cast<uint16_t>(count + 1));
+    leaf.MarkDirty();
+    ++tuple_count_;
+    return true;
+  }
+
+  // Split: gather all count+1 entries, give the upper half to a new leaf.
+  std::vector<LeafEntry> all;
+  all.reserve(count + 1);
+  for (int i = 0; i < count; ++i) {
+    all.push_back(GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i));
+  }
+  all.insert(all.begin() + lo, entry);
+
+  uint32_t mid = static_cast<uint32_t>(all.size()) / 2;
+  PageGuard right = buffers_->AllocatePinned(segment_);
+  InitLeaf(&right.page());
+  SetNextLeaf(&right.page(), NextLeaf(leaf.page()));
+  SetNextLeaf(&leaf.page(), right.id().page_no);
+
+  for (uint32_t i = 0; i < mid; ++i) {
+    PutLeaf(&leaf.page(), leaf_entry_bytes_, static_cast<int>(i), all[i]);
+  }
+  SetCount(&leaf.page(), static_cast<uint16_t>(mid));
+  for (uint32_t i = mid; i < all.size(); ++i) {
+    PutLeaf(&right.page(), leaf_entry_bytes_, static_cast<int>(i - mid),
+            all[i]);
+  }
+  SetCount(&right.page(), static_cast<uint16_t>(all.size() - mid));
+  leaf.MarkDirty();
+  right.MarkDirty();
+  ++leaf_pages_;
+  ++tuple_count_;
+
+  CompositeKey separator{all[mid].tuple[key_column_], all[mid].fingerprint};
+  uint32_t right_no = right.id().page_no;
+  leaf.Release();
+  right.Release();
+  InsertIntoParent(&path, separator, right_no);
+  return true;
+}
+
+void BTree::InsertIntoParent(std::vector<uint32_t>* path,
+                             CompositeKey separator, uint32_t new_child) {
+  if (path->empty()) {
+    // The root split: grow the tree by one level.
+    PageGuard new_root = buffers_->AllocatePinned(segment_);
+    InitInternal(&new_root.page());
+    SetChild0(&new_root.page(), root_page_);
+    PutInner(&new_root.page(), 0,
+             InnerEntry{separator.key, separator.fingerprint, new_child});
+    SetCount(&new_root.page(), 1);
+    new_root.MarkDirty();
+    root_page_ = new_root.id().page_no;
+    ++height_;
+    ++inner_pages_;
+    return;
+  }
+
+  uint32_t parent_no = path->back();
+  path->pop_back();
+  PageGuard parent = buffers_->Pin(PageId{segment_, parent_no});
+  uint16_t count = Count(parent.page());
+
+  // Position = first entry with key > separator.
+  int pos = 0;
+  while (pos < count) {
+    InnerEntry e = GetInner(parent.page(), pos);
+    CompositeKey ek{e.key, e.fingerprint};
+    if (separator < ek) break;
+    ++pos;
+  }
+
+  if (count < inner_capacity_) {
+    for (int i = count - 1; i >= pos; --i) {
+      PutInner(&parent.page(), i + 1, GetInner(parent.page(), i));
+    }
+    PutInner(&parent.page(), pos,
+             InnerEntry{separator.key, separator.fingerprint, new_child});
+    SetCount(&parent.page(), static_cast<uint16_t>(count + 1));
+    parent.MarkDirty();
+    return;
+  }
+
+  // Split the internal node. Collect all count+1 entries.
+  std::vector<InnerEntry> all;
+  all.reserve(count + 1);
+  for (int i = 0; i < count; ++i) all.push_back(GetInner(parent.page(), i));
+  all.insert(all.begin() + pos,
+             InnerEntry{separator.key, separator.fingerprint, new_child});
+
+  uint32_t mid = static_cast<uint32_t>(all.size()) / 2;
+  InnerEntry up = all[mid];  // moves up; its child seeds the right node
+
+  PageGuard right = buffers_->AllocatePinned(segment_);
+  InitInternal(&right.page());
+  SetChild0(&right.page(), up.child);
+  for (uint32_t i = mid + 1; i < all.size(); ++i) {
+    PutInner(&right.page(), static_cast<int>(i - mid - 1), all[i]);
+  }
+  SetCount(&right.page(), static_cast<uint16_t>(all.size() - mid - 1));
+
+  for (uint32_t i = 0; i < mid; ++i) {
+    PutInner(&parent.page(), static_cast<int>(i), all[i]);
+  }
+  SetCount(&parent.page(), static_cast<uint16_t>(mid));
+
+  parent.MarkDirty();
+  right.MarkDirty();
+  ++inner_pages_;
+
+  uint32_t right_no = right.id().page_no;
+  parent.Release();
+  right.Release();
+  InsertIntoParent(path, CompositeKey{up.key, up.fingerprint}, right_no);
+}
+
+bool BTree::Erase(const std::vector<AsrKey>& tuple) {
+  ASR_CHECK(tuple.size() == width_);
+  CompositeKey key = KeyOf(tuple);
+  uint32_t leaf_no = DescendToLeaf(key, nullptr);
+  while (leaf_no != kNoLeaf) {
+    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    uint16_t count = Count(leaf.page());
+    for (int i = 0; i < count; ++i) {
+      LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
+      CompositeKey ek{e.tuple[key_column_], e.fingerprint};
+      if (key < ek) return false;  // passed the run
+      if (ek < key) continue;
+      bool same = true;
+      for (uint32_t c = 0; c < width_; ++c) {
+        if (e.tuple[c] != tuple[c].raw()) {
+          same = false;
+          break;
+        }
+      }
+      if (same) {
+        ShiftLeft(&leaf.page(), leaf_entry_bytes_, i, count);
+        SetCount(&leaf.page(), static_cast<uint16_t>(count - 1));
+        leaf.MarkDirty();
+        --tuple_count_;
+        return true;
+      }
+    }
+    // The run may continue on the next leaf after splits.
+    leaf_no = NextLeaf(leaf.page());
+  }
+  return false;
+}
+
+void BTree::Lookup(AsrKey key, std::vector<std::vector<AsrKey>>* out) {
+  CompositeKey target{key.raw(), 0};
+  uint32_t leaf_no = DescendToLeaf(target, nullptr);
+  while (leaf_no != kNoLeaf) {
+    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    uint16_t count = Count(leaf.page());
+    bool beyond = false;
+    for (int i = 0; i < count; ++i) {
+      LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
+      uint64_t k = e.tuple[key_column_];
+      if (k < key.raw()) continue;
+      if (k > key.raw()) {
+        beyond = true;
+        break;
+      }
+      std::vector<AsrKey> row;
+      row.reserve(width_);
+      for (uint32_t c = 0; c < width_; ++c) {
+        row.push_back(AsrKey::FromRaw(e.tuple[c]));
+      }
+      out->push_back(std::move(row));
+    }
+    if (beyond) break;
+    leaf_no = NextLeaf(leaf.page());
+  }
+}
+
+bool BTree::Contains(AsrKey key) {
+  CompositeKey target{key.raw(), 0};
+  uint32_t leaf_no = DescendToLeaf(target, nullptr);
+  while (leaf_no != kNoLeaf) {
+    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    uint16_t count = Count(leaf.page());
+    for (int i = 0; i < count; ++i) {
+      LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
+      uint64_t k = e.tuple[key_column_];
+      if (k < key.raw()) continue;
+      return k == key.raw();
+    }
+    leaf_no = NextLeaf(leaf.page());
+  }
+  return false;
+}
+
+Status BTree::ScanAll(
+    const std::function<Status(const std::vector<AsrKey>&)>& fn) {
+  uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
+  while (leaf_no != kNoLeaf) {
+    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    uint16_t count = Count(leaf.page());
+    for (int i = 0; i < count; ++i) {
+      LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
+      std::vector<AsrKey> row;
+      row.reserve(width_);
+      for (uint32_t c = 0; c < width_; ++c) {
+        row.push_back(AsrKey::FromRaw(e.tuple[c]));
+      }
+      ASR_RETURN_IF_ERROR(fn(row));
+    }
+    leaf_no = NextLeaf(leaf.page());
+  }
+  return Status::OK();
+}
+
+Status BTree::CheckIntegrity() {
+  uint64_t seen = 0;
+  bool have_prev = false;
+  CompositeKey prev{0, 0};
+  uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
+  uint32_t leaves = 0;
+  while (leaf_no != kNoLeaf) {
+    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    if (!IsLeaf(leaf.page())) {
+      return Status::Corruption("leaf chain reached a non-leaf page");
+    }
+    uint16_t count = Count(leaf.page());
+    if (count > leaf_capacity_) {
+      return Status::Corruption("leaf entry count exceeds capacity");
+    }
+    for (int i = 0; i < count; ++i) {
+      LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
+      CompositeKey key{e.tuple[key_column_], e.fingerprint};
+      if (have_prev && key < prev) {
+        return Status::Corruption("leaf entries out of order");
+      }
+      std::vector<AsrKey> tuple;
+      tuple.reserve(width_);
+      for (uint64_t v : e.tuple) tuple.push_back(AsrKey::FromRaw(v));
+      if (Fingerprint(tuple) != e.fingerprint) {
+        return Status::Corruption("stored fingerprint mismatch");
+      }
+      prev = key;
+      have_prev = true;
+      ++seen;
+    }
+    ++leaves;
+    leaf_no = NextLeaf(leaf.page());
+  }
+  if (seen != tuple_count_) {
+    return Status::Corruption("tuple count mismatch: chain holds " +
+                              std::to_string(seen) + ", expected " +
+                              std::to_string(tuple_count_));
+  }
+  if (leaves > leaf_pages_) {
+    return Status::Corruption("leaf chain longer than allocated leaf pages");
+  }
+  return Status::OK();
+}
+
+}  // namespace asr::btree

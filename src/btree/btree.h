@@ -1,0 +1,123 @@
+// Page-based B+ tree storing fixed-width ASR tuples, clustered on one column.
+//
+// Following Valduriez's join-index storage scheme adopted by the paper
+// (§5.2), every ASR partition is stored in two redundant B+ trees: one keyed
+// (clustered) on the partition's first column and one on its last. A "cluster"
+// is the group of tuples sharing the key value; cluster lookup costs the tree
+// height plus the cluster's leaf pages, which is exactly the ht + nlp term of
+// the analytical model (Eqs. 19-28, 33, 34).
+//
+// Keys are (column value, fingerprint) pairs: the 64-bit fingerprint of the
+// whole tuple disambiguates tuples inside a cluster, giving set semantics
+// (duplicate inserts are no-ops) and exact-match deletion. Deletion is lazy —
+// leaves may underflow; they are unlinked only when the tree is rebuilt —
+// which matches the maintenance model's assumption that "page overflows of
+// leaf or non-leaf pages do not occur" for cost accounting (§6.2).
+//
+// Node layout (within the 4056-byte net page):
+//   leaf:     [1:u8][pad:u8][count:u16][next_leaf:u32]
+//             [(fingerprint:u64, tuple: width x u64) x count]
+//   internal: [0:u8][pad:u8][count:u16][child0:u32]
+//             [(key:u64, fingerprint:u64, child:u32) x count]
+#ifndef ASR_BTREE_BTREE_H_
+#define ASR_BTREE_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/asr_key.h"
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+
+namespace asr::btree {
+
+class BTree {
+ public:
+  // `width` is the tuple arity; `key_column` the clustered column index.
+  BTree(storage::BufferManager* buffers, std::string name, uint32_t width,
+        uint32_t key_column);
+  ASR_DISALLOW_COPY_AND_ASSIGN(BTree);
+
+  uint32_t width() const { return width_; }
+  uint32_t key_column() const { return key_column_; }
+
+  // Inserts `tuple` (size == width). Returns true when newly inserted,
+  // false when the identical tuple was already present.
+  bool Insert(const std::vector<AsrKey>& tuple);
+
+  // Removes the exact tuple; returns true when it was present.
+  bool Erase(const std::vector<AsrKey>& tuple);
+
+  // Appends all tuples whose key column equals `key` to `out`.
+  void Lookup(AsrKey key, std::vector<std::vector<AsrKey>>* out);
+
+  // True iff some tuple has `key` in the key column (same page cost as a
+  // cluster lookup of one leaf page).
+  bool Contains(AsrKey key);
+
+  // Visits every tuple in key order (inspects every leaf page; the
+  // "exhaustive search of the access relation" case of §5.9.3).
+  Status ScanAll(const std::function<Status(const std::vector<AsrKey>&)>& fn);
+
+  // Structural validation: leaf entries sorted, leaf chain ordered, counts
+  // within capacity, and the tuple count consistent. Returns Corruption on
+  // the first violation. Intended for tests and post-load checks.
+  Status CheckIntegrity();
+
+  // --- Statistics (realized counterparts of Eqs. 16, 19, 20) -----------
+  uint64_t tuple_count() const { return tuple_count_; }
+  uint32_t leaf_page_count() const { return leaf_pages_; }
+  uint32_t inner_page_count() const { return inner_pages_; }
+  // Levels above the leaves (the paper's ht, Eq. 19).
+  uint32_t height() const { return height_; }
+
+  uint32_t leaf_capacity() const { return leaf_capacity_; }
+  uint32_t inner_capacity() const { return inner_capacity_; }
+
+ private:
+  struct CompositeKey {
+    uint64_t key;          // AsrKey raw value
+    uint64_t fingerprint;  // hash of the whole tuple
+
+    friend bool operator<(const CompositeKey& a, const CompositeKey& b) {
+      if (a.key != b.key) return a.key < b.key;
+      return a.fingerprint < b.fingerprint;
+    }
+    friend bool operator==(const CompositeKey& a, const CompositeKey& b) {
+      return a.key == b.key && a.fingerprint == b.fingerprint;
+    }
+  };
+
+  static uint64_t Fingerprint(const std::vector<AsrKey>& tuple);
+  CompositeKey KeyOf(const std::vector<AsrKey>& tuple) const;
+
+  // Descends to the leaf that should contain `key`, recording the path of
+  // internal page numbers (for splits).
+  uint32_t DescendToLeaf(CompositeKey key, std::vector<uint32_t>* path);
+
+  // Inserts a (separator, child) into the parent chain after a split.
+  void InsertIntoParent(std::vector<uint32_t>* path, CompositeKey separator,
+                        uint32_t new_child);
+
+  void InitLeaf(storage::Page* page);
+  void InitInternal(storage::Page* page);
+
+  storage::BufferManager* buffers_;
+  uint32_t segment_;
+  uint32_t width_;
+  uint32_t key_column_;
+  uint32_t leaf_entry_bytes_;
+  uint32_t leaf_capacity_;
+  uint32_t inner_capacity_;
+  uint32_t root_page_;
+  uint32_t height_ = 0;
+  uint32_t leaf_pages_ = 1;
+  uint32_t inner_pages_ = 0;
+  uint64_t tuple_count_ = 0;
+};
+
+}  // namespace asr::btree
+
+#endif  // ASR_BTREE_BTREE_H_

@@ -1,0 +1,18 @@
+#include "common/asr_key.h"
+
+namespace asr {
+
+std::string AsrKey::ToString() const {
+  if (IsNull()) return "NULL";
+  switch (tag()) {
+    case Tag::kOid:
+      return ToOid().ToString();
+    case Tag::kInt:
+      return "#" + std::to_string(ToInt());
+    case Tag::kString:
+      return "str:" + std::to_string(ToStringCode());
+  }
+  return "?";
+}
+
+}  // namespace asr

@@ -1,0 +1,126 @@
+// AsrKey: a fixed-width (8-byte) tagged value that can appear as a column of
+// an access support relation tuple.
+//
+// Per Def. 3.2/3.3 an ASR column holds object identifiers; the terminal
+// column holds the atomic value of A_n when its range type is atomic
+// (footnote 3). Outer-join based extensions additionally introduce NULLs
+// (Defs. 3.5-3.7). AsrKey encodes all three cases in one 64-bit word so ASR
+// tuples stay fixed width and the paper's size formula ats = OIDsize *
+// (#columns) (Eq. 13) holds exactly.
+//
+// Encoding (tag = top 2 bits):
+//   00  OID (raw word; the all-zero word is the NULL key)
+//   01  inline signed integer, 62-bit two's-complement payload
+//   10  interned string, dictionary code in the low 32 bits
+//   11  reserved
+// OIDs therefore must have type_id < 2^22, which Oid::Make verifies via the
+// factory below; with 24 bits reserved for type ids this costs nothing in
+// practice.
+#ifndef ASR_COMMON_ASR_KEY_H_
+#define ASR_COMMON_ASR_KEY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/macros.h"
+#include "common/oid.h"
+#include "common/string_dict.h"
+
+namespace asr {
+
+class AsrKey {
+ public:
+  enum class Tag { kOid = 0, kInt = 1, kString = 2 };
+
+  constexpr AsrKey() : raw_(0) {}
+
+  static constexpr AsrKey Null() { return AsrKey(); }
+
+  static AsrKey FromOid(Oid oid) {
+    ASR_DCHECK((oid.raw() >> 62) == 0);
+    return AsrKey(oid.raw());
+  }
+
+  // `v` must fit in 62 bits (covers any realistic integer/decimal payload).
+  static AsrKey FromInt(int64_t v) {
+    ASR_DCHECK(v >= kMinInt && v <= kMaxInt);
+    return AsrKey((uint64_t{1} << 62) |
+                  (static_cast<uint64_t>(v) & kPayloadMask));
+  }
+
+  static AsrKey FromStringCode(uint32_t code) {
+    return AsrKey((uint64_t{2} << 62) | code);
+  }
+
+  static AsrKey FromString(std::string_view s, StringDict* dict) {
+    return FromStringCode(dict->Intern(s));
+  }
+
+  static constexpr AsrKey FromRaw(uint64_t raw) { return AsrKey(raw); }
+
+  constexpr bool IsNull() const { return raw_ == 0; }
+  constexpr Tag tag() const { return static_cast<Tag>(raw_ >> 62); }
+  constexpr bool IsOid() const { return tag() == Tag::kOid && !IsNull(); }
+  constexpr bool IsInt() const { return tag() == Tag::kInt; }
+  constexpr bool IsString() const { return tag() == Tag::kString; }
+
+  Oid ToOid() const {
+    ASR_DCHECK(tag() == Tag::kOid);
+    return Oid::FromRaw(raw_);
+  }
+
+  int64_t ToInt() const {
+    ASR_DCHECK(IsInt());
+    // Sign-extend the 62-bit payload.
+    return static_cast<int64_t>(raw_ << 2) >> 2;
+  }
+
+  uint32_t ToStringCode() const {
+    ASR_DCHECK(IsString());
+    return static_cast<uint32_t>(raw_ & 0xFFFFFFFFu);
+  }
+
+  constexpr uint64_t raw() const { return raw_; }
+
+  friend constexpr bool operator==(AsrKey a, AsrKey b) {
+    return a.raw_ == b.raw_;
+  }
+  friend constexpr bool operator!=(AsrKey a, AsrKey b) {
+    return a.raw_ != b.raw_;
+  }
+  // Total order used by B+ trees: NULL first, then OIDs, ints, strings.
+  friend constexpr bool operator<(AsrKey a, AsrKey b) {
+    return a.raw_ < b.raw_;
+  }
+  friend constexpr bool operator<=(AsrKey a, AsrKey b) {
+    return a.raw_ <= b.raw_;
+  }
+
+  // Renders for debugging: "NULL", OID form, "#42", or "str:<code>".
+  std::string ToString() const;
+
+  static constexpr int64_t kMaxInt = (int64_t{1} << 61) - 1;
+  static constexpr int64_t kMinInt = -(int64_t{1} << 61);
+
+ private:
+  static constexpr uint64_t kPayloadMask = (uint64_t{1} << 62) - 1;
+
+  explicit constexpr AsrKey(uint64_t raw) : raw_(raw) {}
+
+  uint64_t raw_;
+};
+
+}  // namespace asr
+
+template <>
+struct std::hash<asr::AsrKey> {
+  size_t operator()(asr::AsrKey k) const noexcept {
+    uint64_t x = k.raw() + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+#endif  // ASR_COMMON_ASR_KEY_H_

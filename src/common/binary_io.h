@@ -1,0 +1,52 @@
+// Little-endian binary stream helpers for the database snapshot format.
+#ifndef ASR_COMMON_BINARY_IO_H_
+#define ASR_COMMON_BINARY_IO_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/status.h"
+
+namespace asr::io {
+
+template <typename T>
+void WriteScalar(std::ostream* out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  out->write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+Result<T> ReadScalar(std::istream* in) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T value;
+  in->read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in->good()) {
+    return Status::Corruption("unexpected end of snapshot stream");
+  }
+  return value;
+}
+
+inline void WriteString(std::ostream* out, const std::string& s) {
+  WriteScalar<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+inline Result<std::string> ReadString(std::istream* in) {
+  Result<uint32_t> len = ReadScalar<uint32_t>(in);
+  ASR_RETURN_IF_ERROR(len.status());
+  if (*len > (1u << 28)) {
+    return Status::Corruption("implausible string length in snapshot");
+  }
+  std::string s(*len, '\0');
+  in->read(s.data(), *len);
+  if (!in->good() && *len > 0) {
+    return Status::Corruption("unexpected end of snapshot stream");
+  }
+  return s;
+}
+
+}  // namespace asr::io
+
+#endif  // ASR_COMMON_BINARY_IO_H_

@@ -1,0 +1,32 @@
+// Common assertion and class-property macros used across the library.
+#ifndef ASR_COMMON_MACROS_H_
+#define ASR_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Fatal check, enabled in all build modes. Use for invariants whose violation
+// would corrupt on-disk (simulated) state.
+#define ASR_CHECK(cond)                                                    \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "ASR_CHECK failed: %s at %s:%d\n", #cond,       \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+// Debug-only check for programming errors on hot paths.
+#ifndef NDEBUG
+#define ASR_DCHECK(cond) ASR_CHECK(cond)
+#else
+#define ASR_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#endif
+
+#define ASR_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // ASR_COMMON_MACROS_H_

@@ -1,0 +1,10 @@
+#include "common/oid.h"
+
+namespace asr {
+
+std::string Oid::ToString() const {
+  if (IsNull()) return "NULL";
+  return "t" + std::to_string(type_id()) + ".s" + std::to_string(seq());
+}
+
+}  // namespace asr

@@ -1,0 +1,78 @@
+// Object identifiers (OIDs) of the Generic Object Model.
+//
+// An OID is invariant for the lifetime of an object and invisible to the
+// database user (paper §2, "object identity"). We encode the owning type in
+// the upper bits so the store can route an OID to its type segment without a
+// lookup; this mirrors typical OODB surrogate layouts and keeps OIDs at the
+// paper's OIDsize = 8 bytes.
+#ifndef ASR_COMMON_OID_H_
+#define ASR_COMMON_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace asr {
+
+// Index of a type in the schema's type registry.
+using TypeId = uint32_t;
+
+inline constexpr TypeId kInvalidTypeId = 0xFFFFFFFFu;
+
+// 8-byte object identifier: 24-bit type id, 40-bit per-type sequence number.
+// The all-zero OID is reserved as the NULL reference.
+class Oid {
+ public:
+  static constexpr uint64_t kTypeBits = 24;
+  static constexpr uint64_t kSeqBits = 40;
+  static constexpr uint64_t kSeqMask = (uint64_t{1} << kSeqBits) - 1;
+
+  constexpr Oid() : raw_(0) {}
+
+  // Builds an OID from a type id and a 1-based per-type sequence number.
+  static constexpr Oid Make(TypeId type_id, uint64_t seq) {
+    return Oid((static_cast<uint64_t>(type_id) << kSeqBits) |
+               (seq & kSeqMask));
+  }
+
+  static constexpr Oid Null() { return Oid(); }
+
+  static constexpr Oid FromRaw(uint64_t raw) { return Oid(raw); }
+
+  constexpr bool IsNull() const { return raw_ == 0; }
+  constexpr TypeId type_id() const {
+    return static_cast<TypeId>(raw_ >> kSeqBits);
+  }
+  constexpr uint64_t seq() const { return raw_ & kSeqMask; }
+  constexpr uint64_t raw() const { return raw_; }
+
+  friend constexpr bool operator==(Oid a, Oid b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Oid a, Oid b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Oid a, Oid b) { return a.raw_ < b.raw_; }
+  friend constexpr bool operator<=(Oid a, Oid b) { return a.raw_ <= b.raw_; }
+  friend constexpr bool operator>(Oid a, Oid b) { return a.raw_ > b.raw_; }
+  friend constexpr bool operator>=(Oid a, Oid b) { return a.raw_ >= b.raw_; }
+
+  // Renders as "tT.sS" (e.g. "t3.s17") or "NULL".
+  std::string ToString() const;
+
+ private:
+  explicit constexpr Oid(uint64_t raw) : raw_(raw) {}
+
+  uint64_t raw_;
+};
+
+}  // namespace asr
+
+template <>
+struct std::hash<asr::Oid> {
+  size_t operator()(asr::Oid oid) const noexcept {
+    // splitmix64-style finalizer: OIDs are sequential, so mix the bits.
+    uint64_t x = oid.raw() + 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return static_cast<size_t>(x ^ (x >> 31));
+  }
+};
+
+#endif  // ASR_COMMON_OID_H_

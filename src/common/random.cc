@@ -1,0 +1,33 @@
+#include "common/random.h"
+
+#include <unordered_set>
+
+namespace asr {
+
+std::vector<uint64_t> Rng::SampleWithoutReplacement(uint64_t n, uint64_t k) {
+  ASR_CHECK(k <= n);
+  std::vector<uint64_t> out;
+  out.reserve(k);
+  if (k == 0) return out;
+  if (k * 3 >= n) {
+    // Dense case: partial Fisher-Yates over [0, n).
+    std::vector<uint64_t> all(n);
+    for (uint64_t i = 0; i < n; ++i) all[i] = i;
+    for (uint64_t i = 0; i < k; ++i) {
+      uint64_t j = i + Uniform(n - i);
+      std::swap(all[i], all[j]);
+      out.push_back(all[i]);
+    }
+    return out;
+  }
+  // Sparse case: rejection sampling.
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(k * 2);
+  while (out.size() < k) {
+    uint64_t x = Uniform(n);
+    if (seen.insert(x).second) out.push_back(x);
+  }
+  return out;
+}
+
+}  // namespace asr

@@ -1,0 +1,127 @@
+// RocksDB-style Status and Result<T> used for recoverable errors throughout
+// the library. Exceptions are not used on any library path.
+#ifndef ASR_COMMON_STATUS_H_
+#define ASR_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/macros.h"
+
+namespace asr {
+
+// Outcome of an operation that can fail for data-dependent reasons.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kAlreadyExists,
+    kTypeError,
+    kCorruption,
+    kNotSupported,
+    kOutOfRange,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(Code::kTypeError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsTypeError() const { return code_ == Code::kTypeError; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+// Value-or-Status. `value()` aborts if the result holds an error; check
+// `ok()` (or propagate the status) first.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}          // NOLINT(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {    // NOLINT(runtime/explicit)
+    ASR_DCHECK(!std::get<Status>(state_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    if (ok()) return kOk;
+    return std::get<Status>(state_);
+  }
+
+  T& value() & {
+    ASR_CHECK(ok());
+    return std::get<T>(state_);
+  }
+  const T& value() const& {
+    ASR_CHECK(ok());
+    return std::get<T>(state_);
+  }
+  // By value on rvalues: keeps `for (x : f().value())` safe — a returned
+  // reference would dangle once the temporary Result is destroyed.
+  T value() && {
+    ASR_CHECK(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+// Propagates a non-OK Status out of the enclosing function.
+#define ASR_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::asr::Status _st = (expr);            \
+    if (!_st.ok()) return _st;             \
+  } while (0)
+
+}  // namespace asr
+
+#endif  // ASR_COMMON_STATUS_H_

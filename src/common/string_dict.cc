@@ -1,0 +1,44 @@
+#include "common/string_dict.h"
+
+#include "common/binary_io.h"
+
+namespace asr {
+
+uint32_t StringDict::Intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  ASR_CHECK(strings_.size() < kNotFound);
+  uint32_t code = static_cast<uint32_t>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), code);
+  return code;
+}
+
+uint32_t StringDict::Lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+const std::string& StringDict::Get(uint32_t code) const {
+  ASR_CHECK(code < strings_.size());
+  return strings_[code];
+}
+
+void StringDict::Serialize(std::ostream* out) const {
+  io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(strings_.size()));
+  for (const std::string& s : strings_) io::WriteString(out, s);
+}
+
+Status StringDict::Deserialize(std::istream* in) {
+  ASR_CHECK(strings_.empty());
+  Result<uint32_t> count = io::ReadScalar<uint32_t>(in);
+  ASR_RETURN_IF_ERROR(count.status());
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<std::string> s = io::ReadString(in);
+    ASR_RETURN_IF_ERROR(s.status());
+    Intern(*s);
+  }
+  return Status::OK();
+}
+
+}  // namespace asr

@@ -1,0 +1,54 @@
+// Interning dictionary mapping strings to dense 32-bit codes.
+//
+// Access support relation columns must be fixed width (the paper's tuple-size
+// formula ats = OIDsize * (j - i + 1), Eq. 13, assumes 8 bytes per column).
+// Atomic string values that terminate a path (footnote 3: "if t_j is an
+// atomic type then id(o_j) corresponds to the value o_j.A_j") are therefore
+// interned here and carried as codes inside AsrKey.
+#ifndef ASR_COMMON_STRING_DICT_H_
+#define ASR_COMMON_STRING_DICT_H_
+
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "common/status.h"
+
+namespace asr {
+
+class StringDict {
+ public:
+  StringDict() = default;
+  ASR_DISALLOW_COPY_AND_ASSIGN(StringDict);
+
+  // Returns the code for `s`, interning it on first use.
+  uint32_t Intern(std::string_view s);
+
+  // Returns the code for `s` or kNotFound when never interned.
+  uint32_t Lookup(std::string_view s) const;
+
+  // Inverse mapping; `code` must have been returned by Intern.
+  const std::string& Get(uint32_t code) const;
+
+  size_t size() const { return strings_.size(); }
+
+  // Snapshot support: codes are preserved (strings written in code order).
+  void Serialize(std::ostream* out) const;
+  Status Deserialize(std::istream* in);
+
+  static constexpr uint32_t kNotFound = UINT32_MAX;
+
+ private:
+  // deque keeps string addresses stable so index_ keys can view into it.
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, uint32_t> index_;
+};
+
+}  // namespace asr
+
+#endif  // ASR_COMMON_STRING_DICT_H_

@@ -1,0 +1,49 @@
+#include "cost/opmix.h"
+
+namespace asr::cost {
+
+std::string WeightedQuery::ToString() const {
+  return "Q_{" + std::to_string(i) + "," + std::to_string(j) + "}(" +
+         (dir == QueryDirection::kForward ? "fw" : "bw") + ")";
+}
+
+std::string WeightedUpdate::ToString() const {
+  return "ins_" + std::to_string(position);
+}
+
+double MixCost(const CostModel& model, ExtensionKind x,
+               const Decomposition& dec, const OperationMix& mix,
+               double p_up) {
+  double query_cost = 0.0;
+  for (const WeightedQuery& q : mix.queries) {
+    query_cost += q.weight * model.QueryCost(x, q.dir, q.i, q.j, dec);
+  }
+  double update_cost = 0.0;
+  for (const WeightedUpdate& u : mix.updates) {
+    update_cost += u.weight * model.UpdateCost(x, u.position, dec);
+  }
+  return (1.0 - p_up) * query_cost + p_up * update_cost;
+}
+
+double MixCostNoSupport(const CostModel& model, const OperationMix& mix,
+                        double p_up) {
+  double query_cost = 0.0;
+  for (const WeightedQuery& q : mix.queries) {
+    query_cost += q.weight * model.QueryNoSupport(q.dir, q.i, q.j);
+  }
+  double update_cost = 0.0;
+  for (const WeightedUpdate& u : mix.updates) {
+    update_cost += u.weight * model.UpdateCostNoSupport();
+  }
+  return (1.0 - p_up) * query_cost + p_up * update_cost;
+}
+
+double NormalizedMixCost(const CostModel& model, ExtensionKind x,
+                         const Decomposition& dec, const OperationMix& mix,
+                         double p_up) {
+  double base = MixCostNoSupport(model, mix, p_up);
+  if (base <= 0) return 0.0;
+  return MixCost(model, x, dec, mix, p_up) / base;
+}
+
+}  // namespace asr::cost

@@ -1,0 +1,52 @@
+// Operation mixes M = (Qmix, Umix, P_up) and their expected cost (§6.4.1).
+#ifndef ASR_COST_OPMIX_H_
+#define ASR_COST_OPMIX_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+
+namespace asr::cost {
+
+struct WeightedQuery {
+  double weight = 0.0;  // probability among queries; weights sum to 1
+  QueryDirection dir = QueryDirection::kBackward;
+  uint32_t i = 0;
+  uint32_t j = 0;
+
+  // "Q_{i,j}(bw)" rendering.
+  std::string ToString() const;
+};
+
+struct WeightedUpdate {
+  double weight = 0.0;   // probability among updates; weights sum to 1
+  uint32_t position = 0;  // ins_i: insert at attribute A_{i+1}
+
+  std::string ToString() const;
+};
+
+struct OperationMix {
+  std::vector<WeightedQuery> queries;
+  std::vector<WeightedUpdate> updates;
+};
+
+// Expected page accesses of one database operation drawn from the mix with
+// update probability `p_up` under extension `x` / decomposition `dec`.
+double MixCost(const CostModel& model, ExtensionKind x,
+               const Decomposition& dec, const OperationMix& mix,
+               double p_up);
+
+// Same mix with no access support at all: queries run navigationally and an
+// update only touches the object.
+double MixCostNoSupport(const CostModel& model, const OperationMix& mix,
+                        double p_up);
+
+// MixCost / MixCostNoSupport — the "normalized costs" of Figs. 14-17.
+double NormalizedMixCost(const CostModel& model, ExtensionKind x,
+                         const Decomposition& dec, const OperationMix& mix,
+                         double p_up);
+
+}  // namespace asr::cost
+
+#endif  // ASR_COST_OPMIX_H_

@@ -1,0 +1,70 @@
+// Application and system parameters of the analytical cost model (Fig. 3).
+#ifndef ASR_COST_PROFILE_H_
+#define ASR_COST_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asr::cost {
+
+// System-specific parameters (Fig. 3, lower table).
+struct SystemParameters {
+  double page_size = 4056;  // net page size in bytes
+  double oid_size = 8;      // size of object identifiers
+  double pp_size = 4;       // size of a page pointer
+
+  // Fan-out of the B+ tree: floor(PageSize / (PPsize + OIDsize)).
+  double BTreeFanOut() const {
+    return static_cast<double>(
+        static_cast<uint64_t>(page_size / (pp_size + oid_size)));
+  }
+};
+
+// Application-specific parameters (Fig. 3, upper table) describing one path
+// expression t0.A1.....An over an object base.
+//
+// Index conventions (matching the paper):
+//   c[i]    i in [0, n]   — total number of objects of type t_i
+//   d[i]    i in [0, n-1] — objects of t_i whose A_{i+1} is not NULL
+//   fan[i]  i in [0, n-1] — avg references emanating from o_i.A_{i+1}
+//   size[i] i in [0, n]   — average object size in bytes
+//   shar[i] i in [0, n-1] — avg objects of t_i referencing the same t_{i+1}
+//                           object; defaults to d_i*fan_i/c_{i+1} when empty
+struct ApplicationProfile {
+  uint32_t n = 0;
+  std::vector<double> c;
+  std::vector<double> d;
+  std::vector<double> fan;
+  std::vector<double> size;
+  std::vector<double> shar;  // optional; empty = paper's default
+
+  Status Validate() const {
+    if (n < 1) return Status::InvalidArgument("profile needs n >= 1");
+    if (c.size() != n + 1 || d.size() != n || fan.size() != n) {
+      return Status::InvalidArgument(
+          "profile arity mismatch: need |c|=n+1, |d|=n, |fan|=n");
+    }
+    if (!size.empty() && size.size() != n + 1) {
+      return Status::InvalidArgument("profile needs |size|=n+1 when given");
+    }
+    if (!shar.empty() && shar.size() != n) {
+      return Status::InvalidArgument("profile needs |shar|=n when given");
+    }
+    for (uint32_t i = 0; i <= n; ++i) {
+      if (c[i] <= 0) return Status::InvalidArgument("c_i must be positive");
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      if (d[i] < 0 || d[i] > c[i]) {
+        return Status::InvalidArgument("need 0 <= d_i <= c_i");
+      }
+      if (fan[i] <= 0) return Status::InvalidArgument("fan_i must be > 0");
+    }
+    return Status::OK();
+  }
+};
+
+}  // namespace asr::cost
+
+#endif  // ASR_COST_PROFILE_H_

@@ -1,0 +1,56 @@
+#include "gom/database.h"
+
+#include <fstream>
+
+#include "common/binary_io.h"
+
+namespace asr::gom {
+
+namespace {
+
+// "ASRdb" + format version.
+constexpr uint64_t kMagic = 0x0001626452534100ull;
+
+}  // namespace
+
+std::unique_ptr<Database> Database::Create(size_t buffer_capacity) {
+  return std::unique_ptr<Database>(new Database(buffer_capacity));
+}
+
+Status Database::Save(const std::string& file) {
+  buffers_.FlushAll();
+  std::ofstream out(file, std::ios::binary | std::ios::trunc);
+  if (!out.good()) {
+    return Status::InvalidArgument("cannot open '" + file + "' for writing");
+  }
+  io::WriteScalar<uint64_t>(&out, kMagic);
+  schema_.Serialize(&out);
+  disk_.Serialize(&out);
+  store_.SerializeMetadata(&out);
+  out.flush();
+  if (!out.good()) {
+    return Status::Corruption("write error while saving '" + file + "'");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> Database::Open(const std::string& file,
+                                                 size_t buffer_capacity) {
+  std::ifstream in(file, std::ios::binary);
+  if (!in.good()) {
+    return Status::NotFound("cannot open snapshot '" + file + "'");
+  }
+  Result<uint64_t> magic = io::ReadScalar<uint64_t>(&in);
+  ASR_RETURN_IF_ERROR(magic.status());
+  if (*magic != kMagic) {
+    return Status::Corruption("'" + file + "' is not an asr database "
+                              "snapshot (bad magic)");
+  }
+  std::unique_ptr<Database> db(new Database(buffer_capacity));
+  ASR_RETURN_IF_ERROR(db->schema_.Deserialize(&in));
+  ASR_RETURN_IF_ERROR(db->disk_.Deserialize(&in));
+  ASR_RETURN_IF_ERROR(db->store_.DeserializeMetadata(&in));
+  return db;
+}
+
+}  // namespace asr::gom

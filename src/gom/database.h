@@ -1,0 +1,51 @@
+// Database: one self-contained unit of schema + simulated disk + buffer
+// manager + object store, with snapshot persistence to a single file.
+//
+// Access support relations are derived structures; they are rebuilt (cheaply,
+// relative to their maintenance value) after opening a snapshot rather than
+// persisted — the same policy as for any secondary index whose base data is
+// durable.
+#ifndef ASR_GOM_DATABASE_H_
+#define ASR_GOM_DATABASE_H_
+
+#include <memory>
+#include <string>
+
+#include "gom/object_store.h"
+#include "gom/type_system.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+namespace asr::gom {
+
+class Database {
+ public:
+  // A fresh, empty database. Define types via schema(), then create objects.
+  static std::unique_ptr<Database> Create(size_t buffer_capacity = 256);
+
+  // Opens a snapshot previously written by Save().
+  static Result<std::unique_ptr<Database>> Open(const std::string& file,
+                                                size_t buffer_capacity = 256);
+
+  // Writes the full database (schema, pages, store metadata) to `file`,
+  // flushing buffered pages first. The snapshot is self-contained.
+  Status Save(const std::string& file);
+
+  Schema* schema() { return &schema_; }
+  ObjectStore* store() { return &store_; }
+  storage::Disk* disk() { return &disk_; }
+  storage::BufferManager* buffers() { return &buffers_; }
+
+ private:
+  explicit Database(size_t buffer_capacity)
+      : buffers_(&disk_, buffer_capacity), store_(&schema_, &buffers_) {}
+
+  Schema schema_;
+  storage::Disk disk_;
+  storage::BufferManager buffers_;
+  ObjectStore store_;
+};
+
+}  // namespace asr::gom
+
+#endif  // ASR_GOM_DATABASE_H_

@@ -1,0 +1,220 @@
+// Page-based store of GOM object instances.
+//
+// An object instance is a triple (i, v, t): identifier, value, type (§2).
+// Objects are clustered by type — one disk segment per type — which is the
+// clustering assumption behind the paper's op_i = ceil(c_i / opp_i) page
+// estimate (Eq. 17/18). References are uni-directional (Fig. 1): an object
+// stores the OIDs it references and nothing points back, which is what makes
+// unsupported backward queries exhaustive searches (§5.6.2).
+//
+// Record layouts inside slotted pages (all little-endian, 8-byte columns so
+// records stay fixed width per type):
+//   tuple: [oid:u64][attr value AsrKey:u64 x n_attrs][padding]
+//   set:   [oid:u64][count:u32][unused:u32][member AsrKey:u64 x cap][padding]
+// A set's capacity is derived from its record length; growth relocates the
+// record. SetObjectSize() pads records up to a configured physical size so
+// synthetic workloads can realize the paper's size_i parameter exactly.
+#ifndef ASR_GOM_OBJECT_STORE_H_
+#define ASR_GOM_OBJECT_STORE_H_
+
+#include <functional>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/asr_key.h"
+#include "common/oid.h"
+#include "common/status.h"
+#include "common/string_dict.h"
+#include "gom/type_system.h"
+#include "storage/buffer_manager.h"
+
+namespace asr::gom {
+
+// Decoded snapshot of one tuple object.
+struct TupleView {
+  Oid oid;
+  std::vector<AsrKey> attrs;
+};
+
+// Decoded snapshot of one set instance.
+struct SetView {
+  Oid oid;
+  std::vector<AsrKey> members;
+};
+
+class ObjectStore {
+ public:
+  ObjectStore(const Schema* schema, storage::BufferManager* buffers);
+  ASR_DISALLOW_COPY_AND_ASSIGN(ObjectStore);
+
+  const Schema& schema() const { return *schema_; }
+  StringDict* string_dict() { return &dict_; }
+  const StringDict& string_dict() const { return dict_; }
+
+  // Pads records of `type` to at least `bytes` (the paper's size_i).
+  // Must be called before the first object of the type is created.
+  void SetObjectSize(TypeId type, uint32_t bytes);
+
+  // Stores objects of `type` in the segment of `with` (both created
+  // back-to-back land on the same page). Used to co-locate set instances
+  // with their owning objects so that a set-valued reference behaves like
+  // the in-object reference list the cost model assumes. Must be called
+  // before the first object of either type is created.
+  void ColocateType(TypeId type, TypeId with);
+
+  // --- Instantiation (§2, "instantiation") ------------------------------
+  // New tuple object with all attributes NULL.
+  Result<Oid> CreateObject(TypeId tuple_type);
+  // New empty set instance.
+  Result<Oid> CreateSet(TypeId set_type);
+  // Removes an object; dangling references to it keep their OID (the store
+  // does not chase them, matching uni-directional references).
+  Status DeleteObject(Oid oid);
+
+  bool Exists(Oid oid) const;
+
+  // --- Tuple attribute access -------------------------------------------
+  Result<AsrKey> GetAttribute(Oid oid, uint32_t attr_index);
+  Result<AsrKey> GetAttributeByName(Oid oid, const std::string& attr_name);
+  // Strongly typed write: `value` must conform to the attribute's declared
+  // range type (subtype instances allowed; NULL always allowed).
+  Status SetAttribute(Oid oid, uint32_t attr_index, AsrKey value);
+  Status SetAttributeByName(Oid oid, const std::string& attr_name,
+                            AsrKey value);
+
+  // Typed conveniences used by the examples.
+  Status SetString(Oid oid, const std::string& attr_name,
+                   std::string_view value);
+  Result<std::string> GetString(Oid oid, const std::string& attr_name);
+  Status SetInt(Oid oid, const std::string& attr_name, int64_t value);
+  // DECIMAL values are fixed-point with two digits (1205.50 -> 120550).
+  Status SetDecimal(Oid oid, const std::string& attr_name, double value);
+  Status SetRef(Oid oid, const std::string& attr_name, Oid target);
+
+  // One page access; decodes the whole tuple.
+  Result<TupleView> GetTuple(Oid oid);
+
+  // Batched fetch: groups `oids` by page and pins each containing page once
+  // — the Yao-style retrieval pattern the analytical model assumes when k
+  // objects are read from m pages (y(k, m, n), §5.6). Order of results is
+  // unspecified; unknown/deleted OIDs yield NotFound.
+  Result<std::vector<TupleView>> GetTuples(std::vector<Oid> oids);
+  Result<std::vector<SetView>> GetSets(std::vector<Oid> oids);
+
+  // Navigational join primitive: reads the `attr_name` targets of every
+  // tuple in `oids`, expanding set-valued attributes. Owners are fetched
+  // page-batched; a set instance co-located on its owner's page is decoded
+  // from the already-pinned page, others are fetched page-batched
+  // afterwards. Result: one (owner, targets) entry per input with a defined
+  // attribute (empty sets yield an empty target list).
+  Result<std::vector<std::pair<Oid, std::vector<AsrKey>>>> GetAttributeTargets(
+      std::vector<Oid> oids, const std::string& attr_name);
+
+  // Extent-scan variant of GetAttributeTargets: visits every live object of
+  // exactly `type` in page order, expanding `attr_name`. Objects with a NULL
+  // attribute are skipped.
+  Status ScanWithTargets(
+      TypeId type, const std::string& attr_name,
+      const std::function<Status(Oid, const std::vector<AsrKey>&)>& fn);
+
+  // --- Set access ---------------------------------------------------------
+  Status AddToSet(Oid set_oid, AsrKey member);
+  Status RemoveFromSet(Oid set_oid, AsrKey member);
+  // Works for sets and lists (lists report members in order).
+  Result<SetView> GetSet(Oid collection_oid);
+  Result<bool> SetContains(Oid collection_oid, AsrKey member);
+
+  // --- List access ----------------------------------------------------------
+  // Lists are ordered and admit duplicates; otherwise they behave like sets
+  // (§2.1) and share the same record format and overflow chaining.
+  Result<Oid> CreateList(TypeId list_type);
+  Status ListAppend(Oid list_oid, AsrKey element);
+  // Removes the element at `index` (0-based), preserving order.
+  Status ListRemoveAt(Oid list_oid, uint32_t index);
+  Result<uint64_t> ListLength(Oid list_oid);
+
+  // --- Extent scans ---------------------------------------------------------
+  // Visits every live tuple object of exactly `type` in page order; each
+  // page is pinned once for the whole page's objects (matching the op_i
+  // page-access count of an exhaustive scan).
+  Status ScanTuples(TypeId type,
+                    const std::function<Status(const TupleView&)>& fn);
+  Status ScanSets(TypeId type,
+                  const std::function<Status(const SetView&)>& fn);
+
+  // --- Statistics -----------------------------------------------------------
+  uint64_t ObjectCount(TypeId type) const;   // live objects, c_i realized
+  uint32_t PageCount(TypeId type) const;     // op_i realized
+  storage::BufferManager* buffers() { return buffers_; }
+
+  // Validates store invariants: every live location resolves to a live slot
+  // whose record carries the expected OID, overflow chains reference live
+  // continuation records of their set, and live counts match. Intended for
+  // tests and after snapshot loads.
+  Status CheckConsistency();
+
+  // --- Snapshot support -------------------------------------------------
+  // Serializes the store's metadata (type states, locations, overflow
+  // chains, string dictionary). The page data itself lives in the Disk;
+  // flush the buffer manager before serializing. Deserialize requires a
+  // fresh store over the already-deserialized disk/schema.
+  void SerializeMetadata(std::ostream* out) const;
+  Status DeserializeMetadata(std::istream* in);
+
+ private:
+  struct Location {
+    uint32_t page_no = UINT32_MAX;
+    uint16_t slot = 0;
+    bool live = false;
+  };
+
+  struct TypeState {
+    uint32_t segment = UINT32_MAX;
+    uint32_t pad_bytes = 0;
+    TypeId colocate_with = kInvalidTypeId;
+    uint64_t live_count = 0;
+    std::vector<Location> locations;  // indexed by seq - 1
+    // Overflow chain records of large set instances (keyed by the set's
+    // sequence number, in chain order). Continuation records live in the
+    // same segment, marked by a flag bit in their count field.
+    std::unordered_map<uint64_t, std::vector<Location>> overflow;
+  };
+
+  TypeState& State(TypeId type);
+  const TypeState* StateOrNull(TypeId type) const;
+  uint32_t EnsureSegment(TypeId type);
+
+  // Places a fresh record and returns its location.
+  Location PlaceRecord(TypeId type, const std::vector<std::byte>& record);
+
+  Result<Location> Locate(Oid oid) const;
+
+  uint32_t TupleRecordBytes(TypeId type) const;
+
+  Status CheckAttributeValue(TypeId tuple_type, const Attribute& attr,
+                             AsrKey value);
+
+  // True when `set_oid` has continuation records (its members span several
+  // records; inline single-page decoding does not apply).
+  bool SetHasOverflow(Oid set_oid) const;
+
+  // Reads all members of a set, following the overflow chain (one page pin
+  // per chain record).
+  Result<std::vector<AsrKey>> ReadSetChain(Oid set_oid);
+
+  const Schema* schema_;
+  storage::BufferManager* buffers_;
+  StringDict dict_;
+  mutable std::vector<TypeState> states_;  // indexed by TypeId
+  // Last page with potential free space, per segment (segments may be
+  // shared by co-located types).
+  std::unordered_map<uint32_t, uint32_t> segment_fill_;
+};
+
+}  // namespace asr::gom
+
+#endif  // ASR_GOM_OBJECT_STORE_H_

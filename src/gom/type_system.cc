@@ -1,0 +1,285 @@
+#include "gom/type_system.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace asr::gom {
+
+Schema::Schema() {
+  // Pre-register the built-in elementary value types (§2, "values").
+  TypeInfo int_type;
+  int_type.name = "INTEGER";
+  int_type.type_kind = TypeKind::kAtomic;
+  int_type.atomic = AtomicKind::kInt;
+  ASR_CHECK(AddType(std::move(int_type)).value() == kIntType);
+
+  TypeInfo dec_type;
+  dec_type.name = "DECIMAL";
+  dec_type.type_kind = TypeKind::kAtomic;
+  dec_type.atomic = AtomicKind::kDecimal;
+  ASR_CHECK(AddType(std::move(dec_type)).value() == kDecimalType);
+
+  TypeInfo str_type;
+  str_type.name = "STRING";
+  str_type.type_kind = TypeKind::kAtomic;
+  str_type.atomic = AtomicKind::kString;
+  ASR_CHECK(AddType(std::move(str_type)).value() == kStringType);
+}
+
+Result<TypeId> Schema::AddType(TypeInfo info) {
+  if (by_name_.count(info.name) > 0) {
+    return Status::AlreadyExists("type '" + info.name + "' already defined");
+  }
+  // OIDs reserve 24 bits for the type id; AsrKey further requires the top
+  // two bits of an OID to be clear, leaving 22 usable bits.
+  if (types_.size() >= (1u << 22)) {
+    return Status::InvalidArgument("type registry full");
+  }
+  TypeId id = static_cast<TypeId>(types_.size());
+  by_name_.emplace(info.name, id);
+  types_.push_back(std::move(info));
+  return id;
+}
+
+Result<TypeId> Schema::DefineTupleType(const std::string& name,
+                                       const std::vector<TypeId>& supertypes,
+                                       const std::vector<Attribute>& attributes) {
+  TypeInfo info;
+  info.name = name;
+  info.type_kind = TypeKind::kTuple;
+  info.supertypes = supertypes;
+
+  // Flatten inherited attributes (in supertype declaration order), then own
+  // attributes; enforce pairwise distinct names (§2.1).
+  std::unordered_set<std::string> seen;
+  for (TypeId super : supertypes) {
+    if (!IsValidType(super) || !IsTuple(super)) {
+      return Status::TypeError("supertype of '" + name +
+                               "' is not a tuple type");
+    }
+    const TypeInfo& sup = types_[super];
+    for (const Attribute& attr : sup.attributes) {
+      if (seen.insert(attr.name).second) {
+        info.attributes.push_back(attr);
+      } else {
+        // The same attribute may arrive through two inheritance paths from a
+        // shared ancestor; that is fine. A genuine clash (same name declared
+        // by unrelated types) is an error.
+        bool duplicate_ok = false;
+        for (const Attribute& existing : info.attributes) {
+          if (existing.name == attr.name &&
+              existing.declared_in == attr.declared_in) {
+            duplicate_ok = true;
+            break;
+          }
+        }
+        if (!duplicate_ok) {
+          return Status::TypeError("attribute '" + attr.name +
+                                   "' inherited ambiguously by '" + name +
+                                   "'");
+        }
+      }
+    }
+    info.ancestors.insert(sup.ancestors.begin(), sup.ancestors.end());
+  }
+  for (const Attribute& attr : attributes) {
+    if (!IsValidType(attr.range_type)) {
+      return Status::TypeError("attribute '" + attr.name +
+                               "' of '" + name + "' has an undefined type");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::TypeError("attribute '" + attr.name +
+                               "' duplicated in '" + name + "'");
+    }
+    Attribute own = attr;
+    own.declared_in = static_cast<TypeId>(types_.size());
+    info.attributes.push_back(own);
+  }
+  info.ancestors.insert(static_cast<TypeId>(types_.size()));  // reflexive
+  return AddType(std::move(info));
+}
+
+Result<TypeId> Schema::DefineSetType(const std::string& name,
+                                     TypeId element_type) {
+  if (!IsValidType(element_type)) {
+    return Status::TypeError("element type of '" + name + "' is undefined");
+  }
+  // "we do not permit powersets" (§3, footnote 2); nested collections of
+  // either flavor are excluded for the same reason.
+  if (IsCollection(element_type)) {
+    return Status::TypeError("powerset type '" + name + "' is not permitted");
+  }
+  TypeInfo info;
+  info.name = name;
+  info.type_kind = TypeKind::kSet;
+  info.element = element_type;
+  return AddType(std::move(info));
+}
+
+Result<TypeId> Schema::DefineListType(const std::string& name,
+                                      TypeId element_type) {
+  if (!IsValidType(element_type)) {
+    return Status::TypeError("element type of '" + name + "' is undefined");
+  }
+  if (IsCollection(element_type)) {
+    return Status::TypeError("nested collection type '" + name +
+                             "' is not permitted");
+  }
+  TypeInfo info;
+  info.name = name;
+  info.type_kind = TypeKind::kList;
+  info.element = element_type;
+  return AddType(std::move(info));
+}
+
+TypeKind Schema::kind(TypeId t) const {
+  ASR_CHECK(IsValidType(t));
+  return types_[t].type_kind;
+}
+
+AtomicKind Schema::atomic_kind(TypeId t) const {
+  ASR_CHECK(IsValidType(t) && IsAtomic(t));
+  return types_[t].atomic;
+}
+
+const std::string& Schema::name(TypeId t) const {
+  ASR_CHECK(IsValidType(t));
+  return types_[t].name;
+}
+
+Result<TypeId> Schema::FindType(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("type '" + name + "' not defined");
+  }
+  return it->second;
+}
+
+TypeId Schema::element_type(TypeId collection_type) const {
+  ASR_CHECK(IsValidType(collection_type) && IsCollection(collection_type));
+  return types_[collection_type].element;
+}
+
+const std::vector<Attribute>& Schema::attributes(TypeId tuple_type) const {
+  ASR_CHECK(IsValidType(tuple_type) && IsTuple(tuple_type));
+  return types_[tuple_type].attributes;
+}
+
+Result<uint32_t> Schema::FindAttribute(TypeId tuple_type,
+                                       const std::string& attr_name) const {
+  const std::vector<Attribute>& attrs = attributes(tuple_type);
+  for (uint32_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name == attr_name) return i;
+  }
+  return Status::NotFound("type '" + name(tuple_type) +
+                          "' has no attribute '" + attr_name + "'");
+}
+
+const std::vector<TypeId>& Schema::supertypes(TypeId tuple_type) const {
+  ASR_CHECK(IsValidType(tuple_type) && IsTuple(tuple_type));
+  return types_[tuple_type].supertypes;
+}
+
+bool Schema::IsSubtypeOf(TypeId sub, TypeId super) const {
+  if (sub == super) return true;
+  if (!IsValidType(sub) || !IsValidType(super)) return false;
+  if (!IsTuple(sub)) return false;
+  return types_[sub].ancestors.count(super) > 0;
+}
+
+void Schema::Serialize(std::ostream* out) const {
+  io::WriteScalar<uint32_t>(
+      out, static_cast<uint32_t>(types_.size() - kFirstUserType));
+  for (TypeId t = kFirstUserType; t < types_.size(); ++t) {
+    const TypeInfo& info = types_[t];
+    io::WriteString(out, info.name);
+    io::WriteScalar<uint8_t>(out, static_cast<uint8_t>(info.type_kind));
+    switch (info.type_kind) {
+      case TypeKind::kSet:
+      case TypeKind::kList:
+        io::WriteScalar<uint32_t>(out, info.element);
+        break;
+      case TypeKind::kTuple: {
+        io::WriteScalar<uint32_t>(
+            out, static_cast<uint32_t>(info.supertypes.size()));
+        for (TypeId super : info.supertypes) {
+          io::WriteScalar<uint32_t>(out, super);
+        }
+        // Own attributes only: inherited ones are recomputed on replay.
+        uint32_t own = 0;
+        for (const Attribute& attr : info.attributes) {
+          if (attr.declared_in == t) ++own;
+        }
+        io::WriteScalar<uint32_t>(out, own);
+        for (const Attribute& attr : info.attributes) {
+          if (attr.declared_in != t) continue;
+          io::WriteString(out, attr.name);
+          io::WriteScalar<uint32_t>(out, attr.range_type);
+        }
+        break;
+      }
+      case TypeKind::kAtomic:
+        break;  // built-ins are never serialized
+    }
+  }
+}
+
+Status Schema::Deserialize(std::istream* in) {
+  if (types_.size() != kFirstUserType) {
+    return Status::InvalidArgument(
+        "schema deserialization requires a fresh schema");
+  }
+  Result<uint32_t> count = io::ReadScalar<uint32_t>(in);
+  ASR_RETURN_IF_ERROR(count.status());
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<std::string> name = io::ReadString(in);
+    ASR_RETURN_IF_ERROR(name.status());
+    Result<uint8_t> kind_byte = io::ReadScalar<uint8_t>(in);
+    ASR_RETURN_IF_ERROR(kind_byte.status());
+    switch (static_cast<TypeKind>(*kind_byte)) {
+      case TypeKind::kSet:
+      case TypeKind::kList: {
+        Result<uint32_t> element = io::ReadScalar<uint32_t>(in);
+        ASR_RETURN_IF_ERROR(element.status());
+        Result<TypeId> id =
+            static_cast<TypeKind>(*kind_byte) == TypeKind::kSet
+                ? DefineSetType(*name, *element)
+                : DefineListType(*name, *element);
+        ASR_RETURN_IF_ERROR(id.status());
+        break;
+      }
+      case TypeKind::kTuple: {
+        Result<uint32_t> super_count = io::ReadScalar<uint32_t>(in);
+        ASR_RETURN_IF_ERROR(super_count.status());
+        std::vector<TypeId> supers;
+        for (uint32_t sidx = 0; sidx < *super_count; ++sidx) {
+          Result<uint32_t> super = io::ReadScalar<uint32_t>(in);
+          ASR_RETURN_IF_ERROR(super.status());
+          supers.push_back(*super);
+        }
+        Result<uint32_t> attr_count = io::ReadScalar<uint32_t>(in);
+        ASR_RETURN_IF_ERROR(attr_count.status());
+        std::vector<Attribute> attrs;
+        for (uint32_t a = 0; a < *attr_count; ++a) {
+          Attribute attr;
+          Result<std::string> attr_name = io::ReadString(in);
+          ASR_RETURN_IF_ERROR(attr_name.status());
+          attr.name = std::move(*attr_name);
+          Result<uint32_t> range = io::ReadScalar<uint32_t>(in);
+          ASR_RETURN_IF_ERROR(range.status());
+          attr.range_type = *range;
+          attrs.push_back(std::move(attr));
+        }
+        Result<TypeId> id = DefineTupleType(*name, supers, attrs);
+        ASR_RETURN_IF_ERROR(id.status());
+        break;
+      }
+      default:
+        return Status::Corruption("invalid type kind in snapshot");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace asr::gom

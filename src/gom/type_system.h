@@ -1,0 +1,134 @@
+// The type system of the Generic Object Model (GOM), paper §2.
+//
+// GOM provides: elementary value types (instances have no identity), the
+// tuple constructor with named attributes, set and list collection
+// constructors, subtyping with single and multiple inheritance, and strong
+// typing where a declared attribute type is an upper bound — the referenced
+// instance may be of any subtype (§2, "strong typing").
+//
+// Lists are supported and handled exactly like sets by the access-support
+// machinery, following the paper: "the access support on ordered
+// collections, i.e., lists, is analogous to sets" (§2.1).
+#ifndef ASR_GOM_TYPE_SYSTEM_H_
+#define ASR_GOM_TYPE_SYSTEM_H_
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/oid.h"
+#include "common/status.h"
+
+namespace asr::gom {
+
+enum class TypeKind {
+  kAtomic,  // built-in value types: instances are their own identity
+  kTuple,   // [a1: t1, ..., an: tn]
+  kSet,     // {t}
+  kList,    // <t>, ordered with duplicates
+};
+
+enum class AtomicKind {
+  kInt,      // INTEGER / CHAR (codepoint)
+  kDecimal,  // DECIMAL, fixed-point scaled by 100 (e.g. Price 1205.50)
+  kString,   // STRING, interned
+};
+
+// One declared or inherited attribute of a tuple type.
+struct Attribute {
+  std::string name;
+  TypeId range_type = kInvalidTypeId;
+  // Type that introduced the attribute (differs from the owner for inherited
+  // attributes).
+  TypeId declared_in = kInvalidTypeId;
+};
+
+// Registry of all types of one database schema. Type ids are dense indices,
+// stable for the schema's lifetime. The built-in atomic types are
+// pre-registered (kIntType, kDecimalType, kStringType).
+class Schema {
+ public:
+  Schema();
+  ASR_DISALLOW_COPY_AND_ASSIGN(Schema);
+
+  static constexpr TypeId kIntType = 0;
+  static constexpr TypeId kDecimalType = 1;
+  static constexpr TypeId kStringType = 2;
+  static constexpr TypeId kFirstUserType = 3;
+
+  // type t is supertypes (s1, ..., sm) [a1: t1, ..., an: tn]
+  // Inherited attributes precede own attributes in index order; attribute
+  // names must be pairwise distinct across the flattened list (§2.1).
+  Result<TypeId> DefineTupleType(const std::string& name,
+                                 const std::vector<TypeId>& supertypes,
+                                 const std::vector<Attribute>& attributes);
+
+  // type t is {s}
+  Result<TypeId> DefineSetType(const std::string& name, TypeId element_type);
+
+  // type t is <s> — an ordered collection with duplicates (§2.1). Access
+  // support treats lists exactly like sets.
+  Result<TypeId> DefineListType(const std::string& name, TypeId element_type);
+
+  // --- Introspection ---------------------------------------------------
+  bool IsValidType(TypeId t) const { return t < types_.size(); }
+  TypeKind kind(TypeId t) const;
+  AtomicKind atomic_kind(TypeId t) const;
+  const std::string& name(TypeId t) const;
+  Result<TypeId> FindType(const std::string& name) const;
+
+  bool IsTuple(TypeId t) const { return kind(t) == TypeKind::kTuple; }
+  bool IsSet(TypeId t) const { return kind(t) == TypeKind::kSet; }
+  bool IsList(TypeId t) const { return kind(t) == TypeKind::kList; }
+  // Sets and lists: the collection hops of path expressions.
+  bool IsCollection(TypeId t) const { return IsSet(t) || IsList(t); }
+  bool IsAtomic(TypeId t) const { return kind(t) == TypeKind::kAtomic; }
+
+  // Element type of a set or list type.
+  TypeId element_type(TypeId collection_type) const;
+
+  // Flattened attribute list of a tuple type (inherited first).
+  const std::vector<Attribute>& attributes(TypeId tuple_type) const;
+
+  // Index into attributes(t) or NotFound.
+  Result<uint32_t> FindAttribute(TypeId tuple_type,
+                                 const std::string& attr_name) const;
+
+  // Direct supertypes as declared.
+  const std::vector<TypeId>& supertypes(TypeId tuple_type) const;
+
+  // Reflexive-transitive subtype test: every instance of `sub` may stand
+  // where `super` is expected.
+  bool IsSubtypeOf(TypeId sub, TypeId super) const;
+
+  size_t type_count() const { return types_.size(); }
+
+  // Snapshot support: user types are replayed through the Define* calls, so
+  // type ids are preserved. Deserialize requires a fresh schema.
+  void Serialize(std::ostream* out) const;
+  Status Deserialize(std::istream* in);
+
+ private:
+  struct TypeInfo {
+    std::string name;
+    TypeKind type_kind;
+    AtomicKind atomic;                  // kAtomic only
+    TypeId element = kInvalidTypeId;    // kSet / kList only
+    std::vector<TypeId> supertypes;     // kTuple only
+    std::vector<Attribute> attributes;  // kTuple only; flattened
+    std::unordered_set<TypeId> ancestors;  // reflexive-transitive, kTuple
+  };
+
+  Result<TypeId> AddType(TypeInfo info);
+
+  std::vector<TypeInfo> types_;
+  std::unordered_map<std::string, TypeId> by_name_;
+};
+
+}  // namespace asr::gom
+
+#endif  // ASR_GOM_TYPE_SYSTEM_H_

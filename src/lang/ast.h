@@ -1,0 +1,58 @@
+// Abstract syntax of the query notation.
+//
+//   query  := SELECT path FROM range (',' range)* [WHERE cond (AND cond)*]
+//   range  := IDENT IN source        -- source: type name, or var.path
+//   cond   := path '=' literal
+//   path   := IDENT ('.' IDENT)*     -- first component is a range variable
+//             (in FROM sources the first component may be a type name)
+//
+// This covers the paper's Queries 1-3: a select projection along a path,
+// range variables over extents and over paths of other variables, and
+// equality conditions on path termini.
+#ifndef ASR_LANG_AST_H_
+#define ASR_LANG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace asr::lang {
+
+// A dotted reference: head ('.' attrs)*.
+struct PathRef {
+  std::string head;
+  std::vector<std::string> attrs;
+
+  std::string ToString() const {
+    std::string out = head;
+    for (const std::string& a : attrs) out += "." + a;
+    return out;
+  }
+};
+
+struct RangeDecl {
+  std::string var;
+  PathRef source;  // type name (no attrs) or var.path
+};
+
+struct Literal {
+  enum class Kind { kString, kInt, kDecimal };
+  Kind kind = Kind::kString;
+  std::string string_value;
+  int64_t int_value = 0;  // decimals pre-scaled by 100
+};
+
+struct Condition {
+  PathRef path;
+  Literal literal;
+};
+
+struct SelectQuery {
+  PathRef select;
+  std::vector<RangeDecl> ranges;
+  std::vector<Condition> conditions;
+};
+
+}  // namespace asr::lang
+
+#endif  // ASR_LANG_AST_H_

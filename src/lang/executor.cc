@@ -1,0 +1,328 @@
+#include "lang/executor.h"
+
+#include <cstdio>
+#include <unordered_set>
+#include <utility>
+
+#include "workload/profile_estimator.h"
+
+namespace asr::lang {
+
+Result<std::vector<AsrKey>> QueryEngine::Execute(const std::string& query) {
+  Result<SelectQuery> parsed = Parse(query);
+  ASR_RETURN_IF_ERROR(parsed.status());
+  return Execute(*parsed);
+}
+
+Result<TypeId> QueryEngine::BindRanges(
+    const SelectQuery& query, std::map<std::string, Binding>* bindings) {
+  if (query.ranges.empty()) {
+    return Status::InvalidArgument("query needs at least one range variable");
+  }
+  const gom::Schema& schema = store_->schema();
+
+  // The anchor range runs over a type extent.
+  const RangeDecl& anchor = query.ranges.front();
+  if (!anchor.source.attrs.empty()) {
+    return Status::InvalidArgument(
+        "the first range variable must run over a type extent, not a path");
+  }
+  Result<TypeId> anchor_type = schema.FindType(anchor.source.head);
+  ASR_RETURN_IF_ERROR(anchor_type.status());
+  if (!schema.IsTuple(*anchor_type)) {
+    return Status::TypeError("'" + anchor.source.head +
+                             "' is not a tuple type");
+  }
+  (*bindings)[anchor.var] = Binding{};
+
+  // Later ranges chain off previously declared variables.
+  for (size_t r = 1; r < query.ranges.size(); ++r) {
+    const RangeDecl& range = query.ranges[r];
+    auto it = bindings->find(range.source.head);
+    if (it == bindings->end()) {
+      return Status::InvalidArgument(
+          "range variable '" + range.var + "' refers to undeclared '" +
+          range.source.head + "'");
+    }
+    if (range.source.attrs.empty()) {
+      return Status::InvalidArgument("range variable '" + range.var +
+                                     "' must traverse at least one attribute");
+    }
+    Binding binding = it->second;
+    binding.attrs.insert(binding.attrs.end(), range.source.attrs.begin(),
+                         range.source.attrs.end());
+    if (!bindings->emplace(range.var, std::move(binding)).second) {
+      return Status::InvalidArgument("range variable '" + range.var +
+                                     "' declared twice");
+    }
+  }
+  return *anchor_type;
+}
+
+Result<PathExpression> QueryEngine::ResolvePath(
+    TypeId anchor, const std::map<std::string, Binding>& bindings,
+    const PathRef& ref) {
+  auto it = bindings.find(ref.head);
+  if (it == bindings.end()) {
+    return Status::InvalidArgument("unknown variable '" + ref.head + "'");
+  }
+  std::vector<std::string> attrs = it->second.attrs;
+  attrs.insert(attrs.end(), ref.attrs.begin(), ref.attrs.end());
+  if (attrs.empty()) {
+    return Status::InvalidArgument(
+        "path must traverse at least one attribute");
+  }
+  return PathExpression::Create(store_->schema(), anchor, attrs);
+}
+
+Result<AsrKey> QueryEngine::LiteralKey(const PathExpression& path,
+                                       const Literal& literal) {
+  const gom::Schema& schema = store_->schema();
+  TypeId terminal = path.type_at(path.n());
+  if (!schema.IsAtomic(terminal)) {
+    return Status::TypeError(
+        "path '" + path.ToString() +
+        "' ends in an object type; literals compare against atomic "
+        "attributes only");
+  }
+  switch (schema.atomic_kind(terminal)) {
+    case gom::AtomicKind::kString:
+      if (literal.kind != Literal::Kind::kString) {
+        return Status::TypeError("attribute is a STRING; quote the literal");
+      }
+      {
+        // A never-interned string matches nothing; avoid polluting the dict.
+        uint32_t code =
+            std::as_const(*store_).string_dict().Lookup(
+                literal.string_value);
+        if (code == StringDict::kNotFound) return AsrKey::Null();
+        return AsrKey::FromStringCode(code);
+      }
+    case gom::AtomicKind::kInt:
+      if (literal.kind != Literal::Kind::kInt) {
+        return Status::TypeError("attribute is an INTEGER literal mismatch");
+      }
+      return AsrKey::FromInt(literal.int_value);
+    case gom::AtomicKind::kDecimal:
+      if (literal.kind == Literal::Kind::kDecimal) {
+        return AsrKey::FromInt(literal.int_value);
+      }
+      if (literal.kind == Literal::Kind::kInt) {
+        return AsrKey::FromInt(literal.int_value * 100);
+      }
+      return Status::TypeError("attribute is a DECIMAL; use a number");
+  }
+  return Status::TypeError("unknown atomic kind");
+}
+
+AccessSupportRelation* QueryEngine::FindAsr(
+    const PathExpression& path) const {
+  for (AccessSupportRelation* asr : asrs_) {
+    if (asr->path().ToString() == path.ToString() &&
+        asr->SupportsQuery(0, path.n())) {
+      return asr;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::vector<AsrKey>> QueryEngine::EvalBackward(
+    const PathExpression& path, AsrKey target) {
+  if (AccessSupportRelation* asr = FindAsr(path)) {
+    ++supported_evals_;
+    return asr->EvalBackward(target, 0, path.n());
+  }
+  ++navigational_evals_;
+  QueryEvaluator nav(store_, &path);
+  return nav.BackwardNoSupport(target, 0, path.n());
+}
+
+Result<std::vector<AsrKey>> QueryEngine::EvalForward(
+    const PathExpression& path, AsrKey start) {
+  if (AccessSupportRelation* asr = FindAsr(path)) {
+    ++supported_evals_;
+    return asr->EvalForward(start, 0, path.n());
+  }
+  ++navigational_evals_;
+  QueryEvaluator nav(store_, &path);
+  return nav.ForwardNoSupport(start, 0, path.n());
+}
+
+Result<std::vector<AsrKey>> QueryEngine::Execute(const SelectQuery& query) {
+  std::map<std::string, Binding> bindings;
+  Result<TypeId> anchor = BindRanges(query, &bindings);
+  ASR_RETURN_IF_ERROR(anchor.status());
+  const gom::Schema& schema = store_->schema();
+
+  // Anchor candidates: intersection of the conditions' backward queries, or
+  // the whole extent when there is no condition.
+  std::unordered_set<AsrKey> anchors;
+  bool first_condition = true;
+  for (const Condition& cond : query.conditions) {
+    Result<PathExpression> path = ResolvePath(*anchor, bindings, cond.path);
+    ASR_RETURN_IF_ERROR(path.status());
+    Result<AsrKey> literal_key = LiteralKey(*path, cond.literal);
+    ASR_RETURN_IF_ERROR(literal_key.status());
+    std::unordered_set<AsrKey> matched;
+    if (!literal_key->IsNull()) {
+      Result<std::vector<AsrKey>> result =
+          EvalBackward(*path, *literal_key);
+      ASR_RETURN_IF_ERROR(result.status());
+      matched.insert(result->begin(), result->end());
+    }
+    if (first_condition) {
+      anchors = std::move(matched);
+      first_condition = false;
+    } else {
+      std::unordered_set<AsrKey> kept;
+      for (AsrKey k : anchors) {
+        if (matched.count(k) > 0) kept.insert(k);
+      }
+      anchors = std::move(kept);
+    }
+    if (anchors.empty()) break;
+  }
+  if (query.conditions.empty()) {
+    for (TypeId t = 0; t < schema.type_count(); ++t) {
+      if (!schema.IsTuple(t) || !schema.IsSubtypeOf(t, *anchor)) continue;
+      Status st = store_->ScanTuples(t, [&](const gom::TupleView& view) {
+        anchors.insert(AsrKey::FromOid(view.oid));
+        return Status::OK();
+      });
+      ASR_RETURN_IF_ERROR(st);
+    }
+  }
+
+  // Projection.
+  auto select_binding = bindings.find(query.select.head);
+  if (select_binding == bindings.end()) {
+    return Status::InvalidArgument("unknown variable '" + query.select.head +
+                                   "' in the select clause");
+  }
+  std::unordered_set<AsrKey> output;
+  if (query.select.attrs.empty() && select_binding->second.attrs.empty()) {
+    output = std::move(anchors);
+  } else {
+    Result<PathExpression> select_path =
+        ResolvePath(*anchor, bindings, query.select);
+    ASR_RETURN_IF_ERROR(select_path.status());
+    for (AsrKey a : anchors) {
+      Result<std::vector<AsrKey>> values = EvalForward(*select_path, a);
+      ASR_RETURN_IF_ERROR(values.status());
+      output.insert(values->begin(), values->end());
+    }
+  }
+  return std::vector<AsrKey>(output.begin(), output.end());
+}
+
+namespace {
+
+// Maps a supporting ASR's extension/decomposition into the cost model's
+// supported-query estimate; navigational queries use Qnas.
+double PredictPathCost(const cost::CostModel& model,
+                       cost::QueryDirection dir, uint32_t n,
+                       const AccessSupportRelation* asr) {
+  if (asr != nullptr) {
+    return model.QuerySupported(asr->kind(), dir, 0, n,
+                                asr->decomposition());
+  }
+  return model.QueryNoSupport(dir, 0, n);
+}
+
+}  // namespace
+
+std::string QueryEngine::QueryPlan::ToString() const {
+  std::string out;
+  for (const PlanStep& step : steps) {
+    char line[256];
+    std::snprintf(line, sizeof(line), "  %-11s %8.1f  %s\n",
+                  step.supported ? "[asr]" : "[navigate]",
+                  step.predicted_accesses, step.description.c_str());
+    out += line;
+  }
+  char total[64];
+  std::snprintf(total, sizeof(total), "  predicted total: %.1f page accesses\n",
+                total_predicted);
+  out += total;
+  return out;
+}
+
+Result<QueryEngine::QueryPlan> QueryEngine::Explain(const std::string& query) {
+  Result<SelectQuery> parsed = Parse(query);
+  ASR_RETURN_IF_ERROR(parsed.status());
+  return Explain(*parsed);
+}
+
+Result<QueryEngine::QueryPlan> QueryEngine::Explain(const SelectQuery& query) {
+  std::map<std::string, Binding> bindings;
+  Result<TypeId> anchor = BindRanges(query, &bindings);
+  ASR_RETURN_IF_ERROR(anchor.status());
+
+  QueryPlan plan;
+  for (const Condition& cond : query.conditions) {
+    Result<PathExpression> path = ResolvePath(*anchor, bindings, cond.path);
+    ASR_RETURN_IF_ERROR(path.status());
+    Result<AsrKey> literal = LiteralKey(*path, cond.literal);
+    ASR_RETURN_IF_ERROR(literal.status());  // type-check the condition
+    Result<cost::ApplicationProfile> profile =
+        workload::EstimateProfile(store_, *path);
+    ASR_RETURN_IF_ERROR(profile.status());
+    cost::CostModel model(std::move(*profile));
+    AccessSupportRelation* asr = FindAsr(*path);
+    PlanStep step;
+    step.description =
+        "backward over " + path->ToString() + " (condition)";
+    step.supported = asr != nullptr;
+    step.predicted_accesses = PredictPathCost(
+        model, cost::QueryDirection::kBackward, path->n(), asr);
+    plan.total_predicted += step.predicted_accesses;
+    plan.steps.push_back(std::move(step));
+  }
+
+  auto select_binding = bindings.find(query.select.head);
+  if (select_binding == bindings.end()) {
+    return Status::InvalidArgument("unknown variable '" + query.select.head +
+                                   "' in the select clause");
+  }
+  if (!query.select.attrs.empty() || !select_binding->second.attrs.empty()) {
+    Result<PathExpression> path =
+        ResolvePath(*anchor, bindings, query.select);
+    ASR_RETURN_IF_ERROR(path.status());
+    Result<cost::ApplicationProfile> profile =
+        workload::EstimateProfile(store_, *path);
+    ASR_RETURN_IF_ERROR(profile.status());
+    cost::CostModel model(std::move(*profile));
+    AccessSupportRelation* asr = FindAsr(*path);
+    PlanStep step;
+    step.description =
+        "forward over " + path->ToString() + " (projection, per anchor)";
+    step.supported = asr != nullptr;
+    step.predicted_accesses = PredictPathCost(
+        model, cost::QueryDirection::kForward, path->n(), asr);
+    plan.total_predicted += step.predicted_accesses;
+    plan.steps.push_back(std::move(step));
+  }
+  if (query.conditions.empty()) {
+    PlanStep step;
+    step.description = "extent scan of " +
+                       store_->schema().name(*anchor) + " (no condition)";
+    step.supported = false;
+    step.predicted_accesses =
+        static_cast<double>(store_->PageCount(*anchor));
+    plan.total_predicted += step.predicted_accesses;
+    plan.steps.push_back(std::move(step));
+  }
+  return plan;
+}
+
+std::string QueryEngine::Format(AsrKey key) const {
+  if (key.IsString()) {
+    return "\"" +
+           std::as_const(*store_).string_dict().Get(key.ToStringCode()) +
+           "\"";
+  }
+  if (key.IsInt()) return std::to_string(key.ToInt());
+  return key.ToString();
+}
+
+}  // namespace asr::lang

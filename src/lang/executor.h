@@ -1,0 +1,102 @@
+// Query engine: binds and executes parsed select queries against an object
+// store, using registered access support relations where one matches the
+// query's path and falling back to navigational evaluation otherwise.
+//
+// Range variables are normalized onto the anchor variable (the first range,
+// which must run over a type extent): a declaration `b in d.Manufactures.
+// Composition` makes every use of `b` a path from `d` — turning the paper's
+// Query 2 into the backward path query Q_{0,n}(bw) it is.
+#ifndef ASR_LANG_EXECUTOR_H_
+#define ASR_LANG_EXECUTOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "cost/cost_model.h"
+#include "lang/ast.h"
+#include "lang/parser.h"
+
+namespace asr::lang {
+
+class QueryEngine {
+ public:
+  explicit QueryEngine(gom::ObjectStore* store) : store_(store) {}
+  ASR_DISALLOW_COPY_AND_ASSIGN(QueryEngine);
+
+  // Registers an ASR (not owned) the engine may use when its path matches.
+  void RegisterAsr(AccessSupportRelation* asr) { asrs_.push_back(asr); }
+
+  // Parses and executes `query`; the result holds object OIDs or atomic
+  // values, deduplicated, in unspecified order.
+  Result<std::vector<AsrKey>> Execute(const std::string& query);
+
+  // Executes an already parsed query.
+  Result<std::vector<AsrKey>> Execute(const SelectQuery& query);
+
+  // Renders a result key: strings decoded and quoted, integers printed,
+  // OIDs in tN.sM form.
+  std::string Format(AsrKey key) const;
+
+  // One evaluation step of a query plan.
+  struct PlanStep {
+    std::string description;       // what runs (condition path / projection)
+    bool supported = false;        // served by a registered ASR?
+    double predicted_accesses = 0; // cost-model page-access estimate
+  };
+  struct QueryPlan {
+    std::vector<PlanStep> steps;
+    double total_predicted = 0;
+    std::string ToString() const;
+  };
+
+  // Plans `query` without executing it: which steps run through which ASR
+  // and what the analytical model predicts for each. Estimating the profile
+  // scans the extents along each involved path, so Explain is itself a
+  // heavyweight (but side-effect free) operation.
+  Result<QueryPlan> Explain(const std::string& query);
+  Result<QueryPlan> Explain(const SelectQuery& query);
+
+  // How many path evaluations ran through an ASR vs navigationally (for
+  // tests and diagnostics).
+  uint64_t supported_evals() const { return supported_evals_; }
+  uint64_t navigational_evals() const { return navigational_evals_; }
+
+ private:
+  // A variable binding: the attribute chain from the anchor variable.
+  struct Binding {
+    std::vector<std::string> attrs;
+  };
+
+  // Resolves ranges/select/conditions onto the anchor; fills `anchor_type`
+  // and per-variable bindings.
+  Result<TypeId> BindRanges(const SelectQuery& query,
+                            std::map<std::string, Binding>* bindings);
+
+  Result<PathExpression> ResolvePath(TypeId anchor,
+                                     const std::map<std::string, Binding>& b,
+                                     const PathRef& ref);
+
+  // Converts a literal to the key comparable against `path`'s terminus.
+  Result<AsrKey> LiteralKey(const PathExpression& path,
+                            const Literal& literal);
+
+  // Finds a registered ASR able to evaluate Q_{0,n} over `path`.
+  AccessSupportRelation* FindAsr(const PathExpression& path) const;
+
+  Result<std::vector<AsrKey>> EvalBackward(const PathExpression& path,
+                                           AsrKey target);
+  Result<std::vector<AsrKey>> EvalForward(const PathExpression& path,
+                                          AsrKey start);
+
+  gom::ObjectStore* store_;
+  std::vector<AccessSupportRelation*> asrs_;
+  uint64_t supported_evals_ = 0;
+  uint64_t navigational_evals_ = 0;
+};
+
+}  // namespace asr::lang
+
+#endif  // ASR_LANG_EXECUTOR_H_

@@ -1,0 +1,138 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+namespace asr::lang {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(c));
+  return s;
+}
+
+}  // namespace
+
+std::string Token::Describe() const {
+  switch (kind) {
+    case TokenKind::kSelect:
+      return "'select'";
+    case TokenKind::kFrom:
+      return "'from'";
+    case TokenKind::kWhere:
+      return "'where'";
+    case TokenKind::kIn:
+      return "'in'";
+    case TokenKind::kAnd:
+      return "'and'";
+    case TokenKind::kIdent:
+      return "identifier '" + text + "'";
+    case TokenKind::kString:
+      return "string \"" + text + "\"";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kEquals:
+      return "'='";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& query) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = query.size();
+  while (i < n) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (c == '.') {
+      token.kind = TokenKind::kDot;
+      ++i;
+    } else if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == '=') {
+      token.kind = TokenKind::kEquals;
+      ++i;
+    } else if (c == '"') {
+      token.kind = TokenKind::kString;
+      ++i;
+      while (i < n && query[i] != '"') token.text += query[i++];
+      if (i == n) {
+        return Status::InvalidArgument("unterminated string literal at byte " +
+                                       std::to_string(token.offset));
+      }
+      ++i;  // closing quote
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '-' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(query[i + 1])))) {
+      token.kind = TokenKind::kNumber;
+      bool negative = c == '-';
+      if (negative) ++i;
+      int64_t whole = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+        whole = whole * 10 + (query[i++] - '0');
+      }
+      int64_t cents = 0;
+      if (i < n && query[i] == '.') {
+        token.decimal = true;
+        ++i;
+        int digits = 0;
+        while (i < n && std::isdigit(static_cast<unsigned char>(query[i]))) {
+          if (digits < 2) cents = cents * 10 + (query[i] - '0');
+          ++digits;
+          ++i;
+        }
+        if (digits == 1) cents *= 10;  // "1.5" -> 150
+        if (digits > 2) {
+          return Status::InvalidArgument(
+              "decimal literals carry at most two fraction digits (byte " +
+              std::to_string(token.offset) + ")");
+        }
+      }
+      token.number = token.decimal ? whole * 100 + cents : whole;
+      if (negative) token.number = -token.number;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (i < n && (std::isalnum(static_cast<unsigned char>(query[i])) ||
+                       query[i] == '_')) {
+        token.text += query[i++];
+      }
+      std::string lower = Lower(token.text);
+      if (lower == "select") {
+        token.kind = TokenKind::kSelect;
+      } else if (lower == "from") {
+        token.kind = TokenKind::kFrom;
+      } else if (lower == "where") {
+        token.kind = TokenKind::kWhere;
+      } else if (lower == "in") {
+        token.kind = TokenKind::kIn;
+      } else if (lower == "and") {
+        token.kind = TokenKind::kAnd;
+      } else {
+        token.kind = TokenKind::kIdent;
+      }
+    } else {
+      return Status::InvalidArgument(
+          std::string("unexpected character '") + c + "' at byte " +
+          std::to_string(i));
+    }
+    out.push_back(std::move(token));
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  out.push_back(end);
+  return out;
+}
+
+}  // namespace asr::lang

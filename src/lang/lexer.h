@@ -1,0 +1,47 @@
+// Tokenizer for the paper's SQL-like query notation (§2.2/§2.3):
+//
+//   select r.Name
+//   from   r in OurRobots
+//   where  r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"
+#ifndef ASR_LANG_LEXER_H_
+#define ASR_LANG_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace asr::lang {
+
+enum class TokenKind {
+  kSelect,
+  kFrom,
+  kWhere,
+  kIn,
+  kAnd,
+  kIdent,
+  kString,   // "Utopia"
+  kNumber,   // 42 or 1205.50
+  kDot,
+  kComma,
+  kEquals,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;     // identifier or string contents
+  int64_t number = 0;   // kNumber: value scaled by 100 when decimal is true
+  bool decimal = false; // kNumber: literal contained a decimal point
+  size_t offset = 0;    // byte offset in the query (for error messages)
+
+  std::string Describe() const;
+};
+
+// Splits `query` into tokens; keywords are case-insensitive.
+Result<std::vector<Token>> Tokenize(const std::string& query);
+
+}  // namespace asr::lang
+
+#endif  // ASR_LANG_LEXER_H_

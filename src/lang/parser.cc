@@ -1,0 +1,126 @@
+#include "lang/parser.h"
+
+#include "lang/lexer.h"
+
+namespace asr::lang {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectQuery> Run() {
+    SelectQuery query;
+    ASR_RETURN_IF_ERROR(Expect(TokenKind::kSelect));
+    Result<PathRef> select = ParsePath();
+    ASR_RETURN_IF_ERROR(select.status());
+    query.select = std::move(*select);
+
+    ASR_RETURN_IF_ERROR(Expect(TokenKind::kFrom));
+    while (true) {
+      RangeDecl range;
+      Result<std::string> var = ExpectIdent();
+      ASR_RETURN_IF_ERROR(var.status());
+      range.var = std::move(*var);
+      ASR_RETURN_IF_ERROR(Expect(TokenKind::kIn));
+      Result<PathRef> source = ParsePath();
+      ASR_RETURN_IF_ERROR(source.status());
+      range.source = std::move(*source);
+      query.ranges.push_back(std::move(range));
+      if (Peek().kind != TokenKind::kComma) break;
+      Advance();
+    }
+
+    if (Peek().kind == TokenKind::kWhere) {
+      Advance();
+      while (true) {
+        Condition cond;
+        Result<PathRef> path = ParsePath();
+        ASR_RETURN_IF_ERROR(path.status());
+        cond.path = std::move(*path);
+        ASR_RETURN_IF_ERROR(Expect(TokenKind::kEquals));
+        Result<Literal> literal = ParseLiteral();
+        ASR_RETURN_IF_ERROR(literal.status());
+        cond.literal = std::move(*literal);
+        query.conditions.push_back(std::move(cond));
+        if (Peek().kind != TokenKind::kAnd) break;
+        Advance();
+      }
+    }
+    ASR_RETURN_IF_ERROR(Expect(TokenKind::kEnd));
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Expect(TokenKind kind) {
+    if (Peek().kind != kind) {
+      Token expected;
+      expected.kind = kind;
+      return Status::InvalidArgument("expected " + expected.Describe() +
+                                     " but found " + Peek().Describe() +
+                                     " at byte " +
+                                     std::to_string(Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Status::InvalidArgument("expected identifier but found " +
+                                     Peek().Describe() + " at byte " +
+                                     std::to_string(Peek().offset));
+    }
+    return Advance().text;
+  }
+
+  Result<PathRef> ParsePath() {
+    PathRef path;
+    Result<std::string> head = ExpectIdent();
+    ASR_RETURN_IF_ERROR(head.status());
+    path.head = std::move(*head);
+    while (Peek().kind == TokenKind::kDot) {
+      Advance();
+      Result<std::string> attr = ExpectIdent();
+      ASR_RETURN_IF_ERROR(attr.status());
+      path.attrs.push_back(std::move(*attr));
+    }
+    return path;
+  }
+
+  Result<Literal> ParseLiteral() {
+    Literal literal;
+    if (Peek().kind == TokenKind::kString) {
+      literal.kind = Literal::Kind::kString;
+      literal.string_value = Advance().text;
+      return literal;
+    }
+    if (Peek().kind == TokenKind::kNumber) {
+      const Token& token = Advance();
+      literal.kind = token.decimal ? Literal::Kind::kDecimal
+                                   : Literal::Kind::kInt;
+      literal.int_value = token.number;
+      return literal;
+    }
+    return Status::InvalidArgument("expected a literal but found " +
+                                   Peek().Describe() + " at byte " +
+                                   std::to_string(Peek().offset));
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectQuery> Parse(const std::string& query) {
+  Result<std::vector<Token>> tokens = Tokenize(query);
+  ASR_RETURN_IF_ERROR(tokens.status());
+  return Parser(std::move(*tokens)).Run();
+}
+
+}  // namespace asr::lang

@@ -1,0 +1,17 @@
+// Recursive-descent parser for the query notation (see ast.h).
+#ifndef ASR_LANG_PARSER_H_
+#define ASR_LANG_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "lang/ast.h"
+
+namespace asr::lang {
+
+// Parses one select query. Errors carry the offending token and position.
+Result<SelectQuery> Parse(const std::string& query);
+
+}  // namespace asr::lang
+
+#endif  // ASR_LANG_PARSER_H_

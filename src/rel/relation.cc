@@ -1,0 +1,110 @@
+#include "rel/relation.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace asr::rel {
+
+namespace {
+
+bool RowLess(const Row& a, const Row& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+}  // namespace
+
+Relation Relation::Join(const Relation& left, const Relation& right,
+                        JoinKind kind) {
+  ASR_CHECK(left.arity() >= 1 && right.arity() >= 1);
+  Relation out(left.arity() + right.arity() - 1);
+
+  // Hash the right operand on its first column. NULL keys are kept out of
+  // the index — a NULL never joins — but their rows still participate as
+  // unmatched rows for right/full outer joins.
+  std::unordered_map<AsrKey, std::vector<size_t>> right_index;
+  right_index.reserve(right.size());
+  for (size_t i = 0; i < right.size(); ++i) {
+    AsrKey key = right.rows()[i].front();
+    if (!key.IsNull()) right_index[key].push_back(i);
+  }
+
+  const bool keep_left = (kind == JoinKind::kLeftOuter ||
+                          kind == JoinKind::kFullOuter);
+  const bool keep_right = (kind == JoinKind::kRightOuter ||
+                           kind == JoinKind::kFullOuter);
+
+  std::vector<bool> right_matched(right.size(), false);
+
+  for (const Row& lrow : left.rows()) {
+    AsrKey key = lrow.back();
+    auto it = key.IsNull() ? right_index.end() : right_index.find(key);
+    if (it != right_index.end()) {
+      for (size_t ri : it->second) {
+        right_matched[ri] = true;
+        const Row& rrow = right.rows()[ri];
+        Row combined;
+        combined.reserve(out.arity());
+        combined.insert(combined.end(), lrow.begin(), lrow.end());
+        combined.insert(combined.end(), rrow.begin() + 1, rrow.end());
+        out.AddRow(std::move(combined));
+      }
+    } else if (keep_left) {
+      Row combined;
+      combined.reserve(out.arity());
+      combined.insert(combined.end(), lrow.begin(), lrow.end());
+      combined.resize(out.arity(), AsrKey::Null());
+      out.AddRow(std::move(combined));
+    }
+  }
+
+  if (keep_right) {
+    for (size_t ri = 0; ri < right.size(); ++ri) {
+      if (right_matched[ri]) continue;
+      const Row& rrow = right.rows()[ri];
+      Row combined(left.arity() - 1, AsrKey::Null());
+      combined.reserve(out.arity());
+      combined.insert(combined.end(), rrow.begin(), rrow.end());
+      out.AddRow(std::move(combined));
+    }
+  }
+  return out;
+}
+
+Relation Relation::Project(uint32_t first, uint32_t last) const {
+  ASR_CHECK(first <= last && last < arity_);
+  Relation out(last - first + 1);
+  out.Reserve(rows_.size());
+  for (const Row& row : rows_) {
+    out.AddRow(Row(row.begin() + first, row.begin() + last + 1));
+  }
+  out.Normalize();
+  return out;
+}
+
+void Relation::Normalize() {
+  std::sort(rows_.begin(), rows_.end(), RowLess);
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+bool Relation::EqualsAsSet(const Relation& other) const {
+  if (arity_ != other.arity_) return false;
+  Relation a = *this;
+  Relation b = other;
+  a.Normalize();
+  b.Normalize();
+  return a.rows_ == b.rows_;
+}
+
+std::string Relation::ToString() const {
+  std::string out;
+  for (const Row& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += row[i].ToString();
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace asr::rel

@@ -1,0 +1,82 @@
+// Minimal in-memory relational kernel over AsrKey columns.
+//
+// Access support relation extensions are *defined* as joins of the auxiliary
+// relations E_0 ... E_{n-1} (Defs. 3.4-3.7):
+//   canonical      E_0 |><| E_1 |><| ... (natural joins)
+//   full           full outer joins
+//   left-complete  left outer joins, left associated
+//   right-complete right outer joins, right associated
+// all joining the LAST column of the left operand with the FIRST column of
+// the right operand. This module implements exactly those operators with the
+// paper's NULL semantics: a NULL join value never matches anything, and
+// unmatched rows are padded with NULLs on the dangling side.
+//
+// Decomposition partitions (Def. 3.8) are column-range projections with
+// duplicate elimination ("materialized by projecting the corresponding
+// attributes").
+#ifndef ASR_REL_RELATION_H_
+#define ASR_REL_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/asr_key.h"
+#include "common/macros.h"
+
+namespace asr::rel {
+
+using Row = std::vector<AsrKey>;
+
+enum class JoinKind {
+  kNatural,     // |><|  : only matching pairs
+  kLeftOuter,   // =|><| : plus left rows without partner, right side NULL
+  kRightOuter,  // |><|= : plus right rows without partner, left side NULL
+  kFullOuter,   // =|><|=: both
+};
+
+class Relation {
+ public:
+  explicit Relation(uint32_t arity) : arity_(arity) {}
+
+  uint32_t arity() const { return arity_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  void AddRow(Row row) {
+    ASR_DCHECK(row.size() == arity_);
+    rows_.push_back(std::move(row));
+  }
+
+  void Reserve(size_t n) { rows_.reserve(n); }
+
+  // Joins the last column of `left` with the first column of `right`.
+  // Result arity = left.arity + right.arity - 1 (the join column appears
+  // once). NULL join values never match; padding NULLs fill the dangling
+  // side of unmatched rows.
+  static Relation Join(const Relation& left, const Relation& right,
+                       JoinKind kind);
+
+  // Projection to the inclusive column range [first, last], with duplicate
+  // elimination (relations are sets).
+  Relation Project(uint32_t first, uint32_t last) const;
+
+  // Sorts rows lexicographically and removes duplicates (canonical form for
+  // comparisons).
+  void Normalize();
+
+  // Set equality after normalization of copies.
+  bool EqualsAsSet(const Relation& other) const;
+
+  // Debug rendering, one row per line.
+  std::string ToString() const;
+
+ private:
+  uint32_t arity_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace asr::rel
+
+#endif  // ASR_REL_RELATION_H_

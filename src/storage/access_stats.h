@@ -1,0 +1,40 @@
+// Counters of secondary-storage page accesses.
+//
+// The paper's entire evaluation metric is "the number of page accesses on
+// secondary storage" (§5.6); every read and write that reaches the simulated
+// disk is counted here so empirical runs are directly comparable with the
+// analytical cost model.
+#ifndef ASR_STORAGE_ACCESS_STATS_H_
+#define ASR_STORAGE_ACCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace asr::storage {
+
+struct AccessStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+
+  uint64_t total() const { return page_reads + page_writes; }
+
+  AccessStats operator-(const AccessStats& other) const {
+    return AccessStats{page_reads - other.page_reads,
+                       page_writes - other.page_writes};
+  }
+
+  AccessStats& operator+=(const AccessStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    return *this;
+  }
+
+  std::string ToString() const {
+    return "reads=" + std::to_string(page_reads) +
+           " writes=" + std::to_string(page_writes);
+  }
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_ACCESS_STATS_H_

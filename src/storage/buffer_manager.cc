@@ -1,0 +1,112 @@
+#include "storage/buffer_manager.h"
+
+namespace asr::storage {
+
+PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    id_ = other.id_;
+    frame_ = other.frame_;
+    dirty_pending_ = other.dirty_pending_;
+    other.manager_ = nullptr;
+    other.frame_ = nullptr;
+  }
+  return *this;
+}
+
+Page& PageGuard::page() {
+  ASR_DCHECK(valid());
+  return *frame_;
+}
+
+const Page& PageGuard::page() const {
+  ASR_DCHECK(valid());
+  return *frame_;
+}
+
+void PageGuard::MarkDirty() {
+  ASR_DCHECK(valid());
+  dirty_pending_ = true;
+}
+
+void PageGuard::Release() {
+  if (manager_ != nullptr) {
+    manager_->Unpin(id_, dirty_pending_);
+    manager_ = nullptr;
+    frame_ = nullptr;
+    dirty_pending_ = false;
+  }
+}
+
+PageGuard BufferManager::Pin(PageId id) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    ++misses_;
+    Frame frame;
+    disk_->ReadPage(id, &frame.page);
+    it = frames_.emplace(id, std::move(frame)).first;
+  } else {
+    ++hits_;
+    if (it->second.in_lru) {
+      lru_.erase(it->second.lru_pos);
+      it->second.in_lru = false;
+    }
+  }
+  ++it->second.pin_count;
+  return PageGuard(this, id, &it->second.page);
+}
+
+PageGuard BufferManager::AllocatePinned(uint32_t segment) {
+  PageId id = disk_->AllocatePage(segment);
+  Frame frame;
+  frame.dirty = true;
+  auto it = frames_.emplace(id, std::move(frame)).first;
+  ++it->second.pin_count;
+  return PageGuard(this, id, &it->second.page);
+}
+
+void BufferManager::Unpin(PageId id, bool dirty) {
+  auto it = frames_.find(id);
+  ASR_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  ASR_CHECK(frame.pin_count > 0);
+  if (dirty) frame.dirty = true;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(id);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+    EnforceCapacity();
+  }
+}
+
+void BufferManager::EnforceCapacity() {
+  while (lru_.size() > capacity_) {
+    PageId victim = lru_.front();
+    EvictFrame(victim);
+  }
+}
+
+void BufferManager::EvictFrame(PageId id) {
+  auto it = frames_.find(id);
+  ASR_CHECK(it != frames_.end());
+  Frame& frame = it->second;
+  ASR_CHECK(frame.pin_count == 0 && frame.in_lru);
+  if (frame.dirty) disk_->WritePage(id, frame.page);
+  lru_.erase(frame.lru_pos);
+  frames_.erase(it);
+}
+
+void BufferManager::FlushAll() {
+  // Write back all dirty frames (pinned frames stay resident but clean).
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      disk_->WritePage(id, frame.page);
+      frame.dirty = false;
+    }
+  }
+  // Drop unpinned frames.
+  while (!lru_.empty()) EvictFrame(lru_.front());
+}
+
+}  // namespace asr::storage

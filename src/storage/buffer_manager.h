@@ -1,0 +1,108 @@
+// Buffer manager: pin/unpin interface with LRU replacement over the
+// simulated disk.
+//
+// The analytical model charges one secondary-storage access per page touched,
+// i.e. it assumes no buffering across the pages of one operation. Metered
+// experiments therefore run with capacity 0 — every unpin immediately evicts
+// (writing back if dirty), so each logical page visit is one counted disk
+// access — while applications that just want the library fast can configure a
+// real cache capacity.
+#ifndef ASR_STORAGE_BUFFER_MANAGER_H_
+#define ASR_STORAGE_BUFFER_MANAGER_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+
+namespace asr::storage {
+
+class BufferManager;
+
+// RAII pin on one page. While alive, the frame is resident and stable;
+// destruction unpins (and, if marked dirty, schedules a write-back).
+class PageGuard {
+ public:
+  PageGuard() = default;
+  PageGuard(PageGuard&& other) noexcept { *this = std::move(other); }
+  PageGuard& operator=(PageGuard&& other) noexcept;
+  ~PageGuard() { Release(); }
+  ASR_DISALLOW_COPY_AND_ASSIGN(PageGuard);
+
+  bool valid() const { return manager_ != nullptr; }
+  PageId id() const { return id_; }
+
+  Page& page();
+  const Page& page() const;
+
+  // Marks the frame dirty; it is written back to disk when evicted.
+  void MarkDirty();
+
+  // Unpins early (also done by the destructor).
+  void Release();
+
+ private:
+  friend class BufferManager;
+  PageGuard(BufferManager* manager, PageId id, Page* frame)
+      : manager_(manager), id_(id), frame_(frame) {}
+
+  BufferManager* manager_ = nullptr;
+  PageId id_;
+  Page* frame_ = nullptr;
+  bool dirty_pending_ = false;
+};
+
+class BufferManager {
+ public:
+  // `capacity` is the number of unpinned frames retained; 0 means unbuffered
+  // (metering mode). Pinned frames are always resident regardless.
+  BufferManager(Disk* disk, size_t capacity)
+      : disk_(disk), capacity_(capacity) {}
+  ~BufferManager() { FlushAll(); }
+  ASR_DISALLOW_COPY_AND_ASSIGN(BufferManager);
+
+  // Pins `id`, reading it from disk on a miss.
+  PageGuard Pin(PageId id);
+
+  // Allocates a fresh zeroed page in `segment` and pins it dirty, without a
+  // disk read (the page has no prior contents).
+  PageGuard AllocatePinned(uint32_t segment);
+
+  // Writes back all dirty frames and drops every unpinned frame.
+  void FlushAll();
+
+  Disk* disk() { return disk_; }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  friend class PageGuard;
+
+  struct Frame {
+    Page page;
+    int pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when unpinned; lru_.end() while pinned.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  void Unpin(PageId id, bool dirty);
+  void EnforceCapacity();
+  void EvictFrame(PageId id);
+
+  Disk* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // front = oldest unpinned frame
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_BUFFER_MANAGER_H_

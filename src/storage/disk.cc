@@ -1,0 +1,92 @@
+#include "storage/disk.h"
+
+#include <utility>
+
+#include "common/binary_io.h"
+
+namespace asr::storage {
+
+uint32_t Disk::CreateSegment(std::string name) {
+  uint32_t id = static_cast<uint32_t>(segments_.size());
+  segments_.push_back(Segment{std::move(name), {}, {}});
+  return id;
+}
+
+PageId Disk::AllocatePage(uint32_t segment) {
+  Segment& seg = GetSegment(segment);
+  PageId id{segment, static_cast<uint32_t>(seg.pages.size())};
+  seg.pages.emplace_back();
+  return id;
+}
+
+void Disk::ReadPage(PageId id, Page* out) {
+  Segment& seg = GetSegment(id.segment);
+  ASR_CHECK(id.page_no < seg.pages.size());
+  *out = seg.pages[id.page_no];
+  ++seg.stats.page_reads;
+  ++stats_.page_reads;
+}
+
+void Disk::WritePage(PageId id, const Page& page) {
+  Segment& seg = GetSegment(id.segment);
+  ASR_CHECK(id.page_no < seg.pages.size());
+  seg.pages[id.page_no] = page;
+  ++seg.stats.page_writes;
+  ++stats_.page_writes;
+}
+
+uint32_t Disk::SegmentPageCount(uint32_t segment) const {
+  ASR_CHECK(segment < segments_.size());
+  return static_cast<uint32_t>(segments_[segment].pages.size());
+}
+
+const std::string& Disk::SegmentName(uint32_t segment) const {
+  ASR_CHECK(segment < segments_.size());
+  return segments_[segment].name;
+}
+
+const AccessStats& Disk::segment_stats(uint32_t segment) const {
+  ASR_CHECK(segment < segments_.size());
+  return segments_[segment].stats;
+}
+
+void Disk::ResetStats() {
+  stats_ = AccessStats{};
+  for (auto& seg : segments_) seg.stats = AccessStats{};
+}
+
+void Disk::Serialize(std::ostream* out) const {
+  io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(segments_.size()));
+  for (const Segment& seg : segments_) {
+    io::WriteString(out, seg.name);
+    io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(seg.pages.size()));
+    for (const Page& page : seg.pages) {
+      out->write(reinterpret_cast<const char*>(page.data()), kPageSize);
+    }
+  }
+}
+
+Status Disk::Deserialize(std::istream* in) {
+  ASR_CHECK(segments_.empty());
+  Result<uint32_t> seg_count = io::ReadScalar<uint32_t>(in);
+  ASR_RETURN_IF_ERROR(seg_count.status());
+  for (uint32_t s = 0; s < *seg_count; ++s) {
+    Result<std::string> name = io::ReadString(in);
+    ASR_RETURN_IF_ERROR(name.status());
+    uint32_t seg = CreateSegment(*name);
+    Result<uint32_t> page_count = io::ReadScalar<uint32_t>(in);
+    ASR_RETURN_IF_ERROR(page_count.status());
+    for (uint32_t p = 0; p < *page_count; ++p) {
+      PageId id = AllocatePage(seg);
+      Page page;
+      in->read(reinterpret_cast<char*>(page.data()), kPageSize);
+      if (!in->good()) {
+        return Status::Corruption("truncated page data in snapshot");
+      }
+      segments_[id.segment].pages[id.page_no] = page;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace asr::storage

@@ -1,0 +1,69 @@
+// In-memory simulated disk, segmented, with per-segment access metering.
+//
+// The paper has no running system; its evaluation counts secondary page
+// accesses analytically. This disk is the executable counterpart: an array of
+// 4056-byte pages per segment whose every read/write is counted, so a live
+// query can be metered with the same unit the paper uses.
+#ifndef ASR_STORAGE_DISK_H_
+#define ASR_STORAGE_DISK_H_
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/access_stats.h"
+#include "storage/page.h"
+
+namespace asr::storage {
+
+class Disk {
+ public:
+  Disk() = default;
+  ASR_DISALLOW_COPY_AND_ASSIGN(Disk);
+
+  // Creates an empty segment and returns its id. `name` is for diagnostics.
+  uint32_t CreateSegment(std::string name);
+
+  // Appends a zeroed page to `segment`; does not count as an access (the
+  // model charges allocation when the page is first written).
+  PageId AllocatePage(uint32_t segment);
+
+  // Counted accesses.
+  void ReadPage(PageId id, Page* out);
+  void WritePage(PageId id, const Page& page);
+
+  uint32_t SegmentPageCount(uint32_t segment) const;
+  const std::string& SegmentName(uint32_t segment) const;
+  size_t segment_count() const { return segments_.size(); }
+
+  // Snapshot support: raw segment/page image (access statistics are not
+  // persisted). Deserialize requires an empty disk.
+  void Serialize(std::ostream* out) const;
+  Status Deserialize(std::istream* in);
+
+  const AccessStats& stats() const { return stats_; }
+  const AccessStats& segment_stats(uint32_t segment) const;
+  void ResetStats();
+
+ private:
+  struct Segment {
+    std::string name;
+    std::vector<Page> pages;
+    AccessStats stats;
+  };
+
+  Segment& GetSegment(uint32_t segment) {
+    ASR_CHECK(segment < segments_.size());
+    return segments_[segment];
+  }
+
+  std::vector<Segment> segments_;
+  AccessStats stats_;
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_DISK_H_

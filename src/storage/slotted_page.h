@@ -1,0 +1,69 @@
+// Slotted page layout for variable-length records.
+//
+// Classic layout: a small header and a slot directory grow from the front of
+// the page, record bytes grow from the back. Used by the object store (one
+// record per object) so that tuple objects, set instances, and padded
+// synthetic objects can share one page format.
+//
+//   [slot_count:u16][free_end:u16][slot 0][slot 1]... ...records...]
+//
+// A slot is [offset:u16][length:u16]. A deleted record's slot keeps its
+// offset and has the high bit of `length` set; the low 15 bits remember the
+// hole's capacity so the slot can be reused by a same-or-smaller record.
+// Record lengths are therefore limited to 32767 bytes (far above the 4056
+// byte page).
+#ifndef ASR_STORAGE_SLOTTED_PAGE_H_
+#define ASR_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+
+namespace asr::storage {
+
+class SlottedPage {
+ public:
+  static constexpr uint16_t kTombstoneBit = 0x8000;
+  static constexpr uint32_t kHeaderSize = 4;
+  static constexpr uint32_t kSlotSize = 4;
+
+  // Prepares an empty slotted page.
+  static void Init(Page* page);
+
+  // Inserts a record; returns the slot index or -1 when it does not fit.
+  static int Insert(Page* page, const void* data, uint16_t len);
+
+  // True when a record of `len` bytes would fit (fresh space or a hole).
+  static bool Fits(const Page& page, uint16_t len);
+
+  // True when `slot` holds a live record.
+  static bool IsLive(const Page& page, int slot);
+
+  // Length of the live record at `slot`.
+  static uint16_t RecordLength(const Page& page, int slot);
+
+  // Copies the live record at `slot` into `out` (size it via RecordLength).
+  static void Read(const Page& page, int slot, void* out);
+
+  // Overwrites the record at `slot` in place; `len` must equal the record's
+  // current length.
+  static void WriteInPlace(Page* page, int slot, const void* data,
+                           uint16_t len);
+
+  // Tombstones `slot`; its space can be reused by later inserts.
+  static void Delete(Page* page, int slot);
+
+  static uint16_t slot_count(const Page& page) {
+    return page.Read<uint16_t>(0);
+  }
+
+  // Contiguous free bytes between the slot directory and the record area.
+  static uint32_t FreeSpace(const Page& page);
+
+ private:
+  static uint16_t free_end(const Page& page) { return page.Read<uint16_t>(2); }
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,24 @@
+// Metering helper: page-access cost of one operation.
+#ifndef ASR_WORKLOAD_METER_H_
+#define ASR_WORKLOAD_METER_H_
+
+#include <functional>
+
+#include "storage/access_stats.h"
+#include "storage/disk.h"
+
+namespace asr::workload {
+
+// Runs `op` and returns the secondary-storage accesses it caused. The
+// buffer manager should be configured with capacity 0 (strict metering) for
+// results comparable to the analytical model.
+inline storage::AccessStats Meter(storage::Disk* disk,
+                                  const std::function<void()>& op) {
+  storage::AccessStats before = disk->stats();
+  op();
+  return disk->stats() - before;
+}
+
+}  // namespace asr::workload
+
+#endif  // ASR_WORKLOAD_METER_H_

@@ -1,0 +1,142 @@
+#include "workload/mix_driver.h"
+
+#include "workload/meter.h"
+
+namespace asr::workload {
+
+template <typename T>
+const T& MixDriver::Pick(const std::vector<T>& entries) {
+  ASR_CHECK(!entries.empty());
+  double roll = rng_.NextDouble();
+  double cumulative = 0;
+  for (const T& entry : entries) {
+    cumulative += entry.weight;
+    if (roll < cumulative) return entry;
+  }
+  return entries.back();
+}
+
+Result<MixRunResult> MixDriver::Run(const cost::OperationMix& mix,
+                                    double p_up, uint64_t operations) {
+  if (mix.queries.empty() && mix.updates.empty()) {
+    return Status::InvalidArgument("empty operation mix");
+  }
+  MixRunResult result;
+  for (uint64_t op = 0; op < operations; ++op) {
+    bool update = !mix.updates.empty() &&
+                  (mix.queries.empty() || rng_.Bernoulli(p_up));
+    if (update) {
+      ASR_RETURN_IF_ERROR(RunUpdate(Pick(mix.updates), &result));
+    } else {
+      ASR_RETURN_IF_ERROR(RunQuery(Pick(mix.queries), &result));
+    }
+    ++result.operations;
+  }
+  return result;
+}
+
+Status MixDriver::RunQuery(const cost::WeightedQuery& query,
+                           MixRunResult* result) {
+  const PathExpression& path = base_->path();
+  QueryEvaluator nav(base_->store(), &path);
+  const bool supported =
+      asr_ != nullptr && asr_->SupportsQuery(query.i, query.j);
+
+  Status st = Status::OK();
+  storage::AccessStats cost = Meter(base_->disk(), [&] {
+    if (query.dir == cost::QueryDirection::kForward) {
+      const auto& starts = base_->objects_at(query.i);
+      AsrKey start =
+          AsrKey::FromOid(starts[rng_.Uniform(starts.size())]);
+      Result<std::vector<AsrKey>> r =
+          supported ? asr_->EvalForward(start, query.i, query.j)
+                    : nav.ForwardNoSupport(start, query.i, query.j);
+      st = r.status();
+    } else {
+      const auto& targets = base_->objects_at(query.j);
+      AsrKey target =
+          AsrKey::FromOid(targets[rng_.Uniform(targets.size())]);
+      Result<std::vector<AsrKey>> r =
+          supported ? asr_->EvalBackward(target, query.i, query.j)
+                    : nav.BackwardNoSupport(target, query.i, query.j);
+      st = r.status();
+    }
+  });
+  ASR_RETURN_IF_ERROR(st);
+  result->total_page_accesses += cost.total();
+  ++result->queries;
+  return Status::OK();
+}
+
+Status MixDriver::RunUpdate(const cost::WeightedUpdate& update,
+                            MixRunResult* result) {
+  const PathExpression& path = base_->path();
+  const uint32_t p = update.position;
+  if (p >= path.n()) {
+    return Status::InvalidArgument("update position beyond the path");
+  }
+  const PathStep& step = path.step(p + 1);
+  gom::ObjectStore* store = base_->store();
+
+  const auto& owners = base_->objects_at(p);
+  const auto& targets = base_->objects_at(p + 1);
+  Oid u = owners[rng_.Uniform(owners.size())];
+  Oid w = targets[rng_.Uniform(targets.size())];
+  AsrKey wkey = AsrKey::FromOid(w);
+
+  Status st = Status::OK();
+  storage::AccessStats cost = Meter(base_->disk(), [&] {
+    if (!step.set_occurrence) {
+      // Single-valued: assignment.
+      Result<AsrKey> old_value = store->GetAttributeByName(u, step.attr_name);
+      if (!old_value.ok()) {
+        st = old_value.status();
+        return;
+      }
+      st = store->SetAttributeByName(u, step.attr_name, wkey);
+      if (!st.ok()) return;
+      if (asr_ != nullptr) {
+        st = asr_->OnAttributeAssigned(u, p, *old_value, wkey);
+      }
+      return;
+    }
+    // Set-valued ins_p: insert (or toggle out) a member.
+    Result<AsrKey> set_key = store->GetAttributeByName(u, step.attr_name);
+    if (!set_key.ok()) {
+      st = set_key.status();
+      return;
+    }
+    Oid set_oid;
+    if (set_key->IsNull()) {
+      Result<Oid> fresh = store->CreateSet(step.set_type);
+      if (!fresh.ok()) {
+        st = fresh.status();
+        return;
+      }
+      set_oid = *fresh;
+      st = store->SetAttributeByName(u, step.attr_name,
+                                     AsrKey::FromOid(set_oid));
+      if (!st.ok()) return;
+    } else {
+      set_oid = set_key->ToOid();
+    }
+    Result<bool> contains = store->SetContains(set_oid, wkey);
+    if (!contains.ok()) {
+      st = contains.status();
+      return;
+    }
+    if (*contains) {
+      st = store->RemoveFromSet(set_oid, wkey);
+      if (st.ok() && asr_ != nullptr) st = asr_->OnEdgeRemoved(u, p, wkey);
+    } else {
+      st = store->AddToSet(set_oid, wkey);
+      if (st.ok() && asr_ != nullptr) st = asr_->OnEdgeInserted(u, p, wkey);
+    }
+  });
+  ASR_RETURN_IF_ERROR(st);
+  result->total_page_accesses += cost.total();
+  ++result->updates;
+  return Status::OK();
+}
+
+}  // namespace asr::workload

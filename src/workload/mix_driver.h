@@ -1,0 +1,62 @@
+// Executes an operation mix (§6.4.1) against a live object base with strict
+// page metering — the empirical counterpart of the cost model's MixCost.
+//
+// Queries run through the ASR when it supports them and navigationally
+// otherwise (Eq. 35's dispatch); updates are real ins_i edge insertions /
+// removals applied to the store and propagated through the ASR's incremental
+// maintenance (§6).
+#ifndef ASR_WORKLOAD_MIX_DRIVER_H_
+#define ASR_WORKLOAD_MIX_DRIVER_H_
+
+#include <cstdint>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "common/random.h"
+#include "cost/opmix.h"
+#include "workload/synthetic_base.h"
+
+namespace asr::workload {
+
+struct MixRunResult {
+  uint64_t operations = 0;
+  uint64_t queries = 0;
+  uint64_t updates = 0;
+  uint64_t total_page_accesses = 0;
+
+  double PerOperation() const {
+    return operations == 0
+               ? 0.0
+               : static_cast<double>(total_page_accesses) / operations;
+  }
+};
+
+class MixDriver {
+ public:
+  // `asr` may be null (no access support: queries run navigationally and
+  // updates only touch the object base).
+  MixDriver(SyntheticBase* base, AccessSupportRelation* asr, uint64_t seed)
+      : base_(base), asr_(asr), rng_(seed) {}
+
+  // Draws and executes `operations` operations from the mix: with
+  // probability `p_up` an update from Umix, otherwise a query from Qmix,
+  // each picked by its weight. Returns metered page-access totals.
+  Result<MixRunResult> Run(const cost::OperationMix& mix, double p_up,
+                           uint64_t operations);
+
+ private:
+  Status RunQuery(const cost::WeightedQuery& query, MixRunResult* result);
+  Status RunUpdate(const cost::WeightedUpdate& update, MixRunResult* result);
+
+  // Weighted choice among entries whose weights sum to ~1.
+  template <typename T>
+  const T& Pick(const std::vector<T>& entries);
+
+  SyntheticBase* base_;
+  AccessSupportRelation* asr_;
+  Rng rng_;
+};
+
+}  // namespace asr::workload
+
+#endif  // ASR_WORKLOAD_MIX_DRIVER_H_

@@ -1,0 +1,97 @@
+#include "workload/profile_estimator.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "storage/page.h"
+
+namespace asr::workload {
+
+Result<cost::ApplicationProfile> EstimateProfile(gom::ObjectStore* store,
+                                                 const PathExpression& path) {
+  const gom::Schema& schema = store->schema();
+  const uint32_t n = path.n();
+
+  cost::ApplicationProfile profile;
+  profile.n = n;
+  profile.c.assign(n + 1, 0.0);
+  profile.d.assign(n, 0.0);
+  profile.fan.assign(n, 1.0);
+  profile.size.assign(n + 1, 8.0);
+  profile.shar.assign(n, 1.0);
+
+  // Terminal atomic values are counted as they are encountered at the last
+  // hop; their "extent" is the set of distinct values.
+  std::unordered_set<AsrKey> terminal_values;
+
+  for (uint32_t i = 0; i < n; ++i) {
+    const PathStep& step = path.step(i + 1);
+    double count = 0;
+    double defined = 0;
+    double edges = 0;
+    double pages = 0;
+    std::unordered_set<AsrKey> referenced;
+
+    for (TypeId t = 0; t < schema.type_count(); ++t) {
+      if (!schema.IsTuple(t) || !schema.IsSubtypeOf(t, step.domain_type)) {
+        continue;
+      }
+      count += static_cast<double>(store->ObjectCount(t));
+      pages += static_cast<double>(store->PageCount(t));
+      Status st = store->ScanWithTargets(
+          t, step.attr_name,
+          [&](Oid, const std::vector<AsrKey>& targets) -> Status {
+            ++defined;  // NULL attributes are skipped by ScanWithTargets
+            edges += static_cast<double>(targets.size());
+            for (AsrKey target : targets) {
+              referenced.insert(target);
+              if (i + 1 == n && path.terminal_is_atomic()) {
+                terminal_values.insert(target);
+              }
+            }
+            return Status::OK();
+          });
+      ASR_RETURN_IF_ERROR(st);
+    }
+
+    profile.c[i] = count;
+    profile.d[i] = defined;
+    profile.fan[i] = defined > 0 ? std::max(1.0, edges / defined) : 1.0;
+    profile.shar[i] =
+        referenced.empty()
+            ? 1.0
+            : std::max(1.0, edges / static_cast<double>(referenced.size()));
+    // Effective object size: what the extent actually occupies per object,
+    // including co-located set instances — this is what drives op_i.
+    profile.size[i] =
+        count > 0 ? std::max(8.0, pages * storage::kPageSize / count) : 8.0;
+  }
+
+  // Terminal level.
+  TypeId terminal = path.type_at(n);
+  if (schema.IsAtomic(terminal)) {
+    profile.c[n] = std::max<double>(1.0, terminal_values.size());
+    profile.size[n] = 8.0;
+  } else {
+    double count = 0;
+    double pages = 0;
+    for (TypeId t = 0; t < schema.type_count(); ++t) {
+      if (!schema.IsTuple(t) || !schema.IsSubtypeOf(t, terminal)) continue;
+      count += static_cast<double>(store->ObjectCount(t));
+      pages += static_cast<double>(store->PageCount(t));
+    }
+    profile.c[n] = std::max(1.0, count);
+    profile.size[n] =
+        count > 0 ? std::max(8.0, pages * storage::kPageSize / count) : 8.0;
+  }
+
+  // Keep d consistent with c (deleted objects can leave d dangling).
+  for (uint32_t i = 0; i < n; ++i) {
+    profile.c[i] = std::max(profile.c[i], 1.0);
+    profile.d[i] = std::min(profile.d[i], profile.c[i]);
+  }
+  ASR_RETURN_IF_ERROR(profile.Validate());
+  return profile;
+}
+
+}  // namespace asr::workload

@@ -1,0 +1,32 @@
+// Derives the cost model's application profile from a live object base.
+//
+// The paper's conclusion (§7) proposes integrating the cost model into the
+// DBMS: "in a 'real' database application one should periodically verify
+// that the once envisioned usage profile actually remains valid under
+// operation". This estimator measures, for a given path expression, the
+// statistics of Fig. 3 — c_i, d_i, fan_i, shar_i, size_i — directly from the
+// stored extension, so the design advisor can run against reality instead of
+// an envisioned profile.
+#ifndef ASR_WORKLOAD_PROFILE_ESTIMATOR_H_
+#define ASR_WORKLOAD_PROFILE_ESTIMATOR_H_
+
+#include "asr/path_expression.h"
+#include "cost/profile.h"
+#include "gom/object_store.h"
+
+namespace asr::workload {
+
+// Scans the extents along `path` and returns the measured profile:
+//   c_i    — live objects whose type conforms to t_i,
+//   d_i    — those with a non-NULL A_{i+1} (an empty set counts as defined),
+//   fan_i  — average references per defined object (1 for single-valued),
+//   shar_i — average in-degree over referenced t_{i+1} objects (>= 1),
+//   size_i — average record bytes of t_i objects.
+// Costs page accesses proportional to the extents scanned (it reads every
+// object once).
+Result<cost::ApplicationProfile> EstimateProfile(gom::ObjectStore* store,
+                                                 const PathExpression& path);
+
+}  // namespace asr::workload
+
+#endif  // ASR_WORKLOAD_PROFILE_ESTIMATOR_H_

@@ -1,0 +1,72 @@
+// Synthetic object bases realizing the paper's application profiles.
+//
+// The analytical model describes a path t0.A1.....An purely through the
+// statistics (c_i, d_i, fan_i, size_i) of Fig. 3. This generator materializes
+// a GOM schema and object base with exactly those statistics so that metered
+// executions can be compared with the model:
+//   - n+1 tuple types T0..Tn, padded to size_i bytes each;
+//   - attribute A_{i+1} of T_i: single-valued when fan_i == 1, otherwise
+//     set-valued through set type S_{i+1} = {T_{i+1}};
+//   - exactly round(d_i) objects per level with a defined A_{i+1}, each
+//     referencing round(fan_i) distinct uniformly drawn level-(i+1) objects
+//     (the paper's default normal-distribution sharing assumption);
+//   - set instances are sized to their final fan up front and co-located
+//     with their owning object, so a set-valued hop costs the same page
+//     access the model charges for in-object reference lists.
+#ifndef ASR_WORKLOAD_SYNTHETIC_BASE_H_
+#define ASR_WORKLOAD_SYNTHETIC_BASE_H_
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "asr/path_expression.h"
+#include "cost/profile.h"
+#include "gom/object_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+namespace asr::workload {
+
+struct GenerateOptions {
+  uint64_t seed = 42;
+  // Buffer frames retained between pins. Keep 0 for strict metering.
+  size_t buffer_capacity = 0;
+};
+
+class SyntheticBase {
+ public:
+  static Result<std::unique_ptr<SyntheticBase>> Generate(
+      const cost::ApplicationProfile& profile,
+      const GenerateOptions& options = {});
+
+  const gom::Schema& schema() const { return schema_; }
+  gom::ObjectStore* store() { return &store_; }
+  storage::Disk* disk() { return &disk_; }
+  storage::BufferManager* buffers() { return &buffers_; }
+
+  // The generated path T0.A1.....An.
+  const PathExpression& path() const { return *path_; }
+
+  uint32_t n() const { return static_cast<uint32_t>(levels_.size()) - 1; }
+  TypeId type_at(uint32_t level) const { return level_types_[level]; }
+  const std::vector<Oid>& objects_at(uint32_t level) const {
+    return levels_[level];
+  }
+
+ private:
+  explicit SyntheticBase(size_t buffer_capacity)
+      : buffers_(&disk_, buffer_capacity), store_(&schema_, &buffers_) {}
+
+  gom::Schema schema_;
+  storage::Disk disk_;
+  storage::BufferManager buffers_;
+  gom::ObjectStore store_;
+  std::optional<PathExpression> path_;
+  std::vector<TypeId> level_types_;
+  std::vector<std::vector<Oid>> levels_;
+};
+
+}  // namespace asr::workload
+
+#endif  // ASR_WORKLOAD_SYNTHETIC_BASE_H_

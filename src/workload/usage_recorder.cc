@@ -1,0 +1,35 @@
+#include "workload/usage_recorder.h"
+
+namespace asr::workload {
+
+cost::OperationMix UsageRecorder::ToMix() const {
+  cost::OperationMix mix;
+  for (const auto& [key, count] : queries_) {
+    cost::WeightedQuery q;
+    q.weight = query_count_ > 0
+                   ? static_cast<double>(count) / query_count_
+                   : 0.0;
+    q.dir = key.dir;
+    q.i = key.i;
+    q.j = key.j;
+    mix.queries.push_back(q);
+  }
+  for (const auto& [position, count] : updates_) {
+    cost::WeightedUpdate u;
+    u.weight = update_count_ > 0
+                   ? static_cast<double>(count) / update_count_
+                   : 0.0;
+    u.position = position;
+    mix.updates.push_back(u);
+  }
+  return mix;
+}
+
+void UsageRecorder::Reset() {
+  queries_.clear();
+  updates_.clear();
+  query_count_ = 0;
+  update_count_ = 0;
+}
+
+}  // namespace asr::workload

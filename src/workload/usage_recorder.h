@@ -1,0 +1,69 @@
+// Records the database usage pattern as an operation mix (§6.4.1, §7).
+//
+// "For a recorded database usage pattern the system could (semi-)
+// automatically adjust the physical database design" — this recorder
+// aggregates executed path queries and updates into the M = (Qmix, Umix,
+// P_up) triple the cost model consumes.
+#ifndef ASR_WORKLOAD_USAGE_RECORDER_H_
+#define ASR_WORKLOAD_USAGE_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+
+#include "cost/opmix.h"
+
+namespace asr::workload {
+
+class UsageRecorder {
+ public:
+  UsageRecorder() = default;
+
+  // One executed query Q_{i,j}(dir).
+  void RecordQuery(cost::QueryDirection dir, uint32_t i, uint32_t j) {
+    ++queries_[QueryKey{dir, i, j}];
+    ++query_count_;
+  }
+
+  // One executed update ins_i (an edge change at attribute A_{i+1}).
+  void RecordUpdate(uint32_t position) {
+    ++updates_[position];
+    ++update_count_;
+  }
+
+  uint64_t query_count() const { return query_count_; }
+  uint64_t update_count() const { return update_count_; }
+  uint64_t operation_count() const { return query_count_ + update_count_; }
+
+  // Fraction of recorded operations that were updates (the mix's P_up).
+  double UpdateProbability() const {
+    uint64_t total = operation_count();
+    return total == 0 ? 0.0
+                      : static_cast<double>(update_count_) / total;
+  }
+
+  // The recorded mix with weights normalized within queries and updates.
+  cost::OperationMix ToMix() const;
+
+  void Reset();
+
+ private:
+  struct QueryKey {
+    cost::QueryDirection dir;
+    uint32_t i;
+    uint32_t j;
+    bool operator<(const QueryKey& other) const {
+      if (dir != other.dir) return dir < other.dir;
+      if (i != other.i) return i < other.i;
+      return j < other.j;
+    }
+  };
+
+  std::map<QueryKey, uint64_t> queries_;
+  std::map<uint32_t, uint64_t> updates_;
+  uint64_t query_count_ = 0;
+  uint64_t update_count_ = 0;
+};
+
+}  // namespace asr::workload
+
+#endif  // ASR_WORKLOAD_USAGE_RECORDER_H_

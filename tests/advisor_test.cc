@@ -1,0 +1,79 @@
+// Tests for the physical design advisor.
+#include <gtest/gtest.h>
+
+#include "advisor/advisor.h"
+
+namespace asr::advisor {
+namespace {
+
+cost::ApplicationProfile Profile() {
+  cost::ApplicationProfile p;
+  p.n = 4;
+  p.c = {1000, 5000, 10000, 50000, 100000};
+  p.d = {900, 4000, 8000, 20000};
+  p.fan = {2, 2, 3, 4};
+  p.size = {500, 400, 300, 300, 100};
+  return p;
+}
+
+cost::OperationMix QueryHeavyMix() {
+  cost::OperationMix mix;
+  mix.queries = {{1.0, cost::QueryDirection::kBackward, 0, 4}};
+  mix.updates = {{1.0, 3}};
+  return mix;
+}
+
+TEST(AdvisorTest, RanksFullDesignSpace) {
+  cost::CostModel model(Profile());
+  std::vector<DesignChoice> ranked =
+      DesignAdvisor::Rank(model, QueryHeavyMix(), 0.1);
+  // 4 extensions x 2^(n-1) = 8 decompositions.
+  EXPECT_EQ(ranked.size(), 4u * 8u);
+  for (size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_LE(ranked[i - 1].cost, ranked[i].cost);
+  }
+}
+
+TEST(AdvisorTest, BestBeatsNoSupportForQueryMix) {
+  cost::CostModel model(Profile());
+  DesignChoice best = DesignAdvisor::Best(model, QueryHeavyMix(), 0.05);
+  EXPECT_LT(best.normalized, 1.0);
+  EXPECT_GT(best.storage_bytes, 0.0);
+}
+
+TEST(AdvisorTest, StorageBudgetFiltersDesigns) {
+  cost::CostModel model(Profile());
+  DesignChoice unconstrained =
+      DesignAdvisor::BestWithinBudget(model, QueryHeavyMix(), 0.1, 0);
+  DesignChoice tight = DesignAdvisor::BestWithinBudget(
+      model, QueryHeavyMix(), 0.1, unconstrained.storage_bytes / 2.0);
+  EXPECT_LE(tight.storage_bytes, unconstrained.storage_bytes);
+  EXPECT_GE(tight.cost, unconstrained.cost);
+}
+
+TEST(AdvisorTest, UpdateHeavyMixPrefersCheaperMaintenance) {
+  cost::CostModel model(Profile());
+  cost::OperationMix mix;
+  mix.queries = {{1.0, cost::QueryDirection::kBackward, 0, 4}};
+  mix.updates = {{1.0, 3}};
+  DesignChoice query_best = DesignAdvisor::Best(model, mix, 0.01);
+  DesignChoice update_best = DesignAdvisor::Best(model, mix, 0.99);
+  // The chosen design must differ or at least not cost more at its own
+  // operating point than the other design would.
+  double update_best_at_high = update_best.cost;
+  double query_best_at_high =
+      cost::MixCost(model, query_best.kind, query_best.decomposition, mix,
+                    0.99);
+  EXPECT_LE(update_best_at_high, query_best_at_high);
+}
+
+TEST(AdvisorTest, ChoiceRendersReadably) {
+  cost::CostModel model(Profile());
+  DesignChoice best = DesignAdvisor::Best(model, QueryHeavyMix(), 0.1);
+  std::string s = best.ToString();
+  EXPECT_NE(s.find("cost="), std::string::npos);
+  EXPECT_NE(s.find("("), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asr::advisor

@@ -1,0 +1,120 @@
+// Tests for collection-anchored access support relations — the §3
+// alternative of anchoring a path at a particular collection C of t_0
+// elements instead of the whole extent ("var OurRobots: ROBOT_SET").
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asr/access_support_relation.h"
+#include "paper_example.h"
+
+namespace asr {
+namespace {
+
+using testing::CompanyBase;
+using testing::MakeCompanyBase;
+using testing::MakeCompanyPath;
+
+class AnchoredAsrTest : public ::testing::Test {
+ protected:
+  AnchoredAsrTest() : base_(MakeCompanyBase()), path_(MakeCompanyPath(*base_)) {
+    // The anchor collection: "Mercedes" holds only the Auto division (the
+    // Truck division exists in the extent but is outside C).
+    TypeId division_set =
+        base_->schema.DefineSetType("DivisionSET", base_->division_type)
+            .value();
+    mercedes_ = base_->store->CreateSet(division_set).value();
+    ASR_CHECK(base_->store
+                  ->AddToSet(mercedes_, AsrKey::FromOid(base_->auto_division))
+                  .ok());
+  }
+
+  std::unique_ptr<AccessSupportRelation> Build(ExtensionKind kind) {
+    AsrOptions options;
+    options.anchor_collection = mercedes_;
+    return AccessSupportRelation::Build(base_->store.get(), path_, kind,
+                                        Decomposition::Binary(3), options)
+        .value();
+  }
+
+  std::set<uint64_t> Backward(AccessSupportRelation* asr, AsrKey target) {
+    std::set<uint64_t> out;
+    for (AsrKey k : asr->EvalBackward(target, 0, 3).value()) {
+      out.insert(k.raw());
+    }
+    return out;
+  }
+
+  std::unique_ptr<CompanyBase> base_;
+  PathExpression path_;
+  Oid mercedes_;
+};
+
+TEST_F(AnchoredAsrTest, OnlyAnchoredPathsMaterialized) {
+  auto asr = Build(ExtensionKind::kCanonical);
+  // Both divisions reach "Door", but only Auto is in the collection.
+  EXPECT_EQ(Backward(asr.get(), base_->Name("Door")),
+            (std::set<uint64_t>{base_->auto_division.raw()}));
+
+  // An unanchored ASR still sees both.
+  auto whole = AccessSupportRelation::Build(base_->store.get(), path_,
+                                            ExtensionKind::kCanonical,
+                                            Decomposition::Binary(3))
+                   .value();
+  EXPECT_EQ(Backward(whole.get(), base_->Name("Door")).size(), 2u);
+}
+
+TEST_F(AnchoredAsrTest, LeftCompleteRespectsAnchor) {
+  auto asr = Build(ExtensionKind::kLeftComplete);
+  rel::Relation first = asr->DumpPartition(0).value();
+  for (const rel::Row& row : first.rows()) {
+    // Every left-complete row must originate in the anchored division.
+    EXPECT_EQ(row[0], AsrKey::FromOid(base_->auto_division));
+  }
+}
+
+TEST_F(AnchoredAsrTest, MaintenanceHonorsAnchor) {
+  auto asr = Build(ExtensionKind::kFull);
+  // A new edge under the NON-anchored Truck division must not introduce
+  // anchored-complete rows; one under Auto must.
+  Oid truck_products =
+      base_->store->GetAttributeByName(base_->truck_division, "Manufactures")
+          ->ToOid();
+  ASSERT_TRUE(base_->store
+                  ->AddToSet(truck_products, AsrKey::FromOid(base_->sausage))
+                  .ok());
+  ASSERT_TRUE(asr->OnEdgeInserted(base_->truck_division, 0,
+                                  AsrKey::FromOid(base_->sausage))
+                  .ok());
+  // Pepper is reachable from Truck now, but Truck is outside the anchor.
+  EXPECT_TRUE(Backward(asr.get(), base_->Name("Pepper")).empty());
+
+  Oid auto_products =
+      base_->store->GetAttributeByName(base_->auto_division, "Manufactures")
+          ->ToOid();
+  ASSERT_TRUE(base_->store
+                  ->AddToSet(auto_products, AsrKey::FromOid(base_->sausage))
+                  .ok());
+  ASSERT_TRUE(asr->OnEdgeInserted(base_->auto_division, 0,
+                                  AsrKey::FromOid(base_->sausage))
+                  .ok());
+  EXPECT_EQ(Backward(asr.get(), base_->Name("Pepper")),
+            (std::set<uint64_t>{base_->auto_division.raw()}));
+}
+
+TEST_F(AnchoredAsrTest, AnchorMembershipChangesViaRebuild) {
+  auto asr = Build(ExtensionKind::kCanonical);
+  EXPECT_EQ(Backward(asr.get(), base_->Name("Door")).size(), 1u);
+
+  // Truck joins the Mercedes collection; the ASR catches up on Rebuild().
+  ASSERT_TRUE(base_->store
+                  ->AddToSet(mercedes_, AsrKey::FromOid(base_->truck_division))
+                  .ok());
+  ASSERT_TRUE(asr->Rebuild().ok());
+  EXPECT_EQ(Backward(asr.get(), base_->Name("Door")),
+            (std::set<uint64_t>{base_->auto_division.raw(),
+                                base_->truck_division.raw()}));
+}
+
+}  // namespace
+}  // namespace asr

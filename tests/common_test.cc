@@ -1,0 +1,280 @@
+// Tests for the common module: Status/Result, Oid, AsrKey, StringDict, Rng.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/asr_key.h"
+#include "common/oid.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "common/string_dict.h"
+
+namespace asr {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "NotFound: missing thing");
+}
+
+TEST(StatusTest, AllCodesDistinguishable) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_FALSE(Status::OutOfRange("x").IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(*r);
+  EXPECT_EQ(*v, 7);
+}
+
+Status Propagates(bool fail) {
+  ASR_RETURN_IF_ERROR(fail ? Status::Corruption("bad") : Status::OK());
+  return Status::OK();
+}
+
+TEST(ResultTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Propagates(false).ok());
+  EXPECT_TRUE(Propagates(true).IsCorruption());
+}
+
+// --- Oid ---------------------------------------------------------------------
+
+TEST(OidTest, NullIsDefault) {
+  Oid oid;
+  EXPECT_TRUE(oid.IsNull());
+  EXPECT_EQ(oid.raw(), 0u);
+  EXPECT_EQ(oid.ToString(), "NULL");
+}
+
+TEST(OidTest, MakeRoundTrips) {
+  Oid oid = Oid::Make(17, 12345);
+  EXPECT_FALSE(oid.IsNull());
+  EXPECT_EQ(oid.type_id(), 17u);
+  EXPECT_EQ(oid.seq(), 12345u);
+  EXPECT_EQ(oid.ToString(), "t17.s12345");
+}
+
+TEST(OidTest, LargeSequenceNumbers) {
+  uint64_t big = (uint64_t{1} << 40) - 1;  // max 40-bit seq
+  Oid oid = Oid::Make(3, big);
+  EXPECT_EQ(oid.seq(), big);
+  EXPECT_EQ(oid.type_id(), 3u);
+}
+
+TEST(OidTest, OrderingIsByTypeThenSeq) {
+  EXPECT_LT(Oid::Make(1, 5), Oid::Make(2, 1));
+  EXPECT_LT(Oid::Make(1, 1), Oid::Make(1, 2));
+  EXPECT_EQ(Oid::Make(1, 1), Oid::Make(1, 1));
+  EXPECT_NE(Oid::Make(1, 1), Oid::Make(1, 2));
+}
+
+TEST(OidTest, HashSpreadsSequentialIds) {
+  std::unordered_set<size_t> hashes;
+  for (uint64_t s = 1; s <= 1000; ++s) {
+    hashes.insert(std::hash<Oid>()(Oid::Make(1, s)));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+// --- AsrKey -------------------------------------------------------------------
+
+TEST(AsrKeyTest, NullProperties) {
+  AsrKey key;
+  EXPECT_TRUE(key.IsNull());
+  EXPECT_FALSE(key.IsOid());
+  EXPECT_FALSE(key.IsInt());
+  EXPECT_FALSE(key.IsString());
+  EXPECT_EQ(key.ToString(), "NULL");
+}
+
+TEST(AsrKeyTest, OidRoundTrip) {
+  Oid oid = Oid::Make(9, 77);
+  AsrKey key = AsrKey::FromOid(oid);
+  EXPECT_TRUE(key.IsOid());
+  EXPECT_EQ(key.ToOid(), oid);
+}
+
+TEST(AsrKeyTest, IntRoundTripPositive) {
+  AsrKey key = AsrKey::FromInt(123456789);
+  EXPECT_TRUE(key.IsInt());
+  EXPECT_EQ(key.ToInt(), 123456789);
+}
+
+TEST(AsrKeyTest, IntRoundTripNegative) {
+  AsrKey key = AsrKey::FromInt(-42);
+  EXPECT_TRUE(key.IsInt());
+  EXPECT_EQ(key.ToInt(), -42);
+}
+
+TEST(AsrKeyTest, IntRoundTripExtremes) {
+  EXPECT_EQ(AsrKey::FromInt(AsrKey::kMaxInt).ToInt(), AsrKey::kMaxInt);
+  EXPECT_EQ(AsrKey::FromInt(AsrKey::kMinInt).ToInt(), AsrKey::kMinInt);
+  EXPECT_EQ(AsrKey::FromInt(0).ToInt(), 0);
+}
+
+TEST(AsrKeyTest, StringCodes) {
+  StringDict dict;
+  AsrKey a = AsrKey::FromString("Utopia", &dict);
+  AsrKey b = AsrKey::FromString("Utopia", &dict);
+  AsrKey c = AsrKey::FromString("Mars", &dict);
+  EXPECT_TRUE(a.IsString());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(dict.Get(a.ToStringCode()), "Utopia");
+  EXPECT_EQ(dict.Get(c.ToStringCode()), "Mars");
+}
+
+TEST(AsrKeyTest, TagsDoNotCollide) {
+  StringDict dict;
+  AsrKey as_oid = AsrKey::FromOid(Oid::Make(0, 5));
+  AsrKey as_int = AsrKey::FromInt(5);
+  AsrKey as_str = AsrKey::FromStringCode(5);
+  EXPECT_NE(as_oid, as_int);
+  EXPECT_NE(as_int, as_str);
+  EXPECT_NE(as_oid, as_str);
+}
+
+TEST(AsrKeyTest, TotalOrderNullFirst) {
+  StringDict dict;
+  AsrKey null = AsrKey::Null();
+  AsrKey oid = AsrKey::FromOid(Oid::Make(1, 1));
+  AsrKey num = AsrKey::FromInt(-100);
+  AsrKey str = AsrKey::FromString("a", &dict);
+  EXPECT_LT(null, oid);
+  EXPECT_LT(oid, num);
+  EXPECT_LT(num, str);
+}
+
+// --- StringDict -----------------------------------------------------------
+
+TEST(StringDictTest, InternIsIdempotent) {
+  StringDict dict;
+  uint32_t a = dict.Intern("hello");
+  uint32_t b = dict.Intern("hello");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(StringDictTest, LookupWithoutIntern) {
+  StringDict dict;
+  EXPECT_EQ(dict.Lookup("ghost"), StringDict::kNotFound);
+  dict.Intern("ghost");
+  EXPECT_NE(dict.Lookup("ghost"), StringDict::kNotFound);
+}
+
+TEST(StringDictTest, ManyStringsStableCodes) {
+  StringDict dict;
+  std::vector<uint32_t> codes;
+  for (int i = 0; i < 2000; ++i) {
+    codes.push_back(dict.Intern("str" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(dict.Get(codes[i]), "str" + std::to_string(i));
+  }
+}
+
+// --- Rng -----------------------------------------------------------------
+
+TEST(RngTest, DeterministicFromSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(7);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng rng(99);
+  for (uint64_t n : {uint64_t{10}, uint64_t{100}, uint64_t{10000}}) {
+    for (uint64_t k : {uint64_t{0}, uint64_t{1}, n / 2, n}) {
+      std::vector<uint64_t> sample = rng.SampleWithoutReplacement(n, k);
+      std::set<uint64_t> uniq(sample.begin(), sample.end());
+      EXPECT_EQ(sample.size(), k);
+      EXPECT_EQ(uniq.size(), k);
+      for (uint64_t v : sample) EXPECT_LT(v, n);
+    }
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(11);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,158 @@
+// Hand-computed checks of individual cost-model formulas on a small profile
+// where every quantity can be verified on paper.
+//
+// Profile: n = 2, c = (10, 20, 40), d = (8, 10), fan = (2, 2), explicit
+// shar = (1, 1). Derived by hand:
+//   e_1 = d_0*fan_0/shar_0 = 16        e_2 = d_1*fan_1/shar_1 = 20
+//   P_A = (0.8, 0.5)                    P_H = (16/20, 20/40) = (0.8, 0.5)
+//   ref_0 = 16, ref_1 = 20
+//   path(0,1) = 16; path(1,2) = 20; path(0,2) = 16 * (P_A1 * fan_1) = 16
+//   RefBy(0,1) = e_1 = 16
+//   RefBy(0,2) = e_2 * (1 - (1 - fan_1/e_2)^(RefBy(0,1)*P_A1))
+//              = 20 * (1 - 0.9^12.8) ~ 20 * (1 - 0.2596) ~ 14.807
+//   Ref(1,2) = d_1 = 10
+//   Ref(0,2) = d_0 * (1 - (1 - shar_0/d_0)^(Ref(1,2)*P_H1))
+//            = 8 * (1 - 0.875^8) ~ 8 * (1 - 0.34361) ~ 5.251
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.h"
+
+namespace asr::cost {
+namespace {
+
+CostModel TinyModel() {
+  ApplicationProfile p;
+  p.n = 2;
+  p.c = {10, 20, 40};
+  p.d = {8, 10};
+  p.fan = {2, 2};
+  p.shar = {1, 1};
+  p.size = {500, 400, 300};
+  return CostModel(p);
+}
+
+TEST(CostFormulaTest, DerivedQuantitiesByHand) {
+  CostModel m = TinyModel();
+  EXPECT_DOUBLE_EQ(m.e(1), 16.0);
+  EXPECT_DOUBLE_EQ(m.e(2), 20.0);
+  EXPECT_DOUBLE_EQ(m.PA(0), 0.8);
+  EXPECT_DOUBLE_EQ(m.PA(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.PH(1), 0.8);
+  EXPECT_DOUBLE_EQ(m.PH(2), 0.5);
+  EXPECT_DOUBLE_EQ(m.ref(0), 16.0);
+  EXPECT_DOUBLE_EQ(m.ref(1), 20.0);
+}
+
+TEST(CostFormulaTest, PathCountsByHand) {
+  CostModel m = TinyModel();
+  EXPECT_DOUBLE_EQ(m.PathCount(0, 1), 16.0);
+  EXPECT_DOUBLE_EQ(m.PathCount(1, 2), 20.0);
+  // path(0,2) = ref_0 * P_A1 * fan_1 = 16 * 0.5 * 2.
+  EXPECT_DOUBLE_EQ(m.PathCount(0, 2), 16.0);
+}
+
+TEST(CostFormulaTest, RefByAndRefByHand) {
+  CostModel m = TinyModel();
+  EXPECT_DOUBLE_EQ(m.RefBy(0, 1), 16.0);
+  double refby02 = 20.0 * (1.0 - std::pow(1.0 - 2.0 / 20.0, 16.0 * 0.5));
+  EXPECT_NEAR(m.RefBy(0, 2), refby02, 1e-9);
+  EXPECT_NEAR(m.PRefBy(0, 2), refby02 / 40.0, 1e-9);
+
+  EXPECT_DOUBLE_EQ(m.Ref(1, 2), 10.0);
+  // Exponent: Ref(1,2) * P_H(1) = 10 * 0.8 = 8.
+  double ref02 = 8.0 * (1.0 - std::pow(1.0 - 1.0 / 8.0, 10.0 * 0.8));
+  EXPECT_NEAR(m.Ref(0, 2), ref02, 1e-9);
+  EXPECT_NEAR(m.PRef(0, 2), ref02 / 10.0, 1e-9);
+}
+
+TEST(CostFormulaTest, ThreeArgumentBaseCasesByHand) {
+  CostModel m = TinyModel();
+  // RefBy(0, 1, k) = e_1 * (1 - (1 - fan_0/e_1)^k), Eq. 29 base case.
+  EXPECT_NEAR(m.RefBy(0, 1, 1), 16.0 * (1.0 - std::pow(0.875, 1.0)), 1e-9);
+  EXPECT_NEAR(m.RefBy(0, 1, 4), 16.0 * (1.0 - std::pow(0.875, 4.0)), 1e-9);
+  // Ref(1, 2, k) = d_1 * (1 - (1 - shar_1/d_1)^k), Eq. 30 base case.
+  EXPECT_NEAR(m.Ref(1, 2, 1), 10.0 * (1.0 - std::pow(0.9, 1.0)), 1e-9);
+  EXPECT_NEAR(m.Ref(1, 2, 5), 10.0 * (1.0 - std::pow(0.9, 5.0)), 1e-9);
+}
+
+TEST(CostFormulaTest, CanonicalCardinalityByHand) {
+  CostModel m = TinyModel();
+  // #E_can^{0,2} = path(0,2) = 16.
+  EXPECT_NEAR(m.Cardinality(ExtensionKind::kCanonical, 0, 2), 16.0, 1e-9);
+  // #E_can^{0,1} = path(0,1) * P_Ref(1,2) = 16 * 10/20 = 8.
+  EXPECT_NEAR(m.Cardinality(ExtensionKind::kCanonical, 0, 1), 8.0, 1e-9);
+  // #E_can^{1,2} = P_RefBy(0,1) * path(1,2) = 16/20 * 20 = 16.
+  EXPECT_NEAR(m.Cardinality(ExtensionKind::kCanonical, 1, 2), 16.0, 1e-9);
+}
+
+TEST(CostFormulaTest, LeftCompleteCardinalityByHand) {
+  CostModel m = TinyModel();
+  // #E_left^{0,2} = sum over fragment lengths k=1,2 anchored at 0:
+  //   k=1: path(0,1) * P_rb(1, min(2,2)) = 16 * (1 - 0.5) = 8
+  //   k=2: path(0,2) * P_rb(2, 2) = 16 * 1 = 16   -> 24.
+  EXPECT_NEAR(m.Cardinality(ExtensionKind::kLeftComplete, 0, 2), 24.0, 1e-9);
+}
+
+TEST(CostFormulaTest, RightCompleteCardinalityByHand) {
+  CostModel m = TinyModel();
+  // #E_right^{0,2}:
+  //   k=1 (fragment over [1,2]): P_lb(max(0,0),1) * path(1,2) * P_Ref(2,2)
+  //        = (1 - 16/20) * 20 = 4
+  //   k=2 (fragment over [0,2]): P_lb(0,0)=1 * path(0,2) = 16   -> 20.
+  EXPECT_NEAR(m.Cardinality(ExtensionKind::kRightComplete, 0, 2), 20.0, 1e-9);
+}
+
+TEST(CostFormulaTest, StoragePipelineByHand) {
+  CostModel m = TinyModel();
+  // Tuples of [0..2]: 3 columns x 8 bytes = 24; 4056/24 = 169 per page.
+  EXPECT_DOUBLE_EQ(m.TupleBytes(0, 2), 24.0);
+  EXPECT_DOUBLE_EQ(m.TuplesPerPage(0, 2), 169.0);
+  EXPECT_DOUBLE_EQ(m.PartitionBytes(ExtensionKind::kCanonical, 0, 2),
+                   16.0 * 24.0);
+  EXPECT_DOUBLE_EQ(m.PartitionPages(ExtensionKind::kCanonical, 0, 2), 1.0);
+  // Objects: floor(4056/500)=8 per page, ceil(10/8)=2 pages.
+  EXPECT_DOUBLE_EQ(m.ObjectsPerPage(0), 8.0);
+  EXPECT_DOUBLE_EQ(m.ObjectPages(0), 2.0);
+}
+
+TEST(CostFormulaTest, QnasByHand) {
+  CostModel m = TinyModel();
+  // Forward Q_{0,2}(fw): 1 + y(ceil(RefBy(0,1,1)), op_1, c_1).
+  // RefBy(0,1,1) = 2, op_1 = ceil(20/10) = 2 (size 400 -> 10/page).
+  double y = CostModel::Yao(2, 2, 20);
+  EXPECT_DOUBLE_EQ(m.QueryNoSupport(QueryDirection::kForward, 0, 2), 1.0 + y);
+  // Backward Q_{0,2}(bw): op_0 + y(ceil(RefBy(0,1,d_0)), op_1, c_1).
+  double k = std::ceil(16.0 * (1.0 - std::pow(0.875, 8.0)));
+  EXPECT_DOUBLE_EQ(m.QueryNoSupport(QueryDirection::kBackward, 0, 2),
+                   2.0 + CostModel::Yao(k, 2, 20));
+}
+
+TEST(CostFormulaTest, QsupSingleLookupByHand) {
+  CostModel m = TinyModel();
+  Decomposition none = Decomposition::None(2);
+  // Whole-path forward query on a 1-page canonical relation: ht(=0) + nlp.
+  // nlp_can = ceil(as / (PageSize * Ref(0,2) * P_RefBy(0,0))); as = 384,
+  // Ref(0,2) ~ 5.251 -> ceil(384 / (4056 * 5.251)) = 1.
+  EXPECT_DOUBLE_EQ(m.QuerySupported(ExtensionKind::kCanonical,
+                                    QueryDirection::kForward, 0, 2, none),
+                   1.0);
+}
+
+TEST(CostFormulaTest, UpdateObjectTouchCost) {
+  CostModel m = TinyModel();
+  // The paper charges 3 accesses for touching the object itself (§6); the
+  // total is at least that for every extension.
+  Decomposition bi = Decomposition::Binary(2);
+  for (ExtensionKind x :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    EXPECT_GE(m.UpdateCost(x, 0, bi), 3.0);
+    EXPECT_GE(m.UpdateCost(x, 1, bi), 3.0);
+  }
+  EXPECT_DOUBLE_EQ(m.UpdateCostNoSupport(), 3.0);
+}
+
+}  // namespace
+}  // namespace asr::cost

@@ -1,0 +1,487 @@
+// Tests for the analytical cost model (Sections 4-6) — derived quantities,
+// cardinalities, storage, query and update costs — including checks of the
+// qualitative claims the paper states for its figures.
+#include <gtest/gtest.h>
+
+#include "cost/cost_model.h"
+#include "cost/opmix.h"
+
+namespace asr::cost {
+namespace {
+
+// The application profile of §4.4.1 / Fig. 4 (also §6.3.1 / Fig. 11 with
+// sizes).
+ApplicationProfile Fig4Profile() {
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {1000, 5000, 10000, 50000, 100000};
+  p.d = {900, 4000, 8000, 20000};
+  p.fan = {2, 2, 3, 4};
+  p.size = {500, 400, 300, 300, 100};
+  return p;
+}
+
+// The profile of §5.9.1 / Fig. 6.
+ApplicationProfile Fig6Profile() {
+  ApplicationProfile p;
+  p.n = 4;
+  // The paper's table prints d_2 = 8000, which exceeds c_2 = 1000 — an
+  // obvious typo; we read it as 800.
+  p.c = {100, 500, 1000, 5000, 10000};
+  p.d = {90, 400, 800, 2000};
+  p.fan = {2, 2, 3, 4};
+  p.size = {500, 400, 300, 300, 100};
+  return p;
+}
+
+TEST(SystemParametersTest, PaperDefaults) {
+  SystemParameters sys;
+  EXPECT_EQ(sys.page_size, 4056);
+  EXPECT_EQ(sys.oid_size, 8);
+  EXPECT_EQ(sys.pp_size, 4);
+  // floor(4056 / 12) = 338.
+  EXPECT_EQ(sys.BTreeFanOut(), 338);
+}
+
+TEST(ProfileTest, ValidationCatchesArityErrors) {
+  ApplicationProfile p;
+  p.n = 2;
+  p.c = {10, 10};  // needs 3 entries
+  p.d = {5, 5};
+  p.fan = {1, 1};
+  EXPECT_FALSE(p.Validate().ok());
+  p.c = {10, 10, 10};
+  EXPECT_TRUE(p.Validate().ok());
+  p.d = {50, 5};  // d > c
+  EXPECT_FALSE(p.Validate().ok());
+}
+
+TEST(DerivedTest, DefaultSharingYieldsDistinctReferencedObjects) {
+  CostModel m(Fig4Profile());
+  // With the default (uniform-spread, sharing >= 1) assumption,
+  // e_i = min(d_{i-1} * fan_{i-1}, c_i): the references land on distinct
+  // objects while they are fewer than the target extent.
+  EXPECT_DOUBLE_EQ(m.e(1), 1800.0);   // 900 * 2
+  EXPECT_DOUBLE_EQ(m.e(2), 8000.0);   // 4000 * 2
+  EXPECT_DOUBLE_EQ(m.e(3), 24000.0);  // 8000 * 3
+  EXPECT_DOUBLE_EQ(m.e(4), 80000.0);  // 20000 * 4
+  for (uint32_t i = 1; i <= 4; ++i) {
+    EXPECT_LE(m.e(i), m.c(i)) << i;
+    EXPECT_LE(m.PH(i), 1.0) << i;
+  }
+  EXPECT_DOUBLE_EQ(m.PA(0), 0.9);
+  EXPECT_DOUBLE_EQ(m.PA(1), 0.8);
+  EXPECT_DOUBLE_EQ(m.ref(0), 1800.0);
+}
+
+TEST(DerivedTest, ExplicitSharingOverrides) {
+  ApplicationProfile p = Fig4Profile();
+  p.shar = {2, 2, 2, 2};
+  CostModel m(p);
+  // e_1 = d_0 fan_0 / shar_0 = 900*2/2 = 900 (< c_1 = 5000).
+  EXPECT_DOUBLE_EQ(m.e(1), 900.0);
+  EXPECT_LT(m.PH(1), 1.0);
+}
+
+TEST(DerivedTest, RefByBaseCaseAndMonotonicity) {
+  CostModel m(Fig4Profile());
+  EXPECT_DOUBLE_EQ(m.RefBy(0, 1), m.e(1));
+  // More distant levels can only be reached through defined attributes.
+  for (uint32_t j = 1; j <= 4; ++j) {
+    EXPECT_GT(m.RefBy(0, j), 0.0);
+    EXPECT_LE(m.RefBy(0, j), m.c(j));
+    EXPECT_GE(m.PRefBy(0, j), 0.0);
+    EXPECT_LE(m.PRefBy(0, j), 1.0);
+  }
+}
+
+TEST(DerivedTest, RefBaseCaseAndBounds) {
+  CostModel m(Fig4Profile());
+  EXPECT_DOUBLE_EQ(m.Ref(3, 4), m.d(3));
+  for (uint32_t i = 0; i < 4; ++i) {
+    EXPECT_GT(m.Ref(i, 4), 0.0);
+    EXPECT_LE(m.Ref(i, 4), m.d(i));  // only defined objects have paths
+  }
+}
+
+TEST(DerivedTest, ThreeArgumentVariantsGrowWithK) {
+  CostModel m(Fig4Profile());
+  // RefBy(i, j, k) increases with k and reaches RefBy(i, j) at k = d_i.
+  double prev = 0.0;
+  for (double k : {1.0, 10.0, 100.0, 900.0}) {
+    double v = m.RefBy(0, 4, k);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+  // Anchoring at all d_0 objects approaches (but, due to the collision
+  // model in the k-variant, does not exceed) the two-argument quantity.
+  EXPECT_LE(m.RefBy(0, 4, m.d(0)), m.RefBy(0, 4) * (1 + 1e-9));
+  EXPECT_NEAR(m.Ref(0, 4, m.c(4)), m.Ref(0, 4), m.Ref(0, 4) * 0.05);
+  // Degenerate one-element anchors.
+  EXPECT_DOUBLE_EQ(m.RefBy(0, 0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.Ref(4, 4, 1.0), 1.0);
+}
+
+TEST(DerivedTest, PathCountMatchesHandComputation) {
+  CostModel m(Fig4Profile());
+  // path(0,1) = ref_0 = d_0 * fan_0.
+  EXPECT_DOUBLE_EQ(m.PathCount(0, 1), 1800.0);
+  // path(0,2) = ref_0 * P_A1 * fan_1 = 1800 * 0.8 * 2.
+  EXPECT_DOUBLE_EQ(m.PathCount(0, 2), 1800.0 * 0.8 * 2.0);
+  // path over the whole chain.
+  double expect = 1800.0 * (0.8 * 2.0) * (0.8 * 3.0) * (0.4 * 4.0);
+  EXPECT_NEAR(m.PathCount(0, 4), expect, 1e-6);
+}
+
+TEST(YaoTest, BasicProperties) {
+  // Fetching everything touches every page.
+  EXPECT_DOUBLE_EQ(CostModel::Yao(100, 10, 100), 10.0);
+  // Fetching nothing costs nothing.
+  EXPECT_DOUBLE_EQ(CostModel::Yao(0, 10, 100), 0.0);
+  // One record: exactly one page.
+  EXPECT_DOUBLE_EQ(CostModel::Yao(1, 10, 100), 1.0);
+  // Monotone in k, bounded by m.
+  double prev = 0.0;
+  for (double k = 1; k <= 100; ++k) {
+    double y = CostModel::Yao(k, 10, 100);
+    EXPECT_GE(y, prev);
+    EXPECT_LE(y, 10.0);
+    prev = y;
+  }
+  // One page holds everything: always 1 page once k > 0.
+  EXPECT_DOUBLE_EQ(CostModel::Yao(5, 1, 100), 1.0);
+}
+
+TEST(CardinalityTest, CanonicalWholePathEqualsPathCount) {
+  CostModel m(Fig4Profile());
+  // #E_can = path(0, n) (§4.2.1, no decomposition).
+  EXPECT_NEAR(m.Cardinality(ExtensionKind::kCanonical, 0, 4),
+              m.PathCount(0, 4), 1e-6);
+}
+
+TEST(CardinalityTest, ExtensionOrdering) {
+  CostModel m(Fig4Profile());
+  for (uint32_t i = 0; i < 4; ++i) {
+    for (uint32_t j = i + 1; j <= 4; ++j) {
+      double can = m.Cardinality(ExtensionKind::kCanonical, i, j);
+      double left = m.Cardinality(ExtensionKind::kLeftComplete, i, j);
+      double right = m.Cardinality(ExtensionKind::kRightComplete, i, j);
+      double full = m.Cardinality(ExtensionKind::kFull, i, j);
+      EXPECT_GT(can, 0.0);
+      // can <= left, right <= full (more partial paths retained).
+      EXPECT_LE(can, left * (1 + 1e-9)) << i << "," << j;
+      EXPECT_LE(can, right * (1 + 1e-9)) << i << "," << j;
+      EXPECT_LE(left, full * (1 + 1e-9)) << i << "," << j;
+      EXPECT_LE(right, full * (1 + 1e-9)) << i << "," << j;
+    }
+  }
+}
+
+TEST(CardinalityTest, Fig4StorageOrdering) {
+  // §4.4.1: "few objects at the left side of the path cause the canonical
+  // and left-complete extensions to be drastically smaller than the
+  // right-complete and full extension."
+  CostModel m(Fig4Profile());
+  Decomposition none = Decomposition::None(4);
+  double can = m.TotalBytes(ExtensionKind::kCanonical, none);
+  double left = m.TotalBytes(ExtensionKind::kLeftComplete, none);
+  double right = m.TotalBytes(ExtensionKind::kRightComplete, none);
+  double full = m.TotalBytes(ExtensionKind::kFull, none);
+  EXPECT_LT(can, right / 2.0);
+  EXPECT_LT(left, right / 2.0);
+  EXPECT_LE(right, full);
+}
+
+TEST(CardinalityTest, Fig4BinaryDecompositionShrinksStorage) {
+  // §4.4.1: "the binary decomposition reduces storage costs by a factor
+  // of 2" (tuples of width 2 instead of up to n+1).
+  CostModel m(Fig4Profile());
+  double none = m.TotalBytes(ExtensionKind::kFull, Decomposition::None(4));
+  double binary =
+      m.TotalBytes(ExtensionKind::kFull, Decomposition::Binary(4));
+  EXPECT_LT(binary, none);
+  EXPECT_NEAR(none / binary, 2.0, 0.8);
+}
+
+TEST(CardinalityTest, Fig5ExtensionsConvergeWhenAllDefined) {
+  // §4.4.2: as d_i -> c_i the storage costs of all extensions approach
+  // each other.
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {10000, 10000, 10000, 10000, 10000};
+  p.fan = {2, 2, 2, 2};
+  p.size = {120, 120, 120, 120, 120};
+  p.d = {10000, 10000, 10000, 10000};
+  CostModel all_defined(p);
+  Decomposition none = Decomposition::None(4);
+  double can = all_defined.TotalBytes(ExtensionKind::kCanonical, none);
+  double full = all_defined.TotalBytes(ExtensionKind::kFull, none);
+  EXPECT_NEAR(full / can, 1.0, 0.05);
+
+  p.d = {2500, 2500, 2500, 2500};
+  CostModel sparse(p);
+  double can_s = sparse.TotalBytes(ExtensionKind::kCanonical, none);
+  double full_s = sparse.TotalBytes(ExtensionKind::kFull, none);
+  EXPECT_GT(full_s / can_s, 3.0);  // far apart when paths are sparse
+}
+
+TEST(StorageTest, TupleAndPageFormulas) {
+  CostModel m(Fig4Profile());
+  EXPECT_DOUBLE_EQ(m.TupleBytes(0, 4), 40.0);   // 5 columns x 8 bytes
+  EXPECT_DOUBLE_EQ(m.TupleBytes(1, 2), 16.0);
+  EXPECT_DOUBLE_EQ(m.TuplesPerPage(1, 2), 253.0);  // floor(4056/16)
+  EXPECT_DOUBLE_EQ(m.ObjectsPerPage(0), 8.0);      // floor(4056/500)
+  EXPECT_DOUBLE_EQ(m.ObjectPages(0), 125.0);       // ceil(1000/8)
+}
+
+TEST(StorageTest, BTreeHeightGrowsWithPartitionSize) {
+  CostModel m(Fig4Profile());
+  double ht_small = m.BTreeHeight(ExtensionKind::kCanonical, 0, 1);
+  double ht_big = m.BTreeHeight(ExtensionKind::kFull, 0, 4);
+  EXPECT_GE(ht_big, ht_small);
+  EXPECT_GE(m.BTreeNonLeafPages(ExtensionKind::kFull, 0, 4), 1.0);
+}
+
+TEST(QueryCostTest, NoSupportForwardCheaperThanBackward) {
+  CostModel m(Fig6Profile());
+  // A forward query chases one object's references; a backward query scans
+  // the whole t_i extent (§5.6).
+  EXPECT_LT(m.QueryNoSupport(QueryDirection::kForward, 0, 4),
+            m.QueryNoSupport(QueryDirection::kBackward, 0, 4));
+}
+
+TEST(QueryCostTest, SupportBeatsNoSupportOnFig6Profile) {
+  // Fig. 6's whole point: supported backward queries are far cheaper.
+  CostModel m(Fig6Profile());
+  Decomposition none = Decomposition::None(4);
+  for (ExtensionKind x :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    EXPECT_LT(m.QuerySupported(x, QueryDirection::kBackward, 0, 4, none),
+              m.QueryNoSupport(QueryDirection::kBackward, 0, 4))
+        << ExtensionKindName(x);
+  }
+}
+
+TEST(QueryCostTest, Fig6NoDecompositionBeatsBinary) {
+  // §5.9.1: "the query costs for non-decomposed access relations is lower
+  // than for binary decomposed relations" (for the full-span query).
+  CostModel m(Fig6Profile());
+  for (ExtensionKind x :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    double none =
+        m.QuerySupported(x, QueryDirection::kBackward, 0, 4,
+                         Decomposition::None(4));
+    double binary =
+        m.QuerySupported(x, QueryDirection::kBackward, 0, 4,
+                         Decomposition::Binary(4));
+    EXPECT_LE(none, binary) << ExtensionKindName(x);
+  }
+}
+
+TEST(QueryCostTest, Fig7SupportedCostIndependentOfObjectSize) {
+  // §5.9.2: object size does not influence supported queries; unsupported
+  // cost grows with object size.
+  ApplicationProfile p = Fig6Profile();
+  p.size = {100, 100, 100, 100, 100};
+  CostModel small(p);
+  p.size = {800, 800, 800, 800, 800};
+  CostModel big(p);
+  Decomposition bi = Decomposition::Binary(4);
+  EXPECT_DOUBLE_EQ(
+      small.QuerySupported(ExtensionKind::kFull, QueryDirection::kBackward,
+                           0, 4, bi),
+      big.QuerySupported(ExtensionKind::kFull, QueryDirection::kBackward, 0,
+                         4, bi));
+  EXPECT_LT(small.QueryNoSupport(QueryDirection::kBackward, 0, 4),
+            big.QueryNoSupport(QueryDirection::kBackward, 0, 4));
+}
+
+TEST(QueryCostTest, Eq35DispatchesUnsupportedToNas) {
+  CostModel m(Fig6Profile());
+  Decomposition bi = Decomposition::Binary(4);
+  // Canonical cannot answer Q_{0,3}: falls back to Qnas.
+  EXPECT_DOUBLE_EQ(
+      m.QueryCost(ExtensionKind::kCanonical, QueryDirection::kBackward, 0, 3,
+                  bi),
+      m.QueryNoSupport(QueryDirection::kBackward, 0, 3));
+  // Right-complete cannot either (j != n).
+  EXPECT_DOUBLE_EQ(
+      m.QueryCost(ExtensionKind::kRightComplete, QueryDirection::kBackward,
+                  0, 3, bi),
+      m.QueryNoSupport(QueryDirection::kBackward, 0, 3));
+  // Left-complete and full can.
+  EXPECT_NE(
+      m.QueryCost(ExtensionKind::kLeftComplete, QueryDirection::kBackward, 0,
+                  3, bi),
+      m.QueryNoSupport(QueryDirection::kBackward, 0, 3));
+}
+
+TEST(QueryCostTest, Fig8NonDecomposedCanBeWorseThanNoSupport) {
+  // §5.9.3: with ample d_i, evaluating Q_{0,3}(bw) via the non-decomposed
+  // full extension is costlier than the unsupported evaluation (the large
+  // relation is scanned exhaustively since j=3 is an interior column).
+  ApplicationProfile p;
+  p.n = 4;
+  p.c = {10000, 10000, 10000, 10000, 10000};
+  p.d = {10000, 10000, 10000, 10000};
+  p.fan = {2, 2, 2, 2};
+  p.size = {120, 120, 120, 120, 120};
+  CostModel m(p);
+  double supported = m.QueryCost(
+      ExtensionKind::kFull, QueryDirection::kBackward, 0, 3,
+      Decomposition::None(4));
+  double unsupported = m.QueryNoSupport(QueryDirection::kBackward, 0, 3);
+  EXPECT_GT(supported, unsupported);
+  // Under the binary decomposition the supported query wins again.
+  double decomposed = m.QueryCost(
+      ExtensionKind::kFull, QueryDirection::kBackward, 0, 3,
+      Decomposition::Binary(4));
+  EXPECT_LT(decomposed, unsupported);
+}
+
+TEST(UpdateCostTest, SearchCostsRespectExtensionAsymmetry) {
+  CostModel m(Fig4Profile());
+  Decomposition bi = Decomposition::Binary(4);
+  // §6.3.1 (update at the right end, ins_3): the left-complete extension is
+  // "very much superior to the right-complete extension".
+  double left = m.UpdateCost(ExtensionKind::kLeftComplete, 3, bi);
+  double right = m.UpdateCost(ExtensionKind::kRightComplete, 3, bi);
+  EXPECT_LT(left, right);
+  // For ins_0 the right-complete extension is "drastically better".
+  double left0 = m.UpdateCost(ExtensionKind::kLeftComplete, 0, bi);
+  double right0 = m.UpdateCost(ExtensionKind::kRightComplete, 0, bi);
+  EXPECT_LT(right0, left0);
+}
+
+TEST(UpdateCostTest, FullNeedsNoDataSearch) {
+  CostModel m(Fig4Profile());
+  Decomposition bi = Decomposition::Binary(4);
+  // The full extension's search cost is bounded by one partition lookup;
+  // canonical must search the object representation and is much costlier.
+  double full = m.UpdateSearchCost(ExtensionKind::kFull, 2, bi);
+  double can = m.UpdateSearchCost(ExtensionKind::kCanonical, 2, bi);
+  EXPECT_LT(full, can);
+}
+
+TEST(UpdateCostTest, Fig13CanAndRightGrowWithObjectSize) {
+  // §6.3.3: canonical and right-complete update costs (ins_1) grow with
+  // object size because of the backward data search; left-complete is only
+  // marginally affected.
+  ApplicationProfile p = Fig4Profile();
+  p.size = {100, 100, 100, 100, 100};
+  CostModel small(p);
+  p.size = {800, 800, 800, 800, 800};
+  CostModel big(p);
+  Decomposition bi = Decomposition::Binary(4);
+  double can_growth = big.UpdateCost(ExtensionKind::kCanonical, 1, bi) -
+                      small.UpdateCost(ExtensionKind::kCanonical, 1, bi);
+  double right_growth =
+      big.UpdateCost(ExtensionKind::kRightComplete, 1, bi) -
+      small.UpdateCost(ExtensionKind::kRightComplete, 1, bi);
+  double left_growth =
+      big.UpdateCost(ExtensionKind::kLeftComplete, 1, bi) -
+      small.UpdateCost(ExtensionKind::kLeftComplete, 1, bi);
+  EXPECT_GT(can_growth, left_growth);
+  EXPECT_GT(right_growth, left_growth);
+}
+
+OperationMix Fig14Mix() {
+  OperationMix mix;
+  mix.queries = {{0.5, QueryDirection::kBackward, 0, 4},
+                 {0.25, QueryDirection::kBackward, 0, 3},
+                 {0.25, QueryDirection::kForward, 1, 2}};
+  mix.updates = {{0.5, 2}, {0.5, 3}};
+  return mix;
+}
+
+TEST(OpMixTest, WeightsCompose) {
+  CostModel m(Fig4Profile());
+  OperationMix mix = Fig14Mix();
+  Decomposition bi = Decomposition::Binary(4);
+  double q_only = MixCost(m, ExtensionKind::kFull, bi, mix, 0.0);
+  double u_only = MixCost(m, ExtensionKind::kFull, bi, mix, 1.0);
+  double half = MixCost(m, ExtensionKind::kFull, bi, mix, 0.5);
+  EXPECT_NEAR(half, (q_only + u_only) / 2.0, 1e-9);
+}
+
+TEST(OpMixTest, Fig14LeftBeatsFullAtLowUpdateProbability) {
+  // §6.4.2: "for an update probability less than 0.3 the left-complete
+  // extension beats the full extension" (binary decomposition).
+  CostModel m(Fig4Profile());
+  OperationMix mix = Fig14Mix();
+  Decomposition bi = Decomposition::Binary(4);
+  double left_low = MixCost(m, ExtensionKind::kLeftComplete, bi, mix, 0.1);
+  double full_low = MixCost(m, ExtensionKind::kFull, bi, mix, 0.1);
+  EXPECT_LT(left_low, full_low);
+  // At high update probability the relation flips.
+  double left_high = MixCost(m, ExtensionKind::kLeftComplete, bi, mix, 0.9);
+  double full_high = MixCost(m, ExtensionKind::kFull, bi, mix, 0.9);
+  EXPECT_GT(left_high, full_high);
+}
+
+TEST(OpMixTest, NormalizedCostBelowOneMeansSupportPaysOff) {
+  CostModel m(Fig4Profile());
+  OperationMix mix = Fig14Mix();
+  Decomposition bi = Decomposition::Binary(4);
+  // Query-dominated mixes: access support must be a clear win.
+  EXPECT_LT(NormalizedMixCost(m, ExtensionKind::kFull, bi, mix, 0.1), 1.0);
+  // At extreme update rates plain objects win (break-even near 0.998).
+  EXPECT_GT(NormalizedMixCost(m, ExtensionKind::kFull, bi, mix, 0.9999), 1.0);
+}
+
+TEST(OpMixTest, Fig17RightBeatsFullOnlyAtTinyUpdateRates) {
+  // §6.4.5 profile; decomposition (0,3,5): "for update probabilities less
+  // than 0.005 the right-complete extension is even better than the full
+  // extension".
+  ApplicationProfile p;
+  p.n = 5;
+  p.c = {100000, 100000, 50000, 10000, 1000, 1000};
+  p.d = {100000, 10000, 30000, 10000, 100};
+  p.fan = {1, 10, 20, 4, 1};
+  p.size = {600, 500, 400, 300, 200, 700};
+  CostModel m(p);
+  OperationMix mix;
+  mix.queries = {{0.5, QueryDirection::kBackward, 0, 5},
+                 {0.25, QueryDirection::kBackward, 1, 5},
+                 {0.25, QueryDirection::kBackward, 2, 5}};
+  mix.updates = {{1.0, 3}};
+  Decomposition dec = Decomposition::Of({0, 3, 5}, 5).value();
+  double right_lo = MixCost(m, ExtensionKind::kRightComplete, dec, mix, 1e-4);
+  double full_lo = MixCost(m, ExtensionKind::kFull, dec, mix, 1e-4);
+  EXPECT_LT(right_lo, full_lo);
+  double right_hi = MixCost(m, ExtensionKind::kRightComplete, dec, mix, 0.5);
+  double full_hi = MixCost(m, ExtensionKind::kFull, dec, mix, 0.5);
+  EXPECT_GT(right_hi, full_hi);
+}
+
+TEST(ClusterCountTest, OutsidePartitionsAreZeroForFull) {
+  CostModel m(Fig4Profile());
+  // Full extension: only the partition covering (i, i+1) is updated.
+  EXPECT_DOUBLE_EQ(m.ClustersForward(ExtensionKind::kFull, 2, 0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(m.ClustersForward(ExtensionKind::kFull, 2, 3, 4), 0.0);
+  EXPECT_GT(m.ClustersForward(ExtensionKind::kFull, 2, 2, 3), 0.0);
+  EXPECT_GT(m.ClustersBackward(ExtensionKind::kFull, 2, 2, 3), 0.0);
+}
+
+TEST(ClusterCountTest, CanonicalTouchesAllPartitions) {
+  CostModel m(Fig4Profile());
+  for (uint32_t a = 0; a < 4; ++a) {
+    EXPECT_GT(m.ClustersForward(ExtensionKind::kCanonical, 2, a, a + 1), 0.0)
+        << a;
+  }
+}
+
+TEST(PPathTest, ProbabilitiesInRange) {
+  CostModel m(Fig4Profile());
+  for (uint32_t l = 0; l <= 4; ++l) {
+    double p = m.PPath(l);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    EXPECT_NEAR(m.PNoPath(l), 1.0 - p, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace asr::cost

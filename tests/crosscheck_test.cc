@@ -1,0 +1,168 @@
+// Cross-checks between the analytical cost model's machinery and the real
+// implementation: Yao's formula against metered batched fetches, the B+ tree
+// page/height estimates against real trees, and ASR cardinality estimates
+// against materialized extensions on synthetic bases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "btree/btree.h"
+#include "common/random.h"
+#include "cost/cost_model.h"
+#include "workload/meter.h"
+#include "workload/synthetic_base.h"
+
+namespace asr {
+namespace {
+
+// Yao's y(k, m, n) predicts the pages touched when k of n records spread
+// over m pages are fetched. Our GetTuples pins each containing page once —
+// measure and compare across a k sweep.
+TEST(YaoCrossCheck, BatchedFetchMatchesFormula) {
+  gom::Schema schema;
+  TypeId t = schema.DefineTupleType("T", {}, {}).value();
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 0);
+  gom::ObjectStore store(&schema, &buffers);
+  store.SetObjectSize(t, 400);  // ~10 objects per page
+
+  const uint64_t n = 2000;
+  std::vector<Oid> oids;
+  for (uint64_t i = 0; i < n; ++i) oids.push_back(store.CreateObject(t).value());
+  const double m = store.PageCount(t);
+
+  Rng rng(5);
+  for (uint64_t k : {1ull, 10ull, 50ull, 200ull, 1000ull, 2000ull}) {
+    // Average measured pages over a few random samples.
+    double measured_sum = 0;
+    const int kTrials = 5;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      std::vector<Oid> sample;
+      for (uint64_t idx : rng.SampleWithoutReplacement(n, k)) {
+        sample.push_back(oids[idx]);
+      }
+      storage::AccessStats cost = workload::Meter(&disk, [&] {
+        store.GetTuples(sample).value();
+      });
+      measured_sum += static_cast<double>(cost.page_reads);
+    }
+    double measured = measured_sum / kTrials;
+    double predicted = cost::CostModel::Yao(static_cast<double>(k), m,
+                                            static_cast<double>(n));
+    EXPECT_NEAR(measured, predicted, std::max(2.0, predicted * 0.15))
+        << "k=" << k << " m=" << m;
+  }
+}
+
+// The model's ht/pg/ap estimates (Eqs. 16, 19, 20) against a real partition
+// tree built from the same profile.
+TEST(BTreeCrossCheck, PageAndHeightEstimatesTrackRealTrees) {
+  cost::ApplicationProfile profile;
+  profile.n = 3;
+  profile.c = {300, 1000, 3000, 2000};
+  profile.d = {250, 800, 2500};
+  profile.fan = {2, 2, 2};
+  profile.size = {120, 120, 120, 120};
+
+  auto base = workload::SyntheticBase::Generate(profile, {21, 64}).value();
+  cost::CostModel model(profile);
+
+  for (ExtensionKind kind :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    auto asr = AccessSupportRelation::Build(
+                   base->store(), base->path(), kind,
+                   Decomposition::None(base->path().n()))
+                   .value();
+    const btree::BTree& tree = asr->forward_tree(0);
+
+    double cardinality = model.Cardinality(kind, 0, 3);
+    double real_tuples = static_cast<double>(tree.tuple_count());
+    // Expected tuple counts within 35% (the model is probabilistic and the
+    // realized graph is one sample).
+    EXPECT_NEAR(real_tuples, cardinality,
+                std::max(20.0, cardinality * 0.35))
+        << ExtensionKindName(kind);
+
+    // Real leaf pages vs ap: the real tree stores an extra 8-byte
+    // fingerprint per tuple and splits at ~50-100% fill, so allow a factor
+    // of ~3 but require the same order of magnitude.
+    double ap = model.PartitionPages(kind, 0, 3);
+    double real_leaves = tree.leaf_page_count();
+    EXPECT_LE(real_leaves, ap * 4 + 2) << ExtensionKindName(kind);
+    EXPECT_GE(real_leaves, ap * 0.5) << ExtensionKindName(kind);
+
+    // Heights differ by at most one level.
+    double ht = model.BTreeHeight(kind, 0, 3);
+    EXPECT_NEAR(static_cast<double>(tree.height()), ht, 1.0)
+        << ExtensionKindName(kind);
+  }
+}
+
+// Extension cardinalities (§4.2) against materialized extensions across a
+// grid of profiles — the central quantities behind Figs. 4 and 5.
+TEST(CardinalityCrossCheck, ModelTracksMaterializedExtensions) {
+  for (uint64_t seed : {1ull, 7ull}) {
+    for (double density : {0.5, 0.9}) {
+      cost::ApplicationProfile profile;
+      profile.n = 3;
+      profile.c = {200, 400, 800, 600};
+      profile.d = {200 * density, 400 * density, 800 * density};
+      profile.fan = {2, 1, 2};
+      profile.size = {120, 120, 120, 120};
+      auto base =
+          workload::SyntheticBase::Generate(profile, {seed, 64}).value();
+      cost::CostModel model(profile);
+
+      for (ExtensionKind kind :
+           {ExtensionKind::kCanonical, ExtensionKind::kFull,
+            ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+        rel::Relation ext =
+            ComputeExtension(base->store(), base->path(), kind, true)
+                .value();
+        double predicted = model.Cardinality(kind, 0, 3);
+        double actual = static_cast<double>(ext.size());
+        EXPECT_NEAR(actual, predicted, std::max(30.0, predicted * 0.35))
+            << ExtensionKindName(kind) << " density " << density << " seed "
+            << seed;
+      }
+    }
+  }
+}
+
+// The navigational backward query estimate Qnas(bw) (Eq. 32) against the
+// metered execution, across profile scales.
+TEST(QueryCostCrossCheck, NavigationalBackwardTracksModel) {
+  for (double scale : {0.5, 1.0, 2.0}) {
+    cost::ApplicationProfile profile;
+    profile.n = 3;
+    profile.c = {100 * scale, 300 * scale, 900 * scale, 600 * scale};
+    profile.d = {80 * scale, 240 * scale, 700 * scale};
+    profile.fan = {2, 2, 2};
+    profile.size = {300, 300, 200, 100};
+    auto base = workload::SyntheticBase::Generate(profile, {3, 0}).value();
+    cost::CostModel model(profile);
+    QueryEvaluator nav(base->store(), &base->path());
+
+    double measured_sum = 0;
+    const int kTrials = 4;
+    for (int trial = 0; trial < kTrials; ++trial) {
+      Oid target = base->objects_at(3)[static_cast<size_t>(
+          (trial * 131) % base->objects_at(3).size())];
+      storage::AccessStats st = workload::Meter(base->disk(), [&] {
+        nav.BackwardNoSupport(AsrKey::FromOid(target), 0, 3).value();
+      });
+      measured_sum += static_cast<double>(st.total());
+    }
+    double measured = measured_sum / kTrials;
+    double predicted =
+        model.QueryNoSupport(cost::QueryDirection::kBackward, 0, 3);
+    EXPECT_GT(measured, predicted * 0.5) << "scale " << scale;
+    EXPECT_LT(measured, predicted * 2.0) << "scale " << scale;
+  }
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,216 @@
+// Tests for database snapshot persistence: save, reopen, and continue
+// operating — including ASR rebuilds over the reopened base.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "gom/database.h"
+#include "lang/executor.h"
+
+namespace asr::gom {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// Builds the company schema/extension inside a Database.
+struct Company {
+  TypeId division, prodset, product, basepartset, basepart;
+  Oid auto_div, truck_div, sec560, door;
+};
+
+Company BuildCompany(Database* db) {
+  Schema& s = *db->schema();
+  ObjectStore& st = *db->store();
+  Company c;
+  c.basepart = s.DefineTupleType(
+                    "BasePart", {},
+                    {{"Name", Schema::kStringType, kInvalidTypeId},
+                     {"Price", Schema::kDecimalType, kInvalidTypeId}})
+                   .value();
+  c.basepartset = s.DefineSetType("BasePartSET", c.basepart).value();
+  c.product = s.DefineTupleType(
+                   "Product", {},
+                   {{"Name", Schema::kStringType, kInvalidTypeId},
+                    {"Composition", c.basepartset, kInvalidTypeId}})
+                  .value();
+  c.prodset = s.DefineSetType("ProdSET", c.product).value();
+  c.division = s.DefineTupleType(
+                    "Division", {},
+                    {{"Name", Schema::kStringType, kInvalidTypeId},
+                     {"Manufactures", c.prodset, kInvalidTypeId}})
+                   .value();
+
+  c.auto_div = st.CreateObject(c.division).value();
+  ASR_CHECK(st.SetString(c.auto_div, "Name", "Auto").ok());
+  c.truck_div = st.CreateObject(c.division).value();
+  ASR_CHECK(st.SetString(c.truck_div, "Name", "Truck").ok());
+  c.sec560 = st.CreateObject(c.product).value();
+  ASR_CHECK(st.SetString(c.sec560, "Name", "560 SEC").ok());
+  c.door = st.CreateObject(c.basepart).value();
+  ASR_CHECK(st.SetString(c.door, "Name", "Door").ok());
+  ASR_CHECK(st.SetDecimal(c.door, "Price", 1205.50).ok());
+
+  Oid ps = st.CreateSet(c.prodset).value();
+  ASR_CHECK(st.SetRef(c.auto_div, "Manufactures", ps).ok());
+  ASR_CHECK(st.AddToSet(ps, AsrKey::FromOid(c.sec560)).ok());
+  Oid ps2 = st.CreateSet(c.prodset).value();
+  ASR_CHECK(st.SetRef(c.truck_div, "Manufactures", ps2).ok());
+  ASR_CHECK(st.AddToSet(ps2, AsrKey::FromOid(c.sec560)).ok());
+  Oid bp = st.CreateSet(c.basepartset).value();
+  ASR_CHECK(st.SetRef(c.sec560, "Composition", bp).ok());
+  ASR_CHECK(st.AddToSet(bp, AsrKey::FromOid(c.door)).ok());
+  return c;
+}
+
+TEST(DatabaseTest, SaveAndReopenRoundTrip) {
+  std::string file = TempPath("company.asrdb");
+  Company c;
+  {
+    auto db = Database::Create();
+    c = BuildCompany(db.get());
+    ASSERT_TRUE(db->Save(file).ok());
+  }  // original database destroyed
+
+  auto db = Database::Open(file).value();
+  Schema& s = *db->schema();
+  ObjectStore& st = *db->store();
+  ASSERT_TRUE(st.CheckConsistency().ok());
+
+  // Schema survived with identical type ids.
+  EXPECT_EQ(*s.FindType("Division"), c.division);
+  EXPECT_EQ(*s.FindType("BasePart"), c.basepart);
+  EXPECT_TRUE(s.IsSet(c.prodset));
+  EXPECT_EQ(s.attributes(c.division)[1].name, "Manufactures");
+
+  // Objects and values survived, OIDs stable.
+  EXPECT_TRUE(st.Exists(c.auto_div));
+  EXPECT_EQ(*st.GetString(c.auto_div, "Name"), "Auto");
+  EXPECT_EQ(st.GetAttributeByName(c.door, "Price")->ToInt(), 120550);
+  EXPECT_EQ(st.ObjectCount(c.division), 2u);
+
+  // Whole-path query over the reopened base.
+  PathExpression path =
+      PathExpression::Parse(s, c.division, "Manufactures.Composition.Name")
+          .value();
+  QueryEvaluator nav(&st, &path);
+  AsrKey door_name = AsrKey::FromString("Door", st.string_dict());
+  EXPECT_EQ(nav.BackwardNoSupport(door_name, 0, 3)->size(), 2u);
+
+  // ASRs rebuild over the reopened base.
+  auto asr = AccessSupportRelation::Build(&st, path, ExtensionKind::kFull,
+                                          Decomposition::Binary(3))
+                 .value();
+  EXPECT_EQ(asr->EvalBackward(door_name, 0, 3)->size(), 2u);
+  std::remove(file.c_str());
+}
+
+TEST(DatabaseTest, ReopenedDatabaseAcceptsUpdates) {
+  std::string file = TempPath("company2.asrdb");
+  Company c;
+  {
+    auto db = Database::Create();
+    c = BuildCompany(db.get());
+    ASSERT_TRUE(db->Save(file).ok());
+  }
+  auto db = Database::Open(file).value();
+  ObjectStore& st = *db->store();
+
+  // New objects get fresh OIDs continuing the old sequence.
+  Oid fresh = st.CreateObject(c.division).value();
+  EXPECT_GT(fresh.seq(), c.truck_div.seq());
+  ASSERT_TRUE(st.SetString(fresh, "Name", "Space").ok());
+  EXPECT_EQ(st.ObjectCount(c.division), 3u);
+
+  // Mutations to existing objects work and strings stay interned.
+  ASSERT_TRUE(st.SetString(c.auto_div, "Name", "Automobile").ok());
+  EXPECT_EQ(*st.GetString(c.auto_div, "Name"), "Automobile");
+  EXPECT_EQ(*st.GetString(c.truck_div, "Name"), "Truck");
+
+  // The language engine runs against the reopened database.
+  lang::QueryEngine engine(&st);
+  auto rows =
+      engine.Execute("select d.Name from d in Division").value();
+  EXPECT_EQ(rows.size(), 3u);
+  std::remove(file.c_str());
+}
+
+TEST(DatabaseTest, PersistsOverflowChains) {
+  std::string file = TempPath("chains.asrdb");
+  TypeId item, items;
+  Oid set;
+  {
+    auto db = Database::Create();
+    Schema& s = *db->schema();
+    ObjectStore& st = *db->store();
+    item = s.DefineTupleType("Item", {}, {}).value();
+    items = s.DefineSetType("Items", item).value();
+    set = st.CreateSet(items).value();
+    for (int i = 0; i < 1200; ++i) {
+      Oid m = st.CreateObject(item).value();
+      ASSERT_TRUE(st.AddToSet(set, AsrKey::FromOid(m)).ok());
+    }
+    ASSERT_TRUE(db->Save(file).ok());
+  }
+  auto db = Database::Open(file).value();
+  ASSERT_TRUE(db->store()->CheckConsistency().ok());
+  EXPECT_EQ(db->store()->GetSet(set)->members.size(), 1200u);
+  // The chain keeps working for further growth.
+  Oid extra = db->store()->CreateObject(item).value();
+  ASSERT_TRUE(db->store()->AddToSet(set, AsrKey::FromOid(extra)).ok());
+  EXPECT_EQ(db->store()->GetSet(set)->members.size(), 1201u);
+  std::remove(file.c_str());
+}
+
+TEST(DatabaseTest, RejectsForeignAndTruncatedFiles) {
+  std::string file = TempPath("bogus.asrdb");
+  {
+    std::ofstream out(file, std::ios::binary);
+    out << "definitely not a snapshot";
+  }
+  EXPECT_TRUE(Database::Open(file).status().IsCorruption());
+
+  EXPECT_TRUE(Database::Open(TempPath("missing.asrdb"))
+                  .status()
+                  .IsNotFound());
+
+  // Truncated snapshot: valid magic, then nothing.
+  {
+    auto db = Database::Create();
+    BuildCompany(db.get());
+    ASSERT_TRUE(db->Save(file).ok());
+  }
+  std::ifstream in(file, std::ios::binary);
+  std::string prefix(64, '\0');
+  in.read(prefix.data(), 64);
+  {
+    std::ofstream out(file, std::ios::binary | std::ios::trunc);
+    out.write(prefix.data(), 64);
+  }
+  EXPECT_FALSE(Database::Open(file).ok());
+  std::remove(file.c_str());
+}
+
+TEST(DatabaseTest, DeletedObjectsStayDeleted) {
+  std::string file = TempPath("deleted.asrdb");
+  Company c;
+  {
+    auto db = Database::Create();
+    c = BuildCompany(db.get());
+    ASSERT_TRUE(db->store()->DeleteObject(c.truck_div).ok());
+    ASSERT_TRUE(db->Save(file).ok());
+  }
+  auto db = Database::Open(file).value();
+  EXPECT_FALSE(db->store()->Exists(c.truck_div));
+  EXPECT_TRUE(db->store()->Exists(c.auto_div));
+  EXPECT_EQ(db->store()->ObjectCount(c.division), 1u);
+  std::remove(file.c_str());
+}
+
+}  // namespace
+}  // namespace asr::gom

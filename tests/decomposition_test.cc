@@ -1,0 +1,89 @@
+// Unit tests for Decomposition (Def. 3.8) and its lookup helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asr/decomposition.h"
+
+namespace asr {
+namespace {
+
+TEST(DecompositionTest, NoneAndBinaryFactories) {
+  Decomposition none = Decomposition::None(4);
+  EXPECT_EQ(none.ToString(), "(0,4)");
+  EXPECT_EQ(none.partition_count(), 1u);
+  EXPECT_EQ(none.m(), 4u);
+
+  Decomposition binary = Decomposition::Binary(4);
+  EXPECT_EQ(binary.ToString(), "(0,1,2,3,4)");
+  EXPECT_EQ(binary.partition_count(), 4u);
+  for (size_t p = 0; p < 4; ++p) {
+    auto [a, b] = binary.partition(p);
+    EXPECT_EQ(a, p);
+    EXPECT_EQ(b, p + 1);
+  }
+}
+
+TEST(DecompositionTest, OfValidates) {
+  EXPECT_TRUE(Decomposition::Of({0, 2, 4}, 4).ok());
+  EXPECT_FALSE(Decomposition::Of({0, 2}, 4).ok());      // does not reach m
+  EXPECT_FALSE(Decomposition::Of({1, 4}, 4).ok());      // does not start at 0
+  EXPECT_FALSE(Decomposition::Of({0, 2, 2, 4}, 4).ok());  // not increasing
+  EXPECT_FALSE(Decomposition::Of({0, 3, 2, 4}, 4).ok());  // not increasing
+  EXPECT_FALSE(Decomposition::Of({}, 4).ok());
+}
+
+TEST(DecompositionTest, EnumerateAllCoversThePowerSet) {
+  std::vector<Decomposition> all = Decomposition::EnumerateAll(4);
+  EXPECT_EQ(all.size(), 8u);  // 2^(m-1)
+  std::set<std::string> rendered;
+  for (const Decomposition& dec : all) rendered.insert(dec.ToString());
+  EXPECT_EQ(rendered.size(), 8u);
+  EXPECT_TRUE(rendered.count("(0,4)") > 0);
+  EXPECT_TRUE(rendered.count("(0,1,2,3,4)") > 0);
+  EXPECT_TRUE(rendered.count("(0,2,4)") > 0);
+
+  EXPECT_EQ(Decomposition::EnumerateAll(1).size(), 1u);
+  EXPECT_EQ(Decomposition::EnumerateAll(5).size(), 16u);
+}
+
+TEST(DecompositionTest, BoundaryAndCoverageLookups) {
+  Decomposition dec = Decomposition::Of({0, 2, 3, 5}, 5).value();
+
+  EXPECT_TRUE(dec.IsBoundary(0));
+  EXPECT_TRUE(dec.IsBoundary(2));
+  EXPECT_TRUE(dec.IsBoundary(3));
+  EXPECT_TRUE(dec.IsBoundary(5));
+  EXPECT_FALSE(dec.IsBoundary(1));
+  EXPECT_FALSE(dec.IsBoundary(4));
+
+  EXPECT_EQ(dec.PartitionStartingAt(0), 0);
+  EXPECT_EQ(dec.PartitionStartingAt(2), 1);
+  EXPECT_EQ(dec.PartitionStartingAt(3), 2);
+  EXPECT_EQ(dec.PartitionStartingAt(5), -1);  // nothing starts at m
+  EXPECT_EQ(dec.PartitionStartingAt(1), -1);
+
+  EXPECT_EQ(dec.PartitionEndingAt(2), 0);
+  EXPECT_EQ(dec.PartitionEndingAt(3), 1);
+  EXPECT_EQ(dec.PartitionEndingAt(5), 2);
+  EXPECT_EQ(dec.PartitionEndingAt(0), -1);
+  EXPECT_EQ(dec.PartitionEndingAt(4), -1);
+
+  // Covering: leftmost partition containing the column (boundaries belong
+  // to the partition ending there).
+  EXPECT_EQ(dec.PartitionCovering(0), 0);
+  EXPECT_EQ(dec.PartitionCovering(1), 0);
+  EXPECT_EQ(dec.PartitionCovering(2), 0);
+  EXPECT_EQ(dec.PartitionCovering(3), 1);
+  EXPECT_EQ(dec.PartitionCovering(4), 2);
+  EXPECT_EQ(dec.PartitionCovering(5), 2);
+}
+
+TEST(DecompositionTest, Equality) {
+  EXPECT_TRUE(Decomposition::Binary(3) ==
+              Decomposition::Of({0, 1, 2, 3}, 3).value());
+  EXPECT_FALSE(Decomposition::Binary(3) == Decomposition::None(3));
+}
+
+}  // namespace
+}  // namespace asr

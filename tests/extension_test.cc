@@ -1,0 +1,231 @@
+// Tests that the four extensions (Defs. 3.3-3.7) computed over the Figure 2
+// Company database reproduce the paper's §3 example tuples exactly.
+#include <gtest/gtest.h>
+
+#include "asr/extension.h"
+#include "paper_example.h"
+
+namespace asr {
+namespace {
+
+using rel::JoinKind;
+using rel::Relation;
+using rel::Row;
+using testing::CompanyBase;
+using testing::MakeCompanyBase;
+using testing::MakeCompanyPath;
+
+class ExtensionTest : public ::testing::Test {
+ protected:
+  ExtensionTest() : base_(MakeCompanyBase()), path_(MakeCompanyPath(*base_)) {}
+
+  AsrKey K(Oid oid) const { return AsrKey::FromOid(oid); }
+  AsrKey N() const { return AsrKey::Null(); }
+  AsrKey Name(const char* s) { return base_->Name(s); }
+
+  Relation Ext(ExtensionKind kind, bool drop_sets) {
+    return ComputeExtension(base_->store.get(), path_, kind, drop_sets)
+        .value();
+  }
+
+  std::unique_ptr<CompanyBase> base_;
+  PathExpression path_;
+};
+
+TEST_F(ExtensionTest, AuxiliaryRelationsMatchPaperSection3) {
+  // E_0: (Division, ProdSET, Product) — the paper's example lists
+  // (i2, i5, i9) and (i1, i4, i6) among others.
+  Relation e0 =
+      BuildAuxiliaryRelation(base_->store.get(), path_, 1, false).value();
+  Relation expected_e0(3);
+  expected_e0.AddRow({K(base_->auto_division), K(base_->prodset_auto),
+                      K(base_->sec560)});
+  expected_e0.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                      K(base_->sec560)});
+  expected_e0.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                      K(base_->mbtrak)});
+  EXPECT_TRUE(e0.EqualsAsSet(expected_e0));
+
+  // E_1: (Product, BasePartSET, BasePart) — (i11, i13, i14), (i6, i7, i8).
+  Relation e1 =
+      BuildAuxiliaryRelation(base_->store.get(), path_, 2, false).value();
+  Relation expected_e1(3);
+  expected_e1.AddRow({K(base_->sec560), K(base_->parts_560), K(base_->door)});
+  expected_e1.AddRow({K(base_->sausage), K(base_->parts_sausage),
+                      K(base_->pepper)});
+  EXPECT_TRUE(e1.EqualsAsSet(expected_e1));
+
+  // E_2: (BasePart, Name value) — (i14, "Pepper"), (i8, "Door").
+  Relation e2 =
+      BuildAuxiliaryRelation(base_->store.get(), path_, 3, false).value();
+  Relation expected_e2(2);
+  expected_e2.AddRow({K(base_->door), Name("Door")});
+  expected_e2.AddRow({K(base_->pepper), Name("Pepper")});
+  EXPECT_TRUE(e2.EqualsAsSet(expected_e2));
+}
+
+TEST_F(ExtensionTest, EmptySetYieldsNullTuple) {
+  // Def. 3.3 case 2: an empty set o'_j contributes (o_{j-1}, o'_j, NULL).
+  Oid empty_division = base_->store->CreateObject(base_->division_type).value();
+  Oid empty_set = base_->store->CreateSet(base_->prodset_type).value();
+  ASSERT_TRUE(
+      base_->store->SetRef(empty_division, "Manufactures", empty_set).ok());
+  Relation e0 =
+      BuildAuxiliaryRelation(base_->store.get(), path_, 1, false).value();
+  bool found = false;
+  for (const Row& row : e0.rows()) {
+    if (row[0] == K(empty_division)) {
+      EXPECT_EQ(row[1], K(empty_set));
+      EXPECT_TRUE(row[2].IsNull());
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ExtensionTest, CanonicalContainsOnlyCompletePaths) {
+  Relation can = Ext(ExtensionKind::kCanonical, /*drop_sets=*/false);
+  Relation expected(6);
+  expected.AddRow({K(base_->auto_division), K(base_->prodset_auto),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  expected.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  EXPECT_TRUE(can.EqualsAsSet(expected));
+}
+
+TEST_F(ExtensionTest, FullContainsAllPartialPaths) {
+  Relation full = Ext(ExtensionKind::kFull, false);
+  Relation expected(6);
+  // Complete paths.
+  expected.AddRow({K(base_->auto_division), K(base_->prodset_auto),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  expected.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  // The paper's example tuples: (i2, i5, i9, NULL, NULL, NULL) and
+  // (NULL, NULL, i11, i13, i14, "Pepper").
+  expected.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                   K(base_->mbtrak), N(), N(), N()});
+  expected.AddRow({N(), N(), K(base_->sausage), K(base_->parts_sausage),
+                   K(base_->pepper), Name("Pepper")});
+  EXPECT_TRUE(full.EqualsAsSet(expected));
+}
+
+TEST_F(ExtensionTest, LeftCompleteKeepsPathsFromT0) {
+  Relation left = Ext(ExtensionKind::kLeftComplete, false);
+  Relation expected(6);
+  expected.AddRow({K(base_->auto_division), K(base_->prodset_auto),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  expected.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  // (i2, i5, i9, NULL, NULL, NULL): originates in t_0, leads to NULL.
+  expected.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                   K(base_->mbtrak), N(), N(), N()});
+  EXPECT_TRUE(left.EqualsAsSet(expected));
+}
+
+TEST_F(ExtensionTest, RightCompleteKeepsPathsToAn) {
+  Relation right = Ext(ExtensionKind::kRightComplete, false);
+  Relation expected(6);
+  expected.AddRow({K(base_->auto_division), K(base_->prodset_auto),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  expected.AddRow({K(base_->truck_division), K(base_->prodset_truck),
+                   K(base_->sec560), K(base_->parts_560), K(base_->door),
+                   Name("Door")});
+  // (NULL, NULL, i11, i13, i14, "Pepper"): defined for A_n, not from t_0.
+  expected.AddRow({N(), N(), K(base_->sausage), K(base_->parts_sausage),
+                   K(base_->pepper), Name("Pepper")});
+  EXPECT_TRUE(right.EqualsAsSet(expected));
+}
+
+TEST_F(ExtensionTest, DropSetColumnsProjectsSetOids) {
+  Relation can = Ext(ExtensionKind::kCanonical, /*drop_sets=*/true);
+  Relation expected(4);
+  expected.AddRow({K(base_->auto_division), K(base_->sec560), K(base_->door),
+                   Name("Door")});
+  expected.AddRow({K(base_->truck_division), K(base_->sec560), K(base_->door),
+                   Name("Door")});
+  EXPECT_TRUE(can.EqualsAsSet(expected));
+
+  Relation full = Ext(ExtensionKind::kFull, true);
+  EXPECT_EQ(full.arity(), 4u);
+  EXPECT_EQ(full.size(), 4u);
+}
+
+// Containment properties: can is contained in left and right; left and
+// right rows appear in full (comparing complete rows only is not needed —
+// the extensions are literally subsets here).
+TEST_F(ExtensionTest, ExtensionContainment) {
+  for (bool drop : {false, true}) {
+    Relation can = Ext(ExtensionKind::kCanonical, drop);
+    Relation left = Ext(ExtensionKind::kLeftComplete, drop);
+    Relation right = Ext(ExtensionKind::kRightComplete, drop);
+    Relation full = Ext(ExtensionKind::kFull, drop);
+
+    auto contains = [](const Relation& outer, const Relation& inner) {
+      for (const Row& row : inner.rows()) {
+        bool found = false;
+        for (const Row& other : outer.rows()) {
+          if (row == other) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) return false;
+      }
+      return true;
+    };
+    EXPECT_TRUE(contains(left, can));
+    EXPECT_TRUE(contains(right, can));
+    EXPECT_TRUE(contains(full, left));
+    EXPECT_TRUE(contains(full, right));
+  }
+}
+
+TEST_F(ExtensionTest, SupportedQueryMatrix) {
+  const uint32_t n = 3;
+  for (uint32_t i = 0; i < n; ++i) {
+    for (uint32_t j = i + 1; j <= n; ++j) {
+      EXPECT_EQ(ExtensionSupportsQuery(ExtensionKind::kCanonical, i, j, n),
+                i == 0 && j == n);
+      EXPECT_TRUE(ExtensionSupportsQuery(ExtensionKind::kFull, i, j, n));
+      EXPECT_EQ(ExtensionSupportsQuery(ExtensionKind::kLeftComplete, i, j, n),
+                i == 0);
+      EXPECT_EQ(ExtensionSupportsQuery(ExtensionKind::kRightComplete, i, j, n),
+                j == n);
+    }
+  }
+}
+
+TEST_F(ExtensionTest, SubtypeInstancesAppearInExtents) {
+  // A Division subtype's instances must flow into E_0.
+  TypeId special =
+      base_->schema.DefineTupleType("SpecialDivision",
+                                    {base_->division_type}, {})
+          .value();
+  Oid sd = base_->store->CreateObject(special).value();
+  Oid set = base_->store->CreateSet(base_->prodset_type).value();
+  ASSERT_TRUE(base_->store->SetRef(sd, "Manufactures", set).ok());
+  ASSERT_TRUE(
+      base_->store->AddToSet(set, AsrKey::FromOid(base_->sausage)).ok());
+
+  Relation can = Ext(ExtensionKind::kCanonical, true);
+  bool found = false;
+  for (const Row& row : can.rows()) {
+    if (row[0] == K(sd)) {
+      EXPECT_EQ(row[1], K(base_->sausage));
+      EXPECT_EQ(row[3], Name("Pepper"));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,254 @@
+// End-to-end integration tests: the paper's running examples (robots §2.2,
+// company §2.3) executed through the full stack, plus an empirical
+// cross-validation of the analytical cost model against metered execution.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "cost/cost_model.h"
+#include "paper_example.h"
+#include "workload/meter.h"
+#include "workload/synthetic_base.h"
+
+namespace asr {
+namespace {
+
+// --- The robot example (§2.2, Figure 1) -----------------------------------
+
+class RobotTest : public ::testing::Test {
+ protected:
+  RobotTest() : buffers_(&disk_, 0) {
+    using gom::Schema;
+    manufacturer_ =
+        schema_
+            .DefineTupleType(
+                "MANUFACTURER", {},
+                {{"Name", Schema::kStringType, kInvalidTypeId},
+                 {"Location", Schema::kStringType, kInvalidTypeId}})
+            .value();
+    tool_ = schema_
+                .DefineTupleType(
+                    "TOOL", {},
+                    {{"Function", Schema::kStringType, kInvalidTypeId},
+                     {"ManufacturedBy", manufacturer_, kInvalidTypeId}})
+                .value();
+    arm_ = schema_
+               .DefineTupleType("ARM", {},
+                                {{"Kinematics", Schema::kStringType,
+                                  kInvalidTypeId},
+                                 {"MountedTool", tool_, kInvalidTypeId}})
+               .value();
+    robot_ = schema_
+                 .DefineTupleType("ROBOT", {},
+                                  {{"Name", Schema::kStringType,
+                                    kInvalidTypeId},
+                                   {"Arm", arm_, kInvalidTypeId}})
+                 .value();
+    store_ = std::make_unique<gom::ObjectStore>(&schema_, &buffers_);
+
+    // Figure 1's extension: R2D2 (welding, RobClone/Utopia), X4D5
+    // (gripping, RobClone/Utopia), Robi (gripping tool shared with X4D5).
+    robclone_ = store_->CreateObject(manufacturer_).value();
+    ASR_CHECK(store_->SetString(robclone_, "Name", "RobClone").ok());
+    ASR_CHECK(store_->SetString(robclone_, "Location", "Utopia").ok());
+
+    welding_ = store_->CreateObject(tool_).value();
+    ASR_CHECK(store_->SetString(welding_, "Function", "welding").ok());
+    ASR_CHECK(store_->SetRef(welding_, "ManufacturedBy", robclone_).ok());
+    gripping_ = store_->CreateObject(tool_).value();
+    ASR_CHECK(store_->SetString(gripping_, "Function", "gripping").ok());
+    ASR_CHECK(store_->SetRef(gripping_, "ManufacturedBy", robclone_).ok());
+
+    r2d2_ = MakeRobot("R2D2", welding_);
+    x4d5_ = MakeRobot("X4D5", gripping_);
+    robi_ = MakeRobot("Robi", gripping_);
+    // Robi's tool has no manufacturer in Figure 1: detach via its own tool.
+    Oid robi_arm = store_->GetAttributeByName(robi_, "Arm")->ToOid();
+    Oid robi_tool = store_->CreateObject(tool_).value();
+    ASR_CHECK(store_->SetString(robi_tool, "Function", "gripping").ok());
+    ASR_CHECK(store_->SetRef(robi_arm, "MountedTool", robi_tool).ok());
+  }
+
+  Oid MakeRobot(const char* name, Oid tool) {
+    Oid robot = store_->CreateObject(robot_).value();
+    ASR_CHECK(store_->SetString(robot, "Name", name).ok());
+    Oid arm = store_->CreateObject(arm_).value();
+    ASR_CHECK(store_->SetString(arm, "Kinematics", "6dof").ok());
+    ASR_CHECK(store_->SetRef(arm, "MountedTool", tool).ok());
+    ASR_CHECK(store_->SetRef(robot, "Arm", arm).ok());
+    return robot;
+  }
+
+  gom::Schema schema_;
+  storage::Disk disk_;
+  storage::BufferManager buffers_;
+  std::unique_ptr<gom::ObjectStore> store_;
+  TypeId manufacturer_, tool_, arm_, robot_;
+  Oid robclone_, welding_, gripping_, r2d2_, x4d5_, robi_;
+};
+
+TEST_F(RobotTest, Query1RobotsUsingToolsFromUtopia) {
+  // Query 1: select r.Name from r in OurRobots
+  //          where r.Arm.MountedTool.ManufacturedBy.Location = "Utopia"
+  PathExpression path =
+      PathExpression::Parse(schema_, robot_,
+                            "Arm.MountedTool.ManufacturedBy.Location")
+          .value();
+  EXPECT_EQ(path.n(), 4u);
+  EXPECT_EQ(path.k(), 0u);  // a linear path
+
+  auto asr = AccessSupportRelation::Build(store_.get(), path,
+                                          ExtensionKind::kCanonical,
+                                          Decomposition::None(4))
+                 .value();
+  AsrKey utopia = AsrKey::FromString("Utopia", store_->string_dict());
+  std::vector<AsrKey> robots = asr->EvalBackward(utopia, 0, 4).value();
+
+  std::set<std::string> names;
+  for (AsrKey r : robots) {
+    names.insert(store_->GetString(r.ToOid(), "Name").value());
+  }
+  EXPECT_EQ(names, (std::set<std::string>{"R2D2", "X4D5"}));
+
+  // Navigational evaluation must agree.
+  QueryEvaluator nav(store_.get(), &path);
+  std::vector<AsrKey> nav_robots = nav.BackwardNoSupport(utopia, 0, 4).value();
+  std::set<uint64_t> a, b;
+  for (AsrKey k : robots) a.insert(k.raw());
+  for (AsrKey k : nav_robots) b.insert(k.raw());
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(RobotTest, SharedSubobjectsTraverseCorrectly) {
+  // The gripping tool is shared by X4D5's arm (object sharing via OIDs).
+  PathExpression path =
+      PathExpression::Parse(schema_, robot_, "Arm.MountedTool").value();
+  QueryEvaluator nav(store_.get(), &path);
+  std::vector<AsrKey> tools =
+      nav.ForwardNoSupport(AsrKey::FromOid(x4d5_), 0, 2).value();
+  ASSERT_EQ(tools.size(), 1u);
+  EXPECT_EQ(tools[0], AsrKey::FromOid(gripping_));
+}
+
+// --- The company example (§2.3, Figure 2) -----------------------------------
+
+TEST(CompanyIntegrationTest, Query2DivisionsUsingDoor) {
+  auto base = testing::MakeCompanyBase();
+  PathExpression path =
+      PathExpression::Parse(base->schema, base->division_type,
+                            "Manufactures.Composition")
+          .value();
+  QueryEvaluator nav(base->store.get(), &path);
+  std::vector<AsrKey> divisions =
+      nav.BackwardNoSupport(AsrKey::FromOid(base->door), 0, 2).value();
+  std::set<uint64_t> got;
+  for (AsrKey k : divisions) got.insert(k.raw());
+  EXPECT_EQ(got, (std::set<uint64_t>{base->auto_division.raw(),
+                                     base->truck_division.raw()}));
+}
+
+TEST(CompanyIntegrationTest, Query3BasePartNamesOfAuto) {
+  auto base = testing::MakeCompanyBase();
+  PathExpression path = testing::MakeCompanyPath(*base);
+  QueryEvaluator nav(base->store.get(), &path);
+  std::vector<AsrKey> names =
+      nav.ForwardNoSupport(AsrKey::FromOid(base->auto_division), 0, 3)
+          .value();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(base->store->string_dict()->Get(names[0].ToStringCode()), "Door");
+}
+
+TEST(CompanyIntegrationTest, AsrAgreesAcrossAllExtensions) {
+  auto base = testing::MakeCompanyBase();
+  PathExpression path = testing::MakeCompanyPath(*base);
+  AsrKey door_name = base->Name("Door");
+  std::set<uint64_t> expected{base->auto_division.raw(),
+                              base->truck_division.raw()};
+  for (ExtensionKind kind :
+       {ExtensionKind::kCanonical, ExtensionKind::kFull,
+        ExtensionKind::kLeftComplete, ExtensionKind::kRightComplete}) {
+    auto asr = AccessSupportRelation::Build(base->store.get(), path, kind,
+                                            Decomposition::Binary(3))
+                   .value();
+    std::vector<AsrKey> divisions =
+        asr->EvalBackward(door_name, 0, 3).value();
+    std::set<uint64_t> got;
+    for (AsrKey k : divisions) got.insert(k.raw());
+    EXPECT_EQ(got, expected) << ExtensionKindName(kind);
+  }
+}
+
+// --- Empirical vs analytical cross-validation --------------------------------
+
+cost::ApplicationProfile ValidationProfile() {
+  // The Fig. 6 profile at its published scale — small enough to execute.
+  cost::ApplicationProfile p;
+  p.n = 4;
+  p.c = {100, 500, 1000, 5000, 10000};
+  p.d = {90, 400, 800, 2000};
+  p.fan = {2, 2, 3, 4};
+  p.size = {500, 400, 300, 300, 100};
+  return p;
+}
+
+TEST(ValidationTest, BackwardQueryEmpiricalVsModelShape) {
+  auto base = workload::SyntheticBase::Generate(ValidationProfile(),
+                                                {42, 0})
+                  .value();
+  cost::CostModel model(ValidationProfile());
+  QueryEvaluator nav(base->store(), &base->path());
+
+  Oid target = base->objects_at(4)[7];
+  storage::AccessStats nas = workload::Meter(base->disk(), [&] {
+    nav.BackwardNoSupport(AsrKey::FromOid(target), 0, 4).value();
+  });
+  double modeled_nas =
+      model.QueryNoSupport(cost::QueryDirection::kBackward, 0, 4);
+  // Shape agreement: within a factor of 2 of the analytical estimate.
+  EXPECT_GT(static_cast<double>(nas.page_reads), modeled_nas * 0.5);
+  EXPECT_LT(static_cast<double>(nas.page_reads), modeled_nas * 2.0);
+
+  // Supported query: orders of magnitude cheaper, and the model agrees.
+  auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                          ExtensionKind::kFull,
+                                          Decomposition::None(4))
+                 .value();
+  base->buffers()->FlushAll();
+  base->disk()->ResetStats();
+  storage::AccessStats sup = workload::Meter(base->disk(), [&] {
+    asr->EvalBackward(AsrKey::FromOid(target), 0, 4).value();
+  });
+  double modeled_sup = model.QuerySupported(
+      ExtensionKind::kFull, cost::QueryDirection::kBackward, 0, 4,
+      Decomposition::None(4));
+  EXPECT_LT(sup.page_reads, nas.page_reads / 5);
+  EXPECT_LT(std::abs(static_cast<double>(sup.page_reads) - modeled_sup),
+            modeled_sup * 3 + 10);
+}
+
+TEST(ValidationTest, SupportedAndNavigationalResultsAgreeAtScale) {
+  auto base = workload::SyntheticBase::Generate(ValidationProfile(),
+                                                {42, 64})
+                  .value();
+  QueryEvaluator nav(base->store(), &base->path());
+  auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                          ExtensionKind::kLeftComplete,
+                                          Decomposition::Binary(4))
+                 .value();
+  for (size_t t = 0; t < base->objects_at(4).size(); t += 997) {
+    AsrKey target = AsrKey::FromOid(base->objects_at(4)[t]);
+    std::set<uint64_t> a, b;
+    for (AsrKey k : nav.BackwardNoSupport(target, 0, 4).value()) {
+      a.insert(k.raw());
+    }
+    for (AsrKey k : asr->EvalBackward(target, 0, 4).value()) {
+      b.insert(k.raw());
+    }
+    EXPECT_EQ(a, b);
+  }
+}
+
+}  // namespace
+}  // namespace asr

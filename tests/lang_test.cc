@@ -1,0 +1,283 @@
+// Tests for the query-language front end: lexer, parser, and engine,
+// executing the paper's Queries 1-3 textually.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lang/executor.h"
+#include "lang/lexer.h"
+#include "lang/parser.h"
+#include "paper_example.h"
+
+namespace asr::lang {
+namespace {
+
+// --- Lexer ------------------------------------------------------------
+
+TEST(LexerTest, TokenizesKeywordsIdentifiersAndLiterals) {
+  auto tokens = Tokenize("select r.Name from r in ROBOT where x = \"U\"")
+                    .value();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kSelect, TokenKind::kIdent, TokenKind::kDot,
+                       TokenKind::kIdent, TokenKind::kFrom, TokenKind::kIdent,
+                       TokenKind::kIn, TokenKind::kIdent, TokenKind::kWhere,
+                       TokenKind::kIdent, TokenKind::kEquals,
+                       TokenKind::kString, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  auto tokens = Tokenize("SELECT x FROM y IN Z").value();
+  EXPECT_EQ(tokens[0].kind, TokenKind::kSelect);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kFrom);
+  EXPECT_EQ(tokens[4].kind, TokenKind::kIn);
+}
+
+TEST(LexerTest, NumbersAndDecimals) {
+  auto tokens = Tokenize("42 1205.50 0.5 -7").value();
+  EXPECT_EQ(tokens[0].number, 42);
+  EXPECT_FALSE(tokens[0].decimal);
+  EXPECT_EQ(tokens[1].number, 120550);
+  EXPECT_TRUE(tokens[1].decimal);
+  EXPECT_EQ(tokens[2].number, 50);  // 0.5 -> 50 cents
+  EXPECT_EQ(tokens[3].number, -7);
+}
+
+TEST(LexerTest, Errors) {
+  EXPECT_TRUE(Tokenize("\"unterminated").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("a ? b").status().IsInvalidArgument());
+  EXPECT_TRUE(Tokenize("1.234").status().IsInvalidArgument());
+}
+
+// --- Parser ------------------------------------------------------------
+
+TEST(ParserTest, ParsesQueryOne) {
+  SelectQuery q = Parse("select r.Name from r in ROBOT where "
+                        "r.Arm.MountedTool.ManufacturedBy.Location = "
+                        "\"Utopia\"")
+                      .value();
+  EXPECT_EQ(q.select.ToString(), "r.Name");
+  ASSERT_EQ(q.ranges.size(), 1u);
+  EXPECT_EQ(q.ranges[0].var, "r");
+  EXPECT_EQ(q.ranges[0].source.ToString(), "ROBOT");
+  ASSERT_EQ(q.conditions.size(), 1u);
+  EXPECT_EQ(q.conditions[0].path.ToString(),
+            "r.Arm.MountedTool.ManufacturedBy.Location");
+  EXPECT_EQ(q.conditions[0].literal.string_value, "Utopia");
+}
+
+TEST(ParserTest, ParsesMultipleRangesAndConditions) {
+  SelectQuery q =
+      Parse("select d.Name from d in Division, b in "
+            "d.Manufactures.Composition where b.Name = \"Door\" and "
+            "b.Price = 1205.50")
+          .value();
+  ASSERT_EQ(q.ranges.size(), 2u);
+  EXPECT_EQ(q.ranges[1].var, "b");
+  EXPECT_EQ(q.ranges[1].source.ToString(), "d.Manufactures.Composition");
+  ASSERT_EQ(q.conditions.size(), 2u);
+  EXPECT_EQ(q.conditions[1].literal.kind, Literal::Kind::kDecimal);
+  EXPECT_EQ(q.conditions[1].literal.int_value, 120550);
+}
+
+TEST(ParserTest, RejectsMalformedQueries) {
+  EXPECT_FALSE(Parse("select from r in T").ok());
+  EXPECT_FALSE(Parse("select x").ok());
+  EXPECT_FALSE(Parse("select x from y T").ok());
+  EXPECT_FALSE(Parse("select x from y in T where z =").ok());
+  EXPECT_FALSE(Parse("select x from y in T trailing").ok());
+}
+
+// --- Engine over the company base ---------------------------------------
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() : base_(testing::MakeCompanyBase()) {}
+
+  std::set<std::string> Run(QueryEngine* engine, const std::string& text) {
+    std::vector<AsrKey> keys = engine->Execute(text).value();
+    std::set<std::string> out;
+    for (AsrKey k : keys) {
+      if (k.IsOid() &&
+          base_->schema.IsSubtypeOf(k.ToOid().type_id(),
+                                    base_->division_type)) {
+        out.insert(base_->store->GetString(k.ToOid(), "Name").value());
+      } else {
+        out.insert(engine->Format(k));
+      }
+    }
+    return out;
+  }
+
+  std::unique_ptr<testing::CompanyBase> base_;
+};
+
+TEST_F(EngineTest, Query2NavigationalAndSupportedAgree) {
+  const std::string text =
+      "select d from d in Division, b in d.Manufactures.Composition "
+      "where b.Name = \"Door\"";
+
+  QueryEngine nav_engine(base_->store.get());
+  std::set<std::string> nav = Run(&nav_engine, text);
+  EXPECT_EQ(nav, (std::set<std::string>{"Auto", "Truck"}));
+  EXPECT_EQ(nav_engine.navigational_evals(), 1u);
+
+  PathExpression path = testing::MakeCompanyPath(*base_);
+  auto asr = AccessSupportRelation::Build(base_->store.get(), path,
+                                          ExtensionKind::kFull,
+                                          Decomposition::Binary(3))
+                 .value();
+  QueryEngine asr_engine(base_->store.get());
+  asr_engine.RegisterAsr(asr.get());
+  EXPECT_EQ(Run(&asr_engine, text), nav);
+  EXPECT_EQ(asr_engine.supported_evals(), 1u);
+  EXPECT_EQ(asr_engine.navigational_evals(), 0u);
+}
+
+TEST_F(EngineTest, Query3ProjectsAlongPath) {
+  QueryEngine engine(base_->store.get());
+  std::set<std::string> names =
+      Run(&engine,
+          "select d.Manufactures.Composition.Name from d in Division "
+          "where d.Name = \"Auto\"");
+  EXPECT_EQ(names, (std::set<std::string>{"\"Door\""}));
+}
+
+TEST_F(EngineTest, DecimalConditions) {
+  QueryEngine engine(base_->store.get());
+  std::set<std::string> parts = Run(
+      &engine,
+      "select b.Name from b in BasePart where b.Price = 1205.50");
+  EXPECT_EQ(parts, (std::set<std::string>{"\"Door\""}));
+  // Whole-number literal against a DECIMAL attribute scales by 100.
+  Oid cheap = base_->store->CreateObject(base_->basepart_type).value();
+  ASSERT_TRUE(base_->store->SetString(cheap, "Name", "Bolt").ok());
+  ASSERT_TRUE(base_->store->SetDecimal(cheap, "Price", 3.0).ok());
+  parts = Run(&engine,
+              "select b.Name from b in BasePart where b.Price = 3");
+  EXPECT_EQ(parts, (std::set<std::string>{"\"Bolt\""}));
+}
+
+TEST_F(EngineTest, ConjunctionIntersects) {
+  QueryEngine engine(base_->store.get());
+  // Truck manufactures both the 560 SEC (with Door) and the MB Trak; the
+  // conjunction keeps divisions matching both conditions.
+  std::set<std::string> divisions = Run(
+      &engine,
+      "select d from d in Division, p in d.Manufactures "
+      "where p.Name = \"MB Trak\" and d.Name = \"Truck\"");
+  EXPECT_EQ(divisions, (std::set<std::string>{"Truck"}));
+  divisions = Run(&engine,
+                  "select d from d in Division, p in d.Manufactures "
+                  "where p.Name = \"MB Trak\" and d.Name = \"Auto\"");
+  EXPECT_TRUE(divisions.empty());
+}
+
+TEST_F(EngineTest, NoConditionScansExtent) {
+  QueryEngine engine(base_->store.get());
+  std::set<std::string> all = Run(&engine, "select d from d in Division");
+  EXPECT_EQ(all, (std::set<std::string>{"Auto", "Truck", "Space"}));
+}
+
+TEST_F(EngineTest, UnknownLiteralStringMatchesNothing) {
+  QueryEngine engine(base_->store.get());
+  std::set<std::string> none = Run(
+      &engine,
+      "select d from d in Division, b in d.Manufactures.Composition "
+      "where b.Name = \"NeverSeen\"");
+  EXPECT_TRUE(none.empty());
+}
+
+TEST_F(EngineTest, SemanticErrors) {
+  QueryEngine engine(base_->store.get());
+  // Unknown type.
+  EXPECT_FALSE(engine.Execute("select x from x in Nowhere").ok());
+  // Second range must chain off a declared variable.
+  EXPECT_FALSE(
+      engine.Execute("select x from x in Division, y in z.Name").ok());
+  // Condition against an object-valued path.
+  EXPECT_TRUE(engine
+                  .Execute("select d from d in Division where "
+                           "d.Manufactures = \"X\"")
+                  .status()
+                  .IsTypeError());
+  // Literal kind mismatch.
+  EXPECT_TRUE(engine
+                  .Execute("select d from d in Division where d.Name = 4")
+                  .status()
+                  .IsTypeError());
+  // Unknown attribute inside a path.
+  EXPECT_FALSE(
+      engine.Execute("select d from d in Division where d.Ghost = \"x\"")
+          .ok());
+}
+
+TEST_F(EngineTest, ExplainPredictsAndLabelsSteps) {
+  const std::string text =
+      "select d from d in Division, b in d.Manufactures.Composition "
+      "where b.Name = \"Door\"";
+
+  QueryEngine nav_engine(base_->store.get());
+  QueryEngine::QueryPlan nav_plan = nav_engine.Explain(text).value();
+  ASSERT_EQ(nav_plan.steps.size(), 1u);
+  EXPECT_FALSE(nav_plan.steps[0].supported);
+  EXPECT_GT(nav_plan.steps[0].predicted_accesses, 0.0);
+  EXPECT_NE(nav_plan.steps[0].description.find(
+                "Division.Manufactures.Composition.Name"),
+            std::string::npos);
+
+  PathExpression path = testing::MakeCompanyPath(*base_);
+  auto asr = AccessSupportRelation::Build(base_->store.get(), path,
+                                          ExtensionKind::kFull,
+                                          Decomposition::Binary(3))
+                 .value();
+  QueryEngine asr_engine(base_->store.get());
+  asr_engine.RegisterAsr(asr.get());
+  QueryEngine::QueryPlan asr_plan = asr_engine.Explain(text).value();
+  ASSERT_EQ(asr_plan.steps.size(), 1u);
+  EXPECT_TRUE(asr_plan.steps[0].supported);
+  // At this toy scale (one-page extents) the model honestly reports that
+  // the index's tree traversals cost as much as the scan; both predictions
+  // are small single digits.
+  EXPECT_GT(asr_plan.total_predicted, 0.0);
+  EXPECT_LE(asr_plan.total_predicted, 10.0);
+  EXPECT_LE(nav_plan.total_predicted, 10.0);
+
+  // Rendering mentions the dispatch decision.
+  EXPECT_NE(asr_plan.ToString().find("[asr]"), std::string::npos);
+  EXPECT_NE(nav_plan.ToString().find("[navigate]"), std::string::npos);
+}
+
+TEST_F(EngineTest, ExplainCoversProjectionAndExtentScan) {
+  QueryEngine engine(base_->store.get());
+  QueryEngine::QueryPlan plan =
+      engine.Explain("select d.Manufactures.Composition.Name from d in "
+                     "Division where d.Name = \"Auto\"")
+          .value();
+  ASSERT_EQ(plan.steps.size(), 2u);  // condition + projection
+  EXPECT_NE(plan.steps[1].description.find("projection"), std::string::npos);
+
+  QueryEngine::QueryPlan scan =
+      engine.Explain("select d from d in Division").value();
+  ASSERT_EQ(scan.steps.size(), 1u);
+  EXPECT_NE(scan.steps[0].description.find("extent scan"), std::string::npos);
+
+  // Semantic errors surface at planning time too.
+  EXPECT_FALSE(engine.Explain("select x from x in Nowhere").ok());
+  EXPECT_TRUE(engine
+                  .Explain("select d from d in Division where d.Name = 4")
+                  .status()
+                  .IsTypeError());
+}
+
+TEST_F(EngineTest, FormatRendersKeyKinds) {
+  QueryEngine engine(base_->store.get());
+  EXPECT_EQ(engine.Format(AsrKey::FromInt(42)), "42");
+  EXPECT_EQ(engine.Format(base_->Name("Door")), "\"Door\"");
+  EXPECT_EQ(engine.Format(AsrKey::FromOid(base_->door)),
+            base_->door.ToString());
+}
+
+}  // namespace
+}  // namespace asr::lang

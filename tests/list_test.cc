@@ -1,0 +1,190 @@
+// Tests for GOM lists: ordered collections with duplicates, handled by the
+// access-support machinery exactly like sets (§2.1).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "asr/access_support_relation.h"
+#include "asr/query.h"
+#include "gom/object_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+namespace asr::gom {
+namespace {
+
+class ListTest : public ::testing::Test {
+ protected:
+  ListTest() : buffers_(&disk_, 64) {
+    item_ = schema_
+                .DefineTupleType("Item", {},
+                                 {{"Tag", Schema::kStringType,
+                                   kInvalidTypeId}})
+                .value();
+    items_ = schema_.DefineListType("Items", item_).value();
+    owner_ =
+        schema_
+            .DefineTupleType("Owner", {},
+                             {{"Sequence", items_, kInvalidTypeId}})
+            .value();
+    store_ = std::make_unique<ObjectStore>(&schema_, &buffers_);
+  }
+
+  Schema schema_;
+  storage::Disk disk_;
+  storage::BufferManager buffers_;
+  std::unique_ptr<ObjectStore> store_;
+  TypeId item_, items_, owner_;
+};
+
+TEST_F(ListTest, TypeSystemProperties) {
+  EXPECT_TRUE(schema_.IsList(items_));
+  EXPECT_FALSE(schema_.IsSet(items_));
+  EXPECT_TRUE(schema_.IsCollection(items_));
+  EXPECT_EQ(schema_.element_type(items_), item_);
+  // Nested collections rejected in both flavors.
+  EXPECT_TRUE(schema_.DefineListType("LL", items_).status().IsTypeError());
+  TypeId set = schema_.DefineSetType("S", item_).value();
+  EXPECT_TRUE(schema_.DefineListType("LS", set).status().IsTypeError());
+}
+
+TEST_F(ListTest, PreservesOrderAndDuplicates) {
+  Oid list = store_->CreateList(items_).value();
+  Oid a = store_->CreateObject(item_).value();
+  Oid b = store_->CreateObject(item_).value();
+  ASSERT_TRUE(store_->ListAppend(list, AsrKey::FromOid(a)).ok());
+  ASSERT_TRUE(store_->ListAppend(list, AsrKey::FromOid(b)).ok());
+  ASSERT_TRUE(store_->ListAppend(list, AsrKey::FromOid(a)).ok());  // dup
+
+  SetView view = store_->GetSet(list).value();
+  ASSERT_EQ(view.members.size(), 3u);
+  EXPECT_EQ(view.members[0], AsrKey::FromOid(a));
+  EXPECT_EQ(view.members[1], AsrKey::FromOid(b));
+  EXPECT_EQ(view.members[2], AsrKey::FromOid(a));
+  EXPECT_EQ(*store_->ListLength(list), 3u);
+}
+
+TEST_F(ListTest, RemoveAtPreservesOrder) {
+  Oid list = store_->CreateList(items_).value();
+  std::vector<Oid> items;
+  for (int i = 0; i < 5; ++i) {
+    items.push_back(store_->CreateObject(item_).value());
+    ASSERT_TRUE(store_->ListAppend(list, AsrKey::FromOid(items[i])).ok());
+  }
+  ASSERT_TRUE(store_->ListRemoveAt(list, 1).ok());
+  SetView view = store_->GetSet(list).value();
+  ASSERT_EQ(view.members.size(), 4u);
+  EXPECT_EQ(view.members[0], AsrKey::FromOid(items[0]));
+  EXPECT_EQ(view.members[1], AsrKey::FromOid(items[2]));
+  EXPECT_EQ(view.members[2], AsrKey::FromOid(items[3]));
+  EXPECT_EQ(view.members[3], AsrKey::FromOid(items[4]));
+  EXPECT_TRUE(store_->ListRemoveAt(list, 99).IsOutOfRange());
+}
+
+TEST_F(ListTest, LongListsChainAcrossPagesInOrder) {
+  Oid list = store_->CreateList(items_).value();
+  Oid probe = store_->CreateObject(item_).value();
+  for (int i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(store_->ListAppend(list, AsrKey::FromOid(probe)).ok());
+  }
+  // Duplicates are kept (1500 occurrences), in order.
+  EXPECT_EQ(*store_->ListLength(list), 1500u);
+  ASSERT_TRUE(store_->ListRemoveAt(list, 1200).ok());
+  EXPECT_EQ(*store_->ListLength(list), 1499u);
+}
+
+TEST_F(ListTest, TypeChecks) {
+  Oid list = store_->CreateList(items_).value();
+  Oid foreign = store_->CreateObject(owner_).value();
+  EXPECT_TRUE(
+      store_->ListAppend(list, AsrKey::FromOid(foreign)).IsTypeError());
+  EXPECT_TRUE(store_->ListAppend(list, AsrKey::FromInt(3)).IsTypeError());
+  EXPECT_TRUE(
+      store_->ListAppend(list, AsrKey::Null()).IsInvalidArgument());
+  // AddToSet is set-only.
+  Oid item = store_->CreateObject(item_).value();
+  EXPECT_TRUE(store_->AddToSet(list, AsrKey::FromOid(item)).IsTypeError());
+  // CreateList needs a list type.
+  EXPECT_TRUE(store_->CreateList(item_).status().IsTypeError());
+  EXPECT_TRUE(store_->CreateSet(items_).status().IsTypeError());
+}
+
+TEST_F(ListTest, PathThroughListBehavesLikeSet) {
+  // Owner.Sequence.Tag — a path with a list occurrence.
+  PathExpression path =
+      PathExpression::Parse(schema_, owner_, "Sequence.Tag").value();
+  EXPECT_EQ(path.n(), 2u);
+  EXPECT_EQ(path.k(), 1u);  // list occurrence counts like a set occurrence
+  EXPECT_TRUE(path.step(1).set_occurrence);
+
+  Oid o1 = store_->CreateObject(owner_).value();
+  Oid o2 = store_->CreateObject(owner_).value();
+  Oid l1 = store_->CreateList(items_).value();
+  Oid l2 = store_->CreateList(items_).value();
+  ASSERT_TRUE(store_->SetRef(o1, "Sequence", l1).ok());
+  ASSERT_TRUE(store_->SetRef(o2, "Sequence", l2).ok());
+  Oid red = store_->CreateObject(item_).value();
+  ASSERT_TRUE(store_->SetString(red, "Tag", "red").ok());
+  Oid blue = store_->CreateObject(item_).value();
+  ASSERT_TRUE(store_->SetString(blue, "Tag", "blue").ok());
+  ASSERT_TRUE(store_->ListAppend(l1, AsrKey::FromOid(red)).ok());
+  ASSERT_TRUE(store_->ListAppend(l1, AsrKey::FromOid(red)).ok());  // dup
+  ASSERT_TRUE(store_->ListAppend(l1, AsrKey::FromOid(blue)).ok());
+  ASSERT_TRUE(store_->ListAppend(l2, AsrKey::FromOid(blue)).ok());
+
+  // ASR over the list path: duplicates collapse (the extension is a set).
+  auto asr = AccessSupportRelation::Build(store_.get(), path,
+                                          ExtensionKind::kFull,
+                                          Decomposition::Binary(2))
+                 .value();
+  AsrKey red_tag = AsrKey::FromString("red", store_->string_dict());
+  std::set<uint64_t> owners;
+  for (AsrKey k : asr->EvalBackward(red_tag, 0, 2).value()) {
+    owners.insert(k.raw());
+  }
+  EXPECT_EQ(owners, (std::set<uint64_t>{o1.raw()}));
+
+  AsrKey blue_tag = AsrKey::FromString("blue", store_->string_dict());
+  owners.clear();
+  for (AsrKey k : asr->EvalBackward(blue_tag, 0, 2).value()) {
+    owners.insert(k.raw());
+  }
+  EXPECT_EQ(owners, (std::set<uint64_t>{o1.raw(), o2.raw()}));
+
+  // Navigational evaluation agrees.
+  QueryEvaluator nav(store_.get(), &path);
+  std::set<uint64_t> nav_owners;
+  for (AsrKey k : nav.BackwardNoSupport(blue_tag, 0, 2).value()) {
+    nav_owners.insert(k.raw());
+  }
+  EXPECT_EQ(nav_owners, owners);
+}
+
+TEST_F(ListTest, MaintenanceOnListEdges) {
+  PathExpression path =
+      PathExpression::Parse(schema_, owner_, "Sequence.Tag").value();
+  Oid o = store_->CreateObject(owner_).value();
+  Oid list = store_->CreateList(items_).value();
+  ASSERT_TRUE(store_->SetRef(o, "Sequence", list).ok());
+  Oid item = store_->CreateObject(item_).value();
+  ASSERT_TRUE(store_->SetString(item, "Tag", "green").ok());
+
+  auto asr = AccessSupportRelation::Build(store_.get(), path,
+                                          ExtensionKind::kFull,
+                                          Decomposition::None(2))
+                 .value();
+  // Append a (first occurrence) element and maintain the edge.
+  ASSERT_TRUE(store_->ListAppend(list, AsrKey::FromOid(item)).ok());
+  ASSERT_TRUE(asr->OnEdgeInserted(o, 0, AsrKey::FromOid(item)).ok());
+
+  auto rebuilt = AccessSupportRelation::Build(store_.get(), path,
+                                              ExtensionKind::kFull,
+                                              Decomposition::None(2))
+                     .value();
+  EXPECT_TRUE(asr->DumpPartition(0).value().EqualsAsSet(
+      rebuilt->DumpPartition(0).value()));
+}
+
+}  // namespace
+}  // namespace asr::gom

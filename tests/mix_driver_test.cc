@@ -1,0 +1,123 @@
+// Tests for the empirical operation-mix driver and the skewed-sharing
+// workload generation.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "workload/mix_driver.h"
+#include "workload/profile_estimator.h"
+#include "workload/synthetic_base.h"
+
+namespace asr::workload {
+namespace {
+
+cost::ApplicationProfile SmallProfile() {
+  cost::ApplicationProfile p;
+  p.n = 3;
+  p.c = {60, 120, 200, 150};
+  p.d = {50, 100, 160};
+  p.fan = {2, 1, 2};
+  p.size = {200, 200, 200, 120};
+  return p;
+}
+
+TEST(MixDriverTest, RunsMixedOperationsAndMeters) {
+  auto base = SyntheticBase::Generate(SmallProfile(), {1, 0}).value();
+  auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                          ExtensionKind::kFull,
+                                          Decomposition::Binary(3))
+                 .value();
+  cost::OperationMix mix;
+  mix.queries = {{0.7, cost::QueryDirection::kBackward, 0, 3},
+                 {0.3, cost::QueryDirection::kForward, 0, 2}};
+  mix.updates = {{1.0, 2}};
+
+  MixDriver driver(base.get(), asr.get(), 9);
+  MixRunResult result = driver.Run(mix, 0.4, 50).value();
+  EXPECT_EQ(result.operations, 50u);
+  EXPECT_EQ(result.queries + result.updates, 50u);
+  EXPECT_GT(result.updates, 5u);   // ~20 expected
+  EXPECT_GT(result.queries, 15u);  // ~30 expected
+  EXPECT_GT(result.total_page_accesses, 0u);
+  EXPECT_GT(result.PerOperation(), 0.0);
+
+  // The ASR must still be consistent after the driver's real updates.
+  auto rebuilt = AccessSupportRelation::Build(base->store(), base->path(),
+                                              ExtensionKind::kFull,
+                                              Decomposition::Binary(3))
+                     .value();
+  for (size_t p = 0; p < asr->partition_count(); ++p) {
+    EXPECT_TRUE(asr->DumpPartition(p).value().EqualsAsSet(
+        rebuilt->DumpPartition(p).value()))
+        << "partition " << p;
+  }
+}
+
+TEST(MixDriverTest, SupportedMixIsCheaperThanNavigational) {
+  cost::OperationMix mix;
+  mix.queries = {{1.0, cost::QueryDirection::kBackward, 0, 3}};
+  mix.updates = {{1.0, 1}};
+
+  double nosup;
+  {
+    auto base = SyntheticBase::Generate(SmallProfile(), {2, 0}).value();
+    MixDriver driver(base.get(), nullptr, 5);
+    nosup = driver.Run(mix, 0.1, 30).value().PerOperation();
+  }
+  double supported;
+  {
+    auto base = SyntheticBase::Generate(SmallProfile(), {2, 0}).value();
+    auto asr = AccessSupportRelation::Build(base->store(), base->path(),
+                                            ExtensionKind::kLeftComplete,
+                                            Decomposition::Binary(3))
+                   .value();
+    base->buffers()->FlushAll();
+    MixDriver driver(base.get(), asr.get(), 5);
+    supported = driver.Run(mix, 0.1, 30).value().PerOperation();
+  }
+  EXPECT_LT(supported, nosup / 2);
+}
+
+TEST(MixDriverTest, RejectsEmptyMixAndBadPositions) {
+  auto base = SyntheticBase::Generate(SmallProfile(), {3, 0}).value();
+  MixDriver driver(base.get(), nullptr, 1);
+  EXPECT_TRUE(driver.Run(cost::OperationMix{}, 0.5, 10)
+                  .status()
+                  .IsInvalidArgument());
+  cost::OperationMix bad;
+  bad.updates = {{1.0, 99}};
+  EXPECT_TRUE(driver.Run(bad, 1.0, 1).status().IsInvalidArgument());
+}
+
+TEST(SkewedSharingTest, SharParameterConcentratesReferences) {
+  cost::ApplicationProfile profile = SmallProfile();
+  profile.shar = {5.0, 1.0, 1.0};  // heavy sharing on the first hop
+
+  auto base = SyntheticBase::Generate(profile, {11, 64}).value();
+  const PathStep& step = base->path().step(1);
+  std::unordered_set<uint64_t> distinct_targets;
+  uint64_t edges = 0;
+  for (Oid o : base->objects_at(0)) {
+    AsrKey v = base->store()->GetAttributeByName(o, step.attr_name).value();
+    if (v.IsNull()) continue;
+    gom::SetView view = base->store()->GetSet(v.ToOid()).value();
+    for (AsrKey m : view.members) {
+      distinct_targets.insert(m.raw());
+      ++edges;
+    }
+  }
+  // d_0 * fan_0 = 100 references over ~e_1 = 100/5 = 20 distinct targets.
+  EXPECT_EQ(edges, 100u);
+  EXPECT_LE(distinct_targets.size(), 25u);
+  EXPECT_GE(distinct_targets.size(), 15u);
+
+  // The estimator measures the skew back.
+  cost::ApplicationProfile est =
+      EstimateProfile(base->store(), base->path()).value();
+  EXPECT_GT(est.shar[0], 3.0);
+  EXPECT_LT(est.shar[0], 7.0);
+}
+
+}  // namespace
+}  // namespace asr::workload

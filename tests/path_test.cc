@@ -1,0 +1,120 @@
+// Tests for path expressions (Def. 3.1) and their column layout (Def. 3.2).
+#include <gtest/gtest.h>
+
+#include "asr/path_expression.h"
+#include "paper_example.h"
+
+namespace asr {
+namespace {
+
+TEST(PathExpressionTest, CompanyPathResolves) {
+  auto base = testing::MakeCompanyBase();
+  PathExpression path = testing::MakeCompanyPath(*base);
+
+  EXPECT_EQ(path.n(), 3u);
+  EXPECT_EQ(path.k(), 2u);  // Manufactures and Composition are sets
+  EXPECT_EQ(path.m(), 5u);  // arity 6 with set columns (Def. 3.2 example)
+  EXPECT_EQ(path.anchor(), base->division_type);
+  EXPECT_TRUE(path.step(1).set_occurrence);
+  EXPECT_TRUE(path.step(2).set_occurrence);
+  EXPECT_FALSE(path.step(3).set_occurrence);
+  EXPECT_EQ(path.type_at(0), base->division_type);
+  EXPECT_EQ(path.type_at(1), base->product_type);
+  EXPECT_EQ(path.type_at(2), base->basepart_type);
+  EXPECT_EQ(path.type_at(3), gom::Schema::kStringType);
+  EXPECT_TRUE(path.terminal_is_atomic());
+  EXPECT_EQ(path.ToString(), "Division.Manufactures.Composition.Name");
+}
+
+TEST(PathExpressionTest, ColumnOfPositionWithSets) {
+  auto base = testing::MakeCompanyBase();
+  PathExpression path = testing::MakeCompanyPath(*base);
+  // Columns: 0=Division, 1=ProdSET, 2=Product, 3=BasePartSET, 4=BasePart,
+  // 5=Name value.
+  EXPECT_EQ(path.ColumnOfPosition(0), 0u);
+  EXPECT_EQ(path.ColumnOfPosition(1), 2u);
+  EXPECT_EQ(path.ColumnOfPosition(2), 4u);
+  EXPECT_EQ(path.ColumnOfPosition(3), 5u);
+}
+
+TEST(PathExpressionTest, LinearPathHasNoSetColumns) {
+  gom::Schema schema;
+  TypeId leaf = schema.DefineTupleType("Leaf", {}, {}).value();
+  TypeId mid =
+      schema
+          .DefineTupleType("Mid", {}, {{"Next", leaf, kInvalidTypeId}})
+          .value();
+  TypeId root =
+      schema
+          .DefineTupleType("Root", {}, {{"Child", mid, kInvalidTypeId}})
+          .value();
+  PathExpression path =
+      PathExpression::Parse(schema, root, "Child.Next").value();
+  EXPECT_EQ(path.n(), 2u);
+  EXPECT_EQ(path.k(), 0u);
+  EXPECT_EQ(path.m(), 2u);
+  for (uint32_t p = 0; p <= 2; ++p) {
+    EXPECT_EQ(path.ColumnOfPosition(p), p);
+  }
+}
+
+TEST(PathExpressionTest, UnknownAttributeRejected) {
+  auto base = testing::MakeCompanyBase();
+  Result<PathExpression> bad = PathExpression::Parse(
+      base->schema, base->division_type, "Manufactures.Ghost");
+  EXPECT_TRUE(bad.status().IsNotFound());
+}
+
+TEST(PathExpressionTest, AtomicMidPathRejected) {
+  auto base = testing::MakeCompanyBase();
+  // Name is atomic; nothing can follow it.
+  Result<PathExpression> bad = PathExpression::Parse(
+      base->schema, base->division_type, "Name.Manufactures");
+  EXPECT_TRUE(bad.status().IsTypeError());
+}
+
+TEST(PathExpressionTest, EmptyPathRejected) {
+  auto base = testing::MakeCompanyBase();
+  EXPECT_FALSE(
+      PathExpression::Create(base->schema, base->division_type, {}).ok());
+  EXPECT_FALSE(
+      PathExpression::Parse(base->schema, base->division_type, "A..B").ok());
+}
+
+TEST(PathExpressionTest, NonTupleAnchorRejected) {
+  auto base = testing::MakeCompanyBase();
+  EXPECT_TRUE(PathExpression::Parse(base->schema, base->prodset_type, "Name")
+                  .status()
+                  .IsTypeError());
+  EXPECT_TRUE(
+      PathExpression::Parse(base->schema, gom::Schema::kStringType, "Name")
+          .status()
+          .IsTypeError());
+}
+
+TEST(PathExpressionTest, InheritedAttributesTraversable) {
+  gom::Schema schema;
+  TypeId target = schema.DefineTupleType("Target", {}, {}).value();
+  TypeId base_t =
+      schema
+          .DefineTupleType("Base", {}, {{"Ref", target, kInvalidTypeId}})
+          .value();
+  TypeId sub = schema.DefineTupleType("Sub", {base_t}, {}).value();
+  Result<PathExpression> path = PathExpression::Parse(schema, sub, "Ref");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->step(1).domain_type, sub);
+  EXPECT_EQ(path->step(1).range_type, target);
+}
+
+TEST(PathExpressionTest, SingleStepAtomic) {
+  auto base = testing::MakeCompanyBase();
+  Result<PathExpression> path =
+      PathExpression::Parse(base->schema, base->basepart_type, "Price");
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(path->n(), 1u);
+  EXPECT_TRUE(path->terminal_is_atomic());
+  EXPECT_EQ(path->type_at(1), gom::Schema::kDecimalType);
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,145 @@
+// Tests for the relational kernel: joins with the paper's NULL semantics,
+// projections, and normalization.
+#include <gtest/gtest.h>
+
+#include "rel/relation.h"
+
+namespace asr::rel {
+namespace {
+
+AsrKey K(uint64_t seq) { return AsrKey::FromOid(Oid::Make(1, seq)); }
+AsrKey N() { return AsrKey::Null(); }
+
+Relation Make(uint32_t arity, std::initializer_list<Row> rows) {
+  Relation r(arity);
+  for (const Row& row : rows) r.AddRow(row);
+  return r;
+}
+
+TEST(RelationTest, NaturalJoinMatchesOnSharedColumn) {
+  Relation left = Make(2, {{K(1), K(2)}, {K(3), K(4)}});
+  Relation right = Make(2, {{K(2), K(9)}, {K(7), K(8)}});
+  Relation out = Relation::Join(left, right, JoinKind::kNatural);
+  EXPECT_EQ(out.arity(), 3u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows()[0], (Row{K(1), K(2), K(9)}));
+}
+
+TEST(RelationTest, NaturalJoinFansOut) {
+  Relation left = Make(2, {{K(1), K(2)}});
+  Relation right = Make(2, {{K(2), K(5)}, {K(2), K(6)}});
+  Relation out = Relation::Join(left, right, JoinKind::kNatural);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(RelationTest, NullNeverJoins) {
+  Relation left = Make(2, {{K(1), N()}});
+  Relation right = Make(2, {{N(), K(9)}});
+  EXPECT_EQ(Relation::Join(left, right, JoinKind::kNatural).size(), 0u);
+  // Outer variants keep both rows as dangling, NULL-padded rows.
+  Relation full = Relation::Join(left, right, JoinKind::kFullOuter);
+  full.Normalize();
+  Relation expected = Make(3, {{K(1), N(), N()}, {N(), N(), K(9)}});
+  EXPECT_TRUE(full.EqualsAsSet(expected));
+}
+
+TEST(RelationTest, LeftOuterKeepsDanglingLeft) {
+  Relation left = Make(2, {{K(1), K(2)}, {K(3), K(4)}});
+  Relation right = Make(2, {{K(2), K(9)}});
+  Relation out = Relation::Join(left, right, JoinKind::kLeftOuter);
+  Relation expected = Make(3, {{K(1), K(2), K(9)}, {K(3), K(4), N()}});
+  EXPECT_TRUE(out.EqualsAsSet(expected));
+}
+
+TEST(RelationTest, RightOuterKeepsDanglingRight) {
+  Relation left = Make(2, {{K(1), K(2)}});
+  Relation right = Make(2, {{K(2), K(9)}, {K(5), K(6)}});
+  Relation out = Relation::Join(left, right, JoinKind::kRightOuter);
+  Relation expected = Make(3, {{K(1), K(2), K(9)}, {N(), K(5), K(6)}});
+  EXPECT_TRUE(out.EqualsAsSet(expected));
+}
+
+TEST(RelationTest, FullOuterKeepsBoth) {
+  Relation left = Make(2, {{K(1), K(2)}, {K(3), K(4)}});
+  Relation right = Make(2, {{K(2), K(9)}, {K(5), K(6)}});
+  Relation out = Relation::Join(left, right, JoinKind::kFullOuter);
+  Relation expected = Make(3, {{K(1), K(2), K(9)},
+                               {K(3), K(4), N()},
+                               {N(), K(5), K(6)}});
+  EXPECT_TRUE(out.EqualsAsSet(expected));
+}
+
+TEST(RelationTest, TernaryOperandJoins) {
+  // Set-occurrence auxiliary relations are ternary; the join is still on
+  // last-of-left and first-of-right.
+  Relation left = Make(3, {{K(1), K(2), K(3)}});
+  Relation right = Make(3, {{K(3), K(4), K(5)}});
+  Relation out = Relation::Join(left, right, JoinKind::kNatural);
+  EXPECT_EQ(out.arity(), 5u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out.rows()[0], (Row{K(1), K(2), K(3), K(4), K(5)}));
+}
+
+TEST(RelationTest, ProjectionDeduplicates) {
+  Relation r = Make(3, {{K(1), K(2), K(3)},
+                        {K(1), K(2), K(4)},
+                        {K(5), K(6), K(7)}});
+  Relation p = r.Project(0, 1);
+  EXPECT_EQ(p.arity(), 2u);
+  EXPECT_EQ(p.size(), 2u);  // (1,2) appears once
+}
+
+TEST(RelationTest, ProjectionSingleColumn) {
+  Relation r = Make(3, {{K(1), K(2), K(3)}, {K(4), K(2), K(5)}});
+  Relation p = r.Project(1, 1);
+  EXPECT_EQ(p.arity(), 1u);
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(RelationTest, NormalizeSortsAndDedups) {
+  Relation r = Make(2, {{K(3), K(4)}, {K(1), K(2)}, {K(3), K(4)}});
+  r.Normalize();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r.rows()[0], (Row{K(1), K(2)}));
+  EXPECT_EQ(r.rows()[1], (Row{K(3), K(4)}));
+}
+
+TEST(RelationTest, EqualsAsSetIgnoresOrderAndDuplicates) {
+  Relation a = Make(2, {{K(1), K(2)}, {K(3), K(4)}});
+  Relation b = Make(2, {{K(3), K(4)}, {K(1), K(2)}, {K(1), K(2)}});
+  EXPECT_TRUE(a.EqualsAsSet(b));
+  Relation c = Make(2, {{K(1), K(2)}});
+  EXPECT_FALSE(a.EqualsAsSet(c));
+  Relation d = Make(3, {{K(1), K(2), K(3)}});
+  EXPECT_FALSE(a.EqualsAsSet(d));
+}
+
+TEST(RelationTest, EmptyOperands) {
+  Relation empty(2);
+  Relation right = Make(2, {{K(2), K(9)}});
+  EXPECT_EQ(Relation::Join(empty, right, JoinKind::kNatural).size(), 0u);
+  EXPECT_EQ(Relation::Join(empty, right, JoinKind::kLeftOuter).size(), 0u);
+  Relation ro = Relation::Join(empty, right, JoinKind::kRightOuter);
+  EXPECT_EQ(ro.size(), 1u);
+  EXPECT_TRUE(ro.rows()[0][0].IsNull());
+}
+
+// Losslessness (Theorem 3.9) on a path-shaped relation: re-joining the
+// projections of a decomposition reproduces the original, because prefixes
+// and suffixes are independent given the shared column value.
+TEST(RelationTest, LosslessDecompositionOfPathRelation) {
+  // Paths through a 3-level graph: b has edges to both d and e; a and c
+  // both reach b. All four combinations must exist for consistency.
+  Relation paths = Make(3, {{K(1), K(5), K(8)},
+                            {K(1), K(5), K(9)},
+                            {K(2), K(5), K(8)},
+                            {K(2), K(5), K(9)},
+                            {K(3), K(6), K(8)}});
+  Relation left = paths.Project(0, 1);
+  Relation right = paths.Project(1, 2);
+  Relation rejoined = Relation::Join(left, right, JoinKind::kNatural);
+  EXPECT_TRUE(rejoined.EqualsAsSet(paths));
+}
+
+}  // namespace
+}  // namespace asr::rel

@@ -1,0 +1,359 @@
+// Tests for ASR sharing across overlapping path expressions (§5.4).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "asr/query.h"
+#include "asr/sharing.h"
+#include "common/random.h"
+#include "gom/object_store.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+
+namespace asr {
+namespace {
+
+// Two paths sharing the middle chain B -Next-> C:
+//   pathA: A0.ToB.Next.ToD      (A0 -> B -> C -> D)
+//   pathB: A1.IntoB.Next.ToE    (A1 -> B -> C -> E)
+class SharingTest : public ::testing::Test {
+ protected:
+  SharingTest() : buffers_(&disk_, 64) {
+    d_ = schema_.DefineTupleType("D", {}, {}).value();
+    e_ = schema_.DefineTupleType("E", {}, {}).value();
+    c_ = schema_
+             .DefineTupleType("C", {},
+                              {{"ToD", d_, kInvalidTypeId},
+                               {"ToE", e_, kInvalidTypeId}})
+             .value();
+    b_ = schema_
+             .DefineTupleType("B", {}, {{"Next", c_, kInvalidTypeId}})
+             .value();
+    a0_ = schema_
+              .DefineTupleType("A0", {}, {{"ToB", b_, kInvalidTypeId}})
+              .value();
+    a1_ = schema_
+              .DefineTupleType("A1", {}, {{"IntoB", b_, kInvalidTypeId}})
+              .value();
+    store_ = std::make_unique<gom::ObjectStore>(&schema_, &buffers_);
+    path_a_.emplace(
+        PathExpression::Parse(schema_, a0_, "ToB.Next.ToD").value());
+    path_b_.emplace(
+        PathExpression::Parse(schema_, a1_, "IntoB.Next.ToE").value());
+  }
+
+  // Populates a random instance graph.
+  void Populate(uint64_t seed) {
+    Rng rng(seed);
+    std::vector<Oid> bs, cs, ds, es;
+    for (int i = 0; i < 12; ++i) bs.push_back(store_->CreateObject(b_).value());
+    for (int i = 0; i < 10; ++i) cs.push_back(store_->CreateObject(c_).value());
+    for (int i = 0; i < 8; ++i) ds.push_back(store_->CreateObject(d_).value());
+    for (int i = 0; i < 8; ++i) es.push_back(store_->CreateObject(e_).value());
+    for (int i = 0; i < 10; ++i) {
+      Oid a0 = store_->CreateObject(a0_).value();
+      if (rng.Bernoulli(0.8)) {
+        ASR_CHECK(store_->SetRef(a0, "ToB", bs[rng.Uniform(bs.size())]).ok());
+      }
+      Oid a1 = store_->CreateObject(a1_).value();
+      if (rng.Bernoulli(0.8)) {
+        ASR_CHECK(
+            store_->SetRef(a1, "IntoB", bs[rng.Uniform(bs.size())]).ok());
+      }
+    }
+    for (Oid b : bs) {
+      if (rng.Bernoulli(0.75)) {
+        ASR_CHECK(store_->SetRef(b, "Next", cs[rng.Uniform(cs.size())]).ok());
+      }
+    }
+    for (Oid c : cs) {
+      if (rng.Bernoulli(0.7)) {
+        ASR_CHECK(store_->SetRef(c, "ToD", ds[rng.Uniform(ds.size())]).ok());
+      }
+      if (rng.Bernoulli(0.7)) {
+        ASR_CHECK(store_->SetRef(c, "ToE", es[rng.Uniform(es.size())]).ok());
+      }
+    }
+  }
+
+  gom::Schema schema_;
+  storage::Disk disk_;
+  storage::BufferManager buffers_;
+  std::unique_ptr<gom::ObjectStore> store_;
+  std::optional<PathExpression> path_a_, path_b_;
+  TypeId a0_, a1_, b_, c_, d_, e_;
+};
+
+TEST_F(SharingTest, FindLongestOverlapLocatesSharedChain) {
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_b_);
+  ASSERT_FALSE(overlap.empty());
+  // Shared segment: position 1..2 in both paths (B -Next-> C).
+  EXPECT_EQ(overlap.a_start, 1u);
+  EXPECT_EQ(overlap.b_start, 1u);
+  EXPECT_EQ(overlap.length, 1u);
+}
+
+TEST_F(SharingTest, OverlapWithSelfIsWholePath) {
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_a_);
+  EXPECT_EQ(overlap.a_start, 0u);
+  EXPECT_EQ(overlap.length, path_a_->n());
+}
+
+TEST_F(SharingTest, NoOverlapBetweenDisjointPaths) {
+  PathExpression c_to_d = PathExpression::Parse(schema_, c_, "ToD").value();
+  PathExpression c_to_e = PathExpression::Parse(schema_, c_, "ToE").value();
+  EXPECT_TRUE(FindLongestOverlap(c_to_d, c_to_e).empty());
+}
+
+TEST_F(SharingTest, SharabilityRules) {
+  PathOverlap mid = FindLongestOverlap(*path_a_, *path_b_);
+  EXPECT_TRUE(OverlapSharable(mid, ExtensionKind::kFull, *path_a_, *path_b_));
+  EXPECT_FALSE(OverlapSharable(mid, ExtensionKind::kCanonical, *path_a_,
+                               *path_b_));
+  // The shared segment is neither a prefix nor a suffix of both paths.
+  EXPECT_FALSE(OverlapSharable(mid, ExtensionKind::kLeftComplete, *path_a_,
+                               *path_b_));
+  EXPECT_FALSE(OverlapSharable(mid, ExtensionKind::kRightComplete, *path_a_,
+                               *path_b_));
+
+  // A path compared to itself: prefix and suffix both hold.
+  PathOverlap self = FindLongestOverlap(*path_a_, *path_a_);
+  EXPECT_TRUE(OverlapSharable(self, ExtensionKind::kLeftComplete, *path_a_,
+                              *path_a_));
+  EXPECT_TRUE(OverlapSharable(self, ExtensionKind::kRightComplete, *path_a_,
+                              *path_a_));
+}
+
+TEST_F(SharingTest, SharingDecompositionIsolatesSegment) {
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_b_);
+  Decomposition dec_a = SharingDecomposition(overlap, true, *path_a_);
+  EXPECT_EQ(dec_a.ToString(), "(0,1,2,3)");
+  Decomposition dec_b = SharingDecomposition(overlap, false, *path_b_);
+  EXPECT_EQ(dec_b.ToString(), "(0,1,2,3)");
+}
+
+TEST_F(SharingTest, SegmentSignaturesMatchAcrossPaths) {
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_b_);
+  EXPECT_EQ(SegmentSignature(*path_a_, overlap.a_start, overlap.length),
+            SegmentSignature(*path_b_, overlap.b_start, overlap.length));
+  EXPECT_NE(SegmentSignature(*path_a_, 0, 1),
+            SegmentSignature(*path_b_, 0, 1));
+}
+
+// The §5.4 equality: over the shared chain segment, both paths' full
+// extensions materialize the same *subpaths*. (The NULL-padded dangler rows
+// may differ — whether an unreferenced object shows up depends on its edges
+// outside the shared window — which is why a shared store keeps the union.)
+TEST_F(SharingTest, SharedPartitionSubpathsEqual) {
+  Populate(3);
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_b_);
+  rel::Relation ext_a =
+      ComputeExtension(store_.get(), *path_a_, ExtensionKind::kFull, true)
+          .value();
+  rel::Relation ext_b =
+      ComputeExtension(store_.get(), *path_b_, ExtensionKind::kFull, true)
+          .value();
+  auto complete_rows = [](const rel::Relation& r) {
+    rel::Relation out(r.arity());
+    for (const rel::Row& row : r.rows()) {
+      bool has_null = false;
+      for (AsrKey k : row) has_null |= k.IsNull();
+      if (!has_null) out.AddRow(row);
+    }
+    return out;
+  };
+  rel::Relation shared_a = complete_rows(
+      ext_a.Project(overlap.a_start, overlap.a_start + overlap.length));
+  rel::Relation shared_b = complete_rows(
+      ext_b.Project(overlap.b_start, overlap.b_start + overlap.length));
+  EXPECT_GT(shared_a.size(), 0u);
+  EXPECT_TRUE(shared_a.EqualsAsSet(shared_b));
+}
+
+TEST_F(SharingTest, CatalogSharesPartitionStores) {
+  Populate(5);
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_b_);
+  AsrCatalog catalog(store_.get());
+  AccessSupportRelation* asr_a =
+      catalog.Build(*path_a_, ExtensionKind::kFull,
+                    SharingDecomposition(overlap, true, *path_a_))
+          .value();
+  uint32_t segments_before =
+      static_cast<uint32_t>(store_->buffers()->disk()->segment_count());
+  AccessSupportRelation* asr_b =
+      catalog.Build(*path_b_, ExtensionKind::kFull,
+                    SharingDecomposition(overlap, false, *path_b_))
+          .value();
+  uint32_t segments_after =
+      static_cast<uint32_t>(store_->buffers()->disk()->segment_count());
+
+  EXPECT_EQ(catalog.shared_partition_count(), 1u);
+  // The shared partition is the same object in both ASRs.
+  EXPECT_EQ(asr_a->partition_store(1).get(), asr_b->partition_store(1).get());
+  // Only the two private partitions created new tree segments (2 trees each).
+  EXPECT_EQ(segments_after - segments_before, 4u);
+
+  // Both ASRs answer correctly despite the shared storage.
+  QueryEvaluator nav_a(store_.get(), &*path_a_);
+  QueryEvaluator nav_b(store_.get(), &*path_b_);
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    AsrKey target_d = AsrKey::FromOid(Oid::Make(d_, seq));
+    std::set<uint64_t> want, got;
+    for (AsrKey k : nav_a.BackwardNoSupport(target_d, 0, 3).value()) {
+      want.insert(k.raw());
+    }
+    for (AsrKey k : asr_a->EvalBackward(target_d, 0, 3).value()) {
+      got.insert(k.raw());
+    }
+    EXPECT_EQ(got, want) << "path A, d seq " << seq;
+
+    AsrKey target_e = AsrKey::FromOid(Oid::Make(e_, seq));
+    want.clear();
+    got.clear();
+    for (AsrKey k : nav_b.BackwardNoSupport(target_e, 0, 3).value()) {
+      want.insert(k.raw());
+    }
+    for (AsrKey k : asr_b->EvalBackward(target_e, 0, 3).value()) {
+      got.insert(k.raw());
+    }
+    EXPECT_EQ(got, want) << "path B, e seq " << seq;
+  }
+}
+
+TEST_F(SharingTest, CatalogSharesPrefixPartitionsForLeftComplete) {
+  Populate(13);
+  // Two left-complete paths with the same anchor and prefix A0.ToB.Next,
+  // diverging in the last step (ToD vs ToE) — §5.4 exception 1.
+  PathExpression to_d =
+      PathExpression::Parse(schema_, a0_, "ToB.Next.ToD").value();
+  PathExpression to_e =
+      PathExpression::Parse(schema_, a0_, "ToB.Next.ToE").value();
+  PathOverlap overlap = FindLongestOverlap(to_d, to_e);
+  EXPECT_EQ(overlap.a_start, 0u);
+  EXPECT_EQ(overlap.length, 2u);
+  EXPECT_TRUE(OverlapSharable(overlap, ExtensionKind::kLeftComplete, to_d,
+                              to_e));
+
+  AsrCatalog catalog(store_.get());
+  Decomposition dec = Decomposition::Of({0, 2, 3}, 3).value();
+  AccessSupportRelation* asr_d =
+      catalog.Build(to_d, ExtensionKind::kLeftComplete, dec).value();
+  AccessSupportRelation* asr_e =
+      catalog.Build(to_e, ExtensionKind::kLeftComplete, dec).value();
+  EXPECT_EQ(catalog.shared_partition_count(), 1u);
+  EXPECT_EQ(asr_d->partition_store(0).get(), asr_e->partition_store(0).get());
+  EXPECT_NE(asr_d->partition_store(1).get(), asr_e->partition_store(1).get());
+
+  // Queries stay correct through the shared prefix.
+  QueryEvaluator nav_d(store_.get(), &to_d);
+  for (uint64_t seq = 1; seq <= 8; ++seq) {
+    AsrKey target = AsrKey::FromOid(Oid::Make(d_, seq));
+    std::set<uint64_t> want, got;
+    for (AsrKey k : nav_d.BackwardNoSupport(target, 0, 3).value()) {
+      want.insert(k.raw());
+    }
+    for (AsrKey k : asr_d->EvalBackward(target, 0, 3).value()) {
+      got.insert(k.raw());
+    }
+    EXPECT_EQ(got, want) << "d seq " << seq;
+  }
+
+  // A canonical ASR never shares, even over the identical path.
+  catalog.Build(to_d, ExtensionKind::kCanonical, dec).value();
+  EXPECT_EQ(catalog.shared_partition_count(), 1u);
+}
+
+TEST_F(SharingTest, CatalogMaintenanceKeepsSharedStoresConsistent) {
+  Populate(7);
+  PathOverlap overlap = FindLongestOverlap(*path_a_, *path_b_);
+  AsrCatalog catalog(store_.get());
+  AccessSupportRelation* asr_a =
+      catalog.Build(*path_a_, ExtensionKind::kFull,
+                    SharingDecomposition(overlap, true, *path_a_))
+          .value();
+  AccessSupportRelation* asr_b =
+      catalog.Build(*path_b_, ExtensionKind::kFull,
+                    SharingDecomposition(overlap, false, *path_b_))
+          .value();
+  ASSERT_EQ(catalog.shared_partition_count(), 1u);
+
+  // Churn edges on the SHARED segment (B.Next) and on private segments;
+  // after each batch both ASRs must match from-scratch rebuilds.
+  Rng rng(99);
+  for (int op = 0; op < 25; ++op) {
+    Oid u;
+    std::string attr;
+    AsrKey old_value;
+    AsrKey new_value;
+    int what = static_cast<int>(rng.Uniform(3));
+    if (what == 0) {  // shared segment
+      u = Oid::Make(b_, rng.Uniform(12) + 1);
+      attr = "Next";
+      new_value = rng.Bernoulli(0.25)
+                      ? AsrKey::Null()
+                      : AsrKey::FromOid(Oid::Make(c_, rng.Uniform(10) + 1));
+    } else if (what == 1) {  // path A private tail
+      u = Oid::Make(c_, rng.Uniform(10) + 1);
+      attr = "ToD";
+      new_value = rng.Bernoulli(0.25)
+                      ? AsrKey::Null()
+                      : AsrKey::FromOid(Oid::Make(d_, rng.Uniform(8) + 1));
+    } else {  // path B private tail
+      u = Oid::Make(c_, rng.Uniform(10) + 1);
+      attr = "ToE";
+      new_value = rng.Bernoulli(0.25)
+                      ? AsrKey::Null()
+                      : AsrKey::FromOid(Oid::Make(e_, rng.Uniform(8) + 1));
+    }
+    old_value = store_->GetAttributeByName(u, attr).value();
+    if (old_value == new_value) continue;
+    ASSERT_TRUE(store_->SetAttributeByName(u, attr, new_value).ok());
+    // Assignment = insert new edge first, then remove old (see
+    // OnAttributeAssigned); through the catalog this reaches every ASR.
+    if (!new_value.IsNull()) {
+      ASSERT_TRUE(catalog.OnEdgeInserted(u, attr, new_value).ok());
+    }
+    if (!old_value.IsNull()) {
+      ASSERT_TRUE(catalog.OnEdgeRemoved(u, attr, old_value).ok());
+    }
+
+    // Oracle: private partitions equal a private rebuild; the shared
+    // partition equals the UNION of both paths' rebuilt projections (each
+    // path contributes its own NULL-padded dangler rows).
+    auto rebuilt_a = AccessSupportRelation::Build(
+                         store_.get(), asr_a->path(), asr_a->kind(),
+                         asr_a->decomposition(), asr_a->options())
+                         .value();
+    auto rebuilt_b = AccessSupportRelation::Build(
+                         store_.get(), asr_b->path(), asr_b->kind(),
+                         asr_b->decomposition(), asr_b->options())
+                         .value();
+    auto check = [&](AccessSupportRelation* asr,
+                     AccessSupportRelation* mine,
+                     AccessSupportRelation* other, const char* label) {
+      for (size_t p = 0; p < asr->partition_count(); ++p) {
+        rel::Relation actual = asr->DumpPartition(p).value();
+        rel::Relation expected = mine->DumpPartition(p).value();
+        if (asr->partition_store(p).get() ==
+            (asr == asr_a ? asr_b : asr_a)->partition_store(1).get()) {
+          // Shared store: union in the other path's projection.
+          rel::Relation other_part = other->DumpPartition(1).value();
+          for (const rel::Row& row : other_part.rows()) {
+            expected.AddRow(row);
+          }
+          expected.Normalize();
+        }
+        ASSERT_TRUE(actual.EqualsAsSet(expected))
+            << label << " op " << op << " attr " << attr << " partition "
+            << p << "\nactual:\n" << actual.ToString() << "expected:\n"
+            << expected.ToString();
+      }
+    };
+    check(asr_a, rebuilt_a.get(), rebuilt_b.get(), "A");
+    check(asr_b, rebuilt_b.get(), rebuilt_a.get(), "B");
+  }
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,306 @@
+// Tests for the storage substrate: disk, buffer manager, slotted pages.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+#include "storage/page.h"
+#include "storage/slotted_page.h"
+
+namespace asr::storage {
+namespace {
+
+TEST(DiskTest, SegmentsAreIndependent) {
+  Disk disk;
+  uint32_t a = disk.CreateSegment("a");
+  uint32_t b = disk.CreateSegment("b");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(disk.SegmentName(a), "a");
+  EXPECT_EQ(disk.SegmentName(b), "b");
+  disk.AllocatePage(a);
+  disk.AllocatePage(a);
+  disk.AllocatePage(b);
+  EXPECT_EQ(disk.SegmentPageCount(a), 2u);
+  EXPECT_EQ(disk.SegmentPageCount(b), 1u);
+}
+
+TEST(DiskTest, ReadWriteRoundTrip) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("seg");
+  PageId id = disk.AllocatePage(seg);
+  Page page;
+  page.Write<uint64_t>(100, 0xDEADBEEFull);
+  disk.WritePage(id, page);
+  Page out;
+  disk.ReadPage(id, &out);
+  EXPECT_EQ(out.Read<uint64_t>(100), 0xDEADBEEFull);
+}
+
+TEST(DiskTest, CountsAccessesPerSegment) {
+  Disk disk;
+  uint32_t a = disk.CreateSegment("a");
+  uint32_t b = disk.CreateSegment("b");
+  PageId pa = disk.AllocatePage(a);
+  PageId pb = disk.AllocatePage(b);
+  Page page;
+  disk.WritePage(pa, page);
+  disk.ReadPage(pa, &page);
+  disk.ReadPage(pb, &page);
+  EXPECT_EQ(disk.segment_stats(a).page_writes, 1u);
+  EXPECT_EQ(disk.segment_stats(a).page_reads, 1u);
+  EXPECT_EQ(disk.segment_stats(b).page_reads, 1u);
+  EXPECT_EQ(disk.stats().page_reads, 2u);
+  EXPECT_EQ(disk.stats().page_writes, 1u);
+  disk.ResetStats();
+  EXPECT_EQ(disk.stats().total(), 0u);
+}
+
+TEST(AccessStatsTest, Arithmetic) {
+  AccessStats a{10, 4};
+  AccessStats b{3, 1};
+  AccessStats d = a - b;
+  EXPECT_EQ(d.page_reads, 7u);
+  EXPECT_EQ(d.page_writes, 3u);
+  EXPECT_EQ(d.total(), 10u);
+  d += b;
+  EXPECT_EQ(d.page_reads, 10u);
+}
+
+// --- BufferManager -------------------------------------------------------
+
+TEST(BufferManagerTest, UnbufferedCountsEveryPin) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  PageId id = disk.AllocatePage(seg);
+  BufferManager buffers(&disk, /*capacity=*/0);
+  for (int i = 0; i < 5; ++i) {
+    PageGuard guard = buffers.Pin(id);
+  }
+  EXPECT_EQ(disk.stats().page_reads, 5u);
+}
+
+TEST(BufferManagerTest, CachedPinIsFree) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  PageId id = disk.AllocatePage(seg);
+  BufferManager buffers(&disk, /*capacity=*/4);
+  for (int i = 0; i < 5; ++i) {
+    PageGuard guard = buffers.Pin(id);
+  }
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+  EXPECT_EQ(buffers.hits(), 4u);
+  EXPECT_EQ(buffers.misses(), 1u);
+}
+
+TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  PageId id = disk.AllocatePage(seg);
+  BufferManager buffers(&disk, /*capacity=*/0);
+  {
+    PageGuard guard = buffers.Pin(id);
+    guard.page().Write<uint32_t>(0, 777);
+    guard.MarkDirty();
+  }
+  EXPECT_EQ(disk.stats().page_writes, 1u);
+  Page out;
+  disk.ReadPage(id, &out);
+  EXPECT_EQ(out.Read<uint32_t>(0), 777u);
+}
+
+TEST(BufferManagerTest, CleanEvictionDoesNotWrite) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  PageId id = disk.AllocatePage(seg);
+  BufferManager buffers(&disk, /*capacity=*/0);
+  {
+    PageGuard guard = buffers.Pin(id);
+  }
+  EXPECT_EQ(disk.stats().page_writes, 0u);
+}
+
+TEST(BufferManagerTest, LruEvictsOldest) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  std::vector<PageId> ids;
+  for (int i = 0; i < 4; ++i) ids.push_back(disk.AllocatePage(seg));
+  BufferManager buffers(&disk, /*capacity=*/2);
+  { PageGuard g = buffers.Pin(ids[0]); }
+  { PageGuard g = buffers.Pin(ids[1]); }
+  { PageGuard g = buffers.Pin(ids[2]); }  // evicts ids[0]
+  disk.ResetStats();
+  { PageGuard g = buffers.Pin(ids[1]); }  // still cached
+  EXPECT_EQ(disk.stats().page_reads, 0u);
+  { PageGuard g = buffers.Pin(ids[0]); }  // was evicted, re-read
+  EXPECT_EQ(disk.stats().page_reads, 1u);
+}
+
+TEST(BufferManagerTest, PinnedPagesSurviveCapacityPressure) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  std::vector<PageId> ids;
+  for (int i = 0; i < 6; ++i) ids.push_back(disk.AllocatePage(seg));
+  BufferManager buffers(&disk, /*capacity=*/1);
+  PageGuard held = buffers.Pin(ids[0]);
+  held.page().Write<uint32_t>(0, 42);
+  held.MarkDirty();
+  for (int i = 1; i < 6; ++i) {
+    PageGuard g = buffers.Pin(ids[i]);
+  }
+  // The held frame must still be valid and carry the data.
+  EXPECT_EQ(held.page().Read<uint32_t>(0), 42u);
+}
+
+TEST(BufferManagerTest, AllocatePinnedIsDirtyFromBirth) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  BufferManager buffers(&disk, /*capacity=*/0);
+  PageId id;
+  {
+    PageGuard guard = buffers.AllocatePinned(seg);
+    id = guard.id();
+    guard.page().Write<uint32_t>(8, 99);
+  }
+  // Written back even without MarkDirty: fresh pages are dirty.
+  Page out;
+  disk.ReadPage(id, &out);
+  EXPECT_EQ(out.Read<uint32_t>(8), 99u);
+  EXPECT_EQ(disk.stats().page_reads, 1u);  // allocation did not read
+}
+
+TEST(BufferManagerTest, FlushAllPersistsEverything) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  PageId id = disk.AllocatePage(seg);
+  BufferManager buffers(&disk, /*capacity=*/8);
+  {
+    PageGuard guard = buffers.Pin(id);
+    guard.page().Write<uint32_t>(4, 5);
+    guard.MarkDirty();
+  }
+  buffers.FlushAll();
+  Page out;
+  disk.ReadPage(id, &out);
+  EXPECT_EQ(out.Read<uint32_t>(4), 5u);
+}
+
+TEST(BufferManagerTest, MovedGuardReleasesOnce) {
+  Disk disk;
+  uint32_t seg = disk.CreateSegment("s");
+  PageId id = disk.AllocatePage(seg);
+  BufferManager buffers(&disk, /*capacity=*/0);
+  PageGuard a = buffers.Pin(id);
+  PageGuard b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  b.Release();
+  EXPECT_FALSE(b.valid());
+}
+
+// --- SlottedPage --------------------------------------------------------
+
+TEST(SlottedPageTest, InsertAndRead) {
+  Page page;
+  SlottedPage::Init(&page);
+  std::string data = "hello world";
+  int slot = SlottedPage::Insert(&page, data.data(),
+                                 static_cast<uint16_t>(data.size()));
+  ASSERT_GE(slot, 0);
+  ASSERT_EQ(SlottedPage::RecordLength(page, slot), data.size());
+  std::string out(data.size(), '\0');
+  SlottedPage::Read(page, slot, out.data());
+  EXPECT_EQ(out, data);
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  Page page;
+  SlottedPage::Init(&page);
+  std::vector<char> rec(100, 'x');
+  int count = 0;
+  while (SlottedPage::Insert(&page, rec.data(), 100) >= 0) ++count;
+  // 4056 - 4 header over (100 + 4 slot) each.
+  EXPECT_EQ(count, (4056 - 4) / 104);
+  EXPECT_FALSE(SlottedPage::Fits(page, 100));
+  EXPECT_TRUE(SlottedPage::Fits(page, 10));
+}
+
+TEST(SlottedPageTest, DeleteAndReuseSameSize) {
+  Page page;
+  SlottedPage::Init(&page);
+  std::vector<char> rec(100, 'a');
+  int slot = SlottedPage::Insert(&page, rec.data(), 100);
+  int other = SlottedPage::Insert(&page, rec.data(), 100);
+  ASSERT_GE(slot, 0);
+  ASSERT_GE(other, 0);
+  SlottedPage::Delete(&page, slot);
+  EXPECT_FALSE(SlottedPage::IsLive(page, slot));
+  EXPECT_TRUE(SlottedPage::IsLive(page, other));
+  std::vector<char> rec2(100, 'b');
+  int reused = SlottedPage::Insert(&page, rec2.data(), 100);
+  EXPECT_EQ(reused, slot);  // the hole is reused
+  std::vector<char> out(100);
+  SlottedPage::Read(page, reused, out.data());
+  EXPECT_EQ(out[0], 'b');
+}
+
+TEST(SlottedPageTest, SmallerRecordReusesLargerHole) {
+  Page page;
+  SlottedPage::Init(&page);
+  std::vector<char> big(200, 'a');
+  int slot = SlottedPage::Insert(&page, big.data(), 200);
+  SlottedPage::Delete(&page, slot);
+  std::vector<char> small(50, 'b');
+  int reused = SlottedPage::Insert(&page, small.data(), 50);
+  EXPECT_EQ(reused, slot);
+  EXPECT_EQ(SlottedPage::RecordLength(page, reused), 50);
+}
+
+TEST(SlottedPageTest, WriteInPlacePreservesNeighbors) {
+  Page page;
+  SlottedPage::Init(&page);
+  std::vector<char> a(40, 'a');
+  std::vector<char> b(40, 'b');
+  int sa = SlottedPage::Insert(&page, a.data(), 40);
+  int sb = SlottedPage::Insert(&page, b.data(), 40);
+  std::vector<char> a2(40, 'z');
+  SlottedPage::WriteInPlace(&page, sa, a2.data(), 40);
+  std::vector<char> out(40);
+  SlottedPage::Read(page, sb, out.data());
+  EXPECT_EQ(out[0], 'b');
+  SlottedPage::Read(page, sa, out.data());
+  EXPECT_EQ(out[0], 'z');
+}
+
+TEST(SlottedPageTest, FreeSpaceDecreasesWithInserts) {
+  Page page;
+  SlottedPage::Init(&page);
+  uint32_t before = SlottedPage::FreeSpace(page);
+  std::vector<char> rec(64, 'r');
+  SlottedPage::Insert(&page, rec.data(), 64);
+  EXPECT_EQ(SlottedPage::FreeSpace(page), before - 64 - 4);
+}
+
+TEST(SlottedPageTest, ManyMixedSizes) {
+  Page page;
+  SlottedPage::Init(&page);
+  std::vector<int> slots;
+  for (int len = 10; len <= 100; len += 10) {
+    std::vector<char> rec(len, static_cast<char>('0' + len / 10));
+    int s = SlottedPage::Insert(&page, rec.data(),
+                                static_cast<uint16_t>(len));
+    ASSERT_GE(s, 0);
+    slots.push_back(s);
+  }
+  for (int i = 0; i < 10; ++i) {
+    int len = (i + 1) * 10;
+    ASSERT_EQ(SlottedPage::RecordLength(page, slots[i]), len);
+    std::vector<char> out(len);
+    SlottedPage::Read(page, slots[i], out.data());
+    EXPECT_EQ(out[0], static_cast<char>('0' + (i + 1)));
+  }
+}
+
+}  // namespace
+}  // namespace asr::storage

@@ -1,0 +1,169 @@
+// Tests for the §7 self-tuning loop: profile estimation from a live base,
+// usage recording, and the auto tuner that ties them to the design advisor.
+#include <gtest/gtest.h>
+
+#include "advisor/auto_tuner.h"
+#include "workload/profile_estimator.h"
+#include "workload/synthetic_base.h"
+#include "workload/usage_recorder.h"
+
+namespace asr {
+namespace {
+
+cost::ApplicationProfile Profile() {
+  cost::ApplicationProfile p;
+  p.n = 3;
+  p.c = {100, 200, 300, 150};
+  p.d = {80, 150, 200};
+  p.fan = {2, 1, 3};
+  p.size = {500, 400, 300, 100};
+  return p;
+}
+
+TEST(ProfileEstimatorTest, RecoversGeneratedStatistics) {
+  auto base = workload::SyntheticBase::Generate(Profile(), {3, 64}).value();
+  cost::ApplicationProfile est =
+      workload::EstimateProfile(base->store(), base->path()).value();
+
+  const cost::ApplicationProfile truth = Profile();
+  ASSERT_EQ(est.n, truth.n);
+  for (uint32_t i = 0; i <= truth.n; ++i) {
+    EXPECT_DOUBLE_EQ(est.c[i], truth.c[i]) << "c_" << i;
+  }
+  for (uint32_t i = 0; i < truth.n; ++i) {
+    EXPECT_DOUBLE_EQ(est.d[i], truth.d[i]) << "d_" << i;
+    EXPECT_DOUBLE_EQ(est.fan[i], truth.fan[i]) << "fan_" << i;
+    EXPECT_GE(est.shar[i], 1.0) << "shar_" << i;
+  }
+  // Effective sizes include slotted-page and co-located-set overhead but
+  // stay in the declared ballpark.
+  for (uint32_t i = 0; i <= truth.n; ++i) {
+    EXPECT_GE(est.size[i], truth.size[i] * 0.8) << "size_" << i;
+    EXPECT_LE(est.size[i], truth.size[i] * 1.8 + 64) << "size_" << i;
+  }
+}
+
+TEST(ProfileEstimatorTest, TracksUpdatesToTheBase) {
+  auto base = workload::SyntheticBase::Generate(Profile(), {3, 64}).value();
+  gom::ObjectStore* store = base->store();
+  const PathStep& step = base->path().step(2);  // single-valued level 1
+
+  // Clear ten defined attributes at level 1.
+  int cleared = 0;
+  for (Oid o : base->objects_at(1)) {
+    if (cleared == 10) break;
+    AsrKey v = store->GetAttributeByName(o, step.attr_name).value();
+    if (v.IsNull()) continue;
+    ASSERT_TRUE(
+        store->SetAttributeByName(o, step.attr_name, AsrKey::Null()).ok());
+    ++cleared;
+  }
+  cost::ApplicationProfile est =
+      workload::EstimateProfile(store, base->path()).value();
+  EXPECT_DOUBLE_EQ(est.d[1], Profile().d[1] - 10);
+}
+
+TEST(ProfileEstimatorTest, AtomicTerminalCountsDistinctValues) {
+  gom::Schema schema;
+  TypeId t = schema
+                 .DefineTupleType("T", {},
+                                  {{"Tag", gom::Schema::kStringType,
+                                    kInvalidTypeId}})
+                 .value();
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 0);
+  gom::ObjectStore store(&schema, &buffers);
+  for (int i = 0; i < 30; ++i) {
+    Oid o = store.CreateObject(t).value();
+    ASSERT_TRUE(store.SetString(o, "Tag", i % 2 == 0 ? "even" : "odd").ok());
+  }
+  PathExpression path = PathExpression::Parse(schema, t, "Tag").value();
+  cost::ApplicationProfile est =
+      workload::EstimateProfile(&store, path).value();
+  EXPECT_DOUBLE_EQ(est.c[0], 30.0);
+  EXPECT_DOUBLE_EQ(est.d[0], 30.0);
+  EXPECT_DOUBLE_EQ(est.c[1], 2.0);  // "even", "odd"
+}
+
+TEST(UsageRecorderTest, AggregatesOperations) {
+  workload::UsageRecorder recorder;
+  recorder.RecordQuery(cost::QueryDirection::kBackward, 0, 3);
+  recorder.RecordQuery(cost::QueryDirection::kBackward, 0, 3);
+  recorder.RecordQuery(cost::QueryDirection::kForward, 1, 2);
+  recorder.RecordUpdate(2);
+
+  EXPECT_EQ(recorder.query_count(), 3u);
+  EXPECT_EQ(recorder.update_count(), 1u);
+  EXPECT_DOUBLE_EQ(recorder.UpdateProbability(), 0.25);
+
+  cost::OperationMix mix = recorder.ToMix();
+  ASSERT_EQ(mix.queries.size(), 2u);
+  ASSERT_EQ(mix.updates.size(), 1u);
+  double total_q = 0;
+  for (const auto& q : mix.queries) total_q += q.weight;
+  EXPECT_DOUBLE_EQ(total_q, 1.0);
+  EXPECT_DOUBLE_EQ(mix.updates[0].weight, 1.0);
+  EXPECT_EQ(mix.updates[0].position, 2u);
+}
+
+TEST(UsageRecorderTest, ResetClearsHistory) {
+  workload::UsageRecorder recorder;
+  recorder.RecordQuery(cost::QueryDirection::kForward, 0, 1);
+  recorder.RecordUpdate(0);
+  recorder.Reset();
+  EXPECT_EQ(recorder.operation_count(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.UpdateProbability(), 0.0);
+}
+
+TEST(AutoTunerTest, RefusesEmptyHistory) {
+  auto base = workload::SyntheticBase::Generate(Profile(), {3, 64}).value();
+  workload::UsageRecorder recorder;
+  EXPECT_TRUE(advisor::AutoTuner::Tune(base->store(), base->path(), recorder)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(AutoTunerTest, TunesAndMaterializes) {
+  auto base = workload::SyntheticBase::Generate(Profile(), {3, 64}).value();
+  workload::UsageRecorder recorder;
+  for (int i = 0; i < 95; ++i) {
+    recorder.RecordQuery(cost::QueryDirection::kBackward, 0, 3);
+  }
+  for (int i = 0; i < 5; ++i) recorder.RecordUpdate(2);
+
+  advisor::TuningResult result =
+      advisor::AutoTuner::Tune(base->store(), base->path(), recorder)
+          .value();
+  EXPECT_DOUBLE_EQ(result.update_probability, 0.05);
+  EXPECT_LT(result.chosen.normalized, 1.0);
+  ASSERT_NE(result.asr, nullptr);
+  EXPECT_EQ(result.asr->kind(), result.chosen.kind);
+
+  // The materialized ASR must support the recorded query.
+  EXPECT_TRUE(result.asr->SupportsQuery(0, 3));
+  AsrKey target = AsrKey::FromOid(base->objects_at(3)[0]);
+  EXPECT_TRUE(result.asr->EvalBackward(target, 0, 3).ok());
+}
+
+TEST(AutoTunerTest, HonorsStorageBudget) {
+  auto base = workload::SyntheticBase::Generate(Profile(), {3, 64}).value();
+  workload::UsageRecorder recorder;
+  recorder.RecordQuery(cost::QueryDirection::kBackward, 0, 3);
+  recorder.RecordUpdate(1);
+
+  advisor::AutoTuner::Options options;
+  options.materialize = false;
+  advisor::TuningResult free_choice =
+      advisor::AutoTuner::Tune(base->store(), base->path(), recorder, options)
+          .value();
+  options.max_storage_bytes = free_choice.chosen.storage_bytes * 0.6;
+  advisor::TuningResult constrained =
+      advisor::AutoTuner::Tune(base->store(), base->path(), recorder, options)
+          .value();
+  EXPECT_LE(constrained.chosen.storage_bytes,
+            free_choice.chosen.storage_bytes);
+  EXPECT_EQ(constrained.asr, nullptr);  // materialize = false
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,161 @@
+// Tests for the synthetic object-base generator: the generated base must
+// realize the profile's statistics, and metered scans must match the cost
+// model's page estimates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cost/cost_model.h"
+#include "workload/meter.h"
+#include "workload/synthetic_base.h"
+
+namespace asr::workload {
+namespace {
+
+cost::ApplicationProfile Profile() {
+  cost::ApplicationProfile p;
+  p.n = 3;
+  p.c = {100, 200, 300, 150};
+  p.d = {80, 150, 200};
+  p.fan = {2, 1, 3};
+  p.size = {500, 400, 300, 100};
+  return p;
+}
+
+TEST(SyntheticBaseTest, RealizesObjectCounts) {
+  auto base = SyntheticBase::Generate(Profile()).value();
+  gom::ObjectStore* store = base->store();
+  EXPECT_EQ(store->ObjectCount(base->type_at(0)), 100u);
+  EXPECT_EQ(store->ObjectCount(base->type_at(1)), 200u);
+  EXPECT_EQ(store->ObjectCount(base->type_at(2)), 300u);
+  EXPECT_EQ(store->ObjectCount(base->type_at(3)), 150u);
+  EXPECT_EQ(base->objects_at(0).size(), 100u);
+}
+
+TEST(SyntheticBaseTest, RealizesDefinedCountsAndFan) {
+  auto base = SyntheticBase::Generate(Profile()).value();
+  gom::ObjectStore* store = base->store();
+  const cost::ApplicationProfile p = Profile();
+  for (uint32_t i = 0; i < 3; ++i) {
+    uint64_t defined = 0;
+    uint64_t edges = 0;
+    const PathStep& step = base->path().step(i + 1);
+    for (Oid o : base->objects_at(i)) {
+      AsrKey v = store->GetAttributeByName(o, step.attr_name).value();
+      if (v.IsNull()) continue;
+      ++defined;
+      if (step.set_occurrence) {
+        edges += store->GetSet(v.ToOid())->members.size();
+      } else {
+        edges += 1;
+      }
+    }
+    EXPECT_EQ(defined, static_cast<uint64_t>(p.d[i])) << "level " << i;
+    EXPECT_EQ(edges, static_cast<uint64_t>(p.d[i] * p.fan[i]))
+        << "level " << i;
+  }
+}
+
+TEST(SyntheticBaseTest, DeterministicForSeed) {
+  auto a = SyntheticBase::Generate(Profile(), GenerateOptions{99, 0}).value();
+  auto b = SyntheticBase::Generate(Profile(), GenerateOptions{99, 0}).value();
+  // Same structure: compare the edge sets of level 0.
+  const PathStep& step = a->path().step(1);
+  for (size_t i = 0; i < a->objects_at(0).size(); ++i) {
+    AsrKey va =
+        a->store()->GetAttributeByName(a->objects_at(0)[i], step.attr_name)
+            .value();
+    AsrKey vb =
+        b->store()->GetAttributeByName(b->objects_at(0)[i], step.attr_name)
+            .value();
+    EXPECT_EQ(va.IsNull(), vb.IsNull());
+    if (!va.IsNull()) {
+      auto ma = a->store()->GetSet(va.ToOid())->members;
+      auto mb = b->store()->GetSet(vb.ToOid())->members;
+      EXPECT_EQ(ma, mb);
+    }
+  }
+}
+
+TEST(SyntheticBaseTest, ObjectPagesMatchModel) {
+  auto base = SyntheticBase::Generate(Profile()).value();
+  cost::CostModel model(Profile());
+  // Levels without co-located sets must match op_i almost exactly; levels
+  // with sets carry the co-located set records (documented deviation).
+  for (uint32_t i = 0; i <= 3; ++i) {
+    double modeled = model.ObjectPages(i);
+    double actual = base->store()->PageCount(base->type_at(i));
+    EXPECT_GE(actual, modeled * 0.9) << "level " << i;
+    EXPECT_LE(actual, modeled * 1.6 + 2) << "level " << i;
+  }
+}
+
+TEST(SyntheticBaseTest, ExtentScanCostTracksOpI) {
+  auto base = SyntheticBase::Generate(Profile()).value();
+  storage::Disk* disk = base->disk();
+  for (uint32_t i = 0; i <= 3; ++i) {
+    storage::AccessStats cost = Meter(disk, [&] {
+      ASSERT_TRUE(base->store()
+                      ->ScanTuples(base->type_at(i),
+                                   [](const gom::TupleView&) {
+                                     return Status::OK();
+                                   })
+                      .ok());
+    });
+    EXPECT_EQ(cost.page_reads, base->store()->PageCount(base->type_at(i)));
+    EXPECT_EQ(cost.page_writes, 0u);
+  }
+}
+
+TEST(SyntheticBaseTest, PathTraversalReachesTerminalLevel) {
+  auto base = SyntheticBase::Generate(Profile()).value();
+  // At least one complete path should exist with these densities.
+  const PathExpression& path = base->path();
+  gom::ObjectStore* store = base->store();
+  int complete = 0;
+  for (Oid o : base->objects_at(0)) {
+    AsrKey cur = AsrKey::FromOid(o);
+    for (uint32_t q = 1; q <= path.n() && !cur.IsNull(); ++q) {
+      const PathStep& step = path.step(q);
+      AsrKey v = store->GetAttributeByName(cur.ToOid(), step.attr_name)
+                     .value();
+      if (v.IsNull()) {
+        cur = AsrKey::Null();
+        break;
+      }
+      if (step.set_occurrence) {
+        auto members = store->GetSet(v.ToOid())->members;
+        cur = members.empty() ? AsrKey::Null() : members[0];
+      } else {
+        cur = v;
+      }
+    }
+    if (!cur.IsNull()) ++complete;
+  }
+  EXPECT_GT(complete, 0);
+}
+
+TEST(SyntheticBaseTest, FractionalRoundingAndEdgeProfiles) {
+  cost::ApplicationProfile p;
+  p.n = 1;
+  p.c = {10, 5};
+  p.d = {10};
+  p.fan = {5};  // fan equals the whole target level
+  p.size = {100, 100};
+  auto base = SyntheticBase::Generate(p).value();
+  const PathStep& step = base->path().step(1);
+  for (Oid o : base->objects_at(0)) {
+    AsrKey v = base->store()->GetAttributeByName(o, step.attr_name).value();
+    ASSERT_FALSE(v.IsNull());
+    EXPECT_EQ(base->store()->GetSet(v.ToOid())->members.size(), 5u);
+  }
+}
+
+TEST(MeterTest, CapturesOnlyTheOperation) {
+  auto base = SyntheticBase::Generate(Profile()).value();
+  storage::AccessStats cost = Meter(base->disk(), [] {});
+  EXPECT_EQ(cost.total(), 0u);
+}
+
+}  // namespace
+}  // namespace asr::workload
