@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_decomposition.dir/ablation_decomposition.cc.o"
+  "CMakeFiles/ablation_decomposition.dir/ablation_decomposition.cc.o.d"
+  "ablation_decomposition"
+  "ablation_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

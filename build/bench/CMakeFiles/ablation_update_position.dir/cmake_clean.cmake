@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_position.dir/ablation_update_position.cc.o"
+  "CMakeFiles/ablation_update_position.dir/ablation_update_position.cc.o.d"
+  "ablation_update_position"
+  "ablation_update_position.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_position.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

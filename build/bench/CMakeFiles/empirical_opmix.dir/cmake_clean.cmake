@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/empirical_opmix.dir/empirical_opmix.cc.o"
+  "CMakeFiles/empirical_opmix.dir/empirical_opmix.cc.o.d"
+  "empirical_opmix"
+  "empirical_opmix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/empirical_opmix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

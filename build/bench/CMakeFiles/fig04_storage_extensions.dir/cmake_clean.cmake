@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_storage_extensions.dir/fig04_storage_extensions.cc.o"
+  "CMakeFiles/fig04_storage_extensions.dir/fig04_storage_extensions.cc.o.d"
+  "fig04_storage_extensions"
+  "fig04_storage_extensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_storage_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

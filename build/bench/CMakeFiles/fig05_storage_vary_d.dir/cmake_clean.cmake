@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_storage_vary_d.dir/fig05_storage_vary_d.cc.o"
+  "CMakeFiles/fig05_storage_vary_d.dir/fig05_storage_vary_d.cc.o.d"
+  "fig05_storage_vary_d"
+  "fig05_storage_vary_d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_storage_vary_d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_storage_vary_d.
+# This may be replaced when dependencies are built.

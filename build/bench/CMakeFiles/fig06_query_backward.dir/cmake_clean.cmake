@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_query_backward.dir/fig06_query_backward.cc.o"
+  "CMakeFiles/fig06_query_backward.dir/fig06_query_backward.cc.o.d"
+  "fig06_query_backward"
+  "fig06_query_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_query_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

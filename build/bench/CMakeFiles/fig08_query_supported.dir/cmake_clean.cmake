@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_query_supported.dir/fig08_query_supported.cc.o"
+  "CMakeFiles/fig08_query_supported.dir/fig08_query_supported.cc.o.d"
+  "fig08_query_supported"
+  "fig08_query_supported.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_query_supported.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_query_vary_fanout.dir/fig09_query_vary_fanout.cc.o"
+  "CMakeFiles/fig09_query_vary_fanout.dir/fig09_query_vary_fanout.cc.o.d"
+  "fig09_query_vary_fanout"
+  "fig09_query_vary_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_query_vary_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

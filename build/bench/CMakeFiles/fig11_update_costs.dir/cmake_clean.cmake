@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_update_costs.dir/fig11_update_costs.cc.o"
+  "CMakeFiles/fig11_update_costs.dir/fig11_update_costs.cc.o.d"
+  "fig11_update_costs"
+  "fig11_update_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_update_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_update_costs2.dir/fig12_update_costs2.cc.o"
+  "CMakeFiles/fig12_update_costs2.dir/fig12_update_costs2.cc.o.d"
+  "fig12_update_costs2"
+  "fig12_update_costs2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_update_costs2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

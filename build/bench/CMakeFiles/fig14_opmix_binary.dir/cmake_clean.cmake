@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_opmix_binary.dir/fig14_opmix_binary.cc.o"
+  "CMakeFiles/fig14_opmix_binary.dir/fig14_opmix_binary.cc.o.d"
+  "fig14_opmix_binary"
+  "fig14_opmix_binary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_opmix_binary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_opmix_034.dir/fig15_opmix_034.cc.o"
+  "CMakeFiles/fig15_opmix_034.dir/fig15_opmix_034.cc.o.d"
+  "fig15_opmix_034"
+  "fig15_opmix_034.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_opmix_034.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

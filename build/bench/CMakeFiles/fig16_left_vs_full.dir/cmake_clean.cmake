@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_left_vs_full.dir/fig16_left_vs_full.cc.o"
+  "CMakeFiles/fig16_left_vs_full.dir/fig16_left_vs_full.cc.o.d"
+  "fig16_left_vs_full"
+  "fig16_left_vs_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_left_vs_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_right_vs_full.dir/fig17_right_vs_full.cc.o"
+  "CMakeFiles/fig17_right_vs_full.dir/fig17_right_vs_full.cc.o.d"
+  "fig17_right_vs_full"
+  "fig17_right_vs_full.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_right_vs_full.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

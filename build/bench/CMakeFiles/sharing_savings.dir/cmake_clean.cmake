@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharing_savings.dir/sharing_savings.cc.o"
+  "CMakeFiles/sharing_savings.dir/sharing_savings.cc.o.d"
+  "sharing_savings"
+  "sharing_savings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharing_savings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validate_model_vs_system.dir/validate_model_vs_system.cc.o"
+  "CMakeFiles/validate_model_vs_system.dir/validate_model_vs_system.cc.o.d"
+  "validate_model_vs_system"
+  "validate_model_vs_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validate_model_vs_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for validate_model_vs_system.
+# This may be replaced when dependencies are built.

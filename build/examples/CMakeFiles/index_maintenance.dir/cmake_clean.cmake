@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_maintenance.dir/index_maintenance.cpp.o"
+  "CMakeFiles/index_maintenance.dir/index_maintenance.cpp.o.d"
+  "index_maintenance"
+  "index_maintenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_maintenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

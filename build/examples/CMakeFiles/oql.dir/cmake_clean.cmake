@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql.dir/oql.cpp.o"
+  "CMakeFiles/oql.dir/oql.cpp.o.d"
+  "oql"
+  "oql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

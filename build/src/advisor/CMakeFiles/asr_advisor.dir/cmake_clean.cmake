@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_advisor.dir/advisor.cc.o"
+  "CMakeFiles/asr_advisor.dir/advisor.cc.o.d"
+  "CMakeFiles/asr_advisor.dir/auto_tuner.cc.o"
+  "CMakeFiles/asr_advisor.dir/auto_tuner.cc.o.d"
+  "libasr_advisor.a"
+  "libasr_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

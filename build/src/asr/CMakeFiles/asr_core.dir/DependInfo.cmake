@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asr/access_support_relation.cc" "src/asr/CMakeFiles/asr_core.dir/access_support_relation.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/access_support_relation.cc.o.d"
+  "/root/repo/src/asr/decomposition.cc" "src/asr/CMakeFiles/asr_core.dir/decomposition.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/decomposition.cc.o.d"
+  "/root/repo/src/asr/extension.cc" "src/asr/CMakeFiles/asr_core.dir/extension.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/extension.cc.o.d"
+  "/root/repo/src/asr/maintenance.cc" "src/asr/CMakeFiles/asr_core.dir/maintenance.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/maintenance.cc.o.d"
+  "/root/repo/src/asr/path_expression.cc" "src/asr/CMakeFiles/asr_core.dir/path_expression.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/path_expression.cc.o.d"
+  "/root/repo/src/asr/query.cc" "src/asr/CMakeFiles/asr_core.dir/query.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/query.cc.o.d"
+  "/root/repo/src/asr/sharing.cc" "src/asr/CMakeFiles/asr_core.dir/sharing.cc.o" "gcc" "src/asr/CMakeFiles/asr_core.dir/sharing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/asr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gom/CMakeFiles/asr_gom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/asr_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/asr_btree.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

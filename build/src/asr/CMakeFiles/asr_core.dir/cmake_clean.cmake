@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_core.dir/access_support_relation.cc.o"
+  "CMakeFiles/asr_core.dir/access_support_relation.cc.o.d"
+  "CMakeFiles/asr_core.dir/decomposition.cc.o"
+  "CMakeFiles/asr_core.dir/decomposition.cc.o.d"
+  "CMakeFiles/asr_core.dir/extension.cc.o"
+  "CMakeFiles/asr_core.dir/extension.cc.o.d"
+  "CMakeFiles/asr_core.dir/maintenance.cc.o"
+  "CMakeFiles/asr_core.dir/maintenance.cc.o.d"
+  "CMakeFiles/asr_core.dir/path_expression.cc.o"
+  "CMakeFiles/asr_core.dir/path_expression.cc.o.d"
+  "CMakeFiles/asr_core.dir/query.cc.o"
+  "CMakeFiles/asr_core.dir/query.cc.o.d"
+  "CMakeFiles/asr_core.dir/sharing.cc.o"
+  "CMakeFiles/asr_core.dir/sharing.cc.o.d"
+  "libasr_core.a"
+  "libasr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_btree.dir/btree.cc.o"
+  "CMakeFiles/asr_btree.dir/btree.cc.o.d"
+  "libasr_btree.a"
+  "libasr_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_common.dir/asr_key.cc.o"
+  "CMakeFiles/asr_common.dir/asr_key.cc.o.d"
+  "CMakeFiles/asr_common.dir/oid.cc.o"
+  "CMakeFiles/asr_common.dir/oid.cc.o.d"
+  "CMakeFiles/asr_common.dir/random.cc.o"
+  "CMakeFiles/asr_common.dir/random.cc.o.d"
+  "CMakeFiles/asr_common.dir/status.cc.o"
+  "CMakeFiles/asr_common.dir/status.cc.o.d"
+  "CMakeFiles/asr_common.dir/string_dict.cc.o"
+  "CMakeFiles/asr_common.dir/string_dict.cc.o.d"
+  "libasr_common.a"
+  "libasr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

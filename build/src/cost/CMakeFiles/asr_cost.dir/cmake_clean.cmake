@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_cost.dir/cost_model.cc.o"
+  "CMakeFiles/asr_cost.dir/cost_model.cc.o.d"
+  "CMakeFiles/asr_cost.dir/opmix.cc.o"
+  "CMakeFiles/asr_cost.dir/opmix.cc.o.d"
+  "libasr_cost.a"
+  "libasr_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

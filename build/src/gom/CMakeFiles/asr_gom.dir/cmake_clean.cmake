@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_gom.dir/database.cc.o"
+  "CMakeFiles/asr_gom.dir/database.cc.o.d"
+  "CMakeFiles/asr_gom.dir/object_store.cc.o"
+  "CMakeFiles/asr_gom.dir/object_store.cc.o.d"
+  "CMakeFiles/asr_gom.dir/type_system.cc.o"
+  "CMakeFiles/asr_gom.dir/type_system.cc.o.d"
+  "libasr_gom.a"
+  "libasr_gom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_gom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

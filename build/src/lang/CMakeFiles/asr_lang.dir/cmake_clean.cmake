@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_lang.dir/executor.cc.o"
+  "CMakeFiles/asr_lang.dir/executor.cc.o.d"
+  "CMakeFiles/asr_lang.dir/lexer.cc.o"
+  "CMakeFiles/asr_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/asr_lang.dir/parser.cc.o"
+  "CMakeFiles/asr_lang.dir/parser.cc.o.d"
+  "libasr_lang.a"
+  "libasr_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_rel.dir/relation.cc.o"
+  "CMakeFiles/asr_rel.dir/relation.cc.o.d"
+  "libasr_rel.a"
+  "libasr_rel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_rel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_storage.dir/buffer_manager.cc.o"
+  "CMakeFiles/asr_storage.dir/buffer_manager.cc.o.d"
+  "CMakeFiles/asr_storage.dir/disk.cc.o"
+  "CMakeFiles/asr_storage.dir/disk.cc.o.d"
+  "CMakeFiles/asr_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/asr_storage.dir/slotted_page.cc.o.d"
+  "libasr_storage.a"
+  "libasr_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

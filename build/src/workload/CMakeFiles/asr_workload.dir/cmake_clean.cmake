@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_workload.dir/mix_driver.cc.o"
+  "CMakeFiles/asr_workload.dir/mix_driver.cc.o.d"
+  "CMakeFiles/asr_workload.dir/profile_estimator.cc.o"
+  "CMakeFiles/asr_workload.dir/profile_estimator.cc.o.d"
+  "CMakeFiles/asr_workload.dir/synthetic_base.cc.o"
+  "CMakeFiles/asr_workload.dir/synthetic_base.cc.o.d"
+  "CMakeFiles/asr_workload.dir/usage_recorder.cc.o"
+  "CMakeFiles/asr_workload.dir/usage_recorder.cc.o.d"
+  "libasr_workload.a"
+  "libasr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libasr_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/anchored_test.dir/anchored_test.cc.o"
+  "CMakeFiles/anchored_test.dir/anchored_test.cc.o.d"
+  "anchored_test"
+  "anchored_test.pdb"
+  "anchored_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/anchored_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

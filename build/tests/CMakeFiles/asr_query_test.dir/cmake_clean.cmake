@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asr_query_test.dir/asr_query_test.cc.o"
+  "CMakeFiles/asr_query_test.dir/asr_query_test.cc.o.d"
+  "asr_query_test"
+  "asr_query_test.pdb"
+  "asr_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asr_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_formula_test.dir/cost_formula_test.cc.o"
+  "CMakeFiles/cost_formula_test.dir/cost_formula_test.cc.o.d"
+  "cost_formula_test"
+  "cost_formula_test.pdb"
+  "cost_formula_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_formula_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

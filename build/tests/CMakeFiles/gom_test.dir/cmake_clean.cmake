@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gom_test.dir/gom_test.cc.o"
+  "CMakeFiles/gom_test.dir/gom_test.cc.o.d"
+  "gom_test"
+  "gom_test.pdb"
+  "gom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_driver_test.dir/mix_driver_test.cc.o"
+  "CMakeFiles/mix_driver_test.dir/mix_driver_test.cc.o.d"
+  "mix_driver_test"
+  "mix_driver_test.pdb"
+  "mix_driver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_driver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
