@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulkload_bench.dir/bulkload_bench.cc.o"
+  "CMakeFiles/bulkload_bench.dir/bulkload_bench.cc.o.d"
+  "bulkload_bench"
+  "bulkload_bench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulkload_bench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -186,6 +186,9 @@ bench/CMakeFiles/fig17_right_vs_full.dir/fig17_right_vs_full.cc.o: \
  /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/std_mutex.h \
  /root/repo/src/storage/access_stats.h /root/repo/src/storage/page.h \
  /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/rel/relation.h /root/repo/src/cost/profile.h \

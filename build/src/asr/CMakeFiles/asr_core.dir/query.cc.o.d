@@ -184,5 +184,13 @@ src/asr/CMakeFiles/asr_core.dir/query.cc.o: /root/repo/src/asr/query.cc \
  /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk.h \
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/std_mutex.h \
  /root/repo/src/storage/access_stats.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_algobase.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h

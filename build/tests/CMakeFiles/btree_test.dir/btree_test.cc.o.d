@@ -303,5 +303,7 @@ tests/CMakeFiles/btree_test.dir/btree_test.cc.o: \
  /root/repo/src/common/status.h /root/repo/src/storage/buffer_manager.h \
  /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
  /usr/include/c++/12/bits/list.tcc /root/repo/src/storage/disk.h \
- /root/repo/src/storage/access_stats.h /root/repo/src/storage/page.h \
- /usr/include/c++/12/cstring /root/repo/src/common/random.h
+ /usr/include/c++/12/shared_mutex /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/storage/access_stats.h \
+ /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
+ /root/repo/src/common/random.h

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bulk_build_test.cc" "tests/CMakeFiles/bulk_build_test.dir/bulk_build_test.cc.o" "gcc" "tests/CMakeFiles/bulk_build_test.dir/bulk_build_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/asr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/asr_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/gom/CMakeFiles/asr_gom.dir/DependInfo.cmake"
+  "/root/repo/build/src/rel/CMakeFiles/asr_rel.dir/DependInfo.cmake"
+  "/root/repo/build/src/btree/CMakeFiles/asr_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/asr/CMakeFiles/asr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cost/CMakeFiles/asr_cost.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/asr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/advisor/CMakeFiles/asr_advisor.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/asr_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

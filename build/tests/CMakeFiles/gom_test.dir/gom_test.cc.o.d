@@ -302,6 +302,8 @@ tests/CMakeFiles/gom_test.dir/gom_test.cc.o: /root/repo/tests/gom_test.cc \
  /usr/include/c++/12/bits/unordered_set.h \
  /root/repo/src/storage/buffer_manager.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/disk.h /root/repo/src/storage/access_stats.h \
- /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
- /root/repo/tests/paper_example.h /root/repo/src/asr/path_expression.h
+ /root/repo/src/storage/disk.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/storage/access_stats.h /root/repo/src/storage/page.h \
+ /usr/include/c++/12/cstring /root/repo/tests/paper_example.h \
+ /root/repo/src/asr/path_expression.h

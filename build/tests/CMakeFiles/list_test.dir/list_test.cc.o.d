@@ -304,7 +304,8 @@ tests/CMakeFiles/list_test.dir/list_test.cc.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/storage/buffer_manager.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
- /root/repo/src/storage/disk.h /root/repo/src/storage/access_stats.h \
- /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
- /root/repo/src/rel/relation.h /root/repo/src/btree/btree.h \
- /root/repo/src/asr/query.h
+ /root/repo/src/storage/disk.h /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /root/repo/src/storage/access_stats.h /root/repo/src/storage/page.h \
+ /usr/include/c++/12/cstring /root/repo/src/rel/relation.h \
+ /root/repo/src/btree/btree.h /root/repo/src/asr/query.h

@@ -296,6 +296,9 @@ tests/CMakeFiles/storage_test.dir/storage_test.cc.o: \
  /root/repo/src/storage/buffer_manager.h /usr/include/c++/12/list \
  /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
  /root/repo/src/common/macros.h /root/repo/src/storage/disk.h \
+ /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
+ /usr/include/c++/12/bits/deque.tcc /usr/include/c++/12/shared_mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/common/status.h /root/repo/src/storage/access_stats.h \
  /root/repo/src/storage/page.h /usr/include/c++/12/cstring \
  /root/repo/src/storage/slotted_page.h

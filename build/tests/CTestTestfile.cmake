@@ -29,3 +29,4 @@ include("/root/repo/build/tests/serialization_test[1]_include.cmake")
 include("/root/repo/build/tests/decomposition_test[1]_include.cmake")
 include("/root/repo/build/tests/anchored_test[1]_include.cmake")
 include("/root/repo/build/tests/cost_formula_test[1]_include.cmake")
+include("/root/repo/build/tests/bulk_build_test[1]_include.cmake")

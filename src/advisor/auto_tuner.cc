@@ -23,9 +23,13 @@ Result<TuningResult> AutoTuner::Tune(gom::ObjectStore* store,
       model, mix, result.update_probability, options.max_storage_bytes);
 
   if (options.materialize) {
+    AsrOptions build_options;
+    build_options.build_threads = options.build_threads;
+    build_options.fill_factor = options.fill_factor;
     Result<std::unique_ptr<AccessSupportRelation>> asr =
         AccessSupportRelation::Build(store, path, result.chosen.kind,
-                                     result.chosen.decomposition);
+                                     result.chosen.decomposition,
+                                     build_options);
     ASR_RETURN_IF_ERROR(asr.status());
     result.asr = std::move(*asr);
   }

@@ -29,6 +29,10 @@ class AutoTuner {
     bool materialize = true;
     // Storage budget in bytes; 0 = unlimited.
     double max_storage_bytes = 0;
+    // Passed through to the materializing Build: the winner is packed by
+    // sorted bulk load, on this many workers.
+    uint32_t build_threads = 1;
+    double fill_factor = btree::BTree::kDefaultFillFactor;
   };
 
   // Estimates the profile from `store`, converts the recorder's history into

@@ -1,6 +1,9 @@
 #include "asr/access_support_relation.h"
 
+#include <atomic>
+#include <thread>
 #include <unordered_set>
+#include <utility>
 
 namespace asr {
 
@@ -17,7 +20,64 @@ rel::Row Slice(const rel::Row& row, uint32_t first, uint32_t last) {
   return rel::Row(row.begin() + first, row.begin() + last + 1);
 }
 
+// Runs `tasks` on up to `threads` workers (inline when one suffices). Tasks
+// must touch disjoint state; the join provides the happens-before edge that
+// makes the workers' disk-segment counters visible to the caller.
+void RunOnPool(uint32_t threads, std::vector<std::function<void()>>* tasks) {
+  if (tasks->empty()) return;
+  uint32_t workers =
+      std::min<uint32_t>(threads, static_cast<uint32_t>(tasks->size()));
+  if (workers <= 1) {
+    for (auto& task : *tasks) task();
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (uint32_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      for (size_t i = next.fetch_add(1); i < tasks->size();
+           i = next.fetch_add(1)) {
+        (*tasks)[i]();
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
 }  // namespace
+
+std::shared_ptr<PartitionStore> PartitionStore::Create(
+    storage::BufferManager* shared, const std::string& name, uint32_t width,
+    bool own_buffers) {
+  auto store = std::make_shared<PartitionStore>();
+  store->width = width;
+  store->name = name;
+  if (own_buffers) {
+    store->private_buffers = std::make_unique<storage::BufferManager>(
+        shared->disk(), shared->capacity());
+  }
+  store->buffers = own_buffers ? store->private_buffers.get() : shared;
+  store->forward = std::make_unique<btree::BTree>(store->buffers,
+                                                  name + ":fwd", width, 0);
+  store->backward = std::make_unique<btree::BTree>(
+      store->buffers, name + ":bwd", width, width - 1);
+  return store;
+}
+
+Status PartitionStore::BulkLoad(std::vector<rel::Row> slices,
+                                double fill_factor) {
+  ASR_RETURN_IF_ERROR(forward->BulkLoad(slices, fill_factor));
+  return backward->BulkLoad(std::move(slices), fill_factor);
+}
+
+void PartitionStore::ResetTrees() {
+  ASR_CHECK(owners <= 1);
+  forward = std::make_unique<btree::BTree>(buffers, name + ":fwd", width, 0);
+  backward =
+      std::make_unique<btree::BTree>(buffers, name + ":bwd", width, width - 1);
+  refcounts.clear();
+}
 
 AccessSupportRelation::AccessSupportRelation(gom::ObjectStore* store,
                                              PathExpression path,
@@ -56,6 +116,7 @@ Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
                                 std::move(decomposition), options));
 
   std::string base = asr->path_.ToString() + ":" + ExtensionKindName(kind);
+  std::vector<bool> fresh;
   for (size_t p = 0; p < asr->decomposition_.partition_count(); ++p) {
     auto [first, last] = asr->decomposition_.partition(p);
     Partition part;
@@ -63,7 +124,8 @@ Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
     part.last = last;
     uint32_t w = last - first + 1;
     if (provider != nullptr) part.store = provider(p, first, last);
-    if (part.store != nullptr) {
+    bool is_fresh = (part.store == nullptr);
+    if (!is_fresh) {
       if (part.store->width != w) {
         return Status::InvalidArgument(
             "shared partition store has width " +
@@ -73,21 +135,69 @@ Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
     } else {
       std::string pname =
           base + ":" + std::to_string(first) + "-" + std::to_string(last);
-      part.store = std::make_shared<PartitionStore>();
-      part.store->width = w;
-      part.store->forward = std::make_unique<btree::BTree>(
-          store->buffers(), pname + ":fwd", w, 0);
-      part.store->backward = std::make_unique<btree::BTree>(
-          store->buffers(), pname + ":bwd", w, w - 1);
+      part.store = PartitionStore::Create(
+          store->buffers(), pname, w,
+          /*own_buffers=*/options.bulk_load && options.build_threads > 1);
     }
     ++part.store->owners;
+    fresh.push_back(is_fresh);
     asr->partitions_.push_back(std::move(part));
   }
 
-  for (const rel::Row& row : extension->rows()) {
-    asr->InsertRow(row);
+  if (!options.bulk_load) {
+    for (const rel::Row& row : extension->rows()) {
+      asr->InsertRow(row);
+    }
+    return asr;
   }
+  ASR_RETURN_IF_ERROR(asr->LoadRows(extension->rows(), fresh));
   return asr;
+}
+
+Status AccessSupportRelation::LoadRows(const std::vector<rel::Row>& rows,
+                                       const std::vector<bool>& fresh_store) {
+  ASR_DCHECK(fresh_store.size() == partitions_.size());
+  for (const rel::Row& row : rows) {
+    ASR_DCHECK(row.size() == width_);
+    full_rows_.insert(row);
+  }
+  // Slice and refcount serially; collect each fresh partition's distinct
+  // slices for bulk load and push slices of pre-populated (shared) stores
+  // tuple-at-a-time so existing contributions stay intact.
+  std::vector<std::vector<rel::Row>> bulk_slices(partitions_.size());
+  for (const rel::Row& row : full_rows_) {
+    for (size_t p = 0; p < partitions_.size(); ++p) {
+      Partition& part = partitions_[p];
+      rel::Row slice = Slice(row, part.first, part.last);
+      if (AllNull(slice)) continue;
+      uint32_t& count = part.store->refcounts[slice];
+      if (count++ != 0) continue;
+      if (fresh_store[p]) {
+        bulk_slices[p].push_back(std::move(slice));
+      } else {
+        part.store->forward->Insert(slice);
+        part.store->backward->Insert(slice);
+      }
+    }
+  }
+  std::vector<Status> results(partitions_.size(), Status::OK());
+  std::vector<std::function<void()>> tasks;
+  bool all_private = true;
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    if (!fresh_store[p]) continue;
+    if (partitions_[p].store->private_buffers == nullptr) all_private = false;
+    tasks.push_back([this, p, &bulk_slices, &results] {
+      results[p] = partitions_[p].store->BulkLoad(std::move(bulk_slices[p]),
+                                                  options_.fill_factor);
+    });
+  }
+  // Concurrency is only sound when every builder pins through its own pool
+  // (stores created for a serial build share the object store's pool).
+  RunOnPool(all_private ? options_.build_threads : 1, &tasks);
+  for (const Status& st : results) {
+    ASR_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
 }
 
 void AccessSupportRelation::InsertRow(const rel::Row& row) {
@@ -147,6 +257,28 @@ Result<std::vector<rel::Row>> AccessSupportRelation::PartitionRowsWithValue(
   return out;
 }
 
+Status AccessSupportRelation::PartitionEachRowWithValue(
+    size_t p_idx, uint32_t col, AsrKey value,
+    const std::function<bool(const rel::Row&)>& fn) {
+  Partition& part = partitions_[p_idx];
+  ASR_CHECK(part.first <= col && col <= part.last);
+  if (col == part.first) {
+    part.store->forward->LookupEach(value, fn);
+    return Status::OK();
+  }
+  if (col == part.last) {
+    part.store->backward->LookupEach(value, fn);
+    return Status::OK();
+  }
+  uint32_t rel_col = col - part.first;
+  bool stop = false;
+  return part.store->forward->ScanAll(
+      [&](const std::vector<AsrKey>& row) -> Status {
+        if (!stop && row[rel_col] == value) stop = !fn(row);
+        return Status::OK();
+      });
+}
+
 Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
                                                                uint32_t i,
                                                                uint32_t j) {
@@ -172,14 +304,15 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
     uint32_t target = std::min(part.last, cj);
     std::unordered_set<AsrKey> next;
     if (via_lookup) {
+      uint32_t rel_target = target - part.first;
       for (AsrKey key : frontier) {
         if (key.IsNull()) continue;
-        std::vector<rel::Row> rows;
-        partitions_[p_idx].store->forward->Lookup(key, &rows);
-        for (const rel::Row& row : rows) {
-          AsrKey v = row[target - part.first];
-          if (!v.IsNull()) next.insert(v);
-        }
+        partitions_[p_idx].store->forward->LookupEach(
+            key, [&](const rel::Row& row) {
+              AsrKey v = row[rel_target];
+              if (!v.IsNull()) next.insert(v);
+              return true;
+            });
       }
     } else {
       uint32_t rel_c = c - part.first;
@@ -224,14 +357,15 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
     uint32_t dest = std::max(part.first, ci);
     std::unordered_set<AsrKey> next;
     if (via_lookup) {
+      uint32_t rel_dest = dest - part.first;
       for (AsrKey key : frontier) {
         if (key.IsNull()) continue;
-        std::vector<rel::Row> rows;
-        partitions_[p_idx].store->backward->Lookup(key, &rows);
-        for (const rel::Row& row : rows) {
-          AsrKey v = row[dest - part.first];
-          if (!v.IsNull()) next.insert(v);
-        }
+        partitions_[p_idx].store->backward->LookupEach(
+            key, [&](const rel::Row& row) {
+              AsrKey v = row[rel_dest];
+              if (!v.IsNull()) next.insert(v);
+              return true;
+            });
       }
     } else {
       uint32_t rel_c = c - part.first;
@@ -256,16 +390,46 @@ Status AccessSupportRelation::Rebuild() {
       ComputeExtension(store_, path_, kind_, options_.drop_set_columns,
                        options_.anchor_collection);
   ASR_RETURN_IF_ERROR(extension.status());
-  // Retract this ASR's current rows (leaves sibling contributions to shared
-  // stores untouched), then install the fresh extension.
+  if (!options_.bulk_load) {
+    // Retract this ASR's current rows (leaves sibling contributions to
+    // shared stores untouched), then install the fresh extension.
+    std::vector<rel::Row> old_rows(full_rows_.begin(), full_rows_.end());
+    for (const rel::Row& row : old_rows) {
+      EraseRow(row);
+    }
+    for (const rel::Row& row : extension->rows()) {
+      InsertRow(row);
+    }
+    return Status::OK();
+  }
+  // Bulk path: solely-owned partition stores are reset to empty trees (their
+  // shared_ptr identity survives, so catalog registrations stay valid) and
+  // re-packed by sorted bulk load; shared stores must keep sibling ASRs'
+  // contributions, so this ASR's old slices are retracted and the new ones
+  // inserted tuple-at-a-time.
+  std::vector<bool> fresh(partitions_.size(), false);
   std::vector<rel::Row> old_rows(full_rows_.begin(), full_rows_.end());
-  for (const rel::Row& row : old_rows) {
-    EraseRow(row);
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
+    if (part.store->owners == 1) {
+      part.store->ResetTrees();
+      fresh[p] = true;
+      continue;
+    }
+    for (const rel::Row& row : old_rows) {
+      rel::Row slice = Slice(row, part.first, part.last);
+      if (AllNull(slice)) continue;
+      auto it = part.store->refcounts.find(slice);
+      if (it == part.store->refcounts.end()) continue;
+      if (--it->second == 0) {
+        part.store->forward->Erase(slice);
+        part.store->backward->Erase(slice);
+        part.store->refcounts.erase(it);
+      }
+    }
   }
-  for (const rel::Row& row : extension->rows()) {
-    InsertRow(row);
-  }
-  return Status::OK();
+  full_rows_.clear();
+  return LoadRows(extension->rows(), fresh);
 }
 
 Result<rel::Relation> AccessSupportRelation::DumpPartition(size_t idx) {

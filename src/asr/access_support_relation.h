@@ -14,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "asr/decomposition.h"
@@ -40,6 +41,25 @@ struct AsrOptions {
   // materialized. Membership changes of C require Rebuild(); edge
   // maintenance within the paths stays incremental.
   Oid anchor_collection = Oid::Null();
+
+  // --- Build pipeline (beyond the paper) ---------------------------------
+  // Materialize fresh partition stores by sorted bulk load: slice the
+  // full-width row set per partition, sort by the clustered column, and
+  // pack both B+ trees bottom-up — no descents, no splits, each page
+  // written once. Contents are identical to tuple-at-a-time loading; only
+  // build cost changes. The tuple-at-a-time path is kept for metering
+  // comparisons (bench/bulkload_bench).
+  bool bulk_load = true;
+
+  // Leaf fill fraction for bulk-loaded trees (1.0 packs leaves completely).
+  double fill_factor = btree::BTree::kDefaultFillFactor;
+
+  // Worker threads for partition builds. With > 1, every fresh partition
+  // store gets a private BufferManager over its own disk segments and the
+  // partitions bulk-build concurrently; shared and pre-existing stores are
+  // always loaded serially. 1 = build in the calling thread (metered runs
+  // stay single-threaded and bit-identical).
+  uint32_t build_threads = 1;
 };
 
 // Storage of one partition, shareable between access support relations over
@@ -55,9 +75,34 @@ struct PartitionStore {
   // contribution, so maintenance answers existence questions from the
   // object store instead of the trees.
   uint32_t owners = 0;
+  std::string name;  // diagnostic segment-name stem
   std::unique_ptr<btree::BTree> forward;   // clustered on the first column
   std::unique_ptr<btree::BTree> backward;  // clustered on the last column
   std::map<rel::Row, uint32_t> refcounts;
+  // Set when the store was created for a concurrent build: its trees pin
+  // through this dedicated pool (over the store's own disk segments), so
+  // partition builders never contend on a shared BufferManager.
+  std::unique_ptr<storage::BufferManager> private_buffers;
+  // The pool the trees actually use: private_buffers when present, else the
+  // object store's shared pool. Needed to recreate trees on ResetTrees.
+  storage::BufferManager* buffers = nullptr;
+
+  // Creates a store with two empty trees named `name`:fwd/:bwd, width
+  // `width`, clustered on the first and last column. With `own_buffers`,
+  // the trees get a private BufferManager of the same capacity as `shared`.
+  static std::shared_ptr<PartitionStore> Create(
+      storage::BufferManager* shared, const std::string& name, uint32_t width,
+      bool own_buffers);
+
+  // Bulk-loads both trees from `slices` (distinct partition tuples; each
+  // tree sorts by its own clustered column). Trees must be empty.
+  Status BulkLoad(std::vector<rel::Row> slices, double fill_factor);
+
+  // Replaces both trees with fresh empty ones (new disk segments) and
+  // clears the refcounts. Only valid for stores with a single owner — the
+  // in-place rebuild path; the store's identity (shared_ptr) is preserved
+  // so catalog registrations stay valid.
+  void ResetTrees();
 
   uint64_t TotalPages() const {
     return forward->leaf_page_count() + forward->inner_page_count() +
@@ -171,6 +216,19 @@ class AccessSupportRelation {
   Result<std::vector<rel::Row>> PartitionRowsWithValue(size_t p_idx,
                                                        uint32_t col,
                                                        AsrKey value);
+
+  // Streaming variant of PartitionRowsWithValue: `fn` returns false to stop
+  // early (used by existence probes to avoid materializing clusters).
+  Status PartitionEachRowWithValue(
+      size_t p_idx, uint32_t col, AsrKey value,
+      const std::function<bool(const rel::Row&)>& fn);
+
+  // Installs `rows` as this ASR's contribution: fills full_rows_ and the
+  // per-partition slice refcounts, bulk-loading partitions whose store is
+  // flagged fresh (concurrently when options_.build_threads > 1) and
+  // inserting tuple-at-a-time into stores that already hold contributions.
+  Status LoadRows(const std::vector<rel::Row>& rows,
+                  const std::vector<bool>& fresh_store);
 
   // Inserts/erases a full-width row into/from all partitions (projected).
   void InsertRow(const rel::Row& row);

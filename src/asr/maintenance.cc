@@ -96,15 +96,19 @@ Result<bool> AccessSupportRelation::HasOtherInEdge(AsrKey w, uint32_t p1,
     // ASRs (§5.4) may still hold a sibling's not-yet-maintained
     // contribution for this very edge; fall through to the data search.
     if (partitions_[e_idx].store->owners <= 1) {
-      Result<std::vector<rel::Row>> rows =
-          PartitionRowsWithValue(static_cast<size_t>(e_idx), p1, w);
-      ASR_RETURN_IF_ERROR(rows.status());
       uint32_t rel_p = p - partitions_[e_idx].first;
-      for (const rel::Row& row : *rows) {
-        AsrKey v = row[rel_p];
-        if (!v.IsNull() && v != exclude_key) return true;
-      }
-      return false;
+      bool found_other = false;
+      Status st = PartitionEachRowWithValue(
+          static_cast<size_t>(e_idx), p1, w, [&](const rel::Row& row) {
+            AsrKey v = row[rel_p];
+            if (!v.IsNull() && v != exclude_key) {
+              found_other = true;
+              return false;  // existence settled — stop the probe
+            }
+            return true;
+          });
+      ASR_RETURN_IF_ERROR(st);
+      return found_other;
     }
   }
 

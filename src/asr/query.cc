@@ -1,5 +1,6 @@
 #include "asr/query.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 namespace asr {
@@ -13,6 +14,11 @@ Status QueryEvaluator::ExpandLevel(
   for (AsrKey key : sources) {
     if (key.IsOid()) oids.push_back(key.ToOid());
   }
+  // Distinct OIDs in OID order: the frontier may carry duplicates, and the
+  // page-batched fetch groups best when same-page objects (adjacent OIDs)
+  // arrive together.
+  std::sort(oids.begin(), oids.end());
+  oids.erase(std::unique(oids.begin(), oids.end()), oids.end());
   Result<std::vector<std::pair<Oid, std::vector<AsrKey>>>> targets =
       store_->GetAttributeTargets(std::move(oids), step.attr_name);
   ASR_RETURN_IF_ERROR(targets.status());
@@ -30,16 +36,23 @@ Result<std::vector<AsrKey>> QueryEvaluator::ForwardNoSupport(AsrKey start,
   if (i >= j || j > path_->n()) {
     return Status::InvalidArgument("need 0 <= i < j <= n");
   }
-  std::unordered_set<AsrKey> frontier{start};
+  // Forward chasing never revisits a level, so the frontier needs no set
+  // semantics until the end: ExpandLevel dedupes its sources and a final
+  // unique pass collapses the result. One edges/sources pair is reused
+  // across levels instead of reallocating per level.
+  std::vector<AsrKey> sources{start};
+  std::vector<std::pair<AsrKey, AsrKey>> edges;
   for (uint32_t q = i; q < j; ++q) {
-    std::vector<std::pair<AsrKey, AsrKey>> edges;
-    std::vector<AsrKey> sources(frontier.begin(), frontier.end());
+    edges.clear();
     ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &edges));
-    frontier.clear();
-    for (const auto& [src, dst] : edges) frontier.insert(dst);
-    if (frontier.empty()) break;
+    sources.clear();
+    sources.reserve(edges.size());
+    for (const auto& [src, dst] : edges) sources.push_back(dst);
+    if (sources.empty()) break;
   }
-  return std::vector<AsrKey>(frontier.begin(), frontier.end());
+  std::sort(sources.begin(), sources.end());
+  sources.erase(std::unique(sources.begin(), sources.end()), sources.end());
+  return sources;
 }
 
 Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
@@ -54,7 +67,7 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
   // collecting every edge of attribute A_{i+1}; deeper levels fetch only the
   // objects actually referenced — RefBy(i, l, d_i) of them (Eq. 32).
   std::vector<std::vector<std::pair<AsrKey, AsrKey>>> level_edges(j);
-  std::unordered_set<AsrKey> frontier;
+  std::vector<AsrKey> sources;
   {
     const PathStep& step = path_->step(i + 1);
     for (TypeId t = 0; t < schema.type_count(); ++t) {
@@ -71,15 +84,18 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
           });
       ASR_RETURN_IF_ERROR(st);
     }
-    for (const auto& [src, dst] : level_edges[i]) frontier.insert(dst);
+    sources.reserve(level_edges[i].size());
+    for (const auto& [src, dst] : level_edges[i]) sources.push_back(dst);
   }
 
-  // Intermediate levels i+1 .. j-1: fetch each connected object once.
-  for (uint32_t q = i + 1; q < j && !frontier.empty(); ++q) {
-    std::vector<AsrKey> sources(frontier.begin(), frontier.end());
-    ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &level_edges[q]));
-    frontier.clear();
-    for (const auto& [src, dst] : level_edges[q]) frontier.insert(dst);
+  // Intermediate levels i+1 .. j-1: fetch each connected object once
+  // (ExpandLevel dedupes the frontier; the sources buffer is reused).
+  for (uint32_t q = i + 1; q < j && !sources.empty(); ++q) {
+    std::vector<std::pair<AsrKey, AsrKey>>& edges = level_edges[q];
+    ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &edges));
+    sources.clear();
+    sources.reserve(edges.size());
+    for (const auto& [src, dst] : edges) sources.push_back(dst);
   }
 
   // Back-propagate connectivity from the target (in memory).

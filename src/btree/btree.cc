@@ -334,6 +334,120 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path,
   InsertIntoParent(path, CompositeKey{up.key, up.fingerprint}, right_no);
 }
 
+Status BTree::BulkLoad(std::vector<std::vector<AsrKey>> tuples,
+                       double fill_factor) {
+  if (tuple_count_ != 0 || height_ != 0 || leaf_pages_ != 1) {
+    return Status::InvalidArgument("bulk load requires an empty tree");
+  }
+  if (!(fill_factor > 0.0) || fill_factor > 1.0) {
+    return Status::InvalidArgument("fill factor must be in (0, 1]");
+  }
+
+  // Sort by composite key; ties (fingerprint collisions) break on the full
+  // tuple so the dedup below is exact and the leaf order deterministic.
+  struct BulkEntry {
+    CompositeKey key;
+    std::vector<uint64_t> tuple;
+  };
+  std::vector<BulkEntry> entries;
+  entries.reserve(tuples.size());
+  for (const std::vector<AsrKey>& tuple : tuples) {
+    ASR_CHECK(tuple.size() == width_);
+    BulkEntry e;
+    e.key = KeyOf(tuple);
+    e.tuple.resize(width_);
+    for (uint32_t c = 0; c < width_; ++c) e.tuple[c] = tuple[c].raw();
+    entries.push_back(std::move(e));
+  }
+  tuples.clear();
+  tuples.shrink_to_fit();
+  std::sort(entries.begin(), entries.end(),
+            [](const BulkEntry& a, const BulkEntry& b) {
+              if (!(a.key == b.key)) return a.key < b.key;
+              return a.tuple < b.tuple;
+            });
+  entries.erase(std::unique(entries.begin(), entries.end(),
+                            [](const BulkEntry& a, const BulkEntry& b) {
+                              return a.key == b.key && a.tuple == b.tuple;
+                            }),
+                entries.end());
+  if (entries.empty()) return Status::OK();
+
+  uint32_t per_leaf = static_cast<uint32_t>(fill_factor * leaf_capacity_);
+  per_leaf = std::max(1u, std::min(leaf_capacity_, per_leaf));
+
+  // Level 0: pack the leaves left to right. The constructor's root page
+  // becomes the leftmost leaf; each page is initialized, filled, and
+  // released once (one write under metering).
+  struct ChildRef {
+    CompositeKey first;  // smallest composite key under this subtree
+    uint32_t page_no;
+  };
+  std::vector<ChildRef> level;
+  PageGuard prev;  // stays pinned until its next_leaf link is known
+  size_t pos = 0;
+  while (pos < entries.size()) {
+    size_t take = std::min<size_t>(per_leaf, entries.size() - pos);
+    // Never leave a lone entry for the last leaf when avoidable: steal one
+    // from this leaf so every leaf holds at least two entries.
+    if (entries.size() - pos - take == 1 && take > 1) --take;
+    PageGuard leaf = level.empty() ? buffers_->Pin(PageId{segment_, root_page_})
+                                   : buffers_->AllocatePinned(segment_);
+    InitLeaf(&leaf.page());
+    for (size_t i = 0; i < take; ++i) {
+      const BulkEntry& e = entries[pos + i];
+      uint32_t off = LeafOffset(leaf_entry_bytes_, static_cast<int>(i));
+      leaf.page().Write<uint64_t>(off, e.key.fingerprint);
+      leaf.page().WriteBytes(off + 8, e.tuple.data(), 8 * width_);
+    }
+    SetCount(&leaf.page(), static_cast<uint16_t>(take));
+    leaf.MarkDirty();
+    if (prev.valid()) {
+      SetNextLeaf(&prev.page(), leaf.id().page_no);
+      prev.Release();
+    }
+    level.push_back(ChildRef{entries[pos].key, leaf.id().page_no});
+    prev = std::move(leaf);
+    pos += take;
+  }
+  prev.Release();
+  leaf_pages_ = static_cast<uint32_t>(level.size());
+  tuple_count_ = entries.size();
+  entries.clear();
+  entries.shrink_to_fit();
+
+  // Internal levels, bottom-up: child0 plus up to inner_capacity_ separator
+  // entries per node, each separator being the first key of the child to its
+  // right (exactly what InsertIntoParent would have produced).
+  const uint32_t fanout = inner_capacity_ + 1;
+  while (level.size() > 1) {
+    std::vector<ChildRef> parents;
+    size_t i = 0;
+    while (i < level.size()) {
+      size_t take = std::min<size_t>(fanout, level.size() - i);
+      if (level.size() - i - take == 1 && take > 1) --take;
+      PageGuard node = buffers_->AllocatePinned(segment_);
+      InitInternal(&node.page());
+      SetChild0(&node.page(), level[i].page_no);
+      for (size_t c = 1; c < take; ++c) {
+        const ChildRef& child = level[i + c];
+        PutInner(&node.page(), static_cast<int>(c - 1),
+                 InnerEntry{child.first.key, child.first.fingerprint,
+                            child.page_no});
+      }
+      SetCount(&node.page(), static_cast<uint16_t>(take - 1));
+      node.MarkDirty();
+      parents.push_back(ChildRef{level[i].first, node.id().page_no});
+      ++inner_pages_;
+      i += take;
+    }
+    level = std::move(parents);
+    ++height_;
+  }
+  root_page_ = level.front().page_no;
+  return Status::OK();
+}
+
 bool BTree::Erase(const std::vector<AsrKey>& tuple) {
   ASR_CHECK(tuple.size() == width_);
   CompositeKey key = KeyOf(tuple);
@@ -368,28 +482,30 @@ bool BTree::Erase(const std::vector<AsrKey>& tuple) {
 }
 
 void BTree::Lookup(AsrKey key, std::vector<std::vector<AsrKey>>* out) {
+  LookupEach(key, [out](const std::vector<AsrKey>& row) {
+    out->push_back(row);
+    return true;
+  });
+}
+
+void BTree::LookupEach(
+    AsrKey key, const std::function<bool(const std::vector<AsrKey>&)>& fn) {
   CompositeKey target{key.raw(), 0};
   uint32_t leaf_no = DescendToLeaf(target, nullptr);
+  std::vector<AsrKey> row(width_);
+  std::vector<uint64_t> raw(width_);
   while (leaf_no != kNoLeaf) {
     PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
     uint16_t count = Count(leaf.page());
-    bool beyond = false;
     for (int i = 0; i < count; ++i) {
-      LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
-      uint64_t k = e.tuple[key_column_];
+      uint32_t off = LeafOffset(leaf_entry_bytes_, i);
+      leaf.page().ReadBytes(off + 8, raw.data(), 8 * width_);
+      uint64_t k = raw[key_column_];
       if (k < key.raw()) continue;
-      if (k > key.raw()) {
-        beyond = true;
-        break;
-      }
-      std::vector<AsrKey> row;
-      row.reserve(width_);
-      for (uint32_t c = 0; c < width_; ++c) {
-        row.push_back(AsrKey::FromRaw(e.tuple[c]));
-      }
-      out->push_back(std::move(row));
+      if (k > key.raw()) return;
+      for (uint32_t c = 0; c < width_; ++c) row[c] = AsrKey::FromRaw(raw[c]);
+      if (!fn(row)) return;
     }
-    if (beyond) break;
     leaf_no = NextLeaf(leaf.page());
   }
 }

@@ -47,11 +47,33 @@ class BTree {
   // false when the identical tuple was already present.
   bool Insert(const std::vector<AsrKey>& tuple);
 
+  // Leaf fill fraction used by BulkLoad when none is given: pack leaves
+  // completely, the density the paper's page-count estimates (Eq. 16)
+  // assume.
+  static constexpr double kDefaultFillFactor = 1.0;
+
+  // Sorted bottom-up construction: sorts `tuples` by (key column,
+  // fingerprint), packs leaves left-to-right at `fill_factor` of their
+  // capacity, then builds the internal levels bottom-up — no root-to-leaf
+  // descents and no splits, so every page is written exactly once.
+  // Duplicate tuples collapse (set semantics, as with Insert). Only valid on
+  // an empty tree; the resulting tree is scan-identical to one grown by
+  // inserting the same tuples one at a time.
+  Status BulkLoad(std::vector<std::vector<AsrKey>> tuples,
+                  double fill_factor = kDefaultFillFactor);
+
   // Removes the exact tuple; returns true when it was present.
   bool Erase(const std::vector<AsrKey>& tuple);
 
   // Appends all tuples whose key column equals `key` to `out`.
   void Lookup(AsrKey key, std::vector<std::vector<AsrKey>>* out);
+
+  // Streaming cluster probe: calls `fn` for every tuple whose key column
+  // equals `key`, in cluster order, decoding into a reused buffer instead of
+  // materializing the cluster. `fn` returns false to stop early. Page cost
+  // is identical to Lookup (ht + nlp).
+  void LookupEach(AsrKey key,
+                  const std::function<bool(const std::vector<AsrKey>&)>& fn);
 
   // True iff some tuple has `key` in the key column (same page cost as a
   // cluster lookup of one leaf page).

@@ -4,6 +4,14 @@
 // secondary storage" (§5.6); every read and write that reaches the simulated
 // disk is counted here so empirical runs are directly comparable with the
 // analytical cost model.
+//
+// The struct itself is deliberately plain (no atomics): concurrency is
+// handled by aggregation discipline instead. Each disk segment keeps its own
+// AccessStats written by at most one thread — parallel ASR builders meter
+// into the counters of the segments they own — and disk-wide totals are the
+// merge of the per-segment counters, taken at quiescent points (after
+// worker join). This keeps single-threaded metered runs bit-identical with
+// zero synchronization cost on the counting fast path.
 #ifndef ASR_STORAGE_ACCESS_STATS_H_
 #define ASR_STORAGE_ACCESS_STATS_H_
 
@@ -27,6 +35,12 @@ struct AccessStats {
     page_reads += other.page_reads;
     page_writes += other.page_writes;
     return *this;
+  }
+
+  AccessStats operator+(const AccessStats& other) const {
+    AccessStats out = *this;
+    out += other;
+    return out;
   }
 
   std::string ToString() const {

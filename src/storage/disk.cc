@@ -1,12 +1,26 @@
 #include "storage/disk.h"
 
+#include <mutex>
 #include <utility>
 
 #include "common/binary_io.h"
 
 namespace asr::storage {
 
+Disk::Segment& Disk::GetSegment(uint32_t segment) {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ASR_CHECK(segment < segments_.size());
+  return segments_[segment];
+}
+
+const Disk::Segment& Disk::GetSegment(uint32_t segment) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  ASR_CHECK(segment < segments_.size());
+  return segments_[segment];
+}
+
 uint32_t Disk::CreateSegment(std::string name) {
+  std::unique_lock<std::shared_mutex> lock(mu_);
   uint32_t id = static_cast<uint32_t>(segments_.size());
   segments_.push_back(Segment{std::move(name), {}, {}});
   return id;
@@ -24,7 +38,6 @@ void Disk::ReadPage(PageId id, Page* out) {
   ASR_CHECK(id.page_no < seg.pages.size());
   *out = seg.pages[id.page_no];
   ++seg.stats.page_reads;
-  ++stats_.page_reads;
 }
 
 void Disk::WritePage(PageId id, const Page& page) {
@@ -32,30 +45,34 @@ void Disk::WritePage(PageId id, const Page& page) {
   ASR_CHECK(id.page_no < seg.pages.size());
   seg.pages[id.page_no] = page;
   ++seg.stats.page_writes;
-  ++stats_.page_writes;
 }
 
 uint32_t Disk::SegmentPageCount(uint32_t segment) const {
-  ASR_CHECK(segment < segments_.size());
-  return static_cast<uint32_t>(segments_[segment].pages.size());
+  return static_cast<uint32_t>(GetSegment(segment).pages.size());
 }
 
 const std::string& Disk::SegmentName(uint32_t segment) const {
-  ASR_CHECK(segment < segments_.size());
-  return segments_[segment].name;
+  return GetSegment(segment).name;
 }
 
 const AccessStats& Disk::segment_stats(uint32_t segment) const {
-  ASR_CHECK(segment < segments_.size());
-  return segments_[segment].stats;
+  return GetSegment(segment).stats;
+}
+
+AccessStats Disk::stats() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  AccessStats total;
+  for (const Segment& seg : segments_) total += seg.stats;
+  return total;
 }
 
 void Disk::ResetStats() {
-  stats_ = AccessStats{};
+  std::unique_lock<std::shared_mutex> lock(mu_);
   for (auto& seg : segments_) seg.stats = AccessStats{};
 }
 
 void Disk::Serialize(std::ostream* out) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
   io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(segments_.size()));
   for (const Segment& seg : segments_) {
     io::WriteString(out, seg.name);
@@ -67,7 +84,10 @@ void Disk::Serialize(std::ostream* out) const {
 }
 
 Status Disk::Deserialize(std::istream* in) {
-  ASR_CHECK(segments_.empty());
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    ASR_CHECK(segments_.empty());
+  }
   Result<uint32_t> seg_count = io::ReadScalar<uint32_t>(in);
   ASR_RETURN_IF_ERROR(seg_count.status());
   for (uint32_t s = 0; s < *seg_count; ++s) {
@@ -83,7 +103,7 @@ Status Disk::Deserialize(std::istream* in) {
       if (!in->good()) {
         return Status::Corruption("truncated page data in snapshot");
       }
-      segments_[id.segment].pages[id.page_no] = page;
+      GetSegment(id.segment).pages[id.page_no] = page;
     }
   }
   return Status::OK();

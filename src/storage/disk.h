@@ -4,11 +4,21 @@
 // accesses analytically. This disk is the executable counterpart: an array of
 // 4056-byte pages per segment whose every read/write is counted, so a live
 // query can be metered with the same unit the paper uses.
+//
+// Concurrency: segments are independent units of allocation and metering.
+// The segment table itself is guarded by a shared mutex (segment creation
+// may run concurrently with page access to existing segments), but each
+// individual segment must have at most one accessor thread at a time — the
+// contract the parallel ASR build pipeline satisfies by giving every
+// partition builder its own segments. Global access statistics are the merge
+// of the per-segment counters, so no cross-thread counter is ever written.
 #ifndef ASR_STORAGE_DISK_H_
 #define ASR_STORAGE_DISK_H_
 
+#include <deque>
 #include <istream>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -44,7 +54,10 @@ class Disk {
   void Serialize(std::ostream* out) const;
   Status Deserialize(std::istream* in);
 
-  const AccessStats& stats() const { return stats_; }
+  // Disk-wide statistics: the merge of every segment's counters. (Computed
+  // on demand so that concurrent builders only ever touch their own
+  // segment's counters; call from a quiescent point when workers may run.)
+  AccessStats stats() const;
   const AccessStats& segment_stats(uint32_t segment) const;
   void ResetStats();
 
@@ -55,13 +68,13 @@ class Disk {
     AccessStats stats;
   };
 
-  Segment& GetSegment(uint32_t segment) {
-    ASR_CHECK(segment < segments_.size());
-    return segments_[segment];
-  }
+  // References into segments_ are stable (deque) — the lock only covers the
+  // table lookup, never the page copy.
+  Segment& GetSegment(uint32_t segment);
+  const Segment& GetSegment(uint32_t segment) const;
 
-  std::vector<Segment> segments_;
-  AccessStats stats_;
+  mutable std::shared_mutex mu_;  // guards the segment table structure
+  std::deque<Segment> segments_;
 };
 
 }  // namespace asr::storage

@@ -1,0 +1,242 @@
+// Tests for the sorted bulk-load path of the B+ tree and the (optionally
+// parallel) ASR partition build pipeline: bulk-loaded trees must be
+// observationally identical to tuple-at-a-time trees, and a threaded build
+// must produce the same ASR as a serial one for every decomposition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "asr/access_support_relation.h"
+#include "btree/btree.h"
+#include "common/random.h"
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+#include "workload/meter.h"
+#include "workload/synthetic_base.h"
+
+namespace asr {
+namespace {
+
+using btree::BTree;
+
+std::vector<AsrKey> RandomTuple(Rng* rng, uint32_t width, uint64_t key_range) {
+  std::vector<AsrKey> out;
+  for (uint32_t c = 0; c < width; ++c) {
+    out.push_back(AsrKey::FromOid(Oid::Make(1, rng->Uniform(key_range) + 1)));
+  }
+  return out;
+}
+
+std::vector<std::vector<AsrKey>> Dump(BTree* tree) {
+  std::vector<std::vector<AsrKey>> rows;
+  EXPECT_TRUE(tree->ScanAll([&](const std::vector<AsrKey>& row) -> Status {
+                    rows.push_back(row);
+                    return Status::OK();
+                  }).ok());
+  return rows;
+}
+
+// Property: for random multisets of tuples (duplicates included), a
+// bulk-loaded tree scans identically to one grown by tuple-at-a-time
+// insertion, across widths, key columns, sizes, and fill factors.
+TEST(BulkLoadTest, ScanIdenticalToTupleAtATime) {
+  struct Case {
+    uint32_t width;
+    uint32_t key_column;
+    size_t tuples;
+    uint64_t key_range;  // small range => many duplicate keys
+    double fill_factor;
+  };
+  const Case cases[] = {
+      {1, 0, 50, 30, 1.0},     {2, 0, 500, 100, 1.0},
+      {2, 1, 500, 100, 0.7},   {3, 0, 3000, 400, 1.0},
+      {3, 2, 3000, 400, 0.5},  {5, 0, 2000, 250, 0.9},
+  };
+  Rng rng(7);
+  for (const Case& c : cases) {
+    std::vector<std::vector<AsrKey>> tuples;
+    for (size_t i = 0; i < c.tuples; ++i) {
+      tuples.push_back(RandomTuple(&rng, c.width, c.key_range));
+    }
+    // Some exact duplicates: set semantics must collapse them in both paths.
+    for (size_t i = 0; i < c.tuples / 10; ++i) {
+      tuples.push_back(tuples[rng.Uniform(c.tuples)]);
+    }
+
+    storage::Disk disk;
+    storage::BufferManager buffers(&disk, 64);
+    BTree inserted(&buffers, "ins", c.width, c.key_column);
+    for (const auto& t : tuples) inserted.Insert(t);
+    BTree bulk(&buffers, "blk", c.width, c.key_column);
+    ASSERT_TRUE(bulk.BulkLoad(tuples, c.fill_factor).ok());
+
+    EXPECT_TRUE(bulk.CheckIntegrity().ok());
+    EXPECT_EQ(bulk.tuple_count(), inserted.tuple_count());
+    EXPECT_EQ(Dump(&bulk), Dump(&inserted))
+        << "width=" << c.width << " key_column=" << c.key_column
+        << " fill_factor=" << c.fill_factor;
+
+    // Point lookups agree on every key in range (probes misses too).
+    for (uint64_t k = 1; k <= c.key_range + 1; ++k) {
+      AsrKey key = AsrKey::FromOid(Oid::Make(1, k));
+      std::vector<std::vector<AsrKey>> a, b;
+      bulk.Lookup(key, &a);
+      inserted.Lookup(key, &b);
+      EXPECT_EQ(a, b) << "key " << k;
+    }
+  }
+}
+
+TEST(BulkLoadTest, RequiresEmptyTreeAndValidFillFactor) {
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 16);
+  std::vector<std::vector<AsrKey>> one{{AsrKey::FromOid(Oid::Make(1, 1))}};
+
+  BTree tree(&buffers, "t", 1, 0);
+  EXPECT_FALSE(tree.BulkLoad(one, 0.0).ok());
+  EXPECT_FALSE(tree.BulkLoad(one, 1.5).ok());
+  EXPECT_TRUE(tree.Insert({AsrKey::FromOid(Oid::Make(1, 2))}));
+  EXPECT_FALSE(tree.BulkLoad(one).ok());  // non-empty tree
+
+  BTree empty(&buffers, "e", 1, 0);
+  EXPECT_TRUE(empty.BulkLoad({}).ok());  // empty input is fine
+  EXPECT_EQ(empty.tuple_count(), 0u);
+  EXPECT_TRUE(empty.CheckIntegrity().ok());
+}
+
+TEST(BulkLoadTest, FillFactorControlsLeafCount) {
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 64);
+  std::vector<std::vector<AsrKey>> tuples;
+  for (uint64_t i = 1; i <= 4000; ++i) {
+    tuples.push_back({AsrKey::FromOid(Oid::Make(1, i)),
+                      AsrKey::FromOid(Oid::Make(2, i))});
+  }
+  BTree packed(&buffers, "p", 2, 0);
+  ASSERT_TRUE(packed.BulkLoad(tuples, 1.0).ok());
+  BTree half(&buffers, "h", 2, 0);
+  ASSERT_TRUE(half.BulkLoad(tuples, 0.5).ok());
+
+  EXPECT_TRUE(half.CheckIntegrity().ok());
+  EXPECT_GE(half.leaf_page_count(), packed.leaf_page_count() * 3 / 2);
+  EXPECT_EQ(Dump(&half), Dump(&packed));
+}
+
+// The point of the exercise: bulk loading writes each page once, so it must
+// cost strictly fewer page writes than the same content via splits, and
+// produce at most as many pages.
+TEST(BulkLoadTest, FewerPageWritesThanInsert) {
+  storage::Disk disk;
+  storage::BufferManager buffers(&disk, 0);  // strict metering
+  Rng rng(13);
+  std::vector<std::vector<AsrKey>> tuples;
+  for (size_t i = 0; i < 5000; ++i) {
+    tuples.push_back(RandomTuple(&rng, 3, 2000));
+  }
+
+  BTree inserted(&buffers, "ins", 3, 0);
+  storage::AccessStats insert_cost = workload::Meter(&disk, [&] {
+    for (const auto& t : tuples) inserted.Insert(t);
+  });
+  BTree bulk(&buffers, "blk", 3, 0);
+  storage::AccessStats bulk_cost = workload::Meter(&disk, [&] {
+    ASSERT_TRUE(bulk.BulkLoad(tuples).ok());
+  });
+
+  EXPECT_LT(bulk_cost.page_writes, insert_cost.page_writes);
+  EXPECT_LE(bulk.leaf_page_count() + bulk.inner_page_count(),
+            inserted.leaf_page_count() + inserted.inner_page_count());
+  EXPECT_EQ(Dump(&bulk), Dump(&inserted));
+}
+
+cost::ApplicationProfile SmallProfile() {
+  cost::ApplicationProfile profile;
+  profile.n = 3;
+  profile.c = {80, 150, 200, 120};
+  profile.d = {70, 120, 160};
+  profile.fan = {2, 2, 2};
+  profile.size = {120, 120, 120, 120};
+  return profile;
+}
+
+// A threaded build must produce, for every decomposition of the path, the
+// exact partition contents (and query answers) of a serial tuple-at-a-time
+// build. Exercises kFull (NULL-padded rows included).
+TEST(ParallelBuildTest, AllDecompositionsMatchSerialAcrossThreadCounts) {
+  auto base = workload::SyntheticBase::Generate(SmallProfile(), {11, 64});
+  ASSERT_TRUE(base.ok());
+  const uint32_t n = (*base)->path().n();
+
+  for (const Decomposition& dec : Decomposition::EnumerateAll(n)) {
+    AsrOptions serial_options;
+    serial_options.bulk_load = false;  // reference: tuple-at-a-time
+    auto reference = AccessSupportRelation::Build(
+        (*base)->store(), (*base)->path(), ExtensionKind::kFull, dec,
+        serial_options);
+    ASSERT_TRUE(reference.ok()) << dec.ToString();
+
+    for (uint32_t threads : {1u, 4u}) {
+      AsrOptions options;
+      options.build_threads = threads;
+      auto built = AccessSupportRelation::Build(
+          (*base)->store(), (*base)->path(), ExtensionKind::kFull, dec,
+          options);
+      ASSERT_TRUE(built.ok()) << dec.ToString() << " threads=" << threads;
+      ASSERT_EQ((*built)->partition_count(), (*reference)->partition_count());
+      for (size_t p = 0; p < (*built)->partition_count(); ++p) {
+        EXPECT_TRUE((*built)->DumpPartition(p).value().EqualsAsSet(
+            (*reference)->DumpPartition(p).value()))
+            << dec.ToString() << " partition " << p << " threads=" << threads;
+        EXPECT_TRUE(
+            const_cast<btree::BTree&>((*built)->forward_tree(p))
+                .CheckIntegrity().ok());
+        EXPECT_TRUE(
+            const_cast<btree::BTree&>((*built)->backward_tree(p))
+                .CheckIntegrity().ok());
+      }
+
+      for (Oid anchor : (*base)->objects_at(0)) {
+        auto got = (*built)->EvalForward(AsrKey::FromOid(anchor), 0, n);
+        auto want = (*reference)->EvalForward(AsrKey::FromOid(anchor), 0, n);
+        ASSERT_TRUE(got.ok() && want.ok());
+        std::sort(got->begin(), got->end());
+        std::sort(want->begin(), want->end());
+        EXPECT_EQ(*got, *want) << dec.ToString() << " threads=" << threads;
+      }
+    }
+  }
+}
+
+// Rebuild over the bulk path must keep partition-store identity (sharing
+// contract) and reproduce the same contents.
+TEST(ParallelBuildTest, BulkRebuildPreservesStoreIdentityAndContents) {
+  auto base = workload::SyntheticBase::Generate(SmallProfile(), {17, 64});
+  ASSERT_TRUE(base.ok());
+  const uint32_t n = (*base)->path().n();
+  Decomposition dec = Decomposition::EnumerateAll(n).back();
+
+  AsrOptions options;
+  options.build_threads = 4;
+  auto asr = AccessSupportRelation::Build((*base)->store(), (*base)->path(),
+                                          ExtensionKind::kFull, dec, options);
+  ASSERT_TRUE(asr.ok());
+
+  std::vector<rel::Relation> before;
+  std::vector<std::shared_ptr<PartitionStore>> stores;
+  for (size_t p = 0; p < (*asr)->partition_count(); ++p) {
+    before.push_back((*asr)->DumpPartition(p).value());
+    stores.push_back((*asr)->partition_store(p));
+  }
+
+  ASSERT_TRUE((*asr)->Rebuild().ok());
+  for (size_t p = 0; p < (*asr)->partition_count(); ++p) {
+    EXPECT_EQ((*asr)->partition_store(p).get(), stores[p].get())
+        << "partition store identity lost by Rebuild";
+    EXPECT_TRUE((*asr)->DumpPartition(p).value().EqualsAsSet(before[p]))
+        << "partition " << p;
+  }
+}
+
+}  // namespace
+}  // namespace asr
