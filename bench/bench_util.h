@@ -13,6 +13,7 @@
 
 #include "cost/cost_model.h"
 #include "cost/opmix.h"
+#include "obs/report.h"
 
 namespace asr::bench {
 
@@ -151,6 +152,22 @@ inline void EndRow() { std::printf("\n"); }
 
 inline void Claim(const std::string& text, bool holds) {
   std::printf("[%s] %s\n", holds ? "OK " : "???", text.c_str());
+}
+
+// --- Drift snapshots ------------------------------------------------------
+
+// Writes the model-vs-observed snapshot to `filename` (conventionally
+// BENCH_<bench>_drift.json in the working directory) and prints the
+// destination plus the worst relative error over the rows that carry an
+// observation.
+inline void WriteDrift(const obs::DriftReport& report,
+                       const std::string& filename) {
+  if (report.WriteFile(filename)) {
+    std::printf("wrote %s (max rel error %.3f)\n", filename.c_str(),
+                report.MaxRelError());
+  } else {
+    std::printf("failed to write %s\n", filename.c_str());
+  }
 }
 
 }  // namespace asr::bench

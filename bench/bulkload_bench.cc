@@ -124,5 +124,32 @@ int main() {
     std::fclose(json);
     std::printf("wrote BENCH_bulkload.json\n");
   }
+
+  // Drift snapshot: realized ASR storage footprint vs the model's page
+  // estimate (Eq. 16 terms summed over the binary partitions, both redundant
+  // trees), plus the full registry dump of the disk and build pool.
+  cost::CostModel model(profile);
+  Decomposition binary = Decomposition::Binary(profile.n);
+  double model_pages = 0;
+  for (size_t p = 0; p < binary.partition_count(); ++p) {
+    auto [first, last] = binary.partition(p);
+    model_pages +=
+        2 * (model.PartitionPages(ExtensionKind::kFull, first, last) +
+             model.BTreeNonLeafPages(ExtensionKind::kFull, first, last));
+  }
+  obs::DriftReport drift("bulkload_bench", "fig4");
+  drift.AddMeta("extension", "full");
+  drift.AddMeta("decomposition", "binary");
+  drift.AddRow("asr pages full/bin", model_pages,
+               static_cast<double>(serial.pages));
+  for (const BuildResult& r : results) {
+    drift.AddMeta("build." + r.label,
+                  "writes=" + std::to_string(r.page_writes) +
+                      " reads=" + std::to_string(r.page_reads) +
+                      " wall_ms=" + std::to_string(r.millis));
+  }
+  base->disk()->ExportMetrics(drift.metrics(), "disk");
+  base->buffers()->ExportMetrics(drift.metrics(), "buffers");
+  WriteDrift(drift, "BENCH_bulkload_drift.json");
   return 0;
 }

@@ -15,6 +15,11 @@ int main() {
   double nas = model.QueryNoSupport(cost::QueryDirection::kBackward, 0, 4);
   std::printf("no access support: %.1f page accesses\n\n", nas);
 
+  // Model-only snapshot: same schema as the metered drift reports, with the
+  // observed side absent (validate_model_vs_system fills it).
+  obs::DriftReport drift("fig06_query_backward", "fig6");
+  drift.AddModelRow("Q04(bw) nosup", nas);
+
   Header({"extension", "no dec", "binary dec"});
   bool all_cheaper = true;
   bool none_beats_binary = true;
@@ -27,6 +32,8 @@ int main() {
     Cell(a);
     Cell(b);
     EndRow();
+    drift.AddModelRow("Q04(bw) " + ExtensionKindName(x) + "/none", a);
+    drift.AddModelRow("Q04(bw) " + ExtensionKindName(x) + "/bin", b);
     all_cheaper &= (a < nas && b < nas);
     none_beats_binary &= (a <= b);
   }
@@ -37,5 +44,6 @@ int main() {
       "non-decomposed access relations answer the full-span query cheaper "
       "than binary decomposed ones",
       none_beats_binary);
+  WriteDrift(drift, "BENCH_fig06_drift.json");
   return 0;
 }

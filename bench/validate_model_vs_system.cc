@@ -24,6 +24,9 @@ int main() {
   cost::CostModel model(profile);
   auto base = workload::SyntheticBase::Generate(profile, {2026, 0}).value();
   QueryEvaluator nav(base->store(), &base->path());
+  obs::DriftReport drift("validate_model_vs_system", "fig6");
+  drift.AddMeta("trials", "5");
+  drift.AddMeta("seed", "2026");
 
   Title("Validation", "analytical model vs metered execution (Fig. 6 profile)");
 
@@ -47,6 +50,7 @@ int main() {
   Cell(nas_measured);
   Cell(nas_measured / nas_model);
   EndRow();
+  drift.AddRow("Q04(bw) nosup", nas_model, nas_measured);
 
   // --- Supported backward query per extension -----------------------------
   Decomposition none = Decomposition::None(4);
@@ -72,6 +76,7 @@ int main() {
     Cell(measured);
     Cell(predicted > 0 ? measured / predicted : 0);
     EndRow();
+    drift.AddRow("Q04(bw) " + ExtensionKindName(x), predicted, measured);
     worst_supported = std::max(worst_supported, measured);
   }
 
@@ -114,10 +119,16 @@ int main() {
     Cell(measured);
     Cell(predicted > 0 ? measured / predicted : 0);
     EndRow();
+    drift.AddRow("ins_2 left/bin", predicted, measured);
   }
   std::printf("\n");
 
   Claim("supported queries are at least 5x cheaper than exhaustive search",
         worst_supported * 5 < nas_measured);
+
+  base->disk()->ExportMetrics(drift.metrics(), "disk");
+  base->buffers()->ExportMetrics(drift.metrics(), "buffers");
+  nav.ExportMetrics(drift.metrics(), "query");
+  WriteDrift(drift, "BENCH_validate_drift.json");
   return 0;
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 suite in the default configuration, then the same
+# suite under ThreadSanitizer (races are hard failures — this is what keeps
+# the single-writer counter discipline in src/obs honest), then a smoke
+# build with -DASR_METRICS=OFF to prove the instrumentation compiles out.
+#
+# Usage: scripts/ci.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_job() {
+  local name="$1" dir="$2"
+  shift 2
+  echo "==== [$name] configure ===="
+  cmake -B "$dir" -S . "$@"
+  echo "==== [$name] build ===="
+  cmake --build "$dir" -j "$JOBS"
+  echo "==== [$name] test ===="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
+}
+
+run_job default     build-ci
+run_job tsan        build-ci-tsan      -DASR_SANITIZE=thread
+run_job no-metrics  build-ci-nometrics -DASR_METRICS=OFF
+
+echo "==== all CI jobs passed ===="

@@ -5,6 +5,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/span.h"
+
 namespace asr {
 
 namespace {
@@ -291,6 +293,7 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
         " extension does not support Q_{" + std::to_string(i) + "," +
         std::to_string(j) + "}");
   }
+  fwd_queries_.Inc();
   uint32_t c = ColumnOfPosition(i);
   const uint32_t cj = ColumnOfPosition(j);
   std::unordered_set<AsrKey> frontier{start};
@@ -302,6 +305,21 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
     ASR_CHECK(p_idx >= 0);
     const Partition& part = partitions_[p_idx];
     uint32_t target = std::min(part.last, cj);
+    frontier_sizes_.Observe(frontier.size());
+    if (via_lookup) {
+      hop_lookups_.Inc();
+    } else {
+      hop_scans_.Inc();
+    }
+    obs::ScopedSpan hop("hop");
+    if (hop.active()) {
+      hop.Attr("dir", std::string("fwd"));
+      hop.Attr("partition", partitions_[p_idx].store->name);
+      hop.Attr("mode", std::string(via_lookup ? "lookup" : "scan"));
+      hop.Attr("from_col", static_cast<uint64_t>(c));
+      hop.Attr("to_col", static_cast<uint64_t>(target));
+      hop.Attr("frontier", static_cast<uint64_t>(frontier.size()));
+    }
     std::unordered_set<AsrKey> next;
     if (via_lookup) {
       uint32_t rel_target = target - part.first;
@@ -344,6 +362,7 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
         " extension does not support Q_{" + std::to_string(i) + "," +
         std::to_string(j) + "}");
   }
+  bwd_queries_.Inc();
   const uint32_t ci = ColumnOfPosition(i);
   uint32_t c = ColumnOfPosition(j);
   std::unordered_set<AsrKey> frontier{target};
@@ -355,6 +374,21 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
     ASR_CHECK(p_idx >= 0);
     const Partition& part = partitions_[p_idx];
     uint32_t dest = std::max(part.first, ci);
+    frontier_sizes_.Observe(frontier.size());
+    if (via_lookup) {
+      hop_lookups_.Inc();
+    } else {
+      hop_scans_.Inc();
+    }
+    obs::ScopedSpan hop("hop");
+    if (hop.active()) {
+      hop.Attr("dir", std::string("bwd"));
+      hop.Attr("partition", partitions_[p_idx].store->name);
+      hop.Attr("mode", std::string(via_lookup ? "lookup" : "scan"));
+      hop.Attr("from_col", static_cast<uint64_t>(c));
+      hop.Attr("to_col", static_cast<uint64_t>(dest));
+      hop.Attr("frontier", static_cast<uint64_t>(frontier.size()));
+    }
     std::unordered_set<AsrKey> next;
     if (via_lookup) {
       uint32_t rel_dest = dest - part.first;
@@ -386,10 +420,18 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
 }
 
 Status AccessSupportRelation::Rebuild() {
+  rebuilds_.Inc();
+  obs::ScopedSpan span("rebuild");
   Result<rel::Relation> extension =
       ComputeExtension(store_, path_, kind_, options_.drop_set_columns,
                        options_.anchor_collection);
   ASR_RETURN_IF_ERROR(extension.status());
+  rebuild_rows_.Inc(extension->rows().size());
+  if (span.active()) {
+    span.Attr("rows", static_cast<uint64_t>(extension->rows().size()));
+    span.Attr("partitions", static_cast<uint64_t>(partitions_.size()));
+    span.Attr("mode", std::string(options_.bulk_load ? "bulk" : "tuple"));
+  }
   if (!options_.bulk_load) {
     // Retract this ASR's current rows (leaves sibling contributions to
     // shared stores untouched), then install the fresh extension.
@@ -474,6 +516,33 @@ uint64_t AccessSupportRelation::TotalPages() const {
     pages += part.store->TotalPages();
   }
   return pages;
+}
+
+void AccessSupportRelation::ExportMetrics(obs::MetricsRegistry* registry,
+                                          const std::string& prefix) const {
+  registry->Set(prefix + ".queries.forward", fwd_queries_);
+  registry->Set(prefix + ".queries.backward", bwd_queries_);
+  registry->Set(prefix + ".hops.lookup", hop_lookups_);
+  registry->Set(prefix + ".hops.scan", hop_scans_);
+  registry->SetHistogram(prefix + ".frontier_size", frontier_sizes_);
+  registry->Set(prefix + ".maintenance.edge_inserts", maint_edge_inserts_);
+  registry->Set(prefix + ".maintenance.edge_removes", maint_edge_removes_);
+  registry->Set(prefix + ".rebuilds", rebuilds_);
+  registry->Set(prefix + ".rebuild_rows", rebuild_rows_);
+  registry->Set(prefix + ".rows", full_rows_.size());
+  registry->Set(prefix + ".pages", TotalPages());
+  registry->Set(prefix + ".partitions", partitions_.size());
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    const Partition& part = partitions_[p];
+    const std::string pp = prefix + ".partition." + part.store->name;
+    registry->Set(pp + ".first_col", part.first);
+    registry->Set(pp + ".last_col", part.last);
+    registry->Set(pp + ".owners", part.store->owners);
+    registry->Set(pp + ".tuples", part.store->forward->tuple_count());
+    registry->Set(pp + ".pages", part.store->TotalPages());
+    part.store->forward->ExportMetrics(registry, pp + ".fwd");
+    part.store->backward->ExportMetrics(registry, pp + ".bwd");
+  }
 }
 
 }  // namespace asr

@@ -23,6 +23,7 @@
 #include "btree/btree.h"
 #include "common/status.h"
 #include "gom/object_store.h"
+#include "obs/metrics.h"
 #include "rel/relation.h"
 
 namespace asr {
@@ -199,6 +200,12 @@ class AccessSupportRelation {
   // per-partition tuple/page/height statistics.
   std::string Describe() const;
 
+  // Pushes this ASR's query/maintenance counters, frontier-size histogram,
+  // and per-partition structure (tuples, pages, plus both trees' counters)
+  // into `registry` under `prefix`. Cold path; call at quiescent points.
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
+
  private:
   struct Partition {
     uint32_t first = 0;
@@ -268,6 +275,18 @@ class AccessSupportRelation {
   // full-width rows is exact set semantics; re-inserting an existing row or
   // erasing an absent one is a no-op that must not disturb the partitions.
   std::set<rel::Row> full_rows_;
+
+  // Observability (compiled out under ASR_METRICS=OFF). Single-writer: the
+  // thread evaluating queries / applying maintenance owns these.
+  obs::HotCounter fwd_queries_;
+  obs::HotCounter bwd_queries_;
+  obs::HotCounter hop_lookups_;   // partition hops answered by cluster lookup
+  obs::HotCounter hop_scans_;     // interior-column hops (full partition scan)
+  obs::HotHistogram frontier_sizes_;  // frontier cardinality per hop
+  obs::HotCounter maint_edge_inserts_;
+  obs::HotCounter maint_edge_removes_;
+  obs::HotCounter rebuilds_;
+  obs::HotCounter rebuild_rows_;  // rows re-installed across all rebuilds
 };
 
 }  // namespace asr

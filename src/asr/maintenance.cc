@@ -23,6 +23,7 @@
 #include <unordered_set>
 
 #include "asr/access_support_relation.h"
+#include "obs/span.h"
 
 namespace asr {
 
@@ -412,6 +413,13 @@ Status AccessSupportRelation::OnEdgeInserted(Oid u, uint32_t p, AsrKey w) {
     return Status::TypeError("u is not an instance of t_" + std::to_string(p));
   }
 
+  maint_edge_inserts_.Inc();
+  obs::ScopedSpan span("ins_i");
+  if (span.active()) {
+    span.Attr("position", static_cast<uint64_t>(p));
+    span.Attr("extension", ExtensionKindName(kind_));
+  }
+
   const bool need_left_complete = kind_ == ExtensionKind::kCanonical ||
                                   kind_ == ExtensionKind::kLeftComplete;
   const bool need_right_complete = kind_ == ExtensionKind::kCanonical ||
@@ -425,46 +433,59 @@ Status AccessSupportRelation::OnEdgeInserted(Oid u, uint32_t p, AsrKey w) {
   bool have_rights = false;
 
   if (kind_ == ExtensionKind::kLeftComplete) {
+    obs::ScopedSpan frag("left_fragments");
     Result<std::vector<rel::Row>> l = LeftFragments(u, p);
     ASR_RETURN_IF_ERROR(l.status());
     lefts = std::move(*l);
     Filter(&lefts, LeftComplete);
     have_lefts = true;
+    frag.Attr("fragments", static_cast<uint64_t>(lefts.size()));
     if (lefts.empty()) return Status::OK();  // u unreachable from t_0
   }
   if (kind_ == ExtensionKind::kRightComplete ||
       kind_ == ExtensionKind::kCanonical) {
+    obs::ScopedSpan frag("right_fragments");
     Result<std::vector<rel::Row>> r = RightFragments(w, p + 1);
     ASR_RETURN_IF_ERROR(r.status());
     rights = std::move(*r);
     Filter(&rights, RightComplete);
     have_rights = true;
+    frag.Attr("fragments", static_cast<uint64_t>(rights.size()));
     if (rights.empty()) return Status::OK();  // w does not reach t_n
   }
 
   if (!have_lefts) {
+    obs::ScopedSpan frag("left_fragments");
     Result<std::vector<rel::Row>> l = LeftFragments(u, p);
     ASR_RETURN_IF_ERROR(l.status());
     lefts = std::move(*l);
     if (need_left_complete) Filter(&lefts, LeftComplete);
+    frag.Attr("fragments", static_cast<uint64_t>(lefts.size()));
     if (lefts.empty()) return Status::OK();
   }
   if (!have_rights) {
+    obs::ScopedSpan frag("right_fragments");
     Result<std::vector<rel::Row>> r = RightFragments(w, p + 1);
     ASR_RETURN_IF_ERROR(r.status());
     rights = std::move(*r);
     if (need_right_complete) Filter(&rights, RightComplete);
+    frag.Attr("fragments", static_cast<uint64_t>(rights.size()));
     if (rights.empty()) return Status::OK();
   }
 
   // Install the new combined paths.
-  for (const rel::Row& l : lefts) {
-    for (const rel::Row& r : rights) {
-      InsertRow(Concat(l, r));
+  {
+    obs::ScopedSpan install("install_paths");
+    install.Attr("rows", static_cast<uint64_t>(lefts.size() * rights.size()));
+    for (const rel::Row& l : lefts) {
+      for (const rel::Row& r : rights) {
+        InsertRow(Concat(l, r));
+      }
     }
   }
 
   // Retract dangling rows that the new edge completes.
+  obs::ScopedSpan retract("retract_danglers");
   if (kind_ == ExtensionKind::kFull ||
       kind_ == ExtensionKind::kLeftComplete) {
     Result<std::vector<AsrKey>> out = OutEdges(u, p);
@@ -516,28 +537,50 @@ Status AccessSupportRelation::OnEdgeRemoved(Oid u, uint32_t p, AsrKey w) {
     return Status::TypeError("u is not an instance of t_" + std::to_string(p));
   }
 
+  maint_edge_removes_.Inc();
+  obs::ScopedSpan span("rem_i");
+  if (span.active()) {
+    span.Attr("position", static_cast<uint64_t>(p));
+    span.Attr("extension", ExtensionKindName(kind_));
+  }
+
   const bool need_left_complete = kind_ == ExtensionKind::kCanonical ||
                                   kind_ == ExtensionKind::kLeftComplete;
   const bool need_right_complete = kind_ == ExtensionKind::kCanonical ||
                                    kind_ == ExtensionKind::kRightComplete;
 
-  Result<std::vector<rel::Row>> lres = LeftFragments(u, p);
-  ASR_RETURN_IF_ERROR(lres.status());
-  std::vector<rel::Row> lefts = std::move(*lres);
-  if (need_left_complete) Filter(&lefts, LeftComplete);
+  std::vector<rel::Row> lefts;
+  {
+    obs::ScopedSpan frag("left_fragments");
+    Result<std::vector<rel::Row>> lres = LeftFragments(u, p);
+    ASR_RETURN_IF_ERROR(lres.status());
+    lefts = std::move(*lres);
+    if (need_left_complete) Filter(&lefts, LeftComplete);
+    frag.Attr("fragments", static_cast<uint64_t>(lefts.size()));
+  }
 
-  Result<std::vector<rel::Row>> rres = RightFragments(w, p + 1);
-  ASR_RETURN_IF_ERROR(rres.status());
-  std::vector<rel::Row> rights = std::move(*rres);
-  if (need_right_complete) Filter(&rights, RightComplete);
+  std::vector<rel::Row> rights;
+  {
+    obs::ScopedSpan frag("right_fragments");
+    Result<std::vector<rel::Row>> rres = RightFragments(w, p + 1);
+    ASR_RETURN_IF_ERROR(rres.status());
+    rights = std::move(*rres);
+    if (need_right_complete) Filter(&rights, RightComplete);
+    frag.Attr("fragments", static_cast<uint64_t>(rights.size()));
+  }
 
   // Retract the combined paths that ran over the removed edge.
-  for (const rel::Row& l : lefts) {
-    for (const rel::Row& r : rights) {
-      EraseRow(Concat(l, r));
+  {
+    obs::ScopedSpan retract("retract_paths");
+    retract.Attr("rows", static_cast<uint64_t>(lefts.size() * rights.size()));
+    for (const rel::Row& l : lefts) {
+      for (const rel::Row& r : rights) {
+        EraseRow(Concat(l, r));
+      }
     }
   }
 
+  obs::ScopedSpan reinstate("reinstate_danglers");
   // Reinstate dangling rows where the removed edge was the last one. A
   // dangling row only belongs in the extension when the object still occurs
   // in some auxiliary relation (Def. 3.3): an object whose attribute became

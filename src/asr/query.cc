@@ -1,7 +1,11 @@
 #include "asr/query.h"
 
 #include <algorithm>
+#include <string>
 #include <unordered_set>
+#include <utility>
+
+#include "asr/access_support_relation.h"
 
 namespace asr {
 
@@ -36,6 +40,7 @@ Result<std::vector<AsrKey>> QueryEvaluator::ForwardNoSupport(AsrKey start,
   if (i >= j || j > path_->n()) {
     return Status::InvalidArgument("need 0 <= i < j <= n");
   }
+  fwd_queries_.Inc();
   // Forward chasing never revisits a level, so the frontier needs no set
   // semantics until the end: ExpandLevel dedupes its sources and a final
   // unique pass collapses the result. One edges/sources pair is reused
@@ -43,6 +48,13 @@ Result<std::vector<AsrKey>> QueryEvaluator::ForwardNoSupport(AsrKey start,
   std::vector<AsrKey> sources{start};
   std::vector<std::pair<AsrKey, AsrKey>> edges;
   for (uint32_t q = i; q < j; ++q) {
+    frontier_sizes_.Observe(sources.size());
+    obs::ScopedSpan level("level");
+    if (level.active()) {
+      level.Attr("from_pos", static_cast<uint64_t>(q));
+      level.Attr("to_pos", static_cast<uint64_t>(q + 1));
+      level.Attr("frontier", static_cast<uint64_t>(sources.size()));
+    }
     edges.clear();
     ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &edges));
     sources.clear();
@@ -61,6 +73,7 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
   if (i >= j || j > path_->n()) {
     return Status::InvalidArgument("need 0 <= i < j <= n");
   }
+  bwd_queries_.Inc();
   const gom::Schema& schema = store_->schema();
 
   // Level i: exhaustive scan of the t_i extent (op_i page accesses, §5.6.2),
@@ -69,6 +82,8 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
   std::vector<std::vector<std::pair<AsrKey, AsrKey>>> level_edges(j);
   std::vector<AsrKey> sources;
   {
+    obs::ScopedSpan scan("extent_scan");
+    scan.Attr("position", static_cast<uint64_t>(i));
     const PathStep& step = path_->step(i + 1);
     for (TypeId t = 0; t < schema.type_count(); ++t) {
       if (!schema.IsTuple(t) || !schema.IsSubtypeOf(t, step.domain_type)) {
@@ -91,6 +106,13 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
   // Intermediate levels i+1 .. j-1: fetch each connected object once
   // (ExpandLevel dedupes the frontier; the sources buffer is reused).
   for (uint32_t q = i + 1; q < j && !sources.empty(); ++q) {
+    frontier_sizes_.Observe(sources.size());
+    obs::ScopedSpan level("level");
+    if (level.active()) {
+      level.Attr("from_pos", static_cast<uint64_t>(q));
+      level.Attr("to_pos", static_cast<uint64_t>(q + 1));
+      level.Attr("frontier", static_cast<uint64_t>(sources.size()));
+    }
     std::vector<std::pair<AsrKey, AsrKey>>& edges = level_edges[q];
     ASR_RETURN_IF_ERROR(ExpandLevel(sources, q, &edges));
     sources.clear();
@@ -99,6 +121,7 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
   }
 
   // Back-propagate connectivity from the target (in memory).
+  obs::ScopedSpan backprop("backpropagate");
   std::unordered_set<AsrKey> reaching{target};
   for (uint32_t q = j; q-- > i;) {
     std::unordered_set<AsrKey> prev;
@@ -108,6 +131,53 @@ Result<std::vector<AsrKey>> QueryEvaluator::BackwardNoSupport(AsrKey target,
     reaching = std::move(prev);
   }
   return std::vector<AsrKey>(reaching.begin(), reaching.end());
+}
+
+Result<ExplainResult> QueryEvaluator::Explain(QueryDir dir, AsrKey anchor,
+                                              uint32_t i, uint32_t j,
+                                              AccessSupportRelation* asr) {
+  storage::BufferManager* buffers = store_->buffers();
+  storage::Disk* disk = buffers->disk();
+  // The probe reads the same AccessStats the Meter uses (global disk
+  // counters plus the shared pool's hit/miss totals), so span costs are in
+  // the model's unit. Reading statistics never touches pages: tracing does
+  // not change the metered cost of the traced query.
+  obs::ProbeFn probe = [buffers, disk] {
+    obs::CostProbe p;
+    storage::AccessStats st = disk->stats();
+    p.page_reads = st.page_reads;
+    p.page_writes = st.page_writes;
+    p.buffer_hits = buffers->hits();
+    p.buffer_misses = buffers->misses();
+    return p;
+  };
+
+  const bool forward = dir == QueryDir::kForward;
+  const bool use_asr = asr != nullptr && asr->SupportsQuery(i, j);
+  obs::TraceContext ctx("query", std::move(probe));
+  ctx.RootAttr("q", "Q_{" + std::to_string(i) + "," + std::to_string(j) + "}");
+  ctx.RootAttr("dir", forward ? "fwd" : "bwd");
+  ctx.RootAttr("plan", use_asr ? "asr" : "navigational");
+  Result<std::vector<AsrKey>> keys =
+      use_asr ? (forward ? asr->EvalForward(anchor, i, j)
+                         : asr->EvalBackward(anchor, i, j))
+              : (forward ? ForwardNoSupport(anchor, i, j)
+                         : BackwardNoSupport(anchor, i, j));
+  ASR_RETURN_IF_ERROR(keys.status());
+  ctx.RootAttr("results", std::to_string(keys->size()));
+
+  ExplainResult out;
+  out.keys = std::move(*keys);
+  out.used_asr = use_asr;
+  out.trace = ctx.Finish();
+  return out;
+}
+
+void QueryEvaluator::ExportMetrics(obs::MetricsRegistry* registry,
+                                   const std::string& prefix) const {
+  registry->Set(prefix + ".queries.forward", fwd_queries_);
+  registry->Set(prefix + ".queries.backward", bwd_queries_);
+  registry->SetHistogram(prefix + ".frontier_size", frontier_sizes_);
 }
 
 }  // namespace asr

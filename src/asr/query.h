@@ -18,8 +18,24 @@
 #include "common/asr_key.h"
 #include "common/status.h"
 #include "gom/object_store.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace asr {
+
+class AccessSupportRelation;
+
+// Direction of a path query Q_{i,j}.
+enum class QueryDir { kForward, kBackward };
+
+// What Explain returns: the query answer plus the per-stage span tree.
+struct ExplainResult {
+  std::vector<AsrKey> keys;
+  obs::Trace trace;
+  // True when the query went through the access support relation; false for
+  // the navigational fallback.
+  bool used_asr = false;
+};
 
 class QueryEvaluator {
  public:
@@ -36,6 +52,23 @@ class QueryEvaluator {
   Result<std::vector<AsrKey>> BackwardNoSupport(AsrKey target, uint32_t i,
                                                 uint32_t j);
 
+  // EXPLAIN: evaluates Q_{i,j} in `dir` under a trace and returns the answer
+  // together with the span tree (per-stage page reads/writes, buffer
+  // hits/misses, wall time; render with trace.ToText() or trace.ToJson()).
+  // With `asr` non-null and its extension supporting Q_{i,j} (Eq. 35), the
+  // query runs over the ASR's partition hops; otherwise it falls back to the
+  // navigational evaluation above. Single-threaded; the trace reads the same
+  // AccessStats the Meter uses, so span costs line up with the model's page
+  // counts.
+  Result<ExplainResult> Explain(QueryDir dir, AsrKey anchor, uint32_t i,
+                                uint32_t j,
+                                AccessSupportRelation* asr = nullptr);
+
+  // Pushes the evaluator's counters (query counts per direction, level
+  // frontier sizes) into `registry` under `prefix`. Cold path.
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
+
  private:
   // Reads the A_{q+1} targets of each position-q object in `sources`,
   // page-batched; appends (source, target) pairs to `edges`.
@@ -44,6 +77,11 @@ class QueryEvaluator {
 
   gom::ObjectStore* store_;
   const PathExpression* path_;
+
+  // Observability (compiled out under ASR_METRICS=OFF).
+  obs::HotCounter fwd_queries_;
+  obs::HotCounter bwd_queries_;
+  obs::HotHistogram frontier_sizes_;  // sources per expanded level
 };
 
 }  // namespace asr

@@ -98,11 +98,13 @@ BTree::CompositeKey BTree::KeyOf(const std::vector<AsrKey>& tuple) const {
 }
 
 uint32_t BTree::DescendToLeaf(CompositeKey key, std::vector<uint32_t>* path) {
+  descents_.Inc();
   uint32_t page_no = root_page_;
   while (true) {
     PageGuard guard = buffers_->Pin(PageId{segment_, page_no});
     const Page& page = guard.page();
     if (IsLeaf(page)) return page_no;
+    inner_touches_.Inc();
     if (path != nullptr) path->push_back(page_no);
     uint16_t count = Count(page);
     // Find the first entry with entry key > key; descend into the child to
@@ -176,6 +178,7 @@ bool BTree::Insert(const std::vector<AsrKey>& tuple) {
   std::vector<uint32_t> path;
   uint32_t leaf_no = DescendToLeaf(key, &path);
   PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+  leaf_touches_.Inc();
   uint16_t count = Count(leaf.page());
 
   // Position = first entry >= key (lower bound).
@@ -248,6 +251,7 @@ bool BTree::Insert(const std::vector<AsrKey>& tuple) {
   SetCount(&right.page(), static_cast<uint16_t>(all.size() - mid));
   leaf.MarkDirty();
   right.MarkDirty();
+  splits_.Inc();
   ++leaf_pages_;
   ++tuple_count_;
 
@@ -326,6 +330,7 @@ void BTree::InsertIntoParent(std::vector<uint32_t>* path,
 
   parent.MarkDirty();
   right.MarkDirty();
+  splits_.Inc();
   ++inner_pages_;
 
   uint32_t right_no = right.id().page_no;
@@ -406,6 +411,7 @@ Status BTree::BulkLoad(std::vector<std::vector<AsrKey>> tuples,
       SetNextLeaf(&prev.page(), leaf.id().page_no);
       prev.Release();
     }
+    bulkload_pages_.Inc();
     level.push_back(ChildRef{entries[pos].key, leaf.id().page_no});
     prev = std::move(leaf);
     pos += take;
@@ -437,6 +443,7 @@ Status BTree::BulkLoad(std::vector<std::vector<AsrKey>> tuples,
       }
       SetCount(&node.page(), static_cast<uint16_t>(take - 1));
       node.MarkDirty();
+      bulkload_pages_.Inc();
       parents.push_back(ChildRef{level[i].first, node.id().page_no});
       ++inner_pages_;
       i += take;
@@ -454,6 +461,7 @@ bool BTree::Erase(const std::vector<AsrKey>& tuple) {
   uint32_t leaf_no = DescendToLeaf(key, nullptr);
   while (leaf_no != kNoLeaf) {
     PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    leaf_touches_.Inc();
     uint16_t count = Count(leaf.page());
     for (int i = 0; i < count; ++i) {
       LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
@@ -496,6 +504,7 @@ void BTree::LookupEach(
   std::vector<uint64_t> raw(width_);
   while (leaf_no != kNoLeaf) {
     PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    leaf_touches_.Inc();
     uint16_t count = Count(leaf.page());
     for (int i = 0; i < count; ++i) {
       uint32_t off = LeafOffset(leaf_entry_bytes_, i);
@@ -515,6 +524,7 @@ bool BTree::Contains(AsrKey key) {
   uint32_t leaf_no = DescendToLeaf(target, nullptr);
   while (leaf_no != kNoLeaf) {
     PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    leaf_touches_.Inc();
     uint16_t count = Count(leaf.page());
     for (int i = 0; i < count; ++i) {
       LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
@@ -532,6 +542,7 @@ Status BTree::ScanAll(
   uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
   while (leaf_no != kNoLeaf) {
     PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    leaf_touches_.Inc();
     uint16_t count = Count(leaf.page());
     for (int i = 0; i < count; ++i) {
       LeafEntry e = GetLeaf(leaf.page(), leaf_entry_bytes_, width_, i);
@@ -590,6 +601,19 @@ Status BTree::CheckIntegrity() {
     return Status::Corruption("leaf chain longer than allocated leaf pages");
   }
   return Status::OK();
+}
+
+void BTree::ExportMetrics(obs::MetricsRegistry* registry,
+                          const std::string& prefix) const {
+  registry->Set(prefix + ".descents", descents_);
+  registry->Set(prefix + ".leaf_touches", leaf_touches_);
+  registry->Set(prefix + ".inner_touches", inner_touches_);
+  registry->Set(prefix + ".splits", splits_);
+  registry->Set(prefix + ".bulkload_pages", bulkload_pages_);
+  registry->Set(prefix + ".tuples", tuple_count_);
+  registry->Set(prefix + ".leaf_pages", leaf_pages_);
+  registry->Set(prefix + ".inner_pages", inner_pages_);
+  registry->Set(prefix + ".height", height_);
 }
 
 }  // namespace asr::btree

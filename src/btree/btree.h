@@ -29,6 +29,7 @@
 
 #include "common/asr_key.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/buffer_manager.h"
 
 namespace asr::btree {
@@ -98,6 +99,23 @@ class BTree {
   uint32_t leaf_capacity() const { return leaf_capacity_; }
   uint32_t inner_capacity() const { return inner_capacity_; }
 
+  // --- Observability (compiled out under ASR_METRICS=OFF) ----------------
+  // Root-to-leaf descents (one per Insert/Erase/Lookup*/Contains).
+  uint64_t descents() const { return descents_.value(); }
+  // Leaf / inner pages pinned, over all operations (the realized ht and
+  // nlp work the model charges per cluster access).
+  uint64_t leaf_touches() const { return leaf_touches_.value(); }
+  uint64_t inner_touches() const { return inner_touches_.value(); }
+  // Leaf plus inner splits (zero on a bulk-loaded tree).
+  uint64_t splits() const { return splits_.value(); }
+  // Pages packed by BulkLoad (each written exactly once).
+  uint64_t bulkload_pages() const { return bulkload_pages_.value(); }
+
+  // Pushes the tree's counters and structural statistics into `registry`
+  // under `prefix`. Cold path.
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
+
  private:
   struct CompositeKey {
     uint64_t key;          // AsrKey raw value
@@ -138,6 +156,12 @@ class BTree {
   uint32_t leaf_pages_ = 1;
   uint32_t inner_pages_ = 0;
   uint64_t tuple_count_ = 0;
+
+  obs::HotCounter descents_;
+  obs::HotCounter leaf_touches_;
+  obs::HotCounter inner_touches_;
+  obs::HotCounter splits_;
+  obs::HotCounter bulkload_pages_;
 };
 
 }  // namespace asr::btree

@@ -1,0 +1,123 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace asr::obs {
+
+std::string JsonWriter::Escape(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::BeforeValue() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ += ',';
+    has_sibling_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  has_sibling_.pop_back();
+  out_ += '}';
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_sibling_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  has_sibling_.pop_back();
+  out_ += ']';
+}
+
+void JsonWriter::Key(std::string_view key) {
+  if (!has_sibling_.empty()) {
+    if (has_sibling_.back()) out_ += ',';
+    has_sibling_.back() = true;
+  }
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  pending_key_ = true;
+}
+
+void JsonWriter::String(std::string_view value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::UInt(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+}  // namespace asr::obs

@@ -1,0 +1,55 @@
+// Minimal dependency-free JSON emitter for observability snapshots.
+//
+// Observability output (metric dumps, EXPLAIN traces, drift reports) must be
+// machine-readable without pulling a serialization library into the tree, so
+// this writer covers exactly what those producers need: nested
+// objects/arrays, correct string escaping, and numeric formatting in which
+// non-finite doubles degrade to null instead of producing invalid JSON.
+#ifndef ASR_OBS_JSON_H_
+#define ASR_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asr::obs {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  // Structure. Key() must precede every value inside an object.
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+  void Key(std::string_view key);
+
+  // Values.
+  void String(std::string_view value);
+  void Int(int64_t value);
+  void UInt(uint64_t value);
+  void Double(double value);  // NaN / infinity emit null
+  void Bool(bool value);
+  void Null();
+
+  // The document built so far.
+  const std::string& str() const { return out_; }
+  std::string TakeString() { return std::move(out_); }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  // Emits the separating comma when a value follows a prior sibling.
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true after the first child was written.
+  std::vector<bool> has_sibling_;
+  bool pending_key_ = false;
+};
+
+}  // namespace asr::obs
+
+#endif  // ASR_OBS_JSON_H_

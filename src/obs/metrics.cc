@@ -1,0 +1,156 @@
+#include "obs/metrics.h"
+
+#include <bit>
+
+#include "obs/json.h"
+
+namespace asr::obs {
+
+uint64_t HistogramBucketBound(size_t b) {
+  if (b + 1 >= kHistogramBuckets) return UINT64_MAX;
+  return 1ull << b;
+}
+
+HistogramSnapshot& HistogramSnapshot::operator+=(
+    const HistogramSnapshot& other) {
+  count += other.count;
+  sum += other.sum;
+  if (other.max > max) max = other.max;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) buckets[b] += other.buckets[b];
+  return *this;
+}
+
+#if ASR_METRICS_ENABLED
+size_t HotHistogram::BucketIndex(uint64_t v) {
+  if (v <= 1) return 0;
+  size_t b = static_cast<size_t>(std::bit_width(v - 1));
+  return b < kHistogramBuckets - 1 ? b : kHistogramBuckets - 1;
+}
+#endif
+
+void MetricsRegistry::Set(const std::string& name, uint64_t value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] = value;
+}
+
+void MetricsRegistry::Add(const std::string& name, uint64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetHistogram(const std::string& name,
+                                   const HistogramSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name] = snap;
+}
+
+void MetricsRegistry::AddHistogram(const std::string& name,
+                                   const HistogramSnapshot& snap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name] += snap;
+}
+
+uint64_t MetricsRegistry::counter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+bool MetricsRegistry::HasCounter(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.count(name) > 0;
+}
+
+HistogramSnapshot MetricsRegistry::histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? HistogramSnapshot{} : it->second;
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  // Copy under the source lock, then fold in under ours (never both at once,
+  // so merging in either direction cannot deadlock).
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, HistogramSnapshot> histograms;
+  {
+    std::lock_guard<std::mutex> lock(other.mu_);
+    counters = other.counters_;
+    histograms = other.histograms_;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, value] : counters) counters_[name] += value;
+  for (const auto& [name, snap] : histograms) histograms_[name] += snap;
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+size_t MetricsRegistry::counter_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size();
+}
+
+std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {counters_.begin(), counters_.end()};
+}
+
+std::string MetricsRegistry::ToText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, value] : counters_) {
+    out += name + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snap] : histograms_) {
+    out += name + " count=" + std::to_string(snap.count) +
+           " sum=" + std::to_string(snap.sum) +
+           " max=" + std::to_string(snap.max) + "\n";
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJson(JsonWriter* json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json->BeginObject();
+  json->Key("counters");
+  json->BeginObject();
+  for (const auto& [name, value] : counters_) {
+    json->Key(name);
+    json->UInt(value);
+  }
+  json->EndObject();
+  json->Key("histograms");
+  json->BeginObject();
+  for (const auto& [name, snap] : histograms_) {
+    json->Key(name);
+    json->BeginObject();
+    json->Key("count");
+    json->UInt(snap.count);
+    json->Key("sum");
+    json->UInt(snap.sum);
+    json->Key("max");
+    json->UInt(snap.max);
+    json->Key("buckets");
+    json->BeginArray();
+    // Trailing empty buckets are elided; bucket b spans (2^(b-1), 2^b].
+    size_t last = kHistogramBuckets;
+    while (last > 0 && snap.buckets[last - 1] == 0) --last;
+    for (size_t b = 0; b < last; ++b) json->UInt(snap.buckets[b]);
+    json->EndArray();
+    json->EndObject();
+  }
+  json->EndObject();
+  json->EndObject();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  JsonWriter json;
+  WriteJson(&json);
+  return json.TakeString();
+}
+
+}  // namespace asr::obs

@@ -1,0 +1,160 @@
+// Metrics: hot-path counters/histograms plus the registry that collects them.
+//
+// The paper's evaluation currency is secondary-storage page accesses; raw
+// AccessStats counters answer "how many", but not "which component and why".
+// This layer attributes cost: every instrumented component (buffer manager,
+// B+ tree, ASR, query evaluator) owns plain single-writer counters and
+// histograms on its hot paths, and a MetricsRegistry aggregates them into a
+// named snapshot at quiescent points — the same aggregation discipline as
+// the per-segment AccessStats (one writer per counter, merge on demand, no
+// atomics, single-threaded metered runs bit-identical).
+//
+// Compile-out contract: configuring with -DASR_METRICS=OFF defines
+// ASR_METRICS_ENABLED=0, which turns HotCounter/HotHistogram into empty
+// no-op types. Hot paths then reference no registry symbol at all — the
+// registry only ever appears in the cold ExportMetrics() pull path.
+#ifndef ASR_OBS_METRICS_H_
+#define ASR_OBS_METRICS_H_
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#ifndef ASR_METRICS_ENABLED
+#define ASR_METRICS_ENABLED 1
+#endif
+
+namespace asr::obs {
+
+class JsonWriter;
+
+// Fixed histogram geometry: power-of-two bucket upper bounds
+// 1, 2, 4, ..., 2^(kHistogramBuckets-2), +inf. Fits page counts, cluster and
+// frontier sizes, and microsecond latencies without configuration.
+inline constexpr size_t kHistogramBuckets = 18;
+
+// Upper bound of bucket `b` (UINT64_MAX for the overflow bucket).
+uint64_t HistogramBucketBound(size_t b);
+
+// Point-in-time value of one histogram, also the registry's stored form.
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  std::array<uint64_t, kHistogramBuckets> buckets{};
+
+  double Mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+
+  HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+};
+
+#if ASR_METRICS_ENABLED
+
+// Single-writer counter: one owning component, one writer thread (parallel
+// builders each own their component instance), merged only after join.
+class HotCounter {
+ public:
+  void Inc(uint64_t n = 1) { value_ += n; }
+  uint64_t value() const { return value_; }
+  void Reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+// Single-writer fixed-bucket histogram; Observe is branch-light (a clz-based
+// bucket index plus three adds).
+class HotHistogram {
+ public:
+  void Observe(uint64_t v) {
+    ++snap_.count;
+    snap_.sum += v;
+    if (v > snap_.max) snap_.max = v;
+    ++snap_.buckets[BucketIndex(v)];
+  }
+  const HistogramSnapshot& snapshot() const { return snap_; }
+  uint64_t count() const { return snap_.count; }
+  void Reset() { snap_ = HistogramSnapshot{}; }
+
+  static size_t BucketIndex(uint64_t v);
+
+ private:
+  HistogramSnapshot snap_;
+};
+
+#else  // !ASR_METRICS_ENABLED
+
+class HotCounter {
+ public:
+  void Inc(uint64_t = 1) {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
+class HotHistogram {
+ public:
+  void Observe(uint64_t) {}
+  HistogramSnapshot snapshot() const { return {}; }
+  uint64_t count() const { return 0; }
+  void Reset() {}
+};
+
+#endif  // ASR_METRICS_ENABLED
+
+// Named snapshot store. Components push their hot counters/histograms into a
+// registry via their ExportMetrics(registry, prefix) methods; benches and
+// the drift report then render the merged picture. All methods are cold
+// path; a mutex guards the maps so concurrent exporters (e.g. per-thread
+// registries being merged) stay safe, but the hot counters themselves are
+// never touched by more than their single owner.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+
+  // Overwrites (Set) or accumulates into (Add) the named counter.
+  void Set(const std::string& name, uint64_t value);
+  void Add(const std::string& name, uint64_t delta);
+  void SetHistogram(const std::string& name, const HistogramSnapshot& snap);
+  void AddHistogram(const std::string& name, const HistogramSnapshot& snap);
+
+  // Convenience overloads pulling from the hot types (no-ops under
+  // ASR_METRICS_ENABLED=0 write zeros, keeping snapshots shape-stable).
+  void Set(const std::string& name, const HotCounter& c) {
+    Set(name, c.value());
+  }
+  void SetHistogram(const std::string& name, const HotHistogram& h) {
+    SetHistogram(name, h.snapshot());
+  }
+
+  // Lookup; 0 / empty snapshot when absent.
+  uint64_t counter(const std::string& name) const;
+  bool HasCounter(const std::string& name) const;
+  HistogramSnapshot histogram(const std::string& name) const;
+
+  // Sums `other` into this registry (counters add, histograms merge).
+  void MergeFrom(const MetricsRegistry& other);
+  void Clear();
+
+  size_t counter_count() const;
+  std::vector<std::pair<std::string, uint64_t>> Counters() const;
+
+  // Rendering: one "name value" line per counter plus histogram summaries,
+  // and a {"counters": {...}, "histograms": {...}} JSON object.
+  std::string ToText() const;
+  void WriteJson(JsonWriter* json) const;
+  std::string ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, HistogramSnapshot> histograms_;
+};
+
+}  // namespace asr::obs
+
+#endif  // ASR_OBS_METRICS_H_

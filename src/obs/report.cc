@@ -1,0 +1,95 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace asr::obs {
+
+double DriftRow::RelError() const {
+  if (!has_observed) return 0.0;
+  if (model == 0.0) return observed == 0.0 ? 0.0 : INFINITY;
+  return std::fabs(observed - model) / std::fabs(model);
+}
+
+void DriftReport::AddModelRow(const std::string& op, double model) {
+  DriftRow row;
+  row.op = op;
+  row.model = model;
+  rows_.push_back(std::move(row));
+}
+
+void DriftReport::AddRow(const std::string& op, double model,
+                         double observed) {
+  DriftRow row;
+  row.op = op;
+  row.model = model;
+  row.observed = observed;
+  row.has_observed = true;
+  rows_.push_back(std::move(row));
+}
+
+void DriftReport::AddMeta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, value);
+}
+
+double DriftReport::MaxRelError() const {
+  double worst = 0.0;
+  for (const DriftRow& row : rows_) {
+    if (row.has_observed) worst = std::max(worst, row.RelError());
+  }
+  return worst;
+}
+
+std::string DriftReport::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("bench");
+  json.String(bench_);
+  json.Key("profile");
+  json.String(profile_);
+  if (!meta_.empty()) {
+    json.Key("meta");
+    json.BeginObject();
+    for (const auto& [key, value] : meta_) {
+      json.Key(key);
+      json.String(value);
+    }
+    json.EndObject();
+  }
+  json.Key("rows");
+  json.BeginArray();
+  for (const DriftRow& row : rows_) {
+    json.BeginObject();
+    json.Key("op");
+    json.String(row.op);
+    json.Key("model");
+    json.Double(row.model);
+    if (row.has_observed) {
+      json.Key("observed");
+      json.Double(row.observed);
+      json.Key("rel_error");
+      json.Double(row.RelError());  // infinity degrades to null
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("metrics");
+  metrics_.WriteJson(&json);
+  json.EndObject();
+  return json.TakeString();
+}
+
+bool DriftReport::WriteFile(const std::string& path) const {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::string body = ToJson();
+  size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  bool ok = written == body.size();
+  ok = (std::fputc('\n', f) != EOF) && ok;
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+}  // namespace asr::obs

@@ -1,0 +1,66 @@
+// Model-vs-observed drift reports: the common self-describing JSON snapshot
+// emitted by validate_model_vs_system and the figure benchmarks.
+//
+// Each row pairs one operation's analytical prediction (Sections 4-6 of the
+// paper) with its metered page-access count and carries the relative error;
+// the snapshot also embeds a full MetricsRegistry dump so a regression shows
+// up with the component-level counters that explain it. Rows without an
+// observation (model-only figure reproductions) simply omit the observed
+// side — same schema, partially filled.
+#ifndef ASR_OBS_REPORT_H_
+#define ASR_OBS_REPORT_H_
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace asr::obs {
+
+struct DriftRow {
+  std::string op;       // e.g. "Q04(bw) full/bin" or "ins_2 left/bin"
+  double model = 0;     // predicted page accesses
+  double observed = 0;  // metered page accesses (meaningful iff has_observed)
+  bool has_observed = false;
+
+  // |observed - model| / model; 0 when the model predicts 0 and the system
+  // agrees, infinity when it does not.
+  double RelError() const;
+};
+
+class DriftReport {
+ public:
+  DriftReport(std::string bench, std::string profile)
+      : bench_(std::move(bench)), profile_(std::move(profile)) {}
+
+  // Model-only row (figure reproductions).
+  void AddModelRow(const std::string& op, double model);
+  // Full drift row (metered executions).
+  void AddRow(const std::string& op, double model, double observed);
+  // Free-form metadata surfaced under "meta" in the snapshot.
+  void AddMeta(const std::string& key, const std::string& value);
+
+  const std::vector<DriftRow>& rows() const { return rows_; }
+  // Largest relative error over rows that have an observation.
+  double MaxRelError() const;
+
+  // The embedded registry dump; fill it via the components'
+  // ExportMetrics(...) before writing.
+  MetricsRegistry* metrics() { return &metrics_; }
+
+  std::string ToJson() const;
+  // Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_;
+  std::string profile_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<DriftRow> rows_;
+  MetricsRegistry metrics_;
+};
+
+}  // namespace asr::obs
+
+#endif  // ASR_OBS_REPORT_H_

@@ -1,0 +1,175 @@
+#include "obs/span.h"
+
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace asr::obs {
+
+namespace {
+
+thread_local TraceContext* g_current = nullptr;
+
+void AppendSpanText(const SpanNode& node, int depth, std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += node.name;
+  if (!node.attrs.empty()) {
+    *out += " [";
+    for (size_t i = 0; i < node.attrs.size(); ++i) {
+      if (i > 0) *out += ' ';
+      *out += node.attrs[i].first + "=" + node.attrs[i].second;
+    }
+    *out += ']';
+  }
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "  reads=%llu writes=%llu hits=%llu misses=%llu wall=%.0fus",
+                static_cast<unsigned long long>(node.page_reads),
+                static_cast<unsigned long long>(node.page_writes),
+                static_cast<unsigned long long>(node.buffer_hits),
+                static_cast<unsigned long long>(node.buffer_misses),
+                node.wall_us);
+  *out += buf;
+  *out += '\n';
+  for (const auto& child : node.children) {
+    AppendSpanText(*child, depth + 1, out);
+  }
+}
+
+void WriteSpanJson(const SpanNode& node, JsonWriter* json) {
+  json->BeginObject();
+  json->Key("name");
+  json->String(node.name);
+  if (!node.attrs.empty()) {
+    json->Key("attrs");
+    json->BeginObject();
+    for (const auto& [key, value] : node.attrs) {
+      json->Key(key);
+      json->String(value);
+    }
+    json->EndObject();
+  }
+  json->Key("page_reads");
+  json->UInt(node.page_reads);
+  json->Key("page_writes");
+  json->UInt(node.page_writes);
+  json->Key("buffer_hits");
+  json->UInt(node.buffer_hits);
+  json->Key("buffer_misses");
+  json->UInt(node.buffer_misses);
+  json->Key("wall_us");
+  json->Double(node.wall_us);
+  if (!node.children.empty()) {
+    json->Key("children");
+    json->BeginArray();
+    for (const auto& child : node.children) WriteSpanJson(*child, json);
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+}  // namespace
+
+std::string Trace::ToText() const {
+  if (root_ == nullptr) return "";
+  std::string out;
+  AppendSpanText(*root_, 0, &out);
+  return out;
+}
+
+void Trace::WriteJson(JsonWriter* json) const {
+  if (root_ == nullptr) {
+    json->Null();
+    return;
+  }
+  WriteSpanJson(*root_, json);
+}
+
+std::string Trace::ToJson() const {
+  JsonWriter json;
+  WriteJson(&json);
+  return json.TakeString();
+}
+
+TraceContext::TraceContext(std::string root_name, ProbeFn probe)
+    : prev_(g_current), probe_(std::move(probe)) {
+  root_ = std::make_unique<SpanNode>();
+  root_->name = std::move(root_name);
+  root_start_ = Probe();
+  root_t0_ = std::chrono::steady_clock::now();
+  g_current = this;
+}
+
+TraceContext::~TraceContext() {
+  if (!finished_) Finish();
+}
+
+Trace TraceContext::Finish() {
+  if (finished_) return Trace{};
+  finished_ = true;
+  // Unclosed child spans would mean a ScopedSpan outlived its context —
+  // close them defensively so the tree stays well-formed.
+  open_.clear();
+  CostProbe end = Probe();
+  root_->page_reads = end.page_reads - root_start_.page_reads;
+  root_->page_writes = end.page_writes - root_start_.page_writes;
+  root_->buffer_hits = end.buffer_hits - root_start_.buffer_hits;
+  root_->buffer_misses = end.buffer_misses - root_start_.buffer_misses;
+  root_->wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - root_t0_)
+                       .count();
+  g_current = prev_;
+  return Trace(std::move(root_));
+}
+
+void TraceContext::RootAttr(const std::string& key, std::string value) {
+  if (root_ != nullptr) root_->attrs.emplace_back(key, std::move(value));
+}
+
+TraceContext* TraceContext::Current() { return g_current; }
+
+SpanNode* TraceContext::OpenSpan(const char* name) {
+  SpanNode* parent = open_.empty() ? root_.get() : open_.back();
+  parent->children.push_back(std::make_unique<SpanNode>());
+  SpanNode* node = parent->children.back().get();
+  node->name = name;
+  open_.push_back(node);
+  return node;
+}
+
+void TraceContext::CloseSpan(SpanNode* node) {
+  // Spans close in strict LIFO order (RAII guarantees it within one thread).
+  if (!open_.empty() && open_.back() == node) open_.pop_back();
+}
+
+ScopedSpan::ScopedSpan(const char* name) {
+  TraceContext* ctx = TraceContext::Current();
+  if (ctx == nullptr || ctx->finished_) return;
+  ctx_ = ctx;
+  node_ = ctx->OpenSpan(name);
+  start_ = ctx->Probe();
+  t0_ = std::chrono::steady_clock::now();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (node_ == nullptr) return;
+  CostProbe end = ctx_->Probe();
+  node_->page_reads = end.page_reads - start_.page_reads;
+  node_->page_writes = end.page_writes - start_.page_writes;
+  node_->buffer_hits = end.buffer_hits - start_.buffer_hits;
+  node_->buffer_misses = end.buffer_misses - start_.buffer_misses;
+  node_->wall_us = std::chrono::duration<double, std::micro>(
+                       std::chrono::steady_clock::now() - t0_)
+                       .count();
+  ctx_->CloseSpan(node_);
+}
+
+void ScopedSpan::Attr(const char* key, const std::string& value) {
+  if (node_ != nullptr) node_->attrs.emplace_back(key, value);
+}
+
+void ScopedSpan::Attr(const char* key, uint64_t value) {
+  if (node_ != nullptr) node_->attrs.emplace_back(key, std::to_string(value));
+}
+
+}  // namespace asr::obs

@@ -1,0 +1,138 @@
+// Structured trace spans: the EXPLAIN substrate.
+//
+// A TraceContext installs itself as the thread's active trace; while one is
+// active, every ScopedSpan on that thread opens a child of the innermost
+// open span, and on destruction records the page reads/writes, buffer
+// hits/misses, and wall time that elapsed inside it. The result is a
+// per-stage tree — stage name, attributes (partition, mode, frontier size),
+// page-access attribution — rendered as indented text or JSON.
+//
+// Page/buffer deltas come from a caller-supplied probe so this layer stays
+// independent of the storage module; the probe reads the same AccessStats
+// the Meter uses, so a span's counts are directly comparable with the
+// analytical model's predictions. Probing never touches pages itself:
+// tracing an operation does not change its metered cost, and metered
+// single-threaded runs stay bit-identical whether or not a trace is active.
+//
+// When no TraceContext is installed (the common case), a ScopedSpan is one
+// thread-local load and a branch — cheap enough to leave in hot stages.
+// Spans are deliberately NOT compiled out by ASR_METRICS=OFF: EXPLAIN is an
+// explicit, opt-in facility, not passive metering.
+#ifndef ASR_OBS_SPAN_H_
+#define ASR_OBS_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace asr::obs {
+
+class JsonWriter;
+
+// Cumulative cost counters a probe reads at span boundaries.
+struct CostProbe {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+};
+
+using ProbeFn = std::function<CostProbe()>;
+
+// One node of the span tree.
+struct SpanNode {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> attrs;
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+  double wall_us = 0;
+  std::vector<std::unique_ptr<SpanNode>> children;
+
+  uint64_t page_total() const { return page_reads + page_writes; }
+};
+
+// A finished span tree.
+class Trace {
+ public:
+  Trace() = default;
+  bool empty() const { return root_ == nullptr; }
+  const SpanNode& root() const { return *root_; }
+
+  // Indented per-stage rendering, one line per span:
+  //   name [attr=v ...]  reads=r writes=w hits=h misses=m wall=t
+  std::string ToText() const;
+  // The span tree as a JSON object (children nested under "children").
+  std::string ToJson() const;
+  void WriteJson(JsonWriter* json) const;
+
+ private:
+  friend class TraceContext;
+  explicit Trace(std::unique_ptr<SpanNode> root) : root_(std::move(root)) {}
+  std::unique_ptr<SpanNode> root_;
+};
+
+// Installs a trace on the current thread for its lifetime. Non-reentrant
+// nesting is allowed (the previous context is restored on destruction).
+class TraceContext {
+ public:
+  TraceContext(std::string root_name, ProbeFn probe);
+  ~TraceContext();
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  // Closes the root span and returns the tree. The context stops collecting;
+  // further spans on this thread attach to the enclosing context, if any.
+  Trace Finish();
+
+  // Attribute on the root span.
+  void RootAttr(const std::string& key, std::string value);
+
+  static TraceContext* Current();
+
+ private:
+  friend class ScopedSpan;
+
+  SpanNode* OpenSpan(const char* name);
+  void CloseSpan(SpanNode* node);
+  CostProbe Probe() const { return probe_ ? probe_() : CostProbe{}; }
+
+  TraceContext* prev_;
+  ProbeFn probe_;
+  std::unique_ptr<SpanNode> root_;
+  std::vector<SpanNode*> open_;  // innermost open span at the back
+  CostProbe root_start_;
+  std::chrono::steady_clock::time_point root_t0_;
+  bool finished_ = false;
+};
+
+// RAII span. Inert (near-zero cost) when no TraceContext is active on this
+// thread.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  bool active() const { return node_ != nullptr; }
+
+  // Attributes (no-ops when inert, so callers need no guards).
+  void Attr(const char* key, const std::string& value);
+  void Attr(const char* key, uint64_t value);
+
+ private:
+  TraceContext* ctx_ = nullptr;
+  SpanNode* node_ = nullptr;
+  CostProbe start_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace asr::obs
+
+#endif  // ASR_OBS_SPAN_H_

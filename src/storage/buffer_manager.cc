@@ -43,11 +43,17 @@ PageGuard BufferManager::Pin(PageId id) {
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     ++misses_;
+#if ASR_METRICS_ENABLED
+    ++SegCounters(id.segment).misses;
+#endif
     Frame frame;
     disk_->ReadPage(id, &frame.page);
     it = frames_.emplace(id, std::move(frame)).first;
   } else {
     ++hits_;
+#if ASR_METRICS_ENABLED
+    ++SegCounters(id.segment).hits;
+#endif
     if (it->second.in_lru) {
       lru_.erase(it->second.lru_pos);
       it->second.in_lru = false;
@@ -92,7 +98,14 @@ void BufferManager::EvictFrame(PageId id) {
   ASR_CHECK(it != frames_.end());
   Frame& frame = it->second;
   ASR_CHECK(frame.pin_count == 0 && frame.in_lru);
-  if (frame.dirty) disk_->WritePage(id, frame.page);
+  evictions_.Inc();
+#if ASR_METRICS_ENABLED
+  ++SegCounters(id.segment).evictions;
+#endif
+  if (frame.dirty) {
+    writebacks_.Inc();
+    disk_->WritePage(id, frame.page);
+  }
   lru_.erase(frame.lru_pos);
   frames_.erase(it);
 }
@@ -101,12 +114,33 @@ void BufferManager::FlushAll() {
   // Write back all dirty frames (pinned frames stay resident but clean).
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
+      writebacks_.Inc();
       disk_->WritePage(id, frame.page);
       frame.dirty = false;
     }
   }
   // Drop unpinned frames.
   while (!lru_.empty()) EvictFrame(lru_.front());
+}
+
+void BufferManager::ExportMetrics(obs::MetricsRegistry* registry,
+                                  const std::string& prefix) const {
+  registry->Set(prefix + ".hits", hits_);
+  registry->Set(prefix + ".misses", misses_);
+  registry->Set(prefix + ".evictions", evictions_.value());
+  registry->Set(prefix + ".writebacks", writebacks_.value());
+  registry->Set(prefix + ".capacity", capacity_);
+#if ASR_METRICS_ENABLED
+  for (uint32_t seg = 0; seg < seg_counters_.size(); ++seg) {
+    const SegmentCounters& c = seg_counters_[seg];
+    if (c.hits == 0 && c.misses == 0 && c.evictions == 0) continue;
+    const std::string seg_prefix =
+        prefix + ".segment." + disk_->SegmentName(seg);
+    registry->Set(seg_prefix + ".hits", c.hits);
+    registry->Set(seg_prefix + ".misses", c.misses);
+    registry->Set(seg_prefix + ".evictions", c.evictions);
+  }
+#endif
 }
 
 }  // namespace asr::storage

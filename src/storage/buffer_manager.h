@@ -12,9 +12,12 @@
 
 #include <cstdint>
 #include <list>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/macros.h"
+#include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
 
@@ -78,6 +81,15 @@ class BufferManager {
   size_t capacity() const { return capacity_; }
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_.value(); }
+  uint64_t writebacks() const { return writebacks_.value(); }
+
+  // Pushes this pool's counters into `registry` under `prefix`: totals
+  // (hits/misses/evictions/writebacks) plus, when metrics are compiled in,
+  // per-segment hit/miss/eviction attribution keyed by segment name. Cold
+  // path only — call at quiescent points (the single-writer discipline).
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
 
  private:
   friend class PageGuard;
@@ -95,12 +107,30 @@ class BufferManager {
   void EnforceCapacity();
   void EvictFrame(PageId id);
 
+#if ASR_METRICS_ENABLED
+  // Per-segment attribution of buffer behavior (hit/miss/eviction), indexed
+  // by segment id. Same single-writer discipline as the pool itself: one
+  // accessor thread per BufferManager instance.
+  struct SegmentCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+  };
+  SegmentCounters& SegCounters(uint32_t segment) {
+    if (segment >= seg_counters_.size()) seg_counters_.resize(segment + 1);
+    return seg_counters_[segment];
+  }
+  std::vector<SegmentCounters> seg_counters_;
+#endif
+
   Disk* disk_;
   size_t capacity_;
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = oldest unpinned frame
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  obs::HotCounter evictions_;
+  obs::HotCounter writebacks_;
 };
 
 }  // namespace asr::storage

@@ -71,6 +71,25 @@ void Disk::ResetStats() {
   for (auto& seg : segments_) seg.stats = AccessStats{};
 }
 
+void Disk::ExportMetrics(obs::MetricsRegistry* registry,
+                         const std::string& prefix) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  AccessStats total;
+  uint64_t pages = 0;
+  for (const Segment& seg : segments_) {
+    total += seg.stats;
+    pages += seg.pages.size();
+    if (seg.stats.total() == 0) continue;
+    const std::string seg_prefix = prefix + ".segment." + seg.name;
+    registry->Set(seg_prefix + ".reads", seg.stats.page_reads);
+    registry->Set(seg_prefix + ".writes", seg.stats.page_writes);
+  }
+  registry->Set(prefix + ".reads", total.page_reads);
+  registry->Set(prefix + ".writes", total.page_writes);
+  registry->Set(prefix + ".segments", segments_.size());
+  registry->Set(prefix + ".pages", pages);
+}
+
 void Disk::Serialize(std::ostream* out) const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(segments_.size()));

@@ -24,6 +24,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "storage/access_stats.h"
 #include "storage/page.h"
 
@@ -60,6 +61,12 @@ class Disk {
   AccessStats stats() const;
   const AccessStats& segment_stats(uint32_t segment) const;
   void ResetStats();
+
+  // Pushes disk-wide and per-segment page-access counters into `registry`
+  // under `prefix` (e.g. "disk.segment.<name>.reads"). Cold path; call from
+  // a quiescent point, like stats().
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
 
  private:
   struct Segment {

@@ -2,21 +2,52 @@
 #ifndef ASR_WORKLOAD_METER_H_
 #define ASR_WORKLOAD_METER_H_
 
-#include <functional>
+#include <utility>
 
 #include "storage/access_stats.h"
+#include "storage/buffer_manager.h"
 #include "storage/disk.h"
 
 namespace asr::workload {
 
+// What one metered operation cost. Inherits the page counters so existing
+// call sites that assign the result to a storage::AccessStats keep working;
+// the buffer deltas say how much of the logical page traffic a cache
+// absorbed (both zero when metering without a BufferManager handle).
+struct MeterResult : storage::AccessStats {
+  uint64_t buffer_hits = 0;
+  uint64_t buffer_misses = 0;
+};
+
 // Runs `op` and returns the secondary-storage accesses it caused. The
 // buffer manager should be configured with capacity 0 (strict metering) for
-// results comparable to the analytical model.
-inline storage::AccessStats Meter(storage::Disk* disk,
-                                  const std::function<void()>& op) {
+// results comparable to the analytical model. `op` is any callable; it is
+// invoked exactly once, inline — no std::function indirection on the
+// metered path.
+template <typename Op>
+inline MeterResult Meter(storage::Disk* disk, Op&& op) {
   storage::AccessStats before = disk->stats();
-  op();
-  return disk->stats() - before;
+  std::forward<Op>(op)();
+  MeterResult out;
+  static_cast<storage::AccessStats&>(out) = disk->stats() - before;
+  return out;
+}
+
+// Overload that also attributes buffer behavior: the returned buffer
+// hit/miss deltas cover `op` only. Pass the pool the operation pins
+// through.
+template <typename Op>
+inline MeterResult Meter(storage::BufferManager* buffers, Op&& op) {
+  storage::Disk* disk = buffers->disk();
+  storage::AccessStats before = disk->stats();
+  uint64_t hits0 = buffers->hits();
+  uint64_t misses0 = buffers->misses();
+  std::forward<Op>(op)();
+  MeterResult out;
+  static_cast<storage::AccessStats&>(out) = disk->stats() - before;
+  out.buffer_hits = buffers->hits() - hits0;
+  out.buffer_misses = buffers->misses() - misses0;
+  return out;
 }
 
 }  // namespace asr::workload

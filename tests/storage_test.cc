@@ -66,6 +66,23 @@ TEST(AccessStatsTest, Arithmetic) {
   EXPECT_EQ(d.total(), 10u);
   d += b;
   EXPECT_EQ(d.page_reads, 10u);
+
+  AccessStats s = a + b;
+  EXPECT_EQ(s.page_reads, 13u);
+  EXPECT_EQ(s.page_writes, 5u);
+  // operator+ leaves its operands untouched.
+  EXPECT_EQ(a.page_reads, 10u);
+  EXPECT_EQ(b.page_reads, 3u);
+  // Round trip: (a + b) - b == a.
+  AccessStats back = s - b;
+  EXPECT_EQ(back.page_reads, a.page_reads);
+  EXPECT_EQ(back.page_writes, a.page_writes);
+}
+
+TEST(AccessStatsTest, DefaultIsZeroAndToStringRenders) {
+  AccessStats zero;
+  EXPECT_EQ(zero.total(), 0u);
+  EXPECT_EQ(zero.ToString(), "reads=0 writes=0");
 }
 
 // --- BufferManager -------------------------------------------------------

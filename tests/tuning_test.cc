@@ -113,6 +113,48 @@ TEST(UsageRecorderTest, ResetClearsHistory) {
   recorder.Reset();
   EXPECT_EQ(recorder.operation_count(), 0u);
   EXPECT_DOUBLE_EQ(recorder.UpdateProbability(), 0.0);
+
+  // Recording after a Reset starts a fresh history.
+  recorder.RecordUpdate(3);
+  EXPECT_EQ(recorder.update_count(), 1u);
+  cost::OperationMix mix = recorder.ToMix();
+  EXPECT_TRUE(mix.queries.empty());
+  ASSERT_EQ(mix.updates.size(), 1u);
+  EXPECT_EQ(mix.updates[0].position, 3u);
+}
+
+TEST(UsageRecorderTest, EmptyRecorderYieldsEmptyMix) {
+  workload::UsageRecorder recorder;
+  cost::OperationMix mix = recorder.ToMix();
+  EXPECT_TRUE(mix.queries.empty());
+  EXPECT_TRUE(mix.updates.empty());
+  EXPECT_EQ(recorder.operation_count(), 0u);
+  EXPECT_DOUBLE_EQ(recorder.UpdateProbability(), 0.0);
+}
+
+TEST(UsageRecorderTest, NormalizesWeightsWithinEachClass) {
+  workload::UsageRecorder recorder;
+  // 3:1 among queries, 1:1 among updates — weights normalize per class,
+  // independent of the query/update split.
+  for (int k = 0; k < 3; ++k) {
+    recorder.RecordQuery(cost::QueryDirection::kBackward, 0, 4);
+  }
+  recorder.RecordQuery(cost::QueryDirection::kForward, 0, 2);
+  recorder.RecordUpdate(1);
+  recorder.RecordUpdate(2);
+
+  cost::OperationMix mix = recorder.ToMix();
+  ASSERT_EQ(mix.queries.size(), 2u);
+  ASSERT_EQ(mix.updates.size(), 2u);
+  double qsum = 0;
+  for (const auto& q : mix.queries) {
+    qsum += q.weight;
+    EXPECT_TRUE(q.weight == 0.75 || q.weight == 0.25);
+  }
+  EXPECT_DOUBLE_EQ(qsum, 1.0);
+  EXPECT_DOUBLE_EQ(mix.updates[0].weight, 0.5);
+  EXPECT_DOUBLE_EQ(mix.updates[1].weight, 0.5);
+  EXPECT_DOUBLE_EQ(recorder.UpdateProbability(), 2.0 / 6.0);
 }
 
 TEST(AutoTunerTest, RefusesEmptyHistory) {
