@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 suite in the default configuration, then the same
-# suite under ThreadSanitizer (races are hard failures — this is what keeps
-# the single-writer counter discipline in src/obs honest), then a smoke
-# build with -DASR_METRICS=OFF to prove the instrumentation compiles out.
+# CI entry point. Jobs, in order:
+#
+#   lint        scripts/lint.sh — clang-tidy (when installed) + idiom greps
+#   default     tier-1 suite, default configuration (-Werror is ON)
+#   tsan        same suite under ThreadSanitizer (races are hard failures —
+#               this is what keeps the single-writer counter discipline in
+#               src/obs honest)
+#   ubsan       same suite under UndefinedBehaviorSanitizer with
+#               -fno-sanitize-recover=all, so any UB aborts the test
+#   no-metrics  smoke build with -DASR_METRICS=OFF to prove the
+#               instrumentation compiles out
+#   paranoid    suite with -DASR_PARANOID=ON: every maintenance commit
+#               point revalidates the ASR structural invariants inline
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -21,8 +30,12 @@ run_job() {
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS"
 }
 
+scripts/lint.sh "$JOBS"
+
 run_job default     build-ci
 run_job tsan        build-ci-tsan      -DASR_SANITIZE=thread
+run_job ubsan       build-ci-ubsan     -DASR_SANITIZE=ubsan
 run_job no-metrics  build-ci-nometrics -DASR_METRICS=OFF
+run_job paranoid    build-ci-paranoid  -DASR_PARANOID=ON
 
 echo "==== all CI jobs passed ===="

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Static analysis + idiom lint over src/.
+#
+# clang-tidy (profile in .clang-tidy) runs when the binary is available —
+# the minimal CI image ships only gcc, so its absence is a skip, not a
+# failure. The idiom greps below always run and are hard failures:
+#
+#   1. no raw `new` / `delete` outside src/storage — ownership lives in
+#      smart pointers (a factory wrapping `new` in a unique_ptr/shared_ptr
+#      on the same line is the accepted escape hatch for private ctors);
+#      storage/ manages raw page frames and is exempt.
+#   2. include guards follow ASR_<PATH>_H_ exactly, so guards can never
+#      collide as headers move or multiply.
+#
+# Usage: scripts/lint.sh [jobs]
+set -uo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+fail=0
+
+# --- clang-tidy (optional) ---------------------------------------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==== [lint] clang-tidy ===="
+  cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  if ! find src -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 8 clang-tidy -p build-lint --quiet; then
+    fail=1
+  fi
+else
+  echo "==== [lint] clang-tidy not installed; skipping static analysis ===="
+fi
+
+# --- idiom: no raw new/delete outside src/storage ----------------------------
+echo "==== [lint] raw new/delete ===="
+# A factory with a private ctor wraps `new` in a smart pointer that may sit
+# on the previous line, so the scan keeps one line of lookbehind.
+raw_alloc=$(find src \( -name '*.cc' -o -name '*.h' \) ! -path 'src/storage/*' |
+  sort | while IFS= read -r f; do
+  awk -v file="$f" '
+    { line = $0; sub(/\/\/.*/, "", line) }
+    line ~ /(^|[^A-Za-z_])new [A-Za-z_:<(]/ ||
+    line ~ /(^|[^A-Za-z_])delete($|[^A-Za-z_0-9])/ {
+      if (line !~ /unique_ptr|shared_ptr|= *delete/ &&
+          prev !~ /unique_ptr|shared_ptr/) {
+        printf "%s:%d:%s\n", file, NR, $0
+      }
+    }
+    { prev = line }
+  ' "$f"
+done)
+if [[ -n "$raw_alloc" ]]; then
+  echo "raw new/delete outside src/storage (wrap in a smart pointer):"
+  echo "$raw_alloc"
+  fail=1
+fi
+
+# --- idiom: include-guard style ----------------------------------------------
+echo "==== [lint] include guards ===="
+while IFS= read -r header; do
+  rel=${header#src/}
+  guard="ASR_$(echo "$rel" | tr 'a-z/.' 'A-Z__')_"
+  if ! grep -q "#ifndef $guard" "$header" ||
+    ! grep -q "#define $guard" "$header"; then
+    echo "bad include guard in $header (want $guard)"
+    fail=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "==== lint FAILED ===="
+  exit 1
+fi
+echo "==== lint passed ===="

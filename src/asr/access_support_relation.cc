@@ -150,9 +150,11 @@ Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
     for (const rel::Row& row : extension->rows()) {
       asr->InsertRow(row);
     }
+    ASR_RETURN_IF_ERROR(asr->ParanoidValidate());
     return asr;
   }
   ASR_RETURN_IF_ERROR(asr->LoadRows(extension->rows(), fresh));
+  ASR_RETURN_IF_ERROR(asr->ParanoidValidate());
   return asr;
 }
 
@@ -442,7 +444,7 @@ Status AccessSupportRelation::Rebuild() {
     for (const rel::Row& row : extension->rows()) {
       InsertRow(row);
     }
-    return Status::OK();
+    return ParanoidValidate();
   }
   // Bulk path: solely-owned partition stores are reset to empty trees (their
   // shared_ptr identity survives, so catalog registrations stay valid) and
@@ -471,7 +473,8 @@ Status AccessSupportRelation::Rebuild() {
     }
   }
   full_rows_.clear();
-  return LoadRows(extension->rows(), fresh);
+  ASR_RETURN_IF_ERROR(LoadRows(extension->rows(), fresh));
+  return ParanoidValidate();
 }
 
 Result<rel::Relation> AccessSupportRelation::DumpPartition(size_t idx) {
@@ -485,6 +488,68 @@ Result<rel::Relation> AccessSupportRelation::DumpPartition(size_t idx) {
       });
   ASR_RETURN_IF_ERROR(st);
   return out;
+}
+
+Status AccessSupportRelation::ValidateStructure() {
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
+    btree::BTree* fwd = part.store->forward.get();
+    btree::BTree* bwd = part.store->backward.get();
+    const std::string site = "partition " + part.store->name;
+    ASR_RETURN_IF_ERROR(fwd->CheckIntegrity());
+    ASR_RETURN_IF_ERROR(bwd->CheckIntegrity());
+    if (fwd->tuple_count() != bwd->tuple_count()) {
+      return Status::Corruption(
+          site + ": forward tree holds " +
+          std::to_string(fwd->tuple_count()) + " tuples, backward " +
+          std::to_string(bwd->tuple_count()));
+    }
+    // The two redundant trees (§5.2) must store the same tuple set.
+    std::set<rel::Row> fwd_rows;
+    std::set<rel::Row> bwd_rows;
+    ASR_RETURN_IF_ERROR(fwd->ScanAll([&](const rel::Row& row) -> Status {
+      fwd_rows.insert(row);
+      return Status::OK();
+    }));
+    ASR_RETURN_IF_ERROR(bwd->ScanAll([&](const rel::Row& row) -> Status {
+      bwd_rows.insert(row);
+      return Status::OK();
+    }));
+    if (fwd_rows != bwd_rows) {
+      return Status::Corruption(site +
+                                ": forward and backward trees disagree");
+    }
+    // Refcounts key exactly the distinct slices the trees hold.
+    if (part.store->refcounts.size() != fwd_rows.size()) {
+      return Status::Corruption(
+          site + ": " + std::to_string(part.store->refcounts.size()) +
+          " refcounted slices vs " + std::to_string(fwd_rows.size()) +
+          " stored tuples");
+    }
+    for (const auto& [slice, count] : part.store->refcounts) {
+      if (count == 0) {
+        return Status::Corruption(site + ": zero refcount retained");
+      }
+      if (fwd_rows.count(slice) == 0) {
+        return Status::Corruption(site +
+                                  ": refcounted slice missing from trees");
+      }
+    }
+    // A solely owned store is exactly the Def. 3.8 projection of this ASR's
+    // relation (shared stores additionally hold sibling contributions).
+    if (part.store->owners == 1) {
+      std::set<rel::Row> expected;
+      for (const rel::Row& row : full_rows_) {
+        rel::Row slice = Slice(row, part.first, part.last);
+        if (!AllNull(slice)) expected.insert(std::move(slice));
+      }
+      if (expected != fwd_rows) {
+        return Status::Corruption(
+            site + ": stored tuples are not the projection of the relation");
+      }
+    }
+  }
+  return Status::OK();
 }
 
 std::string AccessSupportRelation::Describe() const {

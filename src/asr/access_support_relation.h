@@ -193,6 +193,29 @@ class AccessSupportRelation {
   // Materializes partition `idx` as a relation (test oracle; scans pages).
   Result<rel::Relation> DumpPartition(size_t idx);
 
+  // The materialized full-width extension (introspection for the invariant
+  // checker, which compares it against partitions and the object base).
+  const std::set<rel::Row>& rows() const { return full_rows_; }
+  gom::ObjectStore* object_store() const { return store_; }
+
+  // Structural self-validation: per-partition B+ tree integrity, forward/
+  // backward tree agreement, refcount consistency, and — for solely owned
+  // stores — agreement with the Def. 3.8 projection of the relation.
+  // Returns the first violation as Corruption. This is the ASR_PARANOID
+  // commit-point check; the paper-level invariants (Defs. 3.3–3.6
+  // membership, Theorem 3.9 losslessness) live in src/check.
+  Status ValidateStructure();
+
+  // Commit-point hook: ValidateStructure() under -DASR_PARANOID=ON, no-op
+  // (and compiled away) otherwise.
+  Status ParanoidValidate() {
+#if ASR_PARANOID_ENABLED
+    return ValidateStructure();
+#else
+    return Status::OK();
+#endif
+  }
+
   // Total leaf+inner pages over all partition trees (storage footprint).
   uint64_t TotalPages() const;
 

@@ -506,7 +506,7 @@ Status AccessSupportRelation::OnEdgeInserted(Oid u, uint32_t p, AsrKey w) {
       }
     }
   }
-  return Status::OK();
+  return ParanoidValidate();
 }
 
 Status AccessSupportRelation::OnAttributeAssigned(Oid u, uint32_t p,
@@ -622,7 +622,7 @@ Status AccessSupportRelation::OnEdgeRemoved(Oid u, uint32_t p, AsrKey w) {
       }
     }
   }
-  return Status::OK();
+  return ParanoidValidate();
 }
 
 }  // namespace asr

@@ -565,6 +565,11 @@ Status BTree::CheckIntegrity() {
   uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
   uint32_t leaves = 0;
   while (leaf_no != kNoLeaf) {
+    // Bounding inside the loop keeps a corrupted next_leaf cycle from
+    // hanging the checker.
+    if (leaves >= leaf_pages_) {
+      return Status::Corruption("leaf chain longer than allocated leaf pages");
+    }
     PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
     if (!IsLeaf(leaf.page())) {
       return Status::Corruption("leaf chain reached a non-leaf page");
@@ -597,8 +602,23 @@ Status BTree::CheckIntegrity() {
                               std::to_string(seen) + ", expected " +
                               std::to_string(tuple_count_));
   }
-  if (leaves > leaf_pages_) {
-    return Status::Corruption("leaf chain longer than allocated leaf pages");
+  return Status::OK();
+}
+
+Status BTree::ForEachLeaf(
+    const std::function<Status(uint32_t, uint16_t)>& fn) {
+  uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
+  uint32_t visited = 0;
+  while (leaf_no != kNoLeaf) {
+    if (visited++ >= leaf_pages_) {
+      return Status::Corruption("leaf chain longer than allocated leaf pages");
+    }
+    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    if (!IsLeaf(leaf.page())) {
+      return Status::Corruption("leaf chain reached a non-leaf page");
+    }
+    ASR_RETURN_IF_ERROR(fn(leaf_no, Count(leaf.page())));
+    leaf_no = NextLeaf(leaf.page());
   }
   return Status::OK();
 }

@@ -89,6 +89,15 @@ class BTree {
   // the first violation. Intended for tests and post-load checks.
   Status CheckIntegrity();
 
+  // Leaf-chain walk for structural checkers: calls `fn(page_no, entry_count)`
+  // for every leaf in chain order. Fails with Corruption when the chain does
+  // not terminate within the allocated leaf count (a cycle or stray link).
+  Status ForEachLeaf(const std::function<Status(uint32_t, uint16_t)>& fn);
+
+  // Disk segment holding this tree's pages (introspection; also the handle
+  // corruption-injection tests use to reach raw pages).
+  uint32_t segment() const { return segment_; }
+
   // --- Statistics (realized counterparts of Eqs. 16, 19, 20) -----------
   uint64_t tuple_count() const { return tuple_count_; }
   uint32_t leaf_page_count() const { return leaf_pages_; }

@@ -1,0 +1,98 @@
+#include "check/check_report.h"
+
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace asr::check {
+
+std::string_view CategoryName(Category category) {
+  switch (category) {
+    case Category::kSlottedPage:
+      return "slotted_page";
+    case Category::kBTreeStructure:
+      return "btree_structure";
+    case Category::kPartitionDesync:
+      return "partition_desync";
+    case Category::kRefcount:
+      return "refcount";
+    case Category::kExtensionMembership:
+      return "extension_membership";
+    case Category::kLosslessness:
+      return "losslessness";
+    case Category::kObjectStore:
+      return "object_store";
+  }
+  return "unknown";
+}
+
+void CheckReport::Add(Category category, std::string site,
+                      std::string detail) {
+  uint64_t& count = counts_[category];
+  ++count;
+  ++total_;
+  if (count <= kMaxRecordedPerCategory) {
+    violations_.push_back(
+        Violation{category, std::move(site), std::move(detail)});
+  }
+}
+
+uint64_t CheckReport::count(Category category) const {
+  auto it = counts_.find(category);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::string CheckReport::ToJson() const {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("clean");
+  w.Bool(clean());
+  w.Key("total");
+  w.UInt(total_);
+  w.Key("counts");
+  w.BeginObject();
+  for (const auto& [category, count] : counts_) {
+    w.Key(CategoryName(category));
+    w.UInt(count);
+  }
+  w.EndObject();
+  w.Key("violations");
+  w.BeginArray();
+  for (const Violation& v : violations_) {
+    w.BeginObject();
+    w.Key("category");
+    w.String(CategoryName(v.category));
+    w.Key("site");
+    w.String(v.site);
+    w.Key("detail");
+    w.String(v.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.TakeString();
+}
+
+std::string CheckReport::ToString() const {
+  if (clean()) return "clean";
+  std::string out = std::to_string(total_) + " violation(s)\n";
+  for (const Violation& v : violations_) {
+    out += "  [";
+    out += CategoryName(v.category);
+    out += "] " + v.site + ": " + v.detail + "\n";
+  }
+  uint64_t dropped = total_ - violations_.size();
+  if (dropped > 0) {
+    out += "  (+" + std::to_string(dropped) + " not recorded)\n";
+  }
+  return out;
+}
+
+bool CheckReport::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << ToJson() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace asr::check

@@ -1,0 +1,70 @@
+// Violation report shared by every invariant checker.
+//
+// A CheckReport collects structured violations — one category per checked
+// invariant layer, from raw slotted pages up to Theorem 3.9 losslessness —
+// so a corruption surfaces with the layer that broke, not as a wrong query
+// answer three layers up. Reports serialize through the observability JSON
+// writer, making checker output machine-readable alongside metric dumps and
+// drift snapshots.
+#ifndef ASR_CHECK_CHECK_REPORT_H_
+#define ASR_CHECK_CHECK_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace asr::check {
+
+// One category per invariant layer. Ordered bottom-up: a violation in a low
+// layer usually explains the cascading ones above it.
+enum class Category {
+  kSlottedPage,          // slot directory / free-space consistency
+  kBTreeStructure,       // key order, leaf chain, counts, fill bounds
+  kPartitionDesync,      // first-column vs last-column tree disagreement
+  kRefcount,             // slice refcounts vs stored tuples (§5.4 sharing)
+  kExtensionMembership,  // Defs. 3.3-3.6: which partial paths may appear
+  kLosslessness,         // Theorem 3.9: partitions re-join to the relation
+  kObjectStore,          // object-store location/overflow bookkeeping
+};
+
+// Stable lower_snake label ("btree_structure", ...) used in JSON output.
+std::string_view CategoryName(Category category);
+
+struct Violation {
+  Category category;
+  std::string site;    // which structure: partition store, page id, ...
+  std::string detail;  // what is wrong
+};
+
+class CheckReport {
+ public:
+  // Recorded violations are capped per category; further ones only bump the
+  // category's count so a mass corruption cannot balloon the report.
+  static constexpr size_t kMaxRecordedPerCategory = 64;
+
+  void Add(Category category, std::string site, std::string detail);
+
+  bool clean() const { return total_ == 0; }
+  // All violations observed, including ones beyond the recording cap.
+  uint64_t total() const { return total_; }
+  uint64_t count(Category category) const;
+  const std::vector<Violation>& violations() const { return violations_; }
+
+  // {"clean": ..., "total": ..., "counts": {...}, "violations": [...]}
+  std::string ToJson() const;
+  // Human-readable rendering, one violation per line (gtest messages).
+  std::string ToString() const;
+  // Writes ToJson() to `path`; returns false on I/O failure.
+  bool WriteFile(const std::string& path) const;
+
+ private:
+  std::vector<Violation> violations_;
+  std::map<Category, uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace asr::check
+
+#endif  // ASR_CHECK_CHECK_REPORT_H_

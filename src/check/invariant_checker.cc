@@ -1,0 +1,445 @@
+#include "check/invariant_checker.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+
+#include "storage/buffer_manager.h"
+#include "storage/disk.h"
+#include "storage/slotted_page.h"
+
+namespace asr::check {
+
+namespace {
+
+using storage::kPageSize;
+using storage::SlottedPage;
+
+std::string RowToString(const rel::Row& row) {
+  std::string out = "(";
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += row[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+bool NullFree(const rel::Row& row) {
+  return std::none_of(row.begin(), row.end(),
+                      [](AsrKey k) { return k.IsNull(); });
+}
+
+// Rows of `r` without any NULL — the common footing on which the natural
+// re-join of Theorem 3.9 is compared (NULL join values never match, so
+// NULL-padded rows are not recoverable by the re-join).
+std::set<rel::Row> NullFreeRows(const rel::Relation& r) {
+  std::set<rel::Row> out;
+  for (const rel::Row& row : r.rows()) {
+    if (NullFree(row)) out.insert(row);
+  }
+  return out;
+}
+
+Status CollectRows(btree::BTree* tree, std::set<rel::Row>* out) {
+  return tree->ScanAll([out](const rel::Row& row) -> Status {
+    out->insert(row);
+    return Status::OK();
+  });
+}
+
+// Reports each element of `missing` (capped by the report) as `category`.
+void ReportRowSetDiff(const std::set<rel::Row>& missing,
+                      const std::string& site, Category category,
+                      const std::string& what, CheckReport* report) {
+  for (const rel::Row& row : missing) {
+    report->Add(category, site, what + " " + RowToString(row));
+  }
+}
+
+}  // namespace
+
+void InvariantChecker::CheckSlottedPage(const storage::Page& page,
+                                        const std::string& site,
+                                        CheckReport* report) const {
+  const uint16_t slots = SlottedPage::slot_count(page);
+  const uint16_t free_end = page.Read<uint16_t>(2);
+  const uint32_t directory_end =
+      SlottedPage::kHeaderSize + slots * SlottedPage::kSlotSize;
+
+  if (free_end > kPageSize) {
+    report->Add(Category::kSlottedPage, site,
+                "free_end " + std::to_string(free_end) +
+                    " beyond the page size");
+    return;  // further extent checks would be noise
+  }
+  if (directory_end > free_end) {
+    report->Add(Category::kSlottedPage, site,
+                "slot directory (" + std::to_string(slots) +
+                    " slots) overlaps the record area at " +
+                    std::to_string(free_end));
+    return;
+  }
+
+  // Each slot's extent — a live record's length, or a tombstoned hole's
+  // capacity — must lie inside [free_end, kPageSize), and no two extents
+  // may overlap.
+  std::vector<std::pair<uint16_t, uint16_t>> extents;  // (offset, bytes)
+  for (int s = 0; s < slots; ++s) {
+    const uint32_t slot_off =
+        SlottedPage::kHeaderSize + s * SlottedPage::kSlotSize;
+    const uint16_t offset = page.Read<uint16_t>(slot_off);
+    const uint16_t length = page.Read<uint16_t>(slot_off + 2);
+    const uint16_t bytes =
+        static_cast<uint16_t>(length & ~SlottedPage::kTombstoneBit);
+    if (bytes == 0) continue;  // empty extent cannot overlap or escape
+    if (offset < free_end) {
+      report->Add(Category::kSlottedPage, site,
+                  "slot " + std::to_string(s) + " starts at " +
+                      std::to_string(offset) +
+                      ", inside the free region ending at " +
+                      std::to_string(free_end));
+      continue;
+    }
+    if (static_cast<uint32_t>(offset) + bytes > kPageSize) {
+      report->Add(Category::kSlottedPage, site,
+                  "slot " + std::to_string(s) + " record [" +
+                      std::to_string(offset) + ", " +
+                      std::to_string(offset + bytes) +
+                      ") runs past the page end");
+      continue;
+    }
+    extents.emplace_back(offset, bytes);
+  }
+  std::sort(extents.begin(), extents.end());
+  for (size_t i = 1; i < extents.size(); ++i) {
+    const auto& [prev_off, prev_bytes] = extents[i - 1];
+    const auto& [off, bytes] = extents[i];
+    if (static_cast<uint32_t>(prev_off) + prev_bytes > off) {
+      report->Add(Category::kSlottedPage, site,
+                  "records at " + std::to_string(prev_off) + "(+" +
+                      std::to_string(prev_bytes) + ") and " +
+                      std::to_string(off) + "(+" + std::to_string(bytes) +
+                      ") overlap");
+    }
+  }
+}
+
+void InvariantChecker::CheckObjectStore(gom::ObjectStore* store,
+                                        CheckReport* report) const {
+  Status st = store->CheckConsistency();
+  if (!st.ok()) {
+    report->Add(Category::kObjectStore, "object store", st.ToString());
+  }
+  storage::Disk* disk = store->buffers()->disk();
+  std::set<int64_t> seen;  // co-located types share a segment
+  const gom::Schema& schema = store->schema();
+  for (TypeId t = 0; t < schema.type_count(); ++t) {
+    int64_t segment = store->SegmentOf(t);
+    if (segment < 0 || !seen.insert(segment).second) continue;
+    const uint32_t seg = static_cast<uint32_t>(segment);
+    const uint32_t pages = disk->SegmentPageCount(seg);
+    for (uint32_t p = 0; p < pages; ++p) {
+      storage::PageGuard guard =
+          store->buffers()->Pin(storage::PageId{seg, p});
+      CheckSlottedPage(guard.page(),
+                       "segment " + disk->SegmentName(seg) + " page " +
+                           std::to_string(p),
+                       report);
+    }
+  }
+}
+
+void InvariantChecker::CheckBTree(btree::BTree* tree, const std::string& site,
+                                  CheckReport* report) const {
+  Status st = tree->CheckIntegrity();
+  if (!st.ok()) {
+    report->Add(Category::kBTreeStructure, site, st.message());
+    return;  // the chain is unreliable; per-leaf checks would be noise
+  }
+  // Per-leaf capacity and the optional fill lower bound. The last leaf of a
+  // packed chain is legitimately partial, so it is exempt from the bound.
+  const uint16_t capacity = static_cast<uint16_t>(tree->leaf_capacity());
+  const uint16_t min_fill = static_cast<uint16_t>(
+      options_.min_leaf_fill * static_cast<double>(capacity));
+  std::vector<std::pair<uint32_t, uint16_t>> leaves;
+  st = tree->ForEachLeaf([&](uint32_t page_no, uint16_t count) -> Status {
+    leaves.emplace_back(page_no, count);
+    return Status::OK();
+  });
+  if (!st.ok()) {
+    report->Add(Category::kBTreeStructure, site, st.message());
+    return;
+  }
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    const auto& [page_no, count] = leaves[i];
+    if (count > capacity) {
+      report->Add(Category::kBTreeStructure, site,
+                  "leaf " + std::to_string(page_no) + " holds " +
+                      std::to_string(count) + " entries, capacity " +
+                      std::to_string(capacity));
+    }
+    const bool last = (i + 1 == leaves.size());
+    if (!last && min_fill > 0 && count < min_fill) {
+      report->Add(Category::kBTreeStructure, site,
+                  "leaf " + std::to_string(page_no) + " holds " +
+                      std::to_string(count) + " entries, fill bound " +
+                      std::to_string(min_fill));
+    }
+  }
+}
+
+void InvariantChecker::CheckPartitionStore(PartitionStore* store,
+                                           CheckReport* report) const {
+  const std::string site = "partition " + store->name;
+  CheckBTree(store->forward.get(), site + " fwd", report);
+  CheckBTree(store->backward.get(), site + " bwd", report);
+  if (store->forward->width() != store->width ||
+      store->backward->width() != store->width) {
+    report->Add(Category::kPartitionDesync, site,
+                "tree tuple width disagrees with the store width " +
+                    std::to_string(store->width));
+    return;
+  }
+
+  // §5.2: the two trees are the same tuple set clustered two ways.
+  std::set<rel::Row> fwd_rows;
+  std::set<rel::Row> bwd_rows;
+  Status st = CollectRows(store->forward.get(), &fwd_rows);
+  if (st.ok()) st = CollectRows(store->backward.get(), &bwd_rows);
+  if (!st.ok()) {
+    report->Add(Category::kPartitionDesync, site,
+                "tree scan failed: " + st.ToString());
+    return;
+  }
+  std::set<rel::Row> only_fwd;
+  std::set<rel::Row> only_bwd;
+  std::set_difference(fwd_rows.begin(), fwd_rows.end(), bwd_rows.begin(),
+                      bwd_rows.end(),
+                      std::inserter(only_fwd, only_fwd.begin()));
+  std::set_difference(bwd_rows.begin(), bwd_rows.end(), fwd_rows.begin(),
+                      fwd_rows.end(),
+                      std::inserter(only_bwd, only_bwd.begin()));
+  ReportRowSetDiff(only_fwd, site, Category::kPartitionDesync,
+                   "tuple only in the first-column tree:", report);
+  ReportRowSetDiff(only_bwd, site, Category::kPartitionDesync,
+                   "tuple only in the last-column tree:", report);
+
+  // The refcounts key exactly the distinct slices stored (their counts sum
+  // the sharing ASRs' contributions, §5.4).
+  for (const auto& [slice, count] : store->refcounts) {
+    if (count == 0) {
+      report->Add(Category::kRefcount, site,
+                  "zero refcount retained for " + RowToString(slice));
+    } else if (fwd_rows.count(slice) == 0) {
+      report->Add(Category::kRefcount, site,
+                  "refcounted slice missing from the trees: " +
+                      RowToString(slice));
+    }
+  }
+  for (const rel::Row& row : fwd_rows) {
+    if (store->refcounts.count(row) == 0) {
+      report->Add(Category::kRefcount, site,
+                  "stored tuple has no refcount: " + RowToString(row));
+    }
+  }
+}
+
+void InvariantChecker::CheckExtensionShape(ExtensionKind kind,
+                                           const std::vector<rel::Row>& rows,
+                                           const std::string& site,
+                                           CheckReport* report) const {
+  for (const rel::Row& row : rows) {
+    // The non-NULL cells of any (partial) path are contiguous — a path
+    // fragment covers consecutive positions (Defs. 3.3-3.7). This holds for
+    // full-width rows and for every partition slice of them.
+    size_t first = row.size();
+    size_t last = 0;
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i].IsNull()) continue;
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+    if (first == row.size()) {
+      report->Add(Category::kExtensionMembership, site,
+                  "all-NULL row stored");
+      continue;
+    }
+    bool contiguous = true;
+    for (size_t i = first; i <= last; ++i) {
+      if (row[i].IsNull()) contiguous = false;
+    }
+    if (!contiguous) {
+      report->Add(Category::kExtensionMembership, site,
+                  "partial path is not contiguous: " + RowToString(row));
+      continue;
+    }
+    switch (kind) {
+      case ExtensionKind::kCanonical:
+        // Def. 3.4: complete paths only — no NULL anywhere.
+        if (first != 0 || last != row.size() - 1) {
+          report->Add(Category::kExtensionMembership, site,
+                      "canonical extension holds a partial path: " +
+                          RowToString(row));
+        }
+        break;
+      case ExtensionKind::kLeftComplete:
+        // Def. 3.6: every partial path is anchored at position 0, so NULLs
+        // form a right suffix only.
+        if (first != 0) {
+          report->Add(Category::kExtensionMembership, site,
+                      "left-complete extension holds an unanchored path: " +
+                          RowToString(row));
+        }
+        break;
+      case ExtensionKind::kRightComplete:
+        // Def. 3.7 (mirror): NULLs form a left prefix only.
+        if (last != row.size() - 1) {
+          report->Add(Category::kExtensionMembership, site,
+                      "right-complete extension holds an unanchored path: " +
+                          RowToString(row));
+        }
+        break;
+      case ExtensionKind::kFull:
+        break;  // any contiguous fragment is admissible (Def. 3.5)
+    }
+  }
+}
+
+void InvariantChecker::CheckAsr(AccessSupportRelation* asr,
+                                CheckReport* report) const {
+  const std::string rel_site =
+      asr->path().ToString() + ":" + ExtensionKindName(asr->kind());
+
+  bool any_shared = false;
+  std::vector<rel::Relation> dumps;
+  for (size_t p = 0; p < asr->partition_count(); ++p) {
+    PartitionStore* store = asr->partition_store(p).get();
+    any_shared |= store->owners > 1;
+    CheckPartitionStore(store, report);
+
+    Result<rel::Relation> dump = asr->DumpPartition(p);
+    if (!dump.ok()) {
+      report->Add(Category::kBTreeStructure, "partition " + store->name,
+                  "dump failed: " + dump.status().ToString());
+      dumps.emplace_back(store->width);  // placeholder keeps indices aligned
+      continue;
+    }
+
+    // Slices inherit the extension's shape rules (a slice of a contiguous
+    // fragment is contiguous, and anchoring carries over per partition);
+    // only the first/last partition constrains the respective anchor column.
+    auto [first, last] = asr->partition_range(p);
+    ExtensionKind slice_kind = ExtensionKind::kFull;
+    if (asr->kind() == ExtensionKind::kCanonical) {
+      slice_kind = ExtensionKind::kCanonical;
+    } else if (asr->kind() == ExtensionKind::kLeftComplete && first == 0) {
+      slice_kind = ExtensionKind::kLeftComplete;
+    } else if (asr->kind() == ExtensionKind::kRightComplete &&
+               last == asr->width() - 1) {
+      slice_kind = ExtensionKind::kRightComplete;
+    }
+    CheckExtensionShape(slice_kind, dump->rows(), "partition " + store->name,
+                        report);
+
+    // Def. 3.8: a solely owned partition store is exactly the projection of
+    // the relation onto the partition's columns.
+    if (store->owners == 1) {
+      std::set<rel::Row> expected;
+      for (const rel::Row& row : asr->rows()) {
+        rel::Row slice(row.begin() + first, row.begin() + last + 1);
+        if (std::any_of(slice.begin(), slice.end(),
+                        [](AsrKey k) { return !k.IsNull(); })) {
+          expected.insert(std::move(slice));
+        }
+      }
+      std::set<rel::Row> stored(dump->rows().begin(), dump->rows().end());
+      std::set<rel::Row> missing;
+      std::set<rel::Row> extra;
+      std::set_difference(expected.begin(), expected.end(), stored.begin(),
+                          stored.end(), std::inserter(missing, missing.begin()));
+      std::set_difference(stored.begin(), stored.end(), expected.begin(),
+                          expected.end(), std::inserter(extra, extra.begin()));
+      ReportRowSetDiff(missing, "partition " + store->name,
+                       Category::kLosslessness,
+                       "projection slice missing from the partition:", report);
+      ReportRowSetDiff(extra, "partition " + store->name,
+                       Category::kLosslessness,
+                       "partition tuple outside the projection:", report);
+    }
+    dumps.push_back(std::move(*dump));
+  }
+
+  // Full-width relation shape (Defs. 3.3-3.6).
+  std::vector<rel::Row> rows(asr->rows().begin(), asr->rows().end());
+  for (const rel::Row& row : rows) {
+    if (row.size() != asr->width()) {
+      report->Add(Category::kExtensionMembership, rel_site,
+                  "row arity " + std::to_string(row.size()) +
+                      " differs from the relation width " +
+                      std::to_string(asr->width()));
+    }
+  }
+  CheckExtensionShape(asr->kind(), rows, rel_site, report);
+
+  // Theorem 3.9: the natural re-join of the partitions reproduces the
+  // relation. NULL join values never match, so the comparison runs on the
+  // NULL-free rows — the NULL-padded remainder is covered by the projection
+  // check above. Shared stores hold sibling ASRs' slices and would re-join
+  // to a superset; skip them.
+  if (options_.losslessness && !any_shared &&
+      dumps.size() == asr->partition_count() && !dumps.empty()) {
+    rel::Relation rejoined = dumps[0];
+    for (size_t p = 1; p < dumps.size(); ++p) {
+      rejoined =
+          rel::Relation::Join(rejoined, dumps[p], rel::JoinKind::kNatural);
+    }
+    rel::Relation full(asr->width());
+    for (const rel::Row& row : rows) full.AddRow(row);
+    std::set<rel::Row> want = NullFreeRows(full);
+    std::set<rel::Row> got = NullFreeRows(rejoined);
+    std::set<rel::Row> missing;
+    std::set<rel::Row> extra;
+    std::set_difference(want.begin(), want.end(), got.begin(), got.end(),
+                        std::inserter(missing, missing.begin()));
+    std::set_difference(got.begin(), got.end(), want.begin(), want.end(),
+                        std::inserter(extra, extra.begin()));
+    ReportRowSetDiff(missing, rel_site, Category::kLosslessness,
+                     "row lost by the partition re-join:", report);
+    ReportRowSetDiff(extra, rel_site, Category::kLosslessness,
+                     "row fabricated by the partition re-join:", report);
+  }
+
+  // Semantic membership: the stored relation IS the extension of the path
+  // over the current object base (Defs. 3.3-3.6). Catches maintenance bugs
+  // that keep every structural invariant intact — e.g. a silently dropped
+  // partial path.
+  if (options_.semantic) {
+    Result<rel::Relation> recomputed = ComputeExtension(
+        asr->object_store(), asr->path(), asr->kind(),
+        asr->options().drop_set_columns, asr->options().anchor_collection);
+    if (!recomputed.ok()) {
+      report->Add(Category::kExtensionMembership, rel_site,
+                  "extension recompute failed: " +
+                      recomputed.status().ToString());
+      return;
+    }
+    std::set<rel::Row> want(recomputed->rows().begin(),
+                            recomputed->rows().end());
+    std::set<rel::Row> missing;
+    std::set<rel::Row> extra;
+    std::set_difference(want.begin(), want.end(), asr->rows().begin(),
+                        asr->rows().end(),
+                        std::inserter(missing, missing.begin()));
+    std::set_difference(asr->rows().begin(), asr->rows().end(), want.begin(),
+                        want.end(), std::inserter(extra, extra.begin()));
+    ReportRowSetDiff(missing, rel_site, Category::kExtensionMembership,
+                     "extension row missing from the stored relation:",
+                     report);
+    ReportRowSetDiff(extra, rel_site, Category::kExtensionMembership,
+                     "stored row not in the extension:", report);
+  }
+}
+
+}  // namespace asr::check

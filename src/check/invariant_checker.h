@@ -1,0 +1,107 @@
+// Structural/semantic validation of the paper's correctness claims.
+//
+// The paper's guarantees are structural: Defs. 3.3-3.6 pin down exactly
+// which (partial) paths each extension may contain, Theorem 3.9 makes every
+// decomposition lossless, and §5.2's storage scheme keeps two redundant B+
+// trees per partition that must agree. A maintenance bug that violates any
+// of these surfaces only as a wrong query answer — so this checker verifies
+// them directly, one layer at a time:
+//
+//   slotted page   slot directory / free-space / record-overlap invariants
+//   B+ tree        key order, leaf chain, counts, capacity and fill bounds
+//   partition      first-column and last-column tree hold the same tuples,
+//                  refcounts match the trees (§5.4 sharing contract)
+//   extension      membership shape per Def. 3.3-3.6 (canonical: complete
+//                  paths only; left-/right-complete: correct anchoring; all:
+//                  partial paths are contiguous), plus — semantically — the
+//                  stored relation equals the extension recomputed from the
+//                  object base
+//   decomposition  Theorem 3.9: partitions are the Def. 3.8 projections and
+//                  their natural re-join reproduces the relation
+//
+// Violations accumulate in a CheckReport; each checker is independent, so a
+// corrupted low layer still lets the others report their own view.
+#ifndef ASR_CHECK_INVARIANT_CHECKER_H_
+#define ASR_CHECK_INVARIANT_CHECKER_H_
+
+#include <string>
+#include <vector>
+
+#include "asr/access_support_relation.h"
+#include "asr/extension.h"
+#include "btree/btree.h"
+#include "check/check_report.h"
+#include "gom/object_store.h"
+#include "rel/relation.h"
+#include "storage/page.h"
+
+namespace asr::check {
+
+struct CheckOptions {
+  // Re-derive the extension from the object base and set-compare it with the
+  // stored relation — the strongest membership check (it catches silently
+  // dropped or fabricated partial paths). Costs one ComputeExtension.
+  bool semantic = true;
+
+  // Verify Theorem 3.9 by natural-re-joining the partition dumps and
+  // comparing the NULL-free rows with the relation's. (NULL-padded rows are
+  // not recoverable by a natural join — NULL never matches — which is why
+  // partitions additionally must equal the Def. 3.8 projections; both are
+  // checked.) Skipped for ASRs sharing a partition store: a shared store
+  // holds sibling contributions that would surface as false positives.
+  bool losslessness = true;
+
+  // Minimum fill fraction asserted for every leaf but the chain's last
+  // (0 disables). Meaningful right after a bulk load with a known fill
+  // factor; trees that saw lazy deletions legitimately underflow.
+  double min_leaf_fill = 0.0;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(CheckOptions options = {}) : options_(options) {}
+
+  // --- storage layer -----------------------------------------------------
+  // Slot directory and free-space invariants of one slotted page: header
+  // bounds, slot extents inside the record area, no overlapping records.
+  void CheckSlottedPage(const storage::Page& page, const std::string& site,
+                        CheckReport* report) const;
+
+  // Object-store bookkeeping (locations, overflow chains, live counts) plus
+  // a slotted-page check of every allocated page of every type's segment.
+  void CheckObjectStore(gom::ObjectStore* store, CheckReport* report) const;
+
+  // --- B+ tree layer -----------------------------------------------------
+  // Structural invariants (key ordering, sibling chain, fingerprints, counts
+  // vs header) plus per-leaf capacity and the optional fill lower bound.
+  void CheckBTree(btree::BTree* tree, const std::string& site,
+                  CheckReport* report) const;
+
+  // --- partition layer ---------------------------------------------------
+  // Both trees structurally valid, mutually consistent (same tuple set
+  // clustered two ways, §5.2), and refcounts agreeing with the contents.
+  void CheckPartitionStore(PartitionStore* store, CheckReport* report) const;
+
+  // --- extension layer ---------------------------------------------------
+  // Def. 3.3-3.6 shape rules on (full-width or partition-slice) rows: no
+  // all-NULL row, partial paths contiguous, canonical ⇒ complete, left-/
+  // right-complete ⇒ anchored at position 0 / n.
+  void CheckExtensionShape(ExtensionKind kind,
+                           const std::vector<rel::Row>& rows,
+                           const std::string& site, CheckReport* report) const;
+
+  // --- everything for one ASR --------------------------------------------
+  // Runs every layer: partition stores, per-partition and relation shape,
+  // Def. 3.8 projection agreement, Theorem 3.9 re-join, and (when
+  // options.semantic) the recomputed-extension comparison.
+  void CheckAsr(AccessSupportRelation* asr, CheckReport* report) const;
+
+  const CheckOptions& options() const { return options_; }
+
+ private:
+  CheckOptions options_;
+};
+
+}  // namespace asr::check
+
+#endif  // ASR_CHECK_INVARIANT_CHECKER_H_

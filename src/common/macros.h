@@ -29,4 +29,10 @@
   TypeName(const TypeName&) = delete;          \
   TypeName& operator=(const TypeName&) = delete
 
+// -DASR_PARANOID=ON (CMake) defines ASR_PARANOID_ENABLED=1, compiling
+// invariant validation into the ASR maintenance commit points.
+#ifndef ASR_PARANOID_ENABLED
+#define ASR_PARANOID_ENABLED 0
+#endif
+
 #endif  // ASR_COMMON_MACROS_H_

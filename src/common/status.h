@@ -3,16 +3,19 @@
 #ifndef ASR_COMMON_STATUS_H_
 #define ASR_COMMON_STATUS_H_
 
+#include <optional>
 #include <string>
 #include <utility>
-#include <variant>
 
 #include "common/macros.h"
 
 namespace asr {
 
 // Outcome of an operation that can fail for data-dependent reasons.
-class Status {
+// [[nodiscard]]: silently dropping a Status is exactly the failure mode the
+// invariant checker exists to catch after the fact — make it a compile error
+// up front.
+class [[nodiscard]] Status {
  public:
   enum class Code {
     kOk = 0,
@@ -74,35 +77,39 @@ class Status {
 
 // Value-or-Status. `value()` aborts if the result holds an error; check
 // `ok()` (or propagate the status) first.
+//
+// Status-plus-optional representation rather than std::variant<T, Status>:
+// the discriminant is the status code itself (absl::StatusOr's layout), the
+// alternatives never overlap in one union, and — unlike the variant, whose
+// inlined destructor GCC 12 cannot prove type-safe under -Wmaybe-
+// uninitialized — it stays warning-clean under -Werror.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
-  Result(T value) : state_(std::move(value)) {}          // NOLINT(runtime/explicit)
-  Result(Status status) : state_(std::move(status)) {    // NOLINT(runtime/explicit)
-    ASR_DCHECK(!std::get<Status>(state_).ok());
+  Result(T value)                              // NOLINT(runtime/explicit)
+      : value_(std::move(value)) {}
+  Result(Status status)                        // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    ASR_DCHECK(!status_.ok());
   }
 
-  bool ok() const { return std::holds_alternative<T>(state_); }
+  bool ok() const { return status_.ok(); }
 
-  const Status& status() const {
-    static const Status kOk = Status::OK();
-    if (ok()) return kOk;
-    return std::get<Status>(state_);
-  }
+  const Status& status() const { return status_; }
 
   T& value() & {
     ASR_CHECK(ok());
-    return std::get<T>(state_);
+    return *value_;
   }
   const T& value() const& {
     ASR_CHECK(ok());
-    return std::get<T>(state_);
+    return *value_;
   }
   // By value on rvalues: keeps `for (x : f().value())` safe — a returned
   // reference would dangle once the temporary Result is destroyed.
   T value() && {
     ASR_CHECK(ok());
-    return std::get<T>(std::move(state_));
+    return *std::move(value_);
   }
 
   T& operator*() & { return value(); }
@@ -112,7 +119,8 @@ class Result {
   const T* operator->() const { return &value(); }
 
  private:
-  std::variant<T, Status> state_;
+  Status status_;           // OK iff value_ is engaged
+  std::optional<T> value_;
 };
 
 // Propagates a non-OK Status out of the enclosing function.

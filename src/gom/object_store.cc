@@ -1244,4 +1244,10 @@ uint32_t ObjectStore::PageCount(TypeId type) const {
   return buffers_->disk()->SegmentPageCount(state->segment);
 }
 
+int64_t ObjectStore::SegmentOf(TypeId type) const {
+  const TypeState* state = StateOrNull(type);
+  if (state == nullptr || state->segment == UINT32_MAX) return -1;
+  return state->segment;
+}
+
 }  // namespace asr::gom

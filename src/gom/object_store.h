@@ -149,6 +149,10 @@ class ObjectStore {
   // --- Statistics -----------------------------------------------------------
   uint64_t ObjectCount(TypeId type) const;   // live objects, c_i realized
   uint32_t PageCount(TypeId type) const;     // op_i realized
+  // Disk segment holding `type`'s records, or -1 while the type has none
+  // yet. Introspection for the invariant checker (which walks every segment
+  // page); co-located types report the shared segment.
+  int64_t SegmentOf(TypeId type) const;
   storage::BufferManager* buffers() { return buffers_; }
 
   // Validates store invariants: every live location resolves to a live slot

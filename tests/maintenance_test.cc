@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "asr/access_support_relation.h"
+#include "check/check_report.h"
+#include "check/invariant_checker.h"
+#include "common/macros.h"
 #include "common/random.h"
 #include "workload/synthetic_base.h"
 
@@ -124,6 +127,15 @@ TEST_P(MaintenanceTest, RandomEdgeChurnMatchesRebuild) {
   }
   ExpectMatchesRebuild(store, asr.get(), "final");
   EXPECT_GT(checked, 0);
+
+#if ASR_PARANOID_ENABLED
+  // Paranoid teardown: beyond the per-commit-point structural validation,
+  // run the full invariant checker (Defs. 3.3-3.6 membership, Theorem 3.9
+  // losslessness) over the churned ASR once.
+  check::CheckReport report;
+  check::InvariantChecker().CheckAsr(asr.get(), &report);
+  EXPECT_TRUE(report.clean()) << report.ToString();
+#endif
 }
 
 INSTANTIATE_TEST_SUITE_P(
