@@ -29,7 +29,7 @@ int main() {
                                             ExtensionKind::kFull,
                                             Decomposition::None(4))
                    .value();
-    base->buffers()->FlushAll();
+    ASR_CHECK(base->buffers()->FlushAll().ok());
 
     Oid target = base->objects_at(4)[1234];
     storage::AccessStats nosup = workload::Meter(base->disk(), [&] {

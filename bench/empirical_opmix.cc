@@ -40,7 +40,7 @@ int main() {
       auto asr = AccessSupportRelation::Build(base->store(), base->path(),
                                               x, Decomposition::Binary(4))
                      .value();
-      base->buffers()->FlushAll();
+      ASR_CHECK(base->buffers()->FlushAll().ok());
       base->disk()->ResetStats();
       workload::MixDriver driver(base.get(), asr.get(), 17);
       double per_op = driver.Run(mix, p_up, kOps).value().PerOperation();

@@ -101,7 +101,7 @@ int main() {
                    base->store.get(), *base->path_b, ExtensionKind::kFull,
                    SharingDecomposition(overlap, false, *base->path_b))
                    .value();
-      base->buffers.FlushAll();
+      ASR_CHECK(base->buffers.FlushAll().ok());
       private_pages = TreePages(&base->disk, before);
     }
     {
@@ -117,7 +117,7 @@ int main() {
           .Build(*base->path_b, ExtensionKind::kFull,
                  SharingDecomposition(overlap, false, *base->path_b))
           .value();
-      base->buffers.FlushAll();
+      ASR_CHECK(base->buffers.FlushAll().ok());
       shared_pages = TreePages(&base->disk, before);
     }
     double saved = 100.0 * (1.0 - static_cast<double>(shared_pages) /

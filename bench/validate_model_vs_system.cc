@@ -59,7 +59,7 @@ int main() {
     auto asr = AccessSupportRelation::Build(base->store(), base->path(), x,
                                             none)
                    .value();
-    base->buffers()->FlushAll();
+    ASR_CHECK(base->buffers()->FlushAll().ok());
     uint64_t sum = 0;
     for (int t = 0; t < kQueryTrials; ++t) {
       Oid target = base->objects_at(4)[static_cast<size_t>(1 + 1997 * t)];
@@ -87,7 +87,7 @@ int main() {
                    base->store(), base->path(), ExtensionKind::kLeftComplete,
                    binary)
                    .value();
-    base->buffers()->FlushAll();
+    ASR_CHECK(base->buffers()->FlushAll().ok());
     const PathStep& step = base->path().step(3);
     uint64_t sum = 0;
     int performed = 0;

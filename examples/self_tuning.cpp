@@ -70,7 +70,7 @@ int main() {
   std::printf("chosen design: %s\n", tuned.chosen.ToString().c_str());
 
   // Phase 3: the same workload through the materialized design.
-  base->buffers()->FlushAll();
+  ASR_CHECK(base->buffers()->FlushAll().ok());
   base->disk()->ResetStats();
   workload::MixDriver tuned_driver(base.get(), tuned.asr.get(), 7);
   workload::MixRunResult after =

@@ -6,8 +6,14 @@
 #   tsan        same suite under ThreadSanitizer (races are hard failures —
 #               this is what keeps the single-writer counter discipline in
 #               src/obs honest)
+#   asan        same suite under AddressSanitizer with leak detection —
+#               the recovery paths juggle staged pages and rebuilt trees,
+#               exactly where lifetime bugs would hide
 #   ubsan       same suite under UndefinedBehaviorSanitizer with
 #               -fno-sanitize-recover=all, so any UB aborts the test
+#   fault       the crash-matrix harness (fault_test) re-run explicitly in
+#               the UBSan tree: every injected crash point must recover
+#               without tripping a single UB check
 #   no-metrics  smoke build with -DASR_METRICS=OFF to prove the
 #               instrumentation compiles out
 #   paranoid    suite with -DASR_PARANOID=ON: every maintenance commit
@@ -34,7 +40,13 @@ scripts/lint.sh "$JOBS"
 
 run_job default     build-ci
 run_job tsan        build-ci-tsan      -DASR_SANITIZE=thread
+run_job asan        build-ci-asan      -DASR_SANITIZE=address
 run_job ubsan       build-ci-ubsan     -DASR_SANITIZE=ubsan
+
+echo "==== [fault] crash matrix under UBSan ===="
+UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+  build-ci-ubsan/tests/fault_test
+
 run_job no-metrics  build-ci-nometrics -DASR_METRICS=OFF
 run_job paranoid    build-ci-paranoid  -DASR_PARANOID=ON
 

@@ -212,7 +212,9 @@ void AccessSupportRelation::InsertRow(const rel::Row& row) {
     rel::Row slice = Slice(row, part.first, part.last);
     if (AllNull(slice)) continue;
     uint32_t& count = part.store->refcounts[slice];
-    if (count++ == 0) {
+    if (count++ == 0 && !part.store->quarantined) {
+      // Quarantined trees are untrusted and untouched; the refcounts stay
+      // exact so Repair() can rebuild from them.
       part.store->forward->Insert(slice);
       part.store->backward->Insert(slice);
     }
@@ -229,8 +231,10 @@ void AccessSupportRelation::EraseRow(const rel::Row& row) {
     auto it = part.store->refcounts.find(slice);
     if (it == part.store->refcounts.end()) continue;  // row was not present
     if (--it->second == 0) {
-      part.store->forward->Erase(slice);
-      part.store->backward->Erase(slice);
+      if (!part.store->quarantined) {
+        part.store->forward->Erase(slice);
+        part.store->backward->Erase(slice);
+      }
       part.store->refcounts.erase(it);
     }
   }
@@ -308,6 +312,26 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
     const Partition& part = partitions_[p_idx];
     uint32_t target = std::min(part.last, cj);
     frontier_sizes_.Observe(frontier.size());
+    if (part.store->quarantined) {
+      // Degrade to object-base navigation for this path slice (§4.1): same
+      // answers, navigation page counts — metered separately.
+      degraded_hops_.Inc();
+      obs::ScopedSpan hop("hop");
+      if (hop.active()) {
+        hop.Attr("dir", std::string("fwd"));
+        hop.Attr("partition", part.store->name);
+        hop.Attr("mode", std::string("degraded"));
+        hop.Attr("from_col", static_cast<uint64_t>(c));
+        hop.Attr("to_col", static_cast<uint64_t>(target));
+        hop.Attr("frontier", static_cast<uint64_t>(frontier.size()));
+      }
+      Result<std::unordered_set<AsrKey>> reached =
+          NavigateForward(frontier, c, target);
+      ASR_RETURN_IF_ERROR(reached.status());
+      frontier = std::move(*reached);
+      c = target;
+      continue;
+    }
     if (via_lookup) {
       hop_lookups_.Inc();
     } else {
@@ -377,6 +401,24 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
     const Partition& part = partitions_[p_idx];
     uint32_t dest = std::max(part.first, ci);
     frontier_sizes_.Observe(frontier.size());
+    if (part.store->quarantined) {
+      degraded_hops_.Inc();
+      obs::ScopedSpan hop("hop");
+      if (hop.active()) {
+        hop.Attr("dir", std::string("bwd"));
+        hop.Attr("partition", part.store->name);
+        hop.Attr("mode", std::string("degraded"));
+        hop.Attr("from_col", static_cast<uint64_t>(c));
+        hop.Attr("to_col", static_cast<uint64_t>(dest));
+        hop.Attr("frontier", static_cast<uint64_t>(frontier.size()));
+      }
+      Result<std::unordered_set<AsrKey>> reached =
+          NavigateBackward(frontier, c, dest);
+      ASR_RETURN_IF_ERROR(reached.status());
+      frontier = std::move(*reached);
+      c = dest;
+      continue;
+    }
     if (via_lookup) {
       hop_lookups_.Inc();
     } else {
@@ -422,6 +464,24 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
 }
 
 Status AccessSupportRelation::Rebuild() {
+  // Journal envelope: log intent, rebuild, commit only if every tree write
+  // reached the disk (AnyWriteError is the durability signal — sticky write
+  // errors on the shared and private pools).
+  const uint64_t seq = journal_.BeginRebuild();
+  Status st = RebuildImpl();
+  if (st.ok() && !AnyWriteError()) {
+    journal_.Commit(seq);
+    return st;
+  }
+  journal_.MarkLost(seq);
+  if (st.ok()) {
+    return Status::IOError(
+        "rebuild writes were lost; ASR requires Recover()");
+  }
+  return st;
+}
+
+Status AccessSupportRelation::RebuildImpl() {
   rebuilds_.Inc();
   obs::ScopedSpan span("rebuild");
   Result<rel::Relation> extension =
@@ -435,6 +495,13 @@ Status AccessSupportRelation::Rebuild() {
     span.Attr("mode", std::string(options_.bulk_load ? "bulk" : "tuple"));
   }
   if (!options_.bulk_load) {
+    // A rebuild restores quarantined stores too: their refcounts are exact,
+    // so the trees can be reconstituted before normal maintenance resumes.
+    for (Partition& part : partitions_) {
+      if (part.store->quarantined) {
+        ASR_RETURN_IF_ERROR(part.store->RebuildTrees(options_.fill_factor));
+      }
+    }
     // Retract this ASR's current rows (leaves sibling contributions to
     // shared stores untouched), then install the fresh extension.
     std::vector<rel::Row> old_rows(full_rows_.begin(), full_rows_.end());
@@ -457,8 +524,14 @@ Status AccessSupportRelation::Rebuild() {
     Partition& part = partitions_[p];
     if (part.store->owners == 1) {
       part.store->ResetTrees();
+      part.store->quarantined = false;  // fresh trees are trustworthy
       fresh[p] = true;
       continue;
+    }
+    if (part.store->quarantined) {
+      // The retraction below edits the trees, which are untrusted; restore
+      // them from the (exact, in-memory) refcounts first.
+      ASR_RETURN_IF_ERROR(part.store->RebuildTrees(options_.fill_factor));
     }
     for (const rel::Row& row : old_rows) {
       rel::Row slice = Slice(row, part.first, part.last);
@@ -496,6 +569,35 @@ Status AccessSupportRelation::ValidateStructure() {
     btree::BTree* fwd = part.store->forward.get();
     btree::BTree* bwd = part.store->backward.get();
     const std::string site = "partition " + part.store->name;
+    if (part.store->quarantined) {
+      // The trees are untrusted and must not be read; the refcounts are the
+      // live state, so only their internal sanity can be checked here.
+      for (const auto& [slice, count] : part.store->refcounts) {
+        (void)slice;
+        if (count == 0) {
+          return Status::Corruption(site + ": zero refcount retained");
+        }
+      }
+      if (part.store->owners == 1) {
+        std::set<rel::Row> expected;
+        for (const rel::Row& row : full_rows_) {
+          rel::Row slice = Slice(row, part.first, part.last);
+          if (!AllNull(slice)) expected.insert(std::move(slice));
+        }
+        if (expected.size() != part.store->refcounts.size()) {
+          return Status::Corruption(
+              site + ": quarantined refcounts do not key the projection");
+        }
+        for (const rel::Row& slice : expected) {
+          if (part.store->refcounts.find(slice) ==
+              part.store->refcounts.end()) {
+            return Status::Corruption(
+                site + ": quarantined refcounts miss a projected slice");
+          }
+        }
+      }
+      continue;
+    }
     ASR_RETURN_IF_ERROR(fwd->CheckIntegrity());
     ASR_RETURN_IF_ERROR(bwd->CheckIntegrity());
     if (fwd->tuple_count() != bwd->tuple_count()) {
@@ -594,6 +696,11 @@ void AccessSupportRelation::ExportMetrics(obs::MetricsRegistry* registry,
   registry->Set(prefix + ".maintenance.edge_removes", maint_edge_removes_);
   registry->Set(prefix + ".rebuilds", rebuilds_);
   registry->Set(prefix + ".rebuild_rows", rebuild_rows_);
+  registry->Set(prefix + ".hops.degraded", degraded_hops_);
+  registry->Set(prefix + ".recoveries", recoveries_);
+  registry->Set(prefix + ".repairs", repairs_);
+  registry->Set(prefix + ".quarantined", quarantined_count());
+  journal_.ExportMetrics(registry, prefix + ".journal");
   registry->Set(prefix + ".rows", full_rows_.size());
   registry->Set(prefix + ".pages", TotalPages());
   registry->Set(prefix + ".partitions", partitions_.size());
@@ -603,6 +710,7 @@ void AccessSupportRelation::ExportMetrics(obs::MetricsRegistry* registry,
     registry->Set(pp + ".first_col", part.first);
     registry->Set(pp + ".last_col", part.last);
     registry->Set(pp + ".owners", part.store->owners);
+    registry->Set(pp + ".quarantined", part.store->quarantined ? 1 : 0);
     registry->Set(pp + ".tuples", part.store->forward->tuple_count());
     registry->Set(pp + ".pages", part.store->TotalPages());
     part.store->forward->ExportMetrics(registry, pp + ".fwd");

@@ -15,10 +15,12 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "asr/decomposition.h"
 #include "asr/extension.h"
+#include "asr/journal.h"
 #include "asr/path_expression.h"
 #include "btree/btree.h"
 #include "common/status.h"
@@ -80,6 +82,13 @@ struct PartitionStore {
   std::unique_ptr<btree::BTree> forward;   // clustered on the first column
   std::unique_ptr<btree::BTree> backward;  // clustered on the last column
   std::map<rel::Row, uint32_t> refcounts;
+  // Set when physical triage (checksum, tree structure, cross-tree
+  // agreement) failed after a crash: the trees are untrusted and must not
+  // be read or written until RebuildTrees() re-derives them. Queries over a
+  // quarantined partition degrade to object-base navigation; maintenance
+  // keeps the refcounts (which live in memory and survive the page-write
+  // crash) current so the rebuild has an exact source.
+  bool quarantined = false;
   // Set when the store was created for a concurrent build: its trees pin
   // through this dedicated pool (over the store's own disk segments), so
   // partition builders never contend on a shared BufferManager.
@@ -105,6 +114,12 @@ struct PartitionStore {
   // so catalog registrations stay valid.
   void ResetTrees();
 
+  // Rebuilds both trees (fresh disk segments) by bulk-loading the refcount
+  // keys — the repair path for a quarantined store. Unlike ResetTrees the
+  // refcounts are kept: for a shared store they are the only record that
+  // includes every sibling ASR's contribution. Clears `quarantined`.
+  Status RebuildTrees(double fill_factor);
+
   uint64_t TotalPages() const {
     return forward->leaf_page_count() + forward->inner_page_count() +
            backward->leaf_page_count() + backward->inner_page_count();
@@ -116,6 +131,24 @@ struct PartitionStore {
 // Arguments: partition index, first column, last column.
 using PartitionProvider = std::function<std::shared_ptr<PartitionStore>(
     size_t, uint32_t, uint32_t)>;
+
+// What Recover()/Repair() found and did (all page costs are additionally
+// metered through the disk's per-segment counters).
+struct RecoveryReport {
+  // Fast path: no unresolved journal entries and every partition passed
+  // physical triage — nothing was re-derived.
+  bool clean = false;
+  uint64_t journal_resolved = 0;    // pending/lost intents covered
+  uint64_t rows_recomputed = 0;     // extension rows re-derived from the base
+  uint32_t partitions_checked = 0;
+  uint32_t partitions_quarantined = 0;  // failed triage; trees untrusted
+  uint32_t partitions_reconciled = 0;   // healthy trees that needed a diff
+  uint32_t partitions_repaired = 0;     // quarantined trees rebuilt (Repair)
+  uint64_t slices_inserted = 0;     // per-tree reconcile insertions
+  uint64_t slices_erased = 0;       // per-tree reconcile deletions
+
+  std::string ToString() const;
+};
 
 class AccessSupportRelation {
  public:
@@ -173,6 +206,33 @@ class AccessSupportRelation {
   // ASRs intact. Note: the rebuilt trees reuse their segments' pages only
   // logically; the simulated disk does not reclaim old pages.
   Status Rebuild();
+
+  // --- Crash recovery -----------------------------------------------------
+  // Post-crash repair protocol, to be called after a simulated crash (or
+  // whenever corruption is suspected). Marks the disk's restart point
+  // (revealing torn sectors, disarming the injector), drops every cached
+  // buffer frame, and triages each partition store: per-page checksums,
+  // B+ tree structure, forward/backward agreement. If the journal has no
+  // unresolved intent and triage is clean, returns with report->clean (the
+  // fast path). Otherwise the extension is re-derived from the object base
+  // — which is updated before maintenance runs and therefore authoritative;
+  // replay and rollback coincide — healthy partitions are reconciled by
+  // slice diff, and partitions that failed triage are quarantined: queries
+  // degrade to object-base navigation over their path slice until Repair().
+  // After Recover() the ASR answers every supported query correctly.
+  Status Recover(RecoveryReport* report = nullptr);
+
+  // Rebuilds every quarantined partition store from its (memory-resident,
+  // crash-surviving) refcounts into fresh segments and re-admits it; clears
+  // degradation. The "background repair" half of the protocol.
+  Status Repair(RecoveryReport* report = nullptr);
+
+  // True while any partition store is quarantined (queries still answer
+  // correctly, at navigation cost).
+  bool degraded() const;
+  size_t quarantined_count() const;
+
+  const MaintenanceJournal& journal() const { return journal_; }
 
   // --- Introspection -------------------------------------------------------
   size_t partition_count() const { return partitions_.size(); }
@@ -277,6 +337,39 @@ class AccessSupportRelation {
   Result<std::vector<rel::Row>> RightFragmentsFromStore(AsrKey w,
                                                         uint32_t p1);
 
+  // Implementations of the maintenance entry points; the public wrappers
+  // add the journal's begin/commit-or-mark-lost envelope around them.
+  Status OnEdgeInsertedImpl(Oid u, uint32_t p, AsrKey w);
+  Status OnEdgeRemovedImpl(Oid u, uint32_t p, AsrKey w);
+  Status RebuildImpl();
+
+  // True when any buffer pool this ASR writes through has recorded a
+  // write-back failure — the signal that an operation's tree updates did
+  // not all reach the disk and its journal entry must be marked lost.
+  bool AnyWriteError() const;
+
+  // --- recovery helpers (recovery.cc) ---------------------------------
+  // Physical triage of one partition store: segment checksums, both trees'
+  // structure, forward/backward tuple agreement. OK = trees trustworthy.
+  Status TriagePartitionStore(PartitionStore* store);
+
+  // Degraded navigation for quarantined partitions: chase the object graph
+  // between absolute relation columns (honoring retained set columns).
+  // Forward expands the frontier column by column; backward extent-scans
+  // the objects of the destination column, expands them forward, and
+  // back-propagates. Both meter through the object store's pages.
+  Result<std::unordered_set<AsrKey>> NavigateForward(
+      const std::unordered_set<AsrKey>& frontier, uint32_t from_col,
+      uint32_t to_col);
+  Result<std::unordered_set<AsrKey>> NavigateBackward(
+      const std::unordered_set<AsrKey>& frontier, uint32_t from_col,
+      uint32_t to_col);
+  // Keys at column `col + 1` reachable from `key` at column `col`.
+  Result<std::vector<AsrKey>> StepRight(AsrKey key, uint32_t col);
+  // Path position occupying absolute column `col`, or -1 for a retained
+  // set-instance column.
+  int PositionOfColumn(uint32_t col) const;
+
   // Current out-edges of `u` along A_{p+1} (reads the object store).
   Result<std::vector<AsrKey>> OutEdges(Oid u, uint32_t p);
   // Is A_{q+1} of the position-q object `x` non-NULL? (An empty set counts
@@ -310,6 +403,11 @@ class AccessSupportRelation {
   obs::HotCounter maint_edge_removes_;
   obs::HotCounter rebuilds_;
   obs::HotCounter rebuild_rows_;  // rows re-installed across all rebuilds
+  obs::HotCounter degraded_hops_;  // hops answered by object-base navigation
+  obs::HotCounter recoveries_;
+  obs::HotCounter repairs_;
+
+  MaintenanceJournal journal_;
 };
 
 }  // namespace asr

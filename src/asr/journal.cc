@@ -1,0 +1,132 @@
+#include "asr/journal.h"
+
+#include <utility>
+
+namespace asr {
+
+const char* MaintOpName(MaintOp op) {
+  switch (op) {
+    case MaintOp::kEdgeInsert:
+      return "edge_insert";
+    case MaintOp::kEdgeRemove:
+      return "edge_remove";
+    case MaintOp::kRebuild:
+      return "rebuild";
+  }
+  return "unknown";
+}
+
+const char* JournalStateName(JournalState state) {
+  switch (state) {
+    case JournalState::kPending:
+      return "pending";
+    case JournalState::kCommitted:
+      return "committed";
+    case JournalState::kLost:
+      return "lost";
+    case JournalState::kRecovered:
+      return "recovered";
+  }
+  return "unknown";
+}
+
+uint64_t MaintenanceJournal::Append(JournalEntry entry) {
+  entry.seq = next_seq_++;
+  entry.state = JournalState::kPending;
+  ++pending_;
+  entries_.push_back(std::move(entry));
+  TruncateResolved();
+  return entries_.back().seq;
+}
+
+uint64_t MaintenanceJournal::BeginEdge(MaintOp op, Oid u, uint32_t p,
+                                       AsrKey w) {
+  ASR_DCHECK(op != MaintOp::kRebuild);
+  JournalEntry entry;
+  entry.op = op;
+  entry.u = u;
+  entry.p = p;
+  entry.w = w;
+  return Append(entry);
+}
+
+uint64_t MaintenanceJournal::BeginRebuild() {
+  JournalEntry entry;
+  entry.op = MaintOp::kRebuild;
+  return Append(entry);
+}
+
+JournalEntry* MaintenanceJournal::Find(uint64_t seq) {
+  // Unresolved entries cluster at the tail; scan backwards.
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->seq == seq) return &*it;
+  }
+  return nullptr;
+}
+
+void MaintenanceJournal::Commit(uint64_t seq) {
+  JournalEntry* entry = Find(seq);
+  ASR_CHECK(entry != nullptr && entry->state == JournalState::kPending);
+  entry->state = JournalState::kCommitted;
+  --pending_;
+  ++committed_;
+}
+
+void MaintenanceJournal::MarkLost(uint64_t seq) {
+  JournalEntry* entry = Find(seq);
+  ASR_CHECK(entry != nullptr && entry->state == JournalState::kPending);
+  entry->state = JournalState::kLost;
+  --pending_;
+  ++lost_;
+}
+
+uint64_t MaintenanceJournal::MarkAllRecovered() {
+  uint64_t resolved = 0;
+  for (JournalEntry& entry : entries_) {
+    if (entry.state == JournalState::kPending ||
+        entry.state == JournalState::kLost) {
+      entry.state = JournalState::kRecovered;
+      ++resolved;
+    }
+  }
+  pending_ = 0;
+  lost_ = 0;
+  recovered_ += resolved;
+  TruncateResolved();
+  return resolved;
+}
+
+void MaintenanceJournal::TruncateResolved() {
+  while (entries_.size() > kMaxResolved &&
+         entries_.front().state != JournalState::kPending &&
+         entries_.front().state != JournalState::kLost) {
+    entries_.pop_front();
+  }
+}
+
+std::string MaintenanceJournal::ToString() const {
+  std::string out = "journal: pending=" + std::to_string(pending_) +
+                    " lost=" + std::to_string(lost_) +
+                    " committed=" + std::to_string(committed_) +
+                    " recovered=" + std::to_string(recovered_) + "\n";
+  for (const JournalEntry& entry : entries_) {
+    if (entry.state == JournalState::kCommitted) continue;
+    out += "  #" + std::to_string(entry.seq) + " " + MaintOpName(entry.op);
+    if (entry.op != MaintOp::kRebuild) {
+      out += " u=" + entry.u.ToString() + " p=" + std::to_string(entry.p) +
+             " w=" + entry.w.ToString();
+    }
+    out += " [" + std::string(JournalStateName(entry.state)) + "]\n";
+  }
+  return out;
+}
+
+void MaintenanceJournal::ExportMetrics(obs::MetricsRegistry* registry,
+                                       const std::string& prefix) const {
+  registry->Set(prefix + ".pending", pending_);
+  registry->Set(prefix + ".lost", lost_);
+  registry->Set(prefix + ".committed", committed_);
+  registry->Set(prefix + ".recovered", recovered_);
+}
+
+}  // namespace asr

@@ -1,0 +1,113 @@
+// Maintenance intent journal: crash-consistency bookkeeping for ins_i/del_i.
+//
+// Every incremental maintenance operation (§6) and rebuild logs its intent
+// here BEFORE touching the partition B+ trees and commits it after the last
+// tree update was durably written. The journal is the write-ahead half of
+// the recovery protocol:
+//
+//   pending    intent logged, tree updates possibly half-applied
+//   committed  every tree write of the operation reached the disk
+//   lost       the operation's write-back failed (simulated crash): its tree
+//              updates are partially or wholly gone
+//   recovered  a pending/lost entry resolved by Recover() re-deriving the
+//              affected partitions from the object base
+//
+// After a crash, a clean journal (no pending/lost entries) plus passing
+// physical triage means the ASR state on disk is exactly the committed
+// prefix — the fast path. Any unresolved entry forces re-derivation: the
+// object base is updated before maintenance runs, so the base is always
+// authoritative and "replay" and "roll back" coincide in recomputing the
+// extension from it (the redundancy argument of Defs. 3.3-3.8).
+//
+// The journal is in-memory on purpose: the simulated disk's durability
+// boundary is the page write, and the journal models the intent log a real
+// system would WAL — what matters for the drill is the protocol (log, act,
+// commit-or-mark-lost, recover), not the log's own persistence.
+#ifndef ASR_ASR_JOURNAL_H_
+#define ASR_ASR_JOURNAL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/asr_key.h"
+#include "common/macros.h"
+#include "obs/metrics.h"
+
+namespace asr {
+
+enum class MaintOp {
+  kEdgeInsert,
+  kEdgeRemove,
+  kRebuild,
+};
+
+const char* MaintOpName(MaintOp op);
+
+enum class JournalState {
+  kPending,
+  kCommitted,
+  kLost,
+  kRecovered,
+};
+
+const char* JournalStateName(JournalState state);
+
+struct JournalEntry {
+  uint64_t seq = 0;
+  MaintOp op = MaintOp::kEdgeInsert;
+  // Edge operations: u at path position p gains/loses the edge to w.
+  Oid u;
+  uint32_t p = 0;
+  AsrKey w;
+  JournalState state = JournalState::kPending;
+};
+
+class MaintenanceJournal {
+ public:
+  // Retained resolved-entry history; older resolved entries are truncated
+  // (an unresolved entry is never dropped).
+  static constexpr size_t kMaxResolved = 256;
+
+  // Logs an intent; returns its sequence number.
+  uint64_t BeginEdge(MaintOp op, Oid u, uint32_t p, AsrKey w);
+  uint64_t BeginRebuild();
+
+  // Resolution of the entry `seq` (must be pending).
+  void Commit(uint64_t seq);
+  void MarkLost(uint64_t seq);
+
+  // Recover() resolved every outstanding intent by re-deriving from the
+  // object base; returns how many entries it covered.
+  uint64_t MarkAllRecovered();
+
+  // Entries still pending or lost — the dirty signal for recovery.
+  uint64_t unresolved() const { return pending_ + lost_; }
+  uint64_t pending() const { return pending_; }
+  uint64_t lost() const { return lost_; }
+  uint64_t committed() const { return committed_; }
+  uint64_t recovered() const { return recovered_; }
+  uint64_t next_seq() const { return next_seq_; }
+
+  const std::deque<JournalEntry>& entries() const { return entries_; }
+
+  std::string ToString() const;
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
+
+ private:
+  JournalEntry* Find(uint64_t seq);
+  uint64_t Append(JournalEntry entry);
+  void TruncateResolved();
+
+  std::deque<JournalEntry> entries_;
+  uint64_t next_seq_ = 1;
+  uint64_t pending_ = 0;
+  uint64_t lost_ = 0;
+  uint64_t committed_ = 0;
+  uint64_t recovered_ = 0;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_JOURNAL_H_

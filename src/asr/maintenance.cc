@@ -96,7 +96,8 @@ Result<bool> AccessSupportRelation::HasOtherInEdge(AsrKey w, uint32_t p1,
     // the full extension). Exception: a partition store shared with other
     // ASRs (§5.4) may still hold a sibling's not-yet-maintained
     // contribution for this very edge; fall through to the data search.
-    if (partitions_[e_idx].store->owners <= 1) {
+    if (partitions_[e_idx].store->owners <= 1 &&
+        !partitions_[e_idx].store->quarantined) {
       uint32_t rel_p = p - partitions_[e_idx].first;
       bool found_other = false;
       Status st = PartitionEachRowWithValue(
@@ -156,9 +157,13 @@ Result<std::vector<rel::Row>> AccessSupportRelation::LeftFragments(
     }
     return std::vector<rel::Row>{rel::Row{AsrKey::FromOid(u)}};
   }
-  if (kind_ == ExtensionKind::kFull || kind_ == ExtensionKind::kLeftComplete) {
+  if ((kind_ == ExtensionKind::kFull ||
+       kind_ == ExtensionKind::kLeftComplete) &&
+      !degraded()) {
     return LeftFragmentsFromAsr(u, p);
   }
+  // Quarantined partitions make the ASR-side read untrusted; the object
+  // base is authoritative either way.
   return LeftFragmentsFromStore(u, p);
 }
 
@@ -167,8 +172,9 @@ Result<std::vector<rel::Row>> AccessSupportRelation::RightFragments(
   if (p1 == path_.n()) {
     return std::vector<rel::Row>{rel::Row{w}};
   }
-  if (kind_ == ExtensionKind::kFull ||
-      kind_ == ExtensionKind::kRightComplete) {
+  if ((kind_ == ExtensionKind::kFull ||
+       kind_ == ExtensionKind::kRightComplete) &&
+      !degraded()) {
     return RightFragmentsFromAsr(w, p1);
   }
   return RightFragmentsFromStore(w, p1);
@@ -403,16 +409,36 @@ void Filter(std::vector<rel::Row>* rows, bool (*pred)(const rel::Row&)) {
 }  // namespace
 
 Status AccessSupportRelation::OnEdgeInserted(Oid u, uint32_t p, AsrKey w) {
+  // Validate before logging intent: a rejected operation touches nothing
+  // and must not dirty the journal.
   if (!options_.drop_set_columns) {
     return Status::NotSupported(
         "incremental maintenance requires drop_set_columns (rebuild instead)");
   }
-  const uint32_t n = path_.n();
-  if (p >= n) return Status::InvalidArgument("edge position out of range");
+  if (p >= path_.n()) {
+    return Status::InvalidArgument("edge position out of range");
+  }
   if (!store_->schema().IsSubtypeOf(u.type_id(), path_.type_at(p))) {
     return Status::TypeError("u is not an instance of t_" + std::to_string(p));
   }
+  // Journal envelope (§WAL discipline): intent precedes the first tree
+  // write; commit requires every write to have reached the disk.
+  const uint64_t seq = journal_.BeginEdge(MaintOp::kEdgeInsert, u, p, w);
+  Status st = OnEdgeInsertedImpl(u, p, w);
+  if (st.ok() && !AnyWriteError()) {
+    journal_.Commit(seq);
+    return st;
+  }
+  journal_.MarkLost(seq);
+  if (st.ok()) {
+    return Status::IOError(
+        "ins_i writes were lost; ASR requires Recover()");
+  }
+  return st;
+}
 
+Status AccessSupportRelation::OnEdgeInsertedImpl(Oid u, uint32_t p, AsrKey w) {
+  const uint32_t n = path_.n();
   maint_edge_inserts_.Inc();
   obs::ScopedSpan span("ins_i");
   if (span.active()) {
@@ -531,12 +557,28 @@ Status AccessSupportRelation::OnEdgeRemoved(Oid u, uint32_t p, AsrKey w) {
     return Status::NotSupported(
         "incremental maintenance requires drop_set_columns (rebuild instead)");
   }
-  const uint32_t n = path_.n();
-  if (p >= n) return Status::InvalidArgument("edge position out of range");
+  if (p >= path_.n()) {
+    return Status::InvalidArgument("edge position out of range");
+  }
   if (!store_->schema().IsSubtypeOf(u.type_id(), path_.type_at(p))) {
     return Status::TypeError("u is not an instance of t_" + std::to_string(p));
   }
+  const uint64_t seq = journal_.BeginEdge(MaintOp::kEdgeRemove, u, p, w);
+  Status st = OnEdgeRemovedImpl(u, p, w);
+  if (st.ok() && !AnyWriteError()) {
+    journal_.Commit(seq);
+    return st;
+  }
+  journal_.MarkLost(seq);
+  if (st.ok()) {
+    return Status::IOError(
+        "del_i writes were lost; ASR requires Recover()");
+  }
+  return st;
+}
 
+Status AccessSupportRelation::OnEdgeRemovedImpl(Oid u, uint32_t p, AsrKey w) {
+  const uint32_t n = path_.n();
   maint_edge_removes_.Inc();
   obs::ScopedSpan span("rem_i");
   if (span.active()) {

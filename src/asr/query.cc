@@ -158,6 +158,12 @@ Result<ExplainResult> QueryEvaluator::Explain(QueryDir dir, AsrKey anchor,
   ctx.RootAttr("q", "Q_{" + std::to_string(i) + "," + std::to_string(j) + "}");
   ctx.RootAttr("dir", forward ? "fwd" : "bwd");
   ctx.RootAttr("plan", use_asr ? "asr" : "navigational");
+  if (use_asr && asr->degraded()) {
+    // Quarantined partitions answer by object-base navigation until
+    // Repair(); flag the plan so the extra page reads are explicable.
+    ctx.RootAttr("degraded", std::to_string(asr->quarantined_count()) +
+                                 " partition(s) quarantined");
+  }
   Result<std::vector<AsrKey>> keys =
       use_asr ? (forward ? asr->EvalForward(anchor, i, j)
                          : asr->EvalBackward(anchor, i, j))

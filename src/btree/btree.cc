@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
 namespace asr::btree {
 
@@ -558,11 +559,33 @@ Status BTree::ScanAll(
   return Status::OK();
 }
 
+Result<uint32_t> BTree::SafeLeftmostLeaf() {
+  const uint32_t seg_pages = buffers_->disk()->SegmentPageCount(segment_);
+  uint32_t page_no = root_page_;
+  for (uint32_t depth = 0; depth <= height_; ++depth) {
+    if (page_no >= seg_pages) {
+      return Status::Corruption("descent links past the segment");
+    }
+    Result<PageGuard> guard = buffers_->TryPin(PageId{segment_, page_no});
+    ASR_RETURN_IF_ERROR(guard.status());
+    const Page& page = guard->page();
+    if (IsLeaf(page)) return page_no;
+    if (Count(page) > inner_capacity_) {
+      return Status::Corruption("inner entry count exceeds capacity");
+    }
+    page_no = Child0(page);
+  }
+  return Status::Corruption("descent exceeds the recorded height");
+}
+
 Status BTree::CheckIntegrity() {
   uint64_t seen = 0;
   bool have_prev = false;
   CompositeKey prev{0, 0};
-  uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
+  Result<uint32_t> leftmost = SafeLeftmostLeaf();
+  ASR_RETURN_IF_ERROR(leftmost.status());
+  uint32_t leaf_no = *leftmost;
+  const uint32_t seg_pages = buffers_->disk()->SegmentPageCount(segment_);
   uint32_t leaves = 0;
   while (leaf_no != kNoLeaf) {
     // Bounding inside the loop keeps a corrupted next_leaf cycle from
@@ -570,7 +593,12 @@ Status BTree::CheckIntegrity() {
     if (leaves >= leaf_pages_) {
       return Status::Corruption("leaf chain longer than allocated leaf pages");
     }
-    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    if (leaf_no >= seg_pages) {
+      return Status::Corruption("leaf chain links past the segment");
+    }
+    Result<PageGuard> leaf_guard = buffers_->TryPin(PageId{segment_, leaf_no});
+    ASR_RETURN_IF_ERROR(leaf_guard.status());
+    PageGuard leaf = std::move(*std::move(leaf_guard));
     if (!IsLeaf(leaf.page())) {
       return Status::Corruption("leaf chain reached a non-leaf page");
     }
@@ -607,13 +635,21 @@ Status BTree::CheckIntegrity() {
 
 Status BTree::ForEachLeaf(
     const std::function<Status(uint32_t, uint16_t)>& fn) {
-  uint32_t leaf_no = DescendToLeaf(CompositeKey{0, 0}, nullptr);
+  Result<uint32_t> leftmost = SafeLeftmostLeaf();
+  ASR_RETURN_IF_ERROR(leftmost.status());
+  uint32_t leaf_no = *leftmost;
+  const uint32_t seg_pages = buffers_->disk()->SegmentPageCount(segment_);
   uint32_t visited = 0;
   while (leaf_no != kNoLeaf) {
     if (visited++ >= leaf_pages_) {
       return Status::Corruption("leaf chain longer than allocated leaf pages");
     }
-    PageGuard leaf = buffers_->Pin(PageId{segment_, leaf_no});
+    if (leaf_no >= seg_pages) {
+      return Status::Corruption("leaf chain links past the segment");
+    }
+    Result<PageGuard> leaf_guard = buffers_->TryPin(PageId{segment_, leaf_no});
+    ASR_RETURN_IF_ERROR(leaf_guard.status());
+    PageGuard leaf = std::move(*std::move(leaf_guard));
     if (!IsLeaf(leaf.page())) {
       return Status::Corruption("leaf chain reached a non-leaf page");
     }

@@ -146,6 +146,14 @@ class BTree {
   // internal page numbers (for splits).
   uint32_t DescendToLeaf(CompositeKey key, std::vector<uint32_t>* path);
 
+  // Descent to the leftmost leaf that trusts nothing: page numbers are
+  // bounds-checked against the segment, inner counts against capacity, and
+  // the walk is capped at the recorded height, so CheckIntegrity/ForEachLeaf
+  // terminate with Corruption on pages a crash left stale or torn instead
+  // of aborting or cycling. Reads go through TryPin, so checksum failures
+  // surface as a Status too.
+  Result<uint32_t> SafeLeftmostLeaf();
+
   // Inserts a (separator, child) into the parent chain after a split.
   void InsertIntoParent(std::vector<uint32_t>* path, CompositeKey separator,
                         uint32_t new_child);

@@ -193,6 +193,17 @@ void InvariantChecker::CheckBTree(btree::BTree* tree, const std::string& site,
 void InvariantChecker::CheckPartitionStore(PartitionStore* store,
                                            CheckReport* report) const {
   const std::string site = "partition " + store->name;
+  if (store->quarantined) {
+    // The trees are untrusted and must not be read; the in-memory refcounts
+    // are the live state until Repair() — only their sanity can be checked.
+    for (const auto& [slice, count] : store->refcounts) {
+      if (count == 0) {
+        report->Add(Category::kRefcount, site,
+                    "zero refcount retained for " + RowToString(slice));
+      }
+    }
+    return;
+  }
   CheckBTree(store->forward.get(), site + " fwd", report);
   CheckBTree(store->backward.get(), site + " bwd", report);
   if (store->forward->width() != store->width ||
@@ -313,11 +324,19 @@ void InvariantChecker::CheckAsr(AccessSupportRelation* asr,
       asr->path().ToString() + ":" + ExtensionKindName(asr->kind());
 
   bool any_shared = false;
+  bool any_quarantined = false;
   std::vector<rel::Relation> dumps;
   for (size_t p = 0; p < asr->partition_count(); ++p) {
     PartitionStore* store = asr->partition_store(p).get();
     any_shared |= store->owners > 1;
     CheckPartitionStore(store, report);
+    if (store->quarantined) {
+      // Physical checks are meaningless on untrusted trees; the semantic
+      // check below still validates the relation itself.
+      any_quarantined = true;
+      dumps.emplace_back(store->width);  // placeholder keeps indices aligned
+      continue;
+    }
 
     Result<rel::Relation> dump = asr->DumpPartition(p);
     if (!dump.ok()) {
@@ -388,7 +407,7 @@ void InvariantChecker::CheckAsr(AccessSupportRelation* asr,
   // NULL-free rows — the NULL-padded remainder is covered by the projection
   // check above. Shared stores hold sibling ASRs' slices and would re-join
   // to a superset; skip them.
-  if (options_.losslessness && !any_shared &&
+  if (options_.losslessness && !any_shared && !any_quarantined &&
       dumps.size() == asr->partition_count() && !dumps.empty()) {
     rel::Relation rejoined = dumps[0];
     for (size_t p = 1; p < dumps.size(); ++p) {

@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kOutOfRange:
       return "OutOfRange";
+    case Status::Code::kIOError:
+      return "IOError";
   }
   return "Unknown";
 }

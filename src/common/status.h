@@ -26,6 +26,7 @@ class [[nodiscard]] Status {
     kCorruption,
     kNotSupported,
     kOutOfRange,
+    kIOError,
   };
 
   Status() : code_(Code::kOk) {}
@@ -52,6 +53,9 @@ class [[nodiscard]] Status {
   static Status OutOfRange(std::string msg) {
     return Status(Code::kOutOfRange, std::move(msg));
   }
+  static Status IOError(std::string msg) {
+    return Status(Code::kIOError, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -61,6 +65,7 @@ class [[nodiscard]] Status {
   bool IsCorruption() const { return code_ == Code::kCorruption; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -18,7 +18,8 @@ std::unique_ptr<Database> Database::Create(size_t buffer_capacity) {
 }
 
 Status Database::Save(const std::string& file) {
-  buffers_.FlushAll();
+  // A snapshot of un-flushable state would silently lose the dirty frames.
+  ASR_RETURN_IF_ERROR(buffers_.FlushAll());
   std::ofstream out(file, std::ios::binary | std::ios::trunc);
   if (!out.good()) {
     return Status::InvalidArgument("cannot open '" + file + "' for writing");

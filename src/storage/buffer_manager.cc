@@ -1,5 +1,8 @@
 #include "storage/buffer_manager.h"
 
+#include <cstdio>
+#include <utility>
+
 namespace asr::storage {
 
 PageGuard& PageGuard::operator=(PageGuard&& other) noexcept {
@@ -40,6 +43,16 @@ void PageGuard::Release() {
 }
 
 PageGuard BufferManager::Pin(PageId id) {
+  Result<PageGuard> guard = TryPin(id);
+  if (!guard.ok()) {
+    std::fprintf(stderr, "BufferManager::Pin(%s): %s\n", id.ToString().c_str(),
+                 guard.status().ToString().c_str());
+    ASR_CHECK(guard.ok());
+  }
+  return std::move(*std::move(guard));
+}
+
+Result<PageGuard> BufferManager::TryPin(PageId id) {
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     ++misses_;
@@ -47,7 +60,7 @@ PageGuard BufferManager::Pin(PageId id) {
     ++SegCounters(id.segment).misses;
 #endif
     Frame frame;
-    disk_->ReadPage(id, &frame.page);
+    ASR_RETURN_IF_ERROR(disk_->ReadPage(id, &frame.page));
     it = frames_.emplace(id, std::move(frame)).first;
   } else {
     ++hits_;
@@ -104,23 +117,43 @@ void BufferManager::EvictFrame(PageId id) {
 #endif
   if (frame.dirty) {
     writebacks_.Inc();
-    disk_->WritePage(id, frame.page);
+    Status st = disk_->WritePage(id, frame.page);
+    // The unpin that triggered this eviction cannot receive a Status, so the
+    // first failure sticks; the frame is dropped regardless (its content is
+    // what the crash lost).
+    if (!st.ok() && write_error_.ok()) write_error_ = st;
   }
   lru_.erase(frame.lru_pos);
   frames_.erase(it);
 }
 
-void BufferManager::FlushAll() {
-  // Write back all dirty frames (pinned frames stay resident but clean).
+Status BufferManager::FlushAll() {
+  // Write back all dirty frames (pinned frames stay resident but clean),
+  // best-effort: a failed write-back does not stop the remaining flushes.
   for (auto& [id, frame] : frames_) {
     if (frame.dirty) {
       writebacks_.Inc();
-      disk_->WritePage(id, frame.page);
+      Status st = disk_->WritePage(id, frame.page);
+      if (!st.ok() && write_error_.ok()) write_error_ = st;
       frame.dirty = false;
     }
   }
   // Drop unpinned frames.
   while (!lru_.empty()) EvictFrame(lru_.front());
+  return write_error_;
+}
+
+void BufferManager::DropAll() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    Frame& frame = it->second;
+    if (frame.pin_count > 0) {
+      ++it;
+      continue;
+    }
+    if (frame.in_lru) lru_.erase(frame.lru_pos);
+    it = frames_.erase(it);
+  }
+  write_error_ = Status::OK();
 }
 
 void BufferManager::ExportMetrics(obs::MetricsRegistry* registry,

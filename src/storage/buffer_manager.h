@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "common/status.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
@@ -64,18 +65,41 @@ class BufferManager {
   // (metering mode). Pinned frames are always resident regardless.
   BufferManager(Disk* disk, size_t capacity)
       : disk_(disk), capacity_(capacity) {}
-  ~BufferManager() { FlushAll(); }
+  // Destruction is best-effort teardown; a caller that needs durability (or
+  // wants to observe write-back faults) calls FlushAll() itself first.
+  ~BufferManager() { (void)FlushAll(); }
   ASR_DISALLOW_COPY_AND_ASSIGN(BufferManager);
 
-  // Pins `id`, reading it from disk on a miss.
+  // Pins `id`, reading it from disk on a miss. Aborts if the read fails
+  // (checksum mismatch or injected fault) — the hot-path contract that pages
+  // reached through healthy structures are readable. Triage paths that
+  // expect damage use TryPin.
   PageGuard Pin(PageId id);
+
+  // Pin variant that surfaces read failures as a Status instead of
+  // aborting.
+  Result<PageGuard> TryPin(PageId id);
 
   // Allocates a fresh zeroed page in `segment` and pins it dirty, without a
   // disk read (the page has no prior contents).
   PageGuard AllocatePinned(uint32_t segment);
 
-  // Writes back all dirty frames and drops every unpinned frame.
-  void FlushAll();
+  // Writes back all dirty frames and drops every unpinned frame. Returns
+  // the first write-back failure — including one recorded earlier by an
+  // eviction (the sticky error below) — while still flushing what it can.
+  Status FlushAll();
+
+  // Discards every unpinned frame WITHOUT write-back and clears the sticky
+  // write error: the restart point after a simulated crash, where cached
+  // (possibly never-persisted) frames are RAM contents that did not survive.
+  void DropAll();
+
+  // First write-back failure since the last DropAll(), from any eviction or
+  // flush. Evictions cannot propagate a Status to the unpin that triggered
+  // them, so the error sticks here; maintenance commit points consult it
+  // before declaring an operation durable.
+  const Status& write_error() const { return write_error_; }
+  bool has_write_error() const { return !write_error_.ok(); }
 
   Disk* disk() { return disk_; }
   size_t capacity() const { return capacity_; }
@@ -129,6 +153,7 @@ class BufferManager {
   std::list<PageId> lru_;  // front = oldest unpinned frame
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
+  Status write_error_;
   obs::HotCounter evictions_;
   obs::HotCounter writebacks_;
 };

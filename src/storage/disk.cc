@@ -1,11 +1,33 @@
 #include "storage/disk.h"
 
+#include <cstring>
 #include <mutex>
 #include <utility>
 
 #include "common/binary_io.h"
 
 namespace asr::storage {
+
+namespace {
+
+// FNV-1a over the page image. Not cryptographic — it only has to catch torn
+// sectors and stray stomps, like a real page checksum.
+uint64_t PageChecksum(const Page& page) {
+  const auto* bytes = reinterpret_cast<const uint8_t*>(page.data());
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (size_t i = 0; i < kPageSize; ++i) {
+    h ^= bytes[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t ZeroPageChecksum() {
+  static const uint64_t checksum = PageChecksum(Page{});
+  return checksum;
+}
+
+}  // namespace
 
 Disk::Segment& Disk::GetSegment(uint32_t segment) {
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -22,7 +44,7 @@ const Disk::Segment& Disk::GetSegment(uint32_t segment) const {
 uint32_t Disk::CreateSegment(std::string name) {
   std::unique_lock<std::shared_mutex> lock(mu_);
   uint32_t id = static_cast<uint32_t>(segments_.size());
-  segments_.push_back(Segment{std::move(name), {}, {}});
+  segments_.push_back(Segment{std::move(name), {}, {}, {}});
   return id;
 }
 
@@ -30,21 +52,104 @@ PageId Disk::AllocatePage(uint32_t segment) {
   Segment& seg = GetSegment(segment);
   PageId id{segment, static_cast<uint32_t>(seg.pages.size())};
   seg.pages.emplace_back();
+  seg.checksums.push_back(ZeroPageChecksum());
   return id;
 }
 
-void Disk::ReadPage(PageId id, Page* out) {
+Status Disk::ReadPage(PageId id, Page* out) {
   Segment& seg = GetSegment(id.segment);
   ASR_CHECK(id.page_no < seg.pages.size());
+  if (injector_ != nullptr &&
+      injector_->OnRead(id, seg.name) == FaultInjector::Action::kFailRead) {
+    ++seg.stats.page_reads;
+    return Status::IOError("injected read fault on " + seg.name + " page " +
+                           std::to_string(id.page_no));
+  }
   *out = seg.pages[id.page_no];
   ++seg.stats.page_reads;
+  // While the injector reports a crash the process is "still up": reads are
+  // served through the cache fiction and verification waits for the restart
+  // point (RecoverFromCrash), where torn sectors become visible.
+  if (injector_ != nullptr && injector_->crashed()) return Status::OK();
+  if (PageChecksum(*out) != seg.checksums[id.page_no]) {
+    return Status::Corruption("checksum mismatch on " + seg.name + " page " +
+                              std::to_string(id.page_no));
+  }
+  return Status::OK();
 }
 
-void Disk::WritePage(PageId id, const Page& page) {
+Status Disk::WritePage(PageId id, const Page& page) {
   Segment& seg = GetSegment(id.segment);
   ASR_CHECK(id.page_no < seg.pages.size());
+  if (injector_ != nullptr) {
+    switch (injector_->OnWrite(id, seg.name)) {
+      case FaultInjector::Action::kProceed:
+        break;
+      case FaultInjector::Action::kDropWrite:
+        // Lost in the crash: content and checksum keep their old value, so
+        // the loss is checksum-invisible (caught by cross-structure checks).
+        return Status::IOError("write to " + seg.name + " page " +
+                               std::to_string(id.page_no) +
+                               " lost in simulated crash");
+      case FaultInjector::Action::kTornWrite: {
+        // Half the sector makes it to the platter. The torn image is staged
+        // until RecoverFromCrash: while the process lives, the cache serves
+        // the full image below; the stale checksum is what triage finds.
+        TornPage torn{id, seg.pages[id.page_no]};
+        std::memcpy(torn.image.data(), page.data(), kPageSize / 2);
+        {
+          std::unique_lock<std::shared_mutex> lock(mu_);
+          pending_torn_.push_back(std::move(torn));
+        }
+        seg.pages[id.page_no] = page;
+        ++seg.stats.page_writes;
+        return Status::IOError("write to " + seg.name + " page " +
+                               std::to_string(id.page_no) +
+                               " torn in simulated crash");
+      }
+      case FaultInjector::Action::kFailRead:
+        ASR_CHECK(false);  // never returned by OnWrite
+    }
+  }
   seg.pages[id.page_no] = page;
+  seg.checksums[id.page_no] = PageChecksum(page);
   ++seg.stats.page_writes;
+  return Status::OK();
+}
+
+Status Disk::VerifyPage(PageId id) {
+  Segment& seg = GetSegment(id.segment);
+  ASR_CHECK(id.page_no < seg.pages.size());
+  ++seg.stats.page_reads;
+  if (PageChecksum(seg.pages[id.page_no]) != seg.checksums[id.page_no]) {
+    return Status::Corruption("checksum mismatch on " + seg.name + " page " +
+                              std::to_string(id.page_no));
+  }
+  return Status::OK();
+}
+
+Status Disk::VerifySegment(uint32_t segment) {
+  const uint32_t pages = SegmentPageCount(segment);
+  for (uint32_t p = 0; p < pages; ++p) {
+    ASR_RETURN_IF_ERROR(VerifyPage(PageId{segment, p}));
+  }
+  return Status::OK();
+}
+
+void Disk::RecoverFromCrash() {
+  std::vector<TornPage> torn;
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    torn.swap(pending_torn_);
+  }
+  for (TornPage& t : torn) {
+    Segment& seg = GetSegment(t.id.segment);
+    ASR_CHECK(t.id.page_no < seg.pages.size());
+    // Install the torn bytes; the checksum (of the full image) stays, so the
+    // page now fails verification — exactly a torn sector after restart.
+    seg.pages[t.id.page_no] = t.image;
+  }
+  if (injector_ != nullptr) injector_->Disarm();
 }
 
 uint32_t Disk::SegmentPageCount(uint32_t segment) const {
@@ -107,24 +212,35 @@ Status Disk::Deserialize(std::istream* in) {
     std::shared_lock<std::shared_mutex> lock(mu_);
     ASR_CHECK(segments_.empty());
   }
+  // Deserialize into a staging table and swap it in only on full success:
+  // a truncated or corrupt snapshot must leave the disk empty, never
+  // half-populated (a partial segment table would satisfy later page-bound
+  // checks with pages that were never loaded).
+  std::deque<Segment> staged;
   Result<uint32_t> seg_count = io::ReadScalar<uint32_t>(in);
   ASR_RETURN_IF_ERROR(seg_count.status());
   for (uint32_t s = 0; s < *seg_count; ++s) {
     Result<std::string> name = io::ReadString(in);
     ASR_RETURN_IF_ERROR(name.status());
-    uint32_t seg = CreateSegment(*name);
+    staged.push_back(Segment{std::move(*name), {}, {}, {}});
+    Segment& seg = staged.back();
     Result<uint32_t> page_count = io::ReadScalar<uint32_t>(in);
     ASR_RETURN_IF_ERROR(page_count.status());
+    // Pages are read one at a time, so an absurd count from a corrupt
+    // header fails at the first missing page instead of allocating for it.
     for (uint32_t p = 0; p < *page_count; ++p) {
-      PageId id = AllocatePage(seg);
       Page page;
       in->read(reinterpret_cast<char*>(page.data()), kPageSize);
       if (!in->good()) {
         return Status::Corruption("truncated page data in snapshot");
       }
-      GetSegment(id.segment).pages[id.page_no] = page;
+      seg.checksums.push_back(PageChecksum(page));
+      seg.pages.push_back(page);
     }
   }
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  ASR_CHECK(segments_.empty());
+  segments_.swap(staged);
   return Status::OK();
 }
 

@@ -5,6 +5,16 @@
 // 4056-byte pages per segment whose every read/write is counted, so a live
 // query can be metered with the same unit the paper uses.
 //
+// Fault model: an optional FaultInjector observes every counted I/O and can
+// drop a write (crash), tear it (half-written sector revealed at restart),
+// or fail a read. Independently, the disk keeps a checksum per page —
+// updated on every successful write, verified on every read — so torn or
+// stomped pages surface as Status::Corruption instead of garbage reaching a
+// B+ tree descent. While the injector reports crashed() the verification is
+// suspended: the process is "still up" and reads through the OS-cache
+// fiction; after Disk::RecoverFromCrash() (the restart point) torn sectors
+// become visible and verification resumes.
+//
 // Concurrency: segments are independent units of allocation and metering.
 // The segment table itself is guarded by a shared mutex (segment creation
 // may run concurrently with page access to existing segments), but each
@@ -12,6 +22,8 @@
 // contract the parallel ASR build pipeline satisfies by giving every
 // partition builder its own segments. Global access statistics are the merge
 // of the per-segment counters, so no cross-thread counter is ever written.
+// Fault injection is for single-threaded crash drills; arm it only when no
+// concurrent builders run.
 #ifndef ASR_STORAGE_DISK_H_
 #define ASR_STORAGE_DISK_H_
 
@@ -26,6 +38,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "storage/access_stats.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 
 namespace asr::storage {
@@ -42,16 +55,37 @@ class Disk {
   // model charges allocation when the page is first written).
   PageId AllocatePage(uint32_t segment);
 
-  // Counted accesses.
-  void ReadPage(PageId id, Page* out);
-  void WritePage(PageId id, const Page& page);
+  // Counted accesses. ReadPage fails with Corruption when the page's
+  // checksum does not match (torn or stomped page) and with IOError on an
+  // injected read fault; WritePage fails with IOError when the armed
+  // injector drops or tears the write. On failure `*out` is unspecified.
+  Status ReadPage(PageId id, Page* out);
+  Status WritePage(PageId id, const Page& page);
+
+  // Checksum triage (counted as reads — recovery pays for its verification
+  // pass in the same unit as everything else). VerifySegment returns the
+  // first corrupt page as Corruption.
+  Status VerifyPage(PageId id);
+  Status VerifySegment(uint32_t segment);
+
+  // Installs `injector` as the fault policy for every subsequent I/O
+  // (nullptr detaches). The injector is borrowed, not owned.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() { return injector_; }
+
+  // The restart point after a simulated crash: reveals the torn sector of a
+  // fired kTornWrite (until here reads served the fully-written image — the
+  // OS page cache fiction), re-enables checksum verification, and disarms
+  // the injector. No-op without an injector or without a crash.
+  void RecoverFromCrash();
 
   uint32_t SegmentPageCount(uint32_t segment) const;
   const std::string& SegmentName(uint32_t segment) const;
   size_t segment_count() const { return segments_.size(); }
 
   // Snapshot support: raw segment/page image (access statistics are not
-  // persisted). Deserialize requires an empty disk.
+  // persisted; checksums are recomputed on load). Deserialize requires an
+  // empty disk and leaves it empty when the stream is truncated or corrupt.
   void Serialize(std::ostream* out) const;
   Status Deserialize(std::istream* in);
 
@@ -72,7 +106,14 @@ class Disk {
   struct Segment {
     std::string name;
     std::vector<Page> pages;
+    // checksums[i] covers pages[i]; maintained on every successful write.
+    std::vector<uint64_t> checksums;
     AccessStats stats;
+  };
+
+  struct TornPage {
+    PageId id;
+    Page image;  // half-new half-old bytes, installed at RecoverFromCrash
   };
 
   // References into segments_ are stable (deque) — the lock only covers the
@@ -82,6 +123,8 @@ class Disk {
 
   mutable std::shared_mutex mu_;  // guards the segment table structure
   std::deque<Segment> segments_;
+  FaultInjector* injector_ = nullptr;
+  std::vector<TornPage> pending_torn_;
 };
 
 }  // namespace asr::storage

@@ -1,0 +1,78 @@
+#include "storage/fault_injector.h"
+
+#include <utility>
+
+namespace asr::storage {
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kWriteCrash:
+      return "write_crash";
+    case FaultKind::kTornWrite:
+      return "torn_write";
+    case FaultKind::kReadError:
+      return "read_error";
+  }
+  return "unknown";
+}
+
+void FaultInjector::Arm(FaultSpec spec) {
+  spec_ = std::move(spec);
+  armed_ = true;
+  crashed_ = false;
+  fired_ = false;
+  matching_ = 0;
+  dropped_writes_ = 0;
+}
+
+void FaultInjector::Disarm() {
+  armed_ = false;
+  crashed_ = false;
+}
+
+bool FaultInjector::Matches(PageId id, const std::string& segment_name) const {
+  if (spec_.segment >= 0 &&
+      static_cast<int64_t>(id.segment) != spec_.segment) {
+    return false;
+  }
+  if (!spec_.segment_prefix.empty() &&
+      segment_name.compare(0, spec_.segment_prefix.size(),
+                           spec_.segment_prefix) != 0) {
+    return false;
+  }
+  return true;
+}
+
+FaultInjector::Action FaultInjector::OnWrite(PageId id,
+                                             const std::string& segment_name) {
+  if (crashed_) {
+    ++dropped_writes_;
+    return Action::kDropWrite;
+  }
+  if (!armed_ || spec_.kind == FaultKind::kReadError ||
+      spec_.after_matching == 0 || !Matches(id, segment_name)) {
+    return Action::kProceed;
+  }
+  if (++matching_ < spec_.after_matching) return Action::kProceed;
+  fired_ = true;
+  crashed_ = true;
+  // The firing write surfaces an IOError to the caller, so it is not a
+  // *silent* loss; dropped_writes_ meters only the post-crash drops.
+  return spec_.kind == FaultKind::kTornWrite ? Action::kTornWrite
+                                             : Action::kDropWrite;
+}
+
+FaultInjector::Action FaultInjector::OnRead(PageId id,
+                                            const std::string& segment_name) {
+  if (crashed_ || !armed_ || spec_.kind != FaultKind::kReadError ||
+      spec_.after_matching == 0 || !Matches(id, segment_name)) {
+    return Action::kProceed;
+  }
+  if (++matching_ < spec_.after_matching) return Action::kProceed;
+  // One-shot transient error: fire once, then proceed normally.
+  if (fired_) return Action::kProceed;
+  fired_ = true;
+  return Action::kFailRead;
+}
+
+}  // namespace asr::storage

@@ -1,0 +1,102 @@
+// Deterministic page-I/O fault injection for the simulated disk.
+//
+// The paper treats ASRs as *redundant* access paths: every partition is
+// derivable from the object base, so a damaged ASR may never make the system
+// wrong — at worst slower. Exercising that claim needs faults on demand. The
+// injector is a policy object hooked into Disk: it watches every counted
+// page I/O and, on the Nth one matching a segment filter, simulates one of
+//
+//   kWriteCrash  the write (and every write after it) is silently dropped —
+//                the disk "loses power" at that exact I/O; page content and
+//                checksum keep their pre-crash value, so the loss is
+//                invisible to checksums and must be caught by the ASR's
+//                cross-structure checks;
+//   kTornWrite   like kWriteCrash, but the interrupted write additionally
+//                leaves the first half of the new page image on disk with a
+//                stale checksum. While the process is still "up" the buffer
+//                cache serves the full image (the OS page cache fiction);
+//                the torn bytes become visible only after the restart point
+//                (Disk::RecoverFromCrash), exactly like a real torn sector;
+//   kReadError   the matching read fails once with Status::IOError (a
+//                transient medium error; the page itself stays intact).
+//
+// Determinism: the fire point is the match counter alone — no clocks, no
+// global RNG — so a crash matrix "inject at I/O k for k = 1..K" replays
+// bit-identically. Thread safety: arm/observe from the thread driving the
+// faulted workload (the per-segment single-accessor discipline Disk already
+// requires).
+#ifndef ASR_STORAGE_FAULT_INJECTOR_H_
+#define ASR_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "storage/page.h"
+
+namespace asr::storage {
+
+enum class FaultKind {
+  kWriteCrash,
+  kTornWrite,
+  kReadError,
+};
+
+const char* FaultKindName(FaultKind kind);
+
+struct FaultSpec {
+  FaultKind kind = FaultKind::kWriteCrash;
+  // Fire on the Nth matching I/O, 1-based. 0 never fires.
+  uint64_t after_matching = 1;
+  // Match only this segment id (-1 = any segment).
+  int64_t segment = -1;
+  // Match only segments whose name starts with this prefix ("" = any);
+  // composes with `segment`. ASR partition segments are "<path>:<kind>:
+  // <first>-<last>:fwd/:bwd", so a prefix targets one partition, one tree,
+  // or a whole ASR.
+  std::string segment_prefix;
+};
+
+class FaultInjector {
+ public:
+  // What the disk should do with the I/O it just announced.
+  enum class Action {
+    kProceed,
+    kDropWrite,
+    kTornWrite,
+    kFailRead,
+  };
+
+  // Installs `spec` and resets counters and the crashed flag.
+  void Arm(FaultSpec spec);
+  // Clears the armed spec and the crashed flag: the "restart" point.
+  void Disarm();
+
+  bool armed() const { return armed_; }
+  // True once a kWriteCrash/kTornWrite fault has fired: the disk is halted
+  // and drops every further write until Disarm().
+  bool crashed() const { return crashed_; }
+  // True once the armed fault has fired (the sweep's termination signal:
+  // after_matching beyond the workload's I/O count never fires).
+  bool fired() const { return fired_; }
+
+  uint64_t matching_ios() const { return matching_; }
+  uint64_t dropped_writes() const { return dropped_writes_; }
+
+  // Disk hooks, called once per counted page I/O.
+  Action OnWrite(PageId id, const std::string& segment_name);
+  Action OnRead(PageId id, const std::string& segment_name);
+
+ private:
+  bool Matches(PageId id, const std::string& segment_name) const;
+
+  FaultSpec spec_;
+  bool armed_ = false;
+  bool crashed_ = false;
+  bool fired_ = false;
+  uint64_t matching_ = 0;
+  uint64_t dropped_writes_ = 0;
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_FAULT_INJECTOR_H_

@@ -187,7 +187,7 @@ TEST_F(BTreeTest, LookupCostIsHeightPlusLeaves) {
   BTree tree(&buffers_, "t", 2, 0);
   for (uint64_t i = 1; i <= 50000; ++i) tree.Insert(Tuple({i, i}));
   ASSERT_GE(tree.height(), 1u);
-  buffers_.FlushAll();
+  ASSERT_TRUE(buffers_.FlushAll().ok());
 
   storage::Disk* disk = buffers_.disk();
   storage::AccessStats before = disk->stats();

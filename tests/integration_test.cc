@@ -215,7 +215,7 @@ TEST(ValidationTest, BackwardQueryEmpiricalVsModelShape) {
                                           ExtensionKind::kFull,
                                           Decomposition::None(4))
                  .value();
-  base->buffers()->FlushAll();
+  ASSERT_TRUE(base->buffers()->FlushAll().ok());
   base->disk()->ResetStats();
   storage::AccessStats sup = workload::Meter(base->disk(), [&] {
     asr->EvalBackward(AsrKey::FromOid(target), 0, 4).value();

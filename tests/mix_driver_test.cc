@@ -72,7 +72,7 @@ TEST(MixDriverTest, SupportedMixIsCheaperThanNavigational) {
                                             ExtensionKind::kLeftComplete,
                                             Decomposition::Binary(3))
                    .value();
-    base->buffers()->FlushAll();
+    ASSERT_TRUE(base->buffers()->FlushAll().ok());
     MixDriver driver(base.get(), asr.get(), 5);
     supported = driver.Run(mix, 0.1, 30).value().PerOperation();
   }

@@ -162,12 +162,12 @@ TEST(SpanTest, AttributesPageCostsToNestedSpans) {
   obs::TraceContext ctx("root", probe);
   {
     obs::ScopedSpan outer("outer");
-    disk.ReadPage(storage::PageId{seg, 0}, &page);
+    ASSERT_TRUE(disk.ReadPage(storage::PageId{seg, 0}, &page).ok());
     {
       obs::ScopedSpan inner("inner");
       inner.Attr("k", std::string("v"));
-      disk.ReadPage(storage::PageId{seg, 1}, &page);
-      disk.WritePage(storage::PageId{seg, 1}, page);
+      ASSERT_TRUE(disk.ReadPage(storage::PageId{seg, 1}, &page).ok());
+      ASSERT_TRUE(disk.WritePage(storage::PageId{seg, 1}, page).ok());
     }
   }
   obs::Trace trace = ctx.Finish();
@@ -315,7 +315,7 @@ TEST(MeterTest, BufferOverloadReportsHitMissDeltas) {
   // The Disk overload still compiles and slices into AccessStats.
   storage::AccessStats st = workload::Meter(&disk, [&] {
     storage::Page page{};
-    disk.ReadPage(id, &page);
+    ASSERT_TRUE(disk.ReadPage(id, &page).ok());
   });
   EXPECT_EQ(st.page_reads, 1u);
 }

@@ -3,10 +3,13 @@
 // Rebuild() maintenance fallback for retained-set-column ASRs.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "asr/access_support_relation.h"
 #include "common/binary_io.h"
+#include "gom/database.h"
 #include "common/string_dict.h"
 #include "gom/type_system.h"
 #include "paper_example.h"
@@ -118,11 +121,11 @@ TEST(DiskSerializationTest, PagesSurviveByteForByte) {
   storage::PageId pb2 = disk.AllocatePage(b);
   storage::Page page;
   page.Write<uint64_t>(0, 111);
-  disk.WritePage(pa, page);
+  ASSERT_TRUE(disk.WritePage(pa, page).ok());
   page.Write<uint64_t>(0, 222);
-  disk.WritePage(pb1, page);
+  ASSERT_TRUE(disk.WritePage(pb1, page).ok());
   page.Write<uint64_t>(4000, 333);
-  disk.WritePage(pb2, page);
+  ASSERT_TRUE(disk.WritePage(pb2, page).ok());
 
   std::stringstream stream;
   disk.Serialize(&stream);
@@ -132,10 +135,120 @@ TEST(DiskSerializationTest, PagesSurviveByteForByte) {
   EXPECT_EQ(loaded.SegmentName(0), "alpha");
   EXPECT_EQ(loaded.SegmentPageCount(1), 2u);
   storage::Page out;
-  loaded.ReadPage(pa, &out);
+  ASSERT_TRUE(loaded.ReadPage(pa, &out).ok());
   EXPECT_EQ(out.Read<uint64_t>(0), 111u);
-  loaded.ReadPage(pb2, &out);
+  ASSERT_TRUE(loaded.ReadPage(pb2, &out).ok());
   EXPECT_EQ(out.Read<uint64_t>(4000), 333u);
+}
+
+// --- Negative paths: truncated and corrupt snapshot streams ----------------
+
+TEST(DiskSerializationTest, TruncatedStreamLeavesDiskEmpty) {
+  storage::Disk disk;
+  uint32_t a = disk.CreateSegment("alpha");
+  disk.CreateSegment("beta");
+  storage::Page page;
+  page.Write<uint64_t>(0, 42);
+  ASSERT_TRUE(disk.WritePage(disk.AllocatePage(a), page).ok());
+
+  std::ostringstream full_out;
+  disk.Serialize(&full_out);
+  const std::string full = full_out.str();
+
+  // Cut the image at every structurally interesting point: inside the
+  // header, inside a segment name, inside page data. Deserialize must fail
+  // with Corruption and leave the target disk completely empty — a
+  // half-populated segment table would satisfy later page-bound checks with
+  // pages that were never loaded.
+  for (size_t cut : {size_t{2}, size_t{7}, full.size() / 2, full.size() - 1}) {
+    ASSERT_LT(cut, full.size());
+    std::istringstream in(full.substr(0, cut));
+    storage::Disk loaded;
+    Status st = loaded.Deserialize(&in);
+    EXPECT_TRUE(st.IsCorruption()) << "cut at " << cut << ": " << st.message();
+    EXPECT_EQ(loaded.segment_count(), 0u) << "cut at " << cut;
+  }
+}
+
+TEST(DiskSerializationTest, AbsurdCountsRejectedWithoutCrash) {
+  // A corrupt header claiming 2^32-1 segments must fail at the first
+  // missing segment record, not try to honour the count.
+  std::stringstream huge_segs;
+  io::WriteScalar<uint32_t>(&huge_segs, 0xFFFFFFFFu);
+  storage::Disk disk1;
+  EXPECT_TRUE(disk1.Deserialize(&huge_segs).IsCorruption());
+  EXPECT_EQ(disk1.segment_count(), 0u);
+
+  // Likewise for a plausible segment with an absurd page count: pages are
+  // read one at a time, so the loader fails at the first missing page
+  // instead of allocating ~16 TiB up front.
+  std::stringstream huge_pages;
+  io::WriteScalar<uint32_t>(&huge_pages, 1);
+  io::WriteString(&huge_pages, "seg");
+  io::WriteScalar<uint32_t>(&huge_pages, 0xFFFFFFFFu);
+  storage::Disk disk2;
+  EXPECT_TRUE(disk2.Deserialize(&huge_pages).IsCorruption());
+  EXPECT_EQ(disk2.segment_count(), 0u);
+
+  // An implausible string length in the segment name is caught by the
+  // bounded ReadString rather than a giant allocation.
+  std::stringstream huge_name;
+  io::WriteScalar<uint32_t>(&huge_name, 1);
+  io::WriteScalar<uint32_t>(&huge_name, 0x7FFFFFFFu);  // name "length"
+  storage::Disk disk3;
+  EXPECT_TRUE(disk3.Deserialize(&huge_name).IsCorruption());
+  EXPECT_EQ(disk3.segment_count(), 0u);
+}
+
+TEST(DatabaseSnapshotTest, CorruptSnapshotFailsToOpenCleanly) {
+  const std::string path = ::testing::TempDir() + "asr_corrupt_snapshot.bin";
+  {
+    auto db = gom::Database::Create(16);
+    TypeId t = db->schema()
+                   ->DefineTupleType(
+                       "T", {}, {{"X", gom::Schema::kIntType, kInvalidTypeId}})
+                   .value();
+    ASSERT_TRUE(db->store()->CreateObject(t).ok());
+    ASSERT_TRUE(db->Save(path).ok());
+  }
+  std::string image;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    image = buf.str();
+  }
+
+  // Truncation anywhere in the stream surfaces as a Status error, never a
+  // crash or a half-open database.
+  for (size_t cut : {size_t{4}, image.size() / 3, image.size() - 2}) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(cut));
+    out.close();
+    EXPECT_FALSE(gom::Database::Open(path, 16).ok()) << "cut at " << cut;
+  }
+
+  // A wrong magic number is rejected before any state is built.
+  {
+    std::string bad = image;
+    bad[0] ^= 0x5A;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bad.data(), static_cast<std::streamsize>(bad.size()));
+    out.close();
+    Result<std::unique_ptr<gom::Database>> opened =
+        gom::Database::Open(path, 16);
+    EXPECT_TRUE(opened.status().IsCorruption());
+  }
+
+  // The pristine image still opens: the negative cases above failed for
+  // the right reason, not because the fixture snapshot was unusable.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(image.data(), static_cast<std::streamsize>(image.size()));
+    out.close();
+    EXPECT_TRUE(gom::Database::Open(path, 16).ok());
+  }
+  std::remove(path.c_str());
 }
 
 // --- Rebuild() as the retained-set-column maintenance path -----------------

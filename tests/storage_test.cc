@@ -32,9 +32,9 @@ TEST(DiskTest, ReadWriteRoundTrip) {
   PageId id = disk.AllocatePage(seg);
   Page page;
   page.Write<uint64_t>(100, 0xDEADBEEFull);
-  disk.WritePage(id, page);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
   Page out;
-  disk.ReadPage(id, &out);
+  ASSERT_TRUE(disk.ReadPage(id, &out).ok());
   EXPECT_EQ(out.Read<uint64_t>(100), 0xDEADBEEFull);
 }
 
@@ -45,9 +45,9 @@ TEST(DiskTest, CountsAccessesPerSegment) {
   PageId pa = disk.AllocatePage(a);
   PageId pb = disk.AllocatePage(b);
   Page page;
-  disk.WritePage(pa, page);
-  disk.ReadPage(pa, &page);
-  disk.ReadPage(pb, &page);
+  ASSERT_TRUE(disk.WritePage(pa, page).ok());
+  ASSERT_TRUE(disk.ReadPage(pa, &page).ok());
+  ASSERT_TRUE(disk.ReadPage(pb, &page).ok());
   EXPECT_EQ(disk.segment_stats(a).page_writes, 1u);
   EXPECT_EQ(disk.segment_stats(a).page_reads, 1u);
   EXPECT_EQ(disk.segment_stats(b).page_reads, 1u);
@@ -123,7 +123,7 @@ TEST(BufferManagerTest, DirtyPageWrittenBackOnEviction) {
   }
   EXPECT_EQ(disk.stats().page_writes, 1u);
   Page out;
-  disk.ReadPage(id, &out);
+  ASSERT_TRUE(disk.ReadPage(id, &out).ok());
   EXPECT_EQ(out.Read<uint32_t>(0), 777u);
 }
 
@@ -182,7 +182,7 @@ TEST(BufferManagerTest, AllocatePinnedIsDirtyFromBirth) {
   }
   // Written back even without MarkDirty: fresh pages are dirty.
   Page out;
-  disk.ReadPage(id, &out);
+  ASSERT_TRUE(disk.ReadPage(id, &out).ok());
   EXPECT_EQ(out.Read<uint32_t>(8), 99u);
   EXPECT_EQ(disk.stats().page_reads, 1u);  // allocation did not read
 }
@@ -197,9 +197,9 @@ TEST(BufferManagerTest, FlushAllPersistsEverything) {
     guard.page().Write<uint32_t>(4, 5);
     guard.MarkDirty();
   }
-  buffers.FlushAll();
+  ASSERT_TRUE(buffers.FlushAll().ok());
   Page out;
-  disk.ReadPage(id, &out);
+  ASSERT_TRUE(disk.ReadPage(id, &out).ok());
   EXPECT_EQ(out.Read<uint32_t>(4), 5u);
 }
 
