@@ -7,6 +7,8 @@
 #ifndef ASR_BENCH_BENCH_UTIL_H_
 #define ASR_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -132,6 +134,120 @@ inline OperationMix Fig17Mix() {
   mix.updates = {{1.0, 3}};
   return mix;
 }
+
+// --- Wall-clock timing ----------------------------------------------------
+
+// Monotonic stopwatch for the dual (page-count, wall-clock) reports: page
+// accesses are the model's currency, ElapsedMs is the hardware's.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void Reset() { start_ = std::chrono::steady_clock::now(); }
+  double ElapsedMs() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+// --- JSON emission --------------------------------------------------------
+
+// Streaming writer for the BENCH_*.json artifacts: owns the comma/indent
+// bookkeeping the benches used to hand-roll around fprintf. Keys and string
+// values are emitted verbatim (bench labels contain no characters needing
+// escapes); doubles print with three decimals, like the tables.
+class JsonWriter {
+ public:
+  explicit JsonWriter(const std::string& path)
+      : file_(std::fopen(path.c_str(), "w")) {}
+  ~JsonWriter() { Close(); }
+  JsonWriter(const JsonWriter&) = delete;
+  JsonWriter& operator=(const JsonWriter&) = delete;
+
+  bool ok() const { return file_ != nullptr; }
+
+  JsonWriter& BeginObject(const char* key = nullptr) {
+    OpenScope('{', key);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    CloseScope('}');
+    return *this;
+  }
+  JsonWriter& BeginArray(const char* key = nullptr) {
+    OpenScope('[', key);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    CloseScope(']');
+    return *this;
+  }
+
+  JsonWriter& Field(const char* key, const std::string& value) {
+    Prefix(key);
+    if (ok()) std::fprintf(file_, "\"%s\"", value.c_str());
+    return *this;
+  }
+  JsonWriter& Field(const char* key, const char* value) {
+    return Field(key, std::string(value));
+  }
+  JsonWriter& Field(const char* key, double value) {
+    Prefix(key);
+    if (ok()) std::fprintf(file_, "%.3f", value);
+    return *this;
+  }
+  JsonWriter& Field(const char* key, uint64_t value) {
+    Prefix(key);
+    if (ok()) {
+      std::fprintf(file_, "%llu", static_cast<unsigned long long>(value));
+    }
+    return *this;
+  }
+
+  // Closes the file (any still-open scopes are the caller's bug; the
+  // artifact checkers in scripts/ci.sh would catch the malformed output).
+  void Close() {
+    if (file_ == nullptr) return;
+    std::fprintf(file_, "\n");
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+
+ private:
+  void Prefix(const char* key) {
+    if (!ok()) return;
+    if (!scopes_.empty()) {
+      std::fprintf(file_, scopes_.back().has_items ? ",\n" : "\n");
+      scopes_.back().has_items = true;
+      for (size_t i = 0; i < scopes_.size(); ++i) std::fprintf(file_, "  ");
+    }
+    if (key != nullptr) std::fprintf(file_, "\"%s\": ", key);
+  }
+  void OpenScope(char open, const char* key) {
+    Prefix(key);
+    if (ok()) std::fprintf(file_, "%c", open);
+    scopes_.push_back(Scope{});
+  }
+  void CloseScope(char close) {
+    bool had_items = !scopes_.empty() && scopes_.back().has_items;
+    if (!scopes_.empty()) scopes_.pop_back();
+    if (!ok()) return;
+    if (had_items) {
+      std::fprintf(file_, "\n");
+      for (size_t i = 0; i < scopes_.size(); ++i) std::fprintf(file_, "  ");
+    }
+    std::fprintf(file_, "%c", close);
+  }
+
+  struct Scope {
+    bool has_items = false;
+  };
+  std::FILE* file_;
+  std::vector<Scope> scopes_;
+};
 
 // --- Table rendering -----------------------------------------------------
 

@@ -10,7 +10,6 @@
 // navigation until Repair() rebuilds the trees. Results go to stdout and
 // BENCH_recovery.json.
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -21,13 +20,6 @@
 #include "workload/synthetic_base.h"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double MillisSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
-}
 
 // Accumulated cost of one recovery class over the sweep.
 struct RecoveryCost {
@@ -82,11 +74,11 @@ int main() {
 
   // --- Clean restart: triage every partition, re-derive nothing ----------
   RecoveryReport clean_report;
-  Clock::time_point clean_start = Clock::now();
+  asr::bench::WallTimer clean_timer;
   storage::AccessStats clean_cost = workload::Meter(base->disk(), [&] {
     ASR_CHECK(asr->Recover(&clean_report).ok());
   });
-  double clean_ms = MillisSince(clean_start);
+  double clean_ms = clean_timer.ElapsedMs();
   Claim("clean restart takes the fast path (nothing recomputed)",
         clean_report.clean && clean_report.rows_recomputed == 0);
 
@@ -135,11 +127,11 @@ int main() {
       RecoveryCost& c = costs[variant];
       ++c.points;
       RecoveryReport report;
-      Clock::time_point start = Clock::now();
+      asr::bench::WallTimer timer;
       storage::AccessStats cost = workload::Meter(base->disk(), [&] {
         ASR_CHECK(asr->Recover(&report).ok());
       });
-      c.total_ms += MillisSince(start);
+      c.total_ms += timer.ElapsedMs();
       ++c.recoveries;
       c.total_pages += cost.total();
       c.max_pages = std::max(c.max_pages, cost.total());
@@ -199,11 +191,11 @@ int main() {
   uint64_t degraded_nav = NonTreePageReads(base->disk());
 
   RecoveryReport repair_report;
-  Clock::time_point repair_start = Clock::now();
+  asr::bench::WallTimer repair_timer;
   storage::AccessStats repair_cost = workload::Meter(base->disk(), [&] {
     ASR_CHECK(asr->Repair(&repair_report).ok());
   });
-  double repair_ms = MillisSince(repair_start);
+  double repair_ms = repair_timer.ElapsedMs();
 
   base->disk()->ResetStats();
   storage::AccessStats repaired = workload::Meter(base->disk(), [&] {

@@ -18,6 +18,13 @@
 #               instrumentation compiles out
 #   paranoid    suite with -DASR_PARANOID=ON: every maintenance commit
 #               point revalidates the ASR structural invariants inline
+#   file-backend  the full default-tree ctest run again with
+#               ASR_STORAGE_BACKEND=file — everything above the storage
+#               seam (metering, checksums, fault staging, recovery) must
+#               behave identically when page bytes live in real files
+#   bench-smoke   runs the dual-report bench and fails unless the JSON
+#               artifact carries wall_ms fields (the raw-speed half of the
+#               reporting contract)
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -49,5 +56,19 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
 
 run_job no-metrics  build-ci-nometrics -DASR_METRICS=OFF
 run_job paranoid    build-ci-paranoid  -DASR_PARANOID=ON
+
+echo "==== [file-backend] tier-1 suite on the file backend ===="
+ASR_STORAGE_BACKEND=file \
+  ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "==== [bench-smoke] dual-report artifact check ===="
+REPO_ROOT="$PWD"
+BENCH_DIR="$(mktemp -d)"
+(cd "$BENCH_DIR" && "$REPO_ROOT"/build-ci/bench/bulkload_bench)
+grep -q '"wall_ms"' "$BENCH_DIR/BENCH_bulkload.json" || {
+  echo "bench-smoke: BENCH_bulkload.json carries no wall_ms field" >&2
+  exit 1
+}
+rm -rf "$BENCH_DIR"
 
 echo "==== all CI jobs passed ===="

@@ -1,5 +1,6 @@
 #include "asr/access_support_relation.h"
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <unordered_set>
@@ -20,6 +21,41 @@ bool AllNull(const rel::Row& row) {
 
 rel::Row Slice(const rel::Row& row, uint32_t first, uint32_t last) {
   return rel::Row(row.begin() + first, row.begin() + last + 1);
+}
+
+// One lookup hop: probes `tree` with every frontier key and collects the
+// non-null values of `rel_col` into `next`. Strict-metering configurations
+// (buffer capacity 0) probe key by key so the realized page counts match the
+// model's per-source ht + nlp charge exactly; with a real buffer pool the
+// frontier is sorted and fed to the B+ tree's batched sorted probe, which
+// amortizes descents across keys landing in the same leaves and prefetches
+// sibling leaves — identical rows, fewer instructions.
+void ProbeFrontier(btree::BTree* tree,
+                   const std::unordered_set<AsrKey>& frontier,
+                   uint32_t rel_col, std::unordered_set<AsrKey>* next) {
+  if (tree->buffers()->capacity() == 0) {
+    for (AsrKey key : frontier) {
+      if (key.IsNull()) continue;
+      tree->LookupEach(key, [&](const rel::Row& row) {
+        AsrKey v = row[rel_col];
+        if (!v.IsNull()) next->insert(v);
+        return true;
+      });
+    }
+    return;
+  }
+  std::vector<AsrKey> keys;
+  keys.reserve(frontier.size());
+  for (AsrKey key : frontier) {
+    if (!key.IsNull()) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](AsrKey a, AsrKey b) { return a.raw() < b.raw(); });
+  tree->LookupBatch(keys, [&](size_t, const rel::Row& row) {
+    AsrKey v = row[rel_col];
+    if (!v.IsNull()) next->insert(v);
+    return true;
+  });
 }
 
 // Runs `tasks` on up to `threads` workers (inline when one suffices). Tasks
@@ -348,16 +384,8 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
     }
     std::unordered_set<AsrKey> next;
     if (via_lookup) {
-      uint32_t rel_target = target - part.first;
-      for (AsrKey key : frontier) {
-        if (key.IsNull()) continue;
-        partitions_[p_idx].store->forward->LookupEach(
-            key, [&](const rel::Row& row) {
-              AsrKey v = row[rel_target];
-              if (!v.IsNull()) next.insert(v);
-              return true;
-            });
-      }
+      ProbeFrontier(partitions_[p_idx].store->forward.get(), frontier,
+                    target - part.first, &next);
     } else {
       uint32_t rel_c = c - part.first;
       Status st = partitions_[p_idx].store->forward->ScanAll(
@@ -435,16 +463,8 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
     }
     std::unordered_set<AsrKey> next;
     if (via_lookup) {
-      uint32_t rel_dest = dest - part.first;
-      for (AsrKey key : frontier) {
-        if (key.IsNull()) continue;
-        partitions_[p_idx].store->backward->LookupEach(
-            key, [&](const rel::Row& row) {
-              AsrKey v = row[rel_dest];
-              if (!v.IsNull()) next.insert(v);
-              return true;
-            });
-      }
+      ProbeFrontier(partitions_[p_idx].store->backward.get(), frontier,
+                    dest - part.first, &next);
     } else {
       uint32_t rel_c = c - part.first;
       Status st = partitions_[p_idx].store->forward->ScanAll(

@@ -15,10 +15,26 @@
 // leaf or non-leaf pages do not occur" for cost accounting (§6.2).
 //
 // Node layout (within the 4056-byte net page):
-//   leaf:     [1:u8][pad:u8][count:u16][next_leaf:u32]
-//             [(fingerprint:u64, tuple: width x u64) x count]
-//   internal: [0:u8][pad:u8][count:u16][child0:u32]
-//             [(key:u64, fingerprint:u64, child:u32) x count]
+//   plain leaf:  [1:u8][flags:u8=0][count:u16][next_leaf:u32]
+//                [(fingerprint:u64, tuple: width x u64) x count]
+//   internal:    [0:u8][pad:u8][count:u16][child0:u32]
+//                [(key:u64, fingerprint:u64, child:u32) x count]
+//
+// Leaves additionally support a key-prefix-compressed format (flags bit 0),
+// chosen per leaf whenever every key-column value in the leaf fits in a
+// 1/2/4-byte delta against the leaf's smallest key — which clustered OID
+// runs almost always do:
+//   compressed:  [1:u8][flags:u8=1][count:u16][next_leaf:u32]
+//                [key_base:u64][kb:u8][pad x7]
+//                [key deltas: count x kb bytes]                (columnar)
+//                at 24 + leaf_capacity x kb:
+//                [(fingerprint:u64, non-key columns x u64) x count]
+// The key column is reconstructed as key_base + delta; the packed columnar
+// delta array is what intra-leaf binary search touches, so a probe scans
+// 1-4 bytes per entry instead of a full tuple. Compression is a CPU /
+// memory-bandwidth optimization only: a leaf never holds more than the
+// plain-format capacity (the paper's Eq. 16 density), so page counts —
+// the model-validated quantity — are identical with and without it.
 #ifndef ASR_BTREE_BTREE_H_
 #define ASR_BTREE_BTREE_H_
 
@@ -76,6 +92,25 @@ class BTree {
   void LookupEach(AsrKey key,
                   const std::function<bool(const std::vector<AsrKey>&)>& fn);
 
+  // Batched sorted-probe lookup: `keys` must be sorted ascending. Calls
+  // `fn(i, tuple)` for every tuple whose key column equals keys[i], i
+  // ascending and tuples in cluster order — exactly the rows LookupEach
+  // would deliver key by key, byte for byte. `fn` returns false to stop the
+  // whole batch. The win is CPU: one descent serves every key that lands in
+  // the current leaf (or its sibling — the chain hop the sorted order makes
+  // likely), and the sibling leaf is software-prefetched while the current
+  // one is scanned. Amortizing descents also skips inner-page pins the
+  // scalar path would re-charge, so strict metering runs (buffer capacity
+  // 0), whose observed counts must realize the model's per-source ht + nlp
+  // charge, should keep calling LookupEach — see
+  // AccessSupportRelation::EvalForward.
+  void LookupBatch(const std::vector<AsrKey>& keys,
+                   const std::function<bool(size_t, const std::vector<AsrKey>&)>& fn);
+
+  // Buffer pool this tree pins through (callers use its capacity to decide
+  // between metered-faithful scalar probes and batched raw-speed probes).
+  storage::BufferManager* buffers() const { return buffers_; }
+
   // True iff some tuple has `key` in the key column (same page cost as a
   // cluster lookup of one leaf page).
   bool Contains(AsrKey key);
@@ -93,6 +128,14 @@ class BTree {
   // for every leaf in chain order. Fails with Corruption when the chain does
   // not terminate within the allocated leaf count (a cycle or stray link).
   Status ForEachLeaf(const std::function<Status(uint32_t, uint16_t)>& fn);
+
+  // Test/diagnostic introspection: walks the leaf chain and returns
+  // (compressed, plain) leaf counts. Cold path.
+  struct LeafFormatCounts {
+    uint32_t compressed = 0;
+    uint32_t plain = 0;
+  };
+  Result<LeafFormatCounts> CountLeafFormats();
 
   // Disk segment holding this tree's pages (introspection; also the handle
   // corruption-injection tests use to reach raw pages).

@@ -13,8 +13,9 @@ constexpr uint64_t kMagic = 0x0001626452534100ull;
 
 }  // namespace
 
-std::unique_ptr<Database> Database::Create(size_t buffer_capacity) {
-  return std::unique_ptr<Database>(new Database(buffer_capacity));
+std::unique_ptr<Database> Database::Create(size_t buffer_capacity,
+                                           const storage::DiskOptions& disk) {
+  return std::unique_ptr<Database>(new Database(buffer_capacity, disk));
 }
 
 Status Database::Save(const std::string& file) {
@@ -35,8 +36,9 @@ Status Database::Save(const std::string& file) {
   return Status::OK();
 }
 
-Result<std::unique_ptr<Database>> Database::Open(const std::string& file,
-                                                 size_t buffer_capacity) {
+Result<std::unique_ptr<Database>> Database::Open(
+    const std::string& file, size_t buffer_capacity,
+    const storage::DiskOptions& disk) {
   std::ifstream in(file, std::ios::binary);
   if (!in.good()) {
     return Status::NotFound("cannot open snapshot '" + file + "'");
@@ -47,7 +49,7 @@ Result<std::unique_ptr<Database>> Database::Open(const std::string& file,
     return Status::Corruption("'" + file + "' is not an asr database "
                               "snapshot (bad magic)");
   }
-  std::unique_ptr<Database> db(new Database(buffer_capacity));
+  std::unique_ptr<Database> db(new Database(buffer_capacity, disk));
   ASR_RETURN_IF_ERROR(db->schema_.Deserialize(&in));
   ASR_RETURN_IF_ERROR(db->disk_.Deserialize(&in));
   ASR_RETURN_IF_ERROR(db->store_.DeserializeMetadata(&in));

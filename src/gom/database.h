@@ -21,11 +21,17 @@ namespace asr::gom {
 class Database {
  public:
   // A fresh, empty database. Define types via schema(), then create objects.
-  static std::unique_ptr<Database> Create(size_t buffer_capacity = 256);
+  // `disk` picks the storage backend (default: the environment, like a bare
+  // Disk — see storage/backend.h).
+  static std::unique_ptr<Database> Create(
+      size_t buffer_capacity = 256,
+      const storage::DiskOptions& disk = storage::DiskOptions::FromEnv());
 
-  // Opens a snapshot previously written by Save().
-  static Result<std::unique_ptr<Database>> Open(const std::string& file,
-                                                size_t buffer_capacity = 256);
+  // Opens a snapshot previously written by Save(). Snapshots are
+  // backend-independent: any `disk` options can open any snapshot.
+  static Result<std::unique_ptr<Database>> Open(
+      const std::string& file, size_t buffer_capacity = 256,
+      const storage::DiskOptions& disk = storage::DiskOptions::FromEnv());
 
   // Writes the full database (schema, pages, store metadata) to `file`,
   // flushing buffered pages first. The snapshot is self-contained.
@@ -37,8 +43,9 @@ class Database {
   storage::BufferManager* buffers() { return &buffers_; }
 
  private:
-  explicit Database(size_t buffer_capacity)
-      : buffers_(&disk_, buffer_capacity), store_(&schema_, &buffers_) {}
+  Database(size_t buffer_capacity, const storage::DiskOptions& disk)
+      : disk_(disk), buffers_(&disk_, buffer_capacity),
+        store_(&schema_, &buffers_) {}
 
   Schema schema_;
   storage::Disk disk_;

@@ -1,9 +1,16 @@
-// In-memory simulated disk, segmented, with per-segment access metering.
+// Segmented page store with per-segment access metering, per-page checksums,
+// and fault injection — over a pluggable storage backend.
 //
 // The paper has no running system; its evaluation counts secondary page
 // accesses analytically. This disk is the executable counterpart: an array of
 // 4056-byte pages per segment whose every read/write is counted, so a live
-// query can be metered with the same unit the paper uses.
+// query can be metered with the same unit the paper uses. Where the page
+// bytes physically live is a separate concern (storage/backend.h): the
+// default in-memory backend is the metering instrument, while the
+// file-backed backend (pread/pwrite, optional mmap reads) measures the same
+// workloads at hardware speed. Metering, checksums, fault injection, and
+// snapshot serialization all live ABOVE the seam, so they behave identically
+// on every backend.
 //
 // Fault model: an optional FaultInjector observes every counted I/O and can
 // drop a write (crash), tear it (half-written sector revealed at restart),
@@ -29,6 +36,7 @@
 
 #include <deque>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <shared_mutex>
 #include <string>
@@ -38,6 +46,7 @@
 #include "common/status.h"
 #include "obs/metrics.h"
 #include "storage/access_stats.h"
+#include "storage/backend.h"
 #include "storage/fault_injector.h"
 #include "storage/page.h"
 
@@ -45,8 +54,17 @@ namespace asr::storage {
 
 class Disk {
  public:
-  Disk() = default;
+  // The default backend comes from the environment (DiskOptions::FromEnv),
+  // so a whole binary — notably the test suite under the CI file-backend
+  // job — can be flipped with ASR_STORAGE_BACKEND=file.
+  Disk() : Disk(DiskOptions::FromEnv()) {}
+  explicit Disk(const DiskOptions& options);
   ASR_DISALLOW_COPY_AND_ASSIGN(Disk);
+
+  BackendKind backend_kind() const { return backend_->kind(); }
+  const char* backend_name() const {
+    return BackendKindName(backend_->kind());
+  }
 
   // Creates an empty segment and returns its id. `name` is for diagnostics.
   uint32_t CreateSegment(std::string name);
@@ -61,6 +79,10 @@ class Disk {
   // injector drops or tears the write. On failure `*out` is unspecified.
   Status ReadPage(PageId id, Page* out);
   Status WritePage(PageId id, const Page& page);
+
+  // Uncounted read hint: tells the backend `id` is about to be pinned (the
+  // B+ tree batched probe announces sibling leaves). Never required.
+  void PrefetchPage(PageId id);
 
   // Checksum triage (counted as reads — recovery pays for its verification
   // pass in the same unit as everything else). VerifySegment returns the
@@ -86,6 +108,8 @@ class Disk {
   // Snapshot support: raw segment/page image (access statistics are not
   // persisted; checksums are recomputed on load). Deserialize requires an
   // empty disk and leaves it empty when the stream is truncated or corrupt.
+  // The snapshot format is backend-independent: a snapshot written on one
+  // backend loads on any other.
   void Serialize(std::ostream* out) const;
   Status Deserialize(std::istream* in);
 
@@ -97,16 +121,18 @@ class Disk {
   void ResetStats();
 
   // Pushes disk-wide and per-segment page-access counters into `registry`
-  // under `prefix` (e.g. "disk.segment.<name>.reads"). Cold path; call from
-  // a quiescent point, like stats().
+  // under `prefix` (e.g. "disk.segment.<name>.reads"), plus the backend's
+  // own counters under `prefix + ".backend"`. Cold path; call from a
+  // quiescent point, like stats().
   void ExportMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix) const;
 
  private:
+  // Per-segment bookkeeping above the seam; page bytes live in backend_.
   struct Segment {
     std::string name;
-    std::vector<Page> pages;
-    // checksums[i] covers pages[i]; maintained on every successful write.
+    // checksums[i] covers page i; maintained on every successful write. The
+    // vector's size is also the segment's logical page count.
     std::vector<uint64_t> checksums;
     AccessStats stats;
   };
@@ -117,12 +143,13 @@ class Disk {
   };
 
   // References into segments_ are stable (deque) — the lock only covers the
-  // table lookup, never the page copy.
+  // table lookup, never the page I/O.
   Segment& GetSegment(uint32_t segment);
   const Segment& GetSegment(uint32_t segment) const;
 
   mutable std::shared_mutex mu_;  // guards the segment table structure
   std::deque<Segment> segments_;
+  std::unique_ptr<StorageBackend> backend_;
   FaultInjector* injector_ = nullptr;
   std::vector<TornPage> pending_torn_;
 };

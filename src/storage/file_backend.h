@@ -1,0 +1,90 @@
+// Raw-speed file-backed page store: one file per segment, pread/pwrite,
+// optional mmap read path.
+//
+// This is the wall-clock substrate the ROADMAP's "as fast as the hardware
+// allows" goal needs: pages live in real files (one per segment, pages at
+// offset page_no * kPageSize), writes go through pwrite, and reads are
+// served either by pread or — when DiskOptions::mmap_reads is set — by a
+// MAP_SHARED mapping of the segment file, which turns a steady-state read
+// into a single memcpy out of the OS page cache. Files are grown in chunks
+// (ftruncate doubling) so page allocation is not a syscall per page, and the
+// mapping is re-established only when the file capacity actually grows.
+//
+// Durability is intentionally NOT the point: no fsync is issued. Crash
+// semantics in this codebase are *simulated* by the FaultInjector above the
+// seam (in Disk), so they apply to this backend unchanged; the files exist
+// for speed and for realistic I/O-path measurement, not for pulling the
+// plug on the host.
+//
+// Concurrency: same contract as every backend — segment creation may run
+// concurrently with access to existing segments (the table is guarded, the
+// deque gives stable references), and each segment has one accessor thread
+// at a time, which also serializes growth/remap of that segment's file.
+#ifndef ASR_STORAGE_FILE_BACKEND_H_
+#define ASR_STORAGE_FILE_BACKEND_H_
+
+#include <atomic>
+#include <deque>
+#include <shared_mutex>
+#include <string>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "storage/backend.h"
+
+namespace asr::storage {
+
+class FileBackend : public StorageBackend {
+ public:
+  // `dir` empty: create a private mkdtemp directory (removed, with all
+  // segment files, on destruction). Non-empty: use it (must exist or be
+  // creatable); the directory itself is kept, segment files are still
+  // unlinked on destruction.
+  FileBackend(std::string dir, bool mmap_reads);
+  ~FileBackend() override;
+  ASR_DISALLOW_COPY_AND_ASSIGN(FileBackend);
+
+  BackendKind kind() const override { return BackendKind::kFile; }
+  void AddSegment(const std::string& name) override;
+  void AddPage(uint32_t segment) override;
+  Status Read(uint32_t segment, uint32_t page_no, Page* out) override;
+  Status Write(uint32_t segment, uint32_t page_no, const Page& page) override;
+  void Prefetch(uint32_t segment, uint32_t page_no) override;
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const override;
+
+  const std::string& dir() const { return dir_; }
+  bool mmap_reads() const { return mmap_reads_; }
+
+ private:
+  struct Segment {
+    int fd = -1;
+    uint32_t pages = 0;          // logical page count
+    uint32_t capacity_pages = 0; // pages the file (and mapping) can hold
+    std::byte* map = nullptr;    // MAP_SHARED mapping when mmap_reads_
+    std::string path;
+  };
+
+  Segment& Seg(uint32_t segment);
+  const Segment& Seg(uint32_t segment) const;
+  // Grows seg's file (and mapping) to hold at least `pages` pages.
+  void Reserve(Segment* seg, uint32_t pages);
+
+  mutable std::shared_mutex mu_;  // guards the segment table structure
+  std::deque<Segment> segments_;
+  std::string dir_;
+  bool owns_dir_ = false;
+  bool mmap_reads_ = false;
+
+  // Relaxed atomics: bumped from per-segment accessor threads, read only at
+  // quiescent export points. (Unlike AccessStats these cross segments, so
+  // plain counters would race under parallel builds.)
+  std::atomic<uint64_t> bytes_read_{0};
+  std::atomic<uint64_t> bytes_written_{0};
+  std::atomic<uint64_t> mmap_reads_served_{0};
+  std::atomic<uint64_t> remaps_{0};
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_FILE_BACKEND_H_

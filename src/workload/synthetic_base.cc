@@ -15,7 +15,7 @@ Result<std::unique_ptr<SyntheticBase>> SyntheticBase::Generate(
   const uint32_t n = profile.n;
 
   std::unique_ptr<SyntheticBase> base(
-      new SyntheticBase(options.buffer_capacity));
+      new SyntheticBase(options.buffer_capacity, options.disk));
   gom::Schema& schema = base->schema_;
 
   // Define types from the path's far end backwards so range types exist.

@@ -32,6 +32,10 @@ struct GenerateOptions {
   uint64_t seed = 42;
   // Buffer frames retained between pins. Keep 0 for strict metering.
   size_t buffer_capacity = 0;
+  // Where the pages physically live (storage/backend.h). Defaults to the
+  // environment, like a bare Disk; benches pass explicit options to run the
+  // same workload on both backends in one process.
+  storage::DiskOptions disk = storage::DiskOptions::FromEnv();
 };
 
 class SyntheticBase {
@@ -55,8 +59,9 @@ class SyntheticBase {
   }
 
  private:
-  explicit SyntheticBase(size_t buffer_capacity)
-      : buffers_(&disk_, buffer_capacity), store_(&schema_, &buffers_) {}
+  SyntheticBase(size_t buffer_capacity, const storage::DiskOptions& disk)
+      : disk_(disk), buffers_(&disk_, buffer_capacity),
+        store_(&schema_, &buffers_) {}
 
   gom::Schema schema_;
   storage::Disk disk_;

@@ -200,5 +200,129 @@ TEST_F(BTreeTest, LookupCostIsHeightPlusLeaves) {
   EXPECT_LE(delta.page_reads, tree.height() + 2);
 }
 
+// --- Leaf compression & batched probes (CPU micro-optimizations) ---------
+
+TEST_F(BTreeTest, BulkLoadCompressesDenseKeyRuns) {
+  BTree tree(&buffers_, "t", 2, 0);
+  std::vector<std::vector<AsrKey>> tuples;
+  for (uint64_t i = 1; i <= 30000; ++i) tuples.push_back(Tuple({i, i}));
+  ASSERT_TRUE(tree.BulkLoad(tuples).ok());
+
+  // Dense OID runs fit 1/2-byte deltas: every packed leaf compresses. The
+  // leaf count (the model-validated quantity) is unaffected by the format.
+  BTree::LeafFormatCounts counts = tree.CountLeafFormats().value();
+  EXPECT_GT(counts.compressed, 0u);
+  EXPECT_EQ(counts.compressed + counts.plain, tree.leaf_page_count());
+  EXPECT_TRUE(tree.CheckIntegrity().ok());
+
+  std::vector<uint64_t> scanned;
+  ASSERT_TRUE(tree.ScanAll([&](const std::vector<AsrKey>& row) {
+                    scanned.push_back(row[0].ToOid().seq());
+                    return Status::OK();
+                  })
+                  .ok());
+  ASSERT_EQ(scanned.size(), 30000u);
+  EXPECT_TRUE(std::is_sorted(scanned.begin(), scanned.end()));
+}
+
+TEST_F(BTreeTest, SplitsProduceCompressedLeavesOnInsertPath) {
+  BTree tree(&buffers_, "t", 2, 0);
+  // Grow past several splits: fresh leaves start plain, but every split
+  // re-encodes both halves, which compresses dense runs.
+  for (uint64_t i = 1; i <= 5 * tree.leaf_capacity(); ++i) {
+    ASSERT_TRUE(tree.Insert(Tuple({i, i})));
+  }
+  BTree::LeafFormatCounts counts = tree.CountLeafFormats().value();
+  EXPECT_GT(counts.compressed, 0u);
+  EXPECT_TRUE(tree.CheckIntegrity().ok());
+}
+
+TEST_F(BTreeTest, WideKeySpanFallsBackToPlainLeaves) {
+  BTree tree(&buffers_, "t", 2, 0);
+  std::vector<std::vector<AsrKey>> tuples;
+  // Adjacent keys 2^33 apart: no leaf with two entries can hold the span in
+  // a 4-byte delta (seq is 40 bits, so stay under 120 keys).
+  for (uint64_t i = 0; i < 120; ++i) {
+    tuples.push_back(Tuple({1 + (i << 33), i + 1}));
+  }
+  ASSERT_TRUE(tree.BulkLoad(tuples).ok());
+  BTree::LeafFormatCounts counts = tree.CountLeafFormats().value();
+  EXPECT_EQ(counts.compressed, 0u);
+  EXPECT_GT(counts.plain, 0u);
+  EXPECT_TRUE(tree.CheckIntegrity().ok());
+  for (uint64_t i = 0; i < 120; ++i) {
+    EXPECT_TRUE(tree.Contains(AsrKey::FromOid(Oid::Make(1, 1 + (i << 33)))));
+  }
+}
+
+// The batched probe must be indistinguishable from scalar probes in what it
+// delivers: same rows, same per-key attribution, same order — across
+// tuple widths/key columns (the decompositions the ASR eval paths use),
+// absent keys, multi-leaf duplicate clusters, and early stops.
+TEST_F(BTreeTest, LookupBatchMatchesScalarProbes) {
+  struct Config {
+    uint32_t width;
+    uint32_t key_col;
+  };
+  Rng rng(29);
+  for (Config cfg : {Config{2, 0}, Config{3, 1}, Config{4, 3}}) {
+    BTree tree(&buffers_, "b" + std::to_string(cfg.width), cfg.width,
+               cfg.key_col);
+    for (int i = 0; i < 20000; ++i) {
+      std::vector<AsrKey> t;
+      for (uint32_t c = 0; c < cfg.width; ++c) {
+        uint64_t seq =
+            c == cfg.key_col ? rng.Uniform(3000) + 1 : rng.Uniform(40) + 1;
+        t.push_back(AsrKey::FromOid(Oid::Make(1, seq)));
+      }
+      tree.Insert(t);
+    }
+    // Both leaf formats must be in play for the comparison to mean much.
+    BTree::LeafFormatCounts counts = tree.CountLeafFormats().value();
+    EXPECT_GT(counts.compressed, 0u) << "width " << cfg.width;
+
+    // Probe every key in [1, 3200]: present, absent past 3000, clusters.
+    std::vector<AsrKey> keys;
+    for (uint64_t k = 1; k <= 3200; ++k) {
+      keys.push_back(AsrKey::FromOid(Oid::Make(1, k)));
+    }
+    using Hit = std::pair<size_t, std::vector<AsrKey>>;
+    std::vector<Hit> want;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      tree.LookupEach(keys[i], [&](const std::vector<AsrKey>& row) {
+        want.push_back({i, row});
+        return true;
+      });
+    }
+    std::vector<Hit> got;
+    tree.LookupBatch(keys, [&](size_t i, const std::vector<AsrKey>& row) {
+      got.push_back({i, row});
+      return true;
+    });
+    EXPECT_EQ(want, got) << "width " << cfg.width;
+
+    // Early stop: the batch delivers exactly the scalar prefix, then halts.
+    constexpr size_t kStop = 7;
+    std::vector<Hit> partial;
+    tree.LookupBatch(keys, [&](size_t i, const std::vector<AsrKey>& row) {
+      partial.push_back({i, row});
+      return partial.size() < kStop;
+    });
+    ASSERT_EQ(partial.size(), std::min(kStop, want.size()));
+    std::vector<Hit> prefix(want.begin(), want.begin() + partial.size());
+    EXPECT_EQ(prefix, partial) << "width " << cfg.width;
+  }
+}
+
+TEST_F(BTreeTest, LookupBatchOnEmptyTreeDeliversNothing) {
+  BTree tree(&buffers_, "t", 2, 0);
+  std::vector<AsrKey> keys = {AsrKey::FromOid(Oid::Make(1, 1)),
+                              AsrKey::FromOid(Oid::Make(1, 2))};
+  tree.LookupBatch(keys, [&](size_t, const std::vector<AsrKey>&) {
+    ADD_FAILURE() << "empty tree delivered a row";
+    return true;
+  });
+}
+
 }  // namespace
 }  // namespace asr::btree

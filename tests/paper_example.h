@@ -26,6 +26,10 @@
 namespace asr::testing {
 
 struct CompanyBase {
+  CompanyBase() = default;
+  explicit CompanyBase(const storage::DiskOptions& disk_options)
+      : disk(disk_options) {}
+
   gom::Schema schema;
   storage::Disk disk;
   storage::BufferManager buffers{&disk, 0};
@@ -50,8 +54,12 @@ struct CompanyBase {
   }
 };
 
-inline std::unique_ptr<CompanyBase> MakeCompanyBase() {
-  auto base = std::make_unique<CompanyBase>();
+// `disk_options` picks the storage backend; the default follows the
+// environment (like a bare Disk), so ASR_STORAGE_BACKEND=file flips every
+// fixture-based test at once.
+inline std::unique_ptr<CompanyBase> MakeCompanyBase(
+    const storage::DiskOptions& disk_options = storage::DiskOptions::FromEnv()) {
+  auto base = std::make_unique<CompanyBase>(disk_options);
   gom::Schema& s = base->schema;
 
   TypeId basepart =

@@ -1,11 +1,15 @@
-// Tests for the storage substrate: disk, buffer manager, slotted pages.
+// Tests for the storage substrate: disk, buffer manager, slotted pages, and
+// backend parity (everything above the storage seam must behave identically
+// on the metering in-memory store and the file-backed store).
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "storage/buffer_manager.h"
 #include "storage/disk.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 #include "storage/slotted_page.h"
 
@@ -215,6 +219,155 @@ TEST(BufferManagerTest, MovedGuardReleasesOnce) {
   b.Release();
   EXPECT_FALSE(b.valid());
 }
+
+// --- Backend parity ------------------------------------------------------
+//
+// Metering, checksums, fault staging, and snapshots all live ABOVE the
+// storage seam (storage/backend.h), so their observable behavior — down to
+// exact page-access counts — must not depend on where the bytes live. The
+// suite runs once per backend configuration. Segments are grown past the
+// file backend's initial 64-page reservation so the ftruncate-doubling
+// growth path (and, with mmap reads, the remap on growth) executes.
+
+class BackendParityTest : public ::testing::TestWithParam<DiskOptions> {};
+
+constexpr uint32_t kParityPages = 130;  // two ftruncate doublings past 64
+
+uint64_t PatternFor(uint32_t page_no) {
+  return 0x9E3779B97F4A7C15ull * (page_no + 1);
+}
+
+void FillSegment(Disk* disk, uint32_t seg) {
+  for (uint32_t i = 0; i < kParityPages; ++i) {
+    PageId id = disk->AllocatePage(seg);
+    Page page;
+    page.Write<uint64_t>(0, PatternFor(i));
+    page.Write<uint64_t>(kPageSize - 8, ~PatternFor(i));
+    ASSERT_TRUE(disk->WritePage(id, page).ok());
+  }
+}
+
+TEST_P(BackendParityTest, RoundTripVerifyAndExactMetering) {
+  Disk disk(GetParam());
+  uint32_t seg = disk.CreateSegment("parity");
+  FillSegment(&disk, seg);
+  ASSERT_EQ(disk.SegmentPageCount(seg), kParityPages);
+  for (uint32_t i = 0; i < kParityPages; ++i) {
+    Page out;
+    ASSERT_TRUE(disk.ReadPage(PageId{seg, i}, &out).ok());
+    EXPECT_EQ(out.Read<uint64_t>(0), PatternFor(i));
+    EXPECT_EQ(out.Read<uint64_t>(kPageSize - 8), ~PatternFor(i));
+  }
+  EXPECT_TRUE(disk.VerifySegment(seg).ok());
+  // The counts are exact and identical on every backend (VerifySegment
+  // bills one read per page — recovery pays in the common unit).
+  EXPECT_EQ(disk.segment_stats(seg).page_writes, kParityPages);
+  EXPECT_EQ(disk.segment_stats(seg).page_reads, 2 * kParityPages);
+}
+
+TEST_P(BackendParityTest, DroppedWriteKeepsOldImageAndChecksumAgrees) {
+  Disk disk(GetParam());
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  uint32_t seg = disk.CreateSegment("parity");
+  PageId id = disk.AllocatePage(seg);
+  Page page;
+  page.Write<uint64_t>(0, 11);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kWriteCrash;
+  spec.after_matching = 1;
+  injector.Arm(spec);
+  page.Write<uint64_t>(0, 22);
+  EXPECT_TRUE(disk.WritePage(id, page).IsIOError());
+
+  // A dropped write is checksum-invisible: the old image and its checksum
+  // still agree after restart, on any backend.
+  disk.RecoverFromCrash();
+  Page out;
+  ASSERT_TRUE(disk.ReadPage(id, &out).ok());
+  EXPECT_EQ(out.Read<uint64_t>(0), 11u);
+  EXPECT_TRUE(disk.VerifySegment(seg).ok());
+  disk.set_fault_injector(nullptr);
+}
+
+TEST_P(BackendParityTest, TornWriteStagesUntilRestart) {
+  Disk disk(GetParam());
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  uint32_t seg = disk.CreateSegment("parity");
+  PageId id = disk.AllocatePage(seg);
+  Page page;
+  page.Write<uint64_t>(0, 1);
+  page.Write<uint64_t>(kPageSize - 8, 1);
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+
+  FaultSpec spec;
+  spec.kind = FaultKind::kTornWrite;
+  spec.after_matching = 1;
+  injector.Arm(spec);
+  page.Write<uint64_t>(0, 2);
+  page.Write<uint64_t>(kPageSize - 8, 2);
+  EXPECT_TRUE(disk.WritePage(id, page).IsIOError());
+
+  // Still "up": the torn image is staged above the seam, so reads serve the
+  // fully-written page through the OS-cache fiction — no backend ever holds
+  // a half-written page while the process lives.
+  Page out;
+  ASSERT_TRUE(disk.ReadPage(id, &out).ok());
+  EXPECT_EQ(out.Read<uint64_t>(0), 2u);
+
+  // Restart: the torn image lands in the backend and the stale checksum
+  // rejects it.
+  disk.RecoverFromCrash();
+  EXPECT_TRUE(disk.ReadPage(id, &out).IsCorruption());
+  EXPECT_TRUE(disk.VerifySegment(seg).IsCorruption());
+
+  // A full rewrite heals the page.
+  ASSERT_TRUE(disk.WritePage(id, page).ok());
+  EXPECT_TRUE(disk.VerifySegment(seg).ok());
+  disk.set_fault_injector(nullptr);
+}
+
+TEST_P(BackendParityTest, SnapshotLoadsOnEveryBackend) {
+  Disk src(GetParam());
+  uint32_t seg = src.CreateSegment("parity");
+  FillSegment(&src, seg);
+  std::ostringstream out;
+  src.Serialize(&out);
+  const std::string snapshot = out.str();
+
+  // The snapshot format is backend-independent: an image written on this
+  // backend loads on both, bit-identical, with checksums recomputed.
+  for (const DiskOptions& dst_options :
+       {DiskOptions::Memory(), DiskOptions::File()}) {
+    Disk dst(dst_options);
+    std::istringstream in(snapshot);
+    ASSERT_TRUE(dst.Deserialize(&in).ok());
+    ASSERT_EQ(dst.segment_count(), 1u);
+    ASSERT_EQ(dst.SegmentPageCount(0), kParityPages);
+    EXPECT_TRUE(dst.VerifySegment(0).ok());
+    for (uint32_t i = 0; i < kParityPages; ++i) {
+      Page got;
+      ASSERT_TRUE(dst.ReadPage(PageId{0, i}, &got).ok());
+      EXPECT_EQ(got.Read<uint64_t>(0), PatternFor(i));
+      EXPECT_EQ(got.Read<uint64_t>(kPageSize - 8), ~PatternFor(i));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBackends, BackendParityTest,
+    ::testing::Values(DiskOptions::Memory(), DiskOptions::File(),
+                      DiskOptions::File("", /*mmap=*/false)),
+    [](const ::testing::TestParamInfo<DiskOptions>& info) {
+      std::string name = BackendKindName(info.param.backend);
+      if (info.param.backend == BackendKind::kFile) {
+        name += info.param.mmap_reads ? "Mmap" : "Pread";
+      }
+      return name;
+    });
 
 // --- SlottedPage --------------------------------------------------------
 
