@@ -22,6 +22,10 @@
 #               ASR_STORAGE_BACKEND=file — everything above the storage
 #               seam (metering, checksums, fault staging, recovery) must
 #               behave identically when page bytes live in real files
+#   crash-harness  the kill-based process-crash harness on the file
+#               backend: 50 randomized SIGKILL points against a child doing
+#               WAL-logged maintenance with group-flush durability; every
+#               point must recover to invariant-clean, twin-equal answers
 #   bench-smoke   runs the dual-report bench and fails unless the JSON
 #               artifact carries wall_ms fields (the raw-speed half of the
 #               reporting contract)
@@ -60,6 +64,10 @@ run_job paranoid    build-ci-paranoid  -DASR_PARANOID=ON
 echo "==== [file-backend] tier-1 suite on the file backend ===="
 ASR_STORAGE_BACKEND=file \
   ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "==== [crash-harness] 50 SIGKILL points on the file backend ===="
+ASR_STORAGE_BACKEND=file ASR_KILL_POINTS=50 \
+  build-ci/tests/kill_harness_test
 
 echo "==== [bench-smoke] dual-report artifact check ===="
 REPO_ROOT="$PWD"

@@ -233,6 +233,9 @@ class AccessSupportRelation {
   size_t quarantined_count() const;
 
   const MaintenanceJournal& journal() const { return journal_; }
+  // Mutable access for persistence wiring: Database attaches its WAL here
+  // and replays journal records through ApplyWalRecord() at reopen.
+  MaintenanceJournal* mutable_journal() { return &journal_; }
 
   // --- Introspection -------------------------------------------------------
   size_t partition_count() const { return partitions_.size(); }

@@ -1,8 +1,58 @@
 #include "asr/journal.h"
 
+#include <cstring>
 #include <utility>
 
 namespace asr {
+
+namespace {
+
+// WAL record encoding: one type byte, then fixed-width little-endian fields.
+//   'I' [u8 op][u64 seq][u64 u_raw][u32 p][u64 w_raw]   intent, edge op
+//   'R' [u64 seq]                                       intent, rebuild
+//   'C' [u64 seq]                                       commit
+//   'L' [u64 seq]                                       lost
+//   'V' [u64 count]                                     Recover() resolved all
+// Fixed-width fields keep every record self-describing from its type byte
+// alone, so replay can reject a record whose size does not match its type.
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out->append(buf, 8);
+}
+
+uint32_t GetU32(std::string_view in, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(in[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t GetU64(std::string_view in, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(in[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::string SeqRecord(char type, uint64_t seq) {
+  std::string out(1, type);
+  PutU64(&out, seq);
+  return out;
+}
+
+}  // namespace
 
 const char* MaintOpName(MaintOp op) {
   switch (op) {
@@ -36,7 +86,24 @@ uint64_t MaintenanceJournal::Append(JournalEntry entry) {
   ++pending_;
   entries_.push_back(std::move(entry));
   TruncateResolved();
-  return entries_.back().seq;
+  const JournalEntry& e = entries_.back();
+  if (wal_ != nullptr) {
+    if (e.op == MaintOp::kRebuild) {
+      // Intent records ride to the platter with the next commit's sync: the
+      // object base is authoritative, so an intent lost before any tree
+      // write just means the op never happened.
+      AppendWal(SeqRecord('R', e.seq), /*sync=*/false);
+    } else {
+      std::string rec(1, 'I');
+      rec.push_back(e.op == MaintOp::kEdgeInsert ? 0 : 1);
+      PutU64(&rec, e.seq);
+      PutU64(&rec, e.u.raw());
+      PutU32(&rec, e.p);
+      PutU64(&rec, e.w.raw());
+      AppendWal(rec, /*sync=*/false);
+    }
+  }
+  return e.seq;
 }
 
 uint64_t MaintenanceJournal::BeginEdge(MaintOp op, Oid u, uint32_t p,
@@ -70,6 +137,10 @@ void MaintenanceJournal::Commit(uint64_t seq) {
   entry->state = JournalState::kCommitted;
   --pending_;
   ++committed_;
+  // The fdatasync commit point: the intent record and this commit become
+  // durable together; a crash before it leaves a trailing intent that forces
+  // Recover() on reopen.
+  AppendWal(SeqRecord('C', seq), /*sync=*/true);
 }
 
 void MaintenanceJournal::MarkLost(uint64_t seq) {
@@ -78,6 +149,7 @@ void MaintenanceJournal::MarkLost(uint64_t seq) {
   entry->state = JournalState::kLost;
   --pending_;
   ++lost_;
+  AppendWal(SeqRecord('L', seq), /*sync=*/true);
 }
 
 uint64_t MaintenanceJournal::MarkAllRecovered() {
@@ -93,7 +165,85 @@ uint64_t MaintenanceJournal::MarkAllRecovered() {
   lost_ = 0;
   recovered_ += resolved;
   TruncateResolved();
+  if (resolved > 0) AppendWal(SeqRecord('V', resolved), /*sync=*/true);
   return resolved;
+}
+
+void MaintenanceJournal::AppendWal(const std::string& record, bool sync) {
+  if (wal_ == nullptr) return;
+  Status st = wal_->Append(record);
+  if (st.ok() && sync) st = wal_->Sync();
+  if (!st.ok() && wal_error_.ok()) wal_error_ = st;
+}
+
+bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
+  if (payload.empty()) return false;
+  switch (payload[0]) {
+    case 'I': {
+      if (payload.size() != 1 + 1 + 8 + 8 + 4 + 8) return false;
+      JournalEntry entry;
+      entry.op = payload[1] == 0 ? MaintOp::kEdgeInsert : MaintOp::kEdgeRemove;
+      entry.seq = GetU64(payload, 2);
+      entry.u = Oid::FromRaw(GetU64(payload, 10));
+      entry.p = GetU32(payload, 18);
+      entry.w = AsrKey::FromRaw(GetU64(payload, 22));
+      entry.state = JournalState::kPending;
+      ++pending_;
+      entries_.push_back(entry);
+      if (entry.seq >= next_seq_) next_seq_ = entry.seq + 1;
+      return true;
+    }
+    case 'R': {
+      if (payload.size() != 1 + 8) return false;
+      JournalEntry entry;
+      entry.op = MaintOp::kRebuild;
+      entry.seq = GetU64(payload, 1);
+      entry.state = JournalState::kPending;
+      ++pending_;
+      entries_.push_back(entry);
+      if (entry.seq >= next_seq_) next_seq_ = entry.seq + 1;
+      return true;
+    }
+    case 'C':
+    case 'L': {
+      if (payload.size() != 1 + 8) return false;
+      const uint64_t seq = GetU64(payload, 1);
+      JournalEntry* entry = Find(seq);
+      // A resolution whose intent was truncated away (checkpointed prefix)
+      // is a no-op: the entry is already reflected in the snapshot.
+      if (entry == nullptr || entry->state != JournalState::kPending) {
+        return true;
+      }
+      --pending_;
+      if (payload[0] == 'C') {
+        entry->state = JournalState::kCommitted;
+        ++committed_;
+      } else {
+        entry->state = JournalState::kLost;
+        ++lost_;
+      }
+      TruncateResolved();
+      return true;
+    }
+    case 'V': {
+      if (payload.size() != 1 + 8) return false;
+      uint64_t resolved = 0;
+      for (JournalEntry& entry : entries_) {
+        if (entry.state == JournalState::kPending ||
+            entry.state == JournalState::kLost) {
+          entry.state = JournalState::kRecovered;
+          ++resolved;
+        }
+      }
+      pending_ = 0;
+      lost_ = 0;
+      recovered_ += resolved;
+      TruncateResolved();
+      return true;
+    }
+    default:
+      return false;
+  }
 }
 
 void MaintenanceJournal::TruncateResolved() {

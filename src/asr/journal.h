@@ -19,20 +19,30 @@
 // authoritative and "replay" and "roll back" coincide in recomputing the
 // extension from it (the redundancy argument of Defs. 3.3-3.8).
 //
-// The journal is in-memory on purpose: the simulated disk's durability
-// boundary is the page write, and the journal models the intent log a real
-// system would WAL — what matters for the drill is the protocol (log, act,
-// commit-or-mark-lost, recover), not the log's own persistence.
+// The in-memory deque is the working state; persistence is optional and
+// layered: AttachWal() hooks a storage::WriteAheadLog so every intent,
+// commit, lost and recovered transition is also appended as a CRC-framed
+// record, with fdatasync at the commit points (commit, lost, recovered —
+// the transitions recovery decisions hang off; the intent append itself
+// rides to the platter with the next commit's sync, which is safe because
+// the object base is authoritative and an unlogged intent just means the op
+// never happened). After a real process death the records are replayed
+// through ApplyWalRecord() to reconstruct the pre-crash journal — a
+// trailing intent with no commit resurfaces as pending and forces
+// Recover(). Without an attached WAL the journal behaves exactly as before:
+// the protocol drill on the simulated-fault matrix needs no file.
 #ifndef ASR_ASR_JOURNAL_H_
 #define ASR_ASR_JOURNAL_H_
 
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <string_view>
 
 #include "common/asr_key.h"
 #include "common/macros.h"
 #include "obs/metrics.h"
+#include "storage/wal.h"
 
 namespace asr {
 
@@ -81,6 +91,23 @@ class MaintenanceJournal {
   // object base; returns how many entries it covered.
   uint64_t MarkAllRecovered();
 
+  // --- Persistence (optional) --------------------------------------------
+  // Attaches `wal` (borrowed; nullptr detaches): every subsequent
+  // transition is appended as a record, with fdatasync at commit points.
+  void AttachWal(storage::WriteAheadLog* wal) { wal_ = wal; }
+  storage::WriteAheadLog* wal() const { return wal_; }
+
+  // Applies one record replayed from a WAL to reconstruct pre-crash state
+  // (never appends). Returns true when the payload was a journal record;
+  // false lets callers route foreign record types (e.g. an application's
+  // own redo records sharing the log) to their own handlers.
+  bool ApplyWalRecord(std::string_view payload);
+
+  // First WAL append/sync failure since attach (sticky). The in-memory
+  // protocol proceeds regardless — a lost log entry is recovered from the
+  // authoritative base like a lost page write.
+  const Status& wal_error() const { return wal_error_; }
+
   // Entries still pending or lost — the dirty signal for recovery.
   uint64_t unresolved() const { return pending_ + lost_; }
   uint64_t pending() const { return pending_; }
@@ -99,6 +126,9 @@ class MaintenanceJournal {
   JournalEntry* Find(uint64_t seq);
   uint64_t Append(JournalEntry entry);
   void TruncateResolved();
+  // Appends `record` to the attached WAL (no-op when detached); `sync` adds
+  // the fdatasync commit point. Failures stick in wal_error_.
+  void AppendWal(const std::string& record, bool sync);
 
   std::deque<JournalEntry> entries_;
   uint64_t next_seq_ = 1;
@@ -106,6 +136,8 @@ class MaintenanceJournal {
   uint64_t lost_ = 0;
   uint64_t committed_ = 0;
   uint64_t recovered_ = 0;
+  storage::WriteAheadLog* wal_ = nullptr;
+  Status wal_error_;
 };
 
 }  // namespace asr

@@ -229,12 +229,27 @@ Status AccessSupportRelation::Recover(RecoveryReport* report_out) {
     if (part.store->quarantined) continue;  // Repair() rebuilds the trees
     uint64_t inserted = 0;
     uint64_t erased = 0;
-    ASR_RETURN_IF_ERROR(ReconcileTree(part.store->forward.get(),
-                                      part.store->refcounts, &inserted,
-                                      &erased));
-    ASR_RETURN_IF_ERROR(ReconcileTree(part.store->backward.get(),
-                                      part.store->refcounts, &inserted,
-                                      &erased));
+    Status st = ReconcileTree(part.store->forward.get(),
+                              part.store->refcounts, &inserted, &erased);
+    if (st.ok()) {
+      st = ReconcileTree(part.store->backward.get(), part.store->refcounts,
+                         &inserted, &erased);
+    }
+    // ReconcileTree "succeeds" even when its tree writes never reach the
+    // disk — eviction failures park in the pool's sticky error (the pool was
+    // drained by DropAll above, so anything there now came from reconcile).
+    if (st.ok() && part.store->buffers->has_write_error()) {
+      st = part.store->buffers->write_error();
+    }
+    if (!st.ok()) {
+      // The reconcile could not be persisted (e.g. the backend demoted
+      // itself to read-only after a permanent write failure): the trees are
+      // untrusted, so quarantine the partition and let degraded navigation
+      // answer its slice. Recovery itself still completes.
+      part.store->quarantined = true;
+      ++report.partitions_quarantined;
+      continue;
+    }
     if (inserted + erased > 0) ++report.partitions_reconciled;
     report.slices_inserted += inserted;
     report.slices_erased += erased;
@@ -258,7 +273,16 @@ Status AccessSupportRelation::Repair(RecoveryReport* report_out) {
   for (Partition& part : partitions_) {
     if (!part.store->quarantined) continue;
     repairs_.Inc();
-    ASR_RETURN_IF_ERROR(part.store->RebuildTrees(options_.fill_factor));
+    Status st = part.store->RebuildTrees(options_.fill_factor);
+    if (st.ok() && part.store->buffers->has_write_error()) {
+      st = part.store->buffers->write_error();
+    }
+    if (!st.ok()) {
+      // Repair needs a writable backend; keep the store quarantined (its
+      // slice still answers via navigation) and surface why.
+      part.store->quarantined = true;
+      return st;
+    }
     ++repaired;
   }
   report.partitions_repaired += repaired;

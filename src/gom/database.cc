@@ -1,8 +1,14 @@
 #include "gom/database.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
+#include <utility>
 
 #include "common/binary_io.h"
+#include "storage/io_retry.h"
 
 namespace asr::gom {
 
@@ -33,6 +39,44 @@ Status Database::Save(const std::string& file) {
   if (!out.good()) {
     return Status::Corruption("write error while saving '" + file + "'");
   }
+  return Status::OK();
+}
+
+Status Database::SaveDurable(const std::string& file) {
+  const std::string tmp = file + ".tmp";
+  ASR_RETURN_IF_ERROR(Save(tmp));
+  // fsync the temporary before the rename publishes it: rename is atomic in
+  // the namespace, but only an fsynced file has atomic *contents*.
+  int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open for fsync of '" + tmp + "' failed");
+  }
+  Status st = storage::io::Fsync(fd, tmp.c_str());
+  ::close(fd);
+  if (!st.ok()) {
+    (void)std::remove(tmp.c_str());
+    return st;
+  }
+  if (std::rename(tmp.c_str(), file.c_str()) != 0) {
+    (void)std::remove(tmp.c_str());
+    return Status::IOError("rename '" + tmp + "' -> '" + file + "' failed");
+  }
+  // The rename lives in the directory; fsync it so the new name survives too.
+  const size_t slash = file.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : file.substr(0, slash);
+  return storage::io::FsyncDir(dir.empty() ? "/" : dir);
+}
+
+Status Database::AttachWal(const std::string& path) {
+  ASR_CHECK(wal_ == nullptr);
+  replayed_wal_.clear();
+  Result<std::unique_ptr<storage::WriteAheadLog>> wal =
+      storage::WriteAheadLog::Open(path, [&](std::string_view payload) {
+        replayed_wal_.emplace_back(payload);
+      });
+  ASR_RETURN_IF_ERROR(wal.status());
+  wal_ = std::move(*wal);
   return Status::OK();
 }
 

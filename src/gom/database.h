@@ -5,16 +5,26 @@
 // relative to their maintenance value) after opening a snapshot rather than
 // persisted — the same policy as for any secondary index whose base data is
 // durable.
+//
+// The durable contract is checkpoint + log: SaveDurable() writes the snapshot
+// through the tmp-file/fsync/atomic-rename/directory-fsync discipline, and
+// AttachWal() opens a write-ahead log for everything since — the maintenance
+// journal's records plus any application redo records sharing the file. After
+// a process death, Open(snapshot) + AttachWal(log) reconstructs the pre-crash
+// state: the snapshot restores the pages, replayed_wal() hands back the log
+// records for the application and journal to re-apply.
 #ifndef ASR_GOM_DATABASE_H_
 #define ASR_GOM_DATABASE_H_
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "gom/object_store.h"
 #include "gom/type_system.h"
 #include "storage/buffer_manager.h"
 #include "storage/disk.h"
+#include "storage/wal.h"
 
 namespace asr::gom {
 
@@ -37,6 +47,24 @@ class Database {
   // flushing buffered pages first. The snapshot is self-contained.
   Status Save(const std::string& file);
 
+  // Save() with a real durability point: the snapshot is written to a
+  // temporary sibling, fsynced, atomically renamed over `file`, and the
+  // parent directory fsynced so the rename itself survives. A crash at any
+  // point leaves either the complete old snapshot or the complete new one —
+  // never a torn file under the final name.
+  Status SaveDurable(const std::string& file);
+
+  // Opens (creating if absent) a write-ahead log at `path`. Records already
+  // in the file — from the run that died — are collected into
+  // replayed_wal() for the caller to re-apply, and any torn or corrupt tail
+  // is truncated. The log stays owned by the database; borrow it via wal()
+  // to append (e.g. MaintenanceJournal::AttachWal).
+  Status AttachWal(const std::string& path);
+  storage::WriteAheadLog* wal() { return wal_.get(); }
+  const std::vector<std::string>& replayed_wal() const {
+    return replayed_wal_;
+  }
+
   Schema* schema() { return &schema_; }
   ObjectStore* store() { return &store_; }
   storage::Disk* disk() { return &disk_; }
@@ -51,6 +79,8 @@ class Database {
   storage::Disk disk_;
   storage::BufferManager buffers_;
   ObjectStore store_;
+  std::unique_ptr<storage::WriteAheadLog> wal_;
+  std::vector<std::string> replayed_wal_;
 };
 
 }  // namespace asr::gom

@@ -18,6 +18,18 @@ const char* BackendKindName(BackendKind kind) {
   return "unknown";
 }
 
+const char* DurabilityModeName(DurabilityMode mode) {
+  switch (mode) {
+    case DurabilityMode::kOff:
+      return "off";
+    case DurabilityMode::kGroup:
+      return "group";
+    case DurabilityMode::kPage:
+      return "page";
+  }
+  return "unknown";
+}
+
 DiskOptions DiskOptions::FromEnv() {
   DiskOptions o;
   const char* backend = std::getenv("ASR_STORAGE_BACKEND");
@@ -28,6 +40,19 @@ DiskOptions DiskOptions::FromEnv() {
   if (dir != nullptr) o.file_dir = dir;
   const char* mmap = std::getenv("ASR_STORAGE_MMAP");
   if (mmap != nullptr) o.mmap_reads = std::strcmp(mmap, "0") != 0;
+  const char* durability = std::getenv("ASR_DURABILITY");
+  if (durability != nullptr) {
+    if (std::strcmp(durability, "group") == 0) {
+      o.durability = DurabilityMode::kGroup;
+    } else if (std::strcmp(durability, "page") == 0) {
+      o.durability = DurabilityMode::kPage;
+    }
+  }
+  const char* batch = std::getenv("ASR_FLUSH_BATCH");
+  if (batch != nullptr) {
+    long v = std::strtol(batch, nullptr, 10);
+    if (v >= 1) o.flush_batch = static_cast<uint32_t>(v);
+  }
   return o;
 }
 
@@ -36,8 +61,9 @@ std::unique_ptr<StorageBackend> MakeBackend(const DiskOptions& options) {
     case BackendKind::kMemory:
       return std::make_unique<MemoryBackend>();
     case BackendKind::kFile:
-      return std::make_unique<FileBackend>(options.file_dir,
-                                           options.mmap_reads);
+      return std::make_unique<FileBackend>(
+          options.file_dir, options.mmap_reads,
+          options.durability != DurabilityMode::kOff);
   }
   ASR_CHECK(false);
   return nullptr;

@@ -35,6 +35,21 @@ enum class BackendKind {
 
 const char* BackendKindName(BackendKind kind);
 
+// When (if ever) eviction write-backs are pushed to stable storage. The
+// metering default is kOff — no sync traffic, bit-identical page counts to a
+// durability-unaware pool. kGroup batches write-backs and issues one
+// fdatasync per run of ASR_FLUSH_BATCH pages (per touched segment); kPage
+// syncs after every single write-back — the strawman kGroup is measured
+// against. Either way FlushAll() ends with a sync, so the durable end state
+// at a checkpoint is identical across modes.
+enum class DurabilityMode {
+  kOff,
+  kGroup,
+  kPage,
+};
+
+const char* DurabilityModeName(DurabilityMode mode);
+
 // How a Disk should store its pages. The default is the in-memory metering
 // store; FromEnv() lets a whole process (e.g. the ctest suite under the CI
 // file-backend job) be flipped without touching call sites:
@@ -43,6 +58,8 @@ const char* BackendKindName(BackendKind kind);
 //                                     fresh mkdtemp under $TMPDIR, removed
 //                                     when the Disk is destroyed)
 //   ASR_STORAGE_MMAP=0|1              file backend read path (default 1)
+//   ASR_DURABILITY=off|group|page     eviction write-back sync policy
+//   ASR_FLUSH_BATCH=<n>               group-flush run length (default 64)
 struct DiskOptions {
   BackendKind backend = BackendKind::kMemory;
   // File backend only: directory for segment files. Empty = create a private
@@ -53,6 +70,12 @@ struct DiskOptions {
   // instead of pread. Writes always go through pwrite (coherent with the
   // mapping on the same file).
   bool mmap_reads = true;
+  // Write-back sync policy, applied by every BufferManager over this disk.
+  // Also makes the file backend fsync durably at the structural points
+  // (directory entry after segment creation, file metadata after growth).
+  DurabilityMode durability = DurabilityMode::kOff;
+  // kGroup only: write-backs per fdatasync run (>= 1).
+  uint32_t flush_batch = 64;
 
   static DiskOptions FromEnv();
 
@@ -93,6 +116,20 @@ class StorageBackend {
     (void)segment;
     (void)page_no;
   }
+
+  // Durability points: everything written to `segment` (resp. every
+  // segment) so far is on stable storage when the call returns OK. The
+  // memory backend's storage is the process image — already as stable as it
+  // gets — so the default is a no-op; the file backend issues fdatasync.
+  virtual Status Sync(uint32_t segment) {
+    (void)segment;
+    return Status::OK();
+  }
+  virtual Status SyncAll() { return Status::OK(); }
+
+  // True when a permanent write failure demoted the backend to read-only
+  // (reads keep working; every write fails fast with the original error).
+  virtual bool read_only() const { return false; }
 
   // Backend-specific counters under `prefix` (e.g. "disk.backend"). Cold
   // path; call from quiescent points.

@@ -1,5 +1,6 @@
 #include "storage/buffer_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 
@@ -122,9 +123,35 @@ void BufferManager::EvictFrame(PageId id) {
     // first failure sticks; the frame is dropped regardless (its content is
     // what the crash lost).
     if (!st.ok() && write_error_.ok()) write_error_ = st;
+    if (st.ok()) NoteWriteBack(id.segment);
   }
   lru_.erase(frame.lru_pos);
   frames_.erase(it);
+}
+
+void BufferManager::NoteWriteBack(uint32_t segment) {
+  if (durability_ == DurabilityMode::kOff) return;
+  ++unsynced_writebacks_;
+  if (std::find(dirty_segments_.begin(), dirty_segments_.end(), segment) ==
+      dirty_segments_.end()) {
+    dirty_segments_.push_back(segment);
+  }
+  if (durability_ == DurabilityMode::kPage ||
+      unsynced_writebacks_ >= flush_batch_) {
+    FlushRun();
+  }
+}
+
+void BufferManager::FlushRun() {
+  if (unsynced_writebacks_ == 0) return;
+  for (uint32_t segment : dirty_segments_) {
+    Status st = disk_->SyncSegment(segment);
+    if (!st.ok() && write_error_.ok()) write_error_ = st;
+  }
+  flush_run_sizes_.Observe(unsynced_writebacks_);
+  ++group_flushes_;
+  unsynced_writebacks_ = 0;
+  dirty_segments_.clear();
 }
 
 Status BufferManager::FlushAll() {
@@ -135,11 +162,15 @@ Status BufferManager::FlushAll() {
       writebacks_.Inc();
       Status st = disk_->WritePage(id, frame.page);
       if (!st.ok() && write_error_.ok()) write_error_ = st;
+      if (st.ok()) NoteWriteBack(id.segment);
       frame.dirty = false;
     }
   }
   // Drop unpinned frames.
   while (!lru_.empty()) EvictFrame(lru_.front());
+  // A flush is a durability point in every non-off mode: close the open run
+  // so nothing written back here is left unsynced.
+  if (durability_ != DurabilityMode::kOff) FlushRun();
   return write_error_;
 }
 
@@ -154,6 +185,10 @@ void BufferManager::DropAll() {
     it = frames_.erase(it);
   }
   write_error_ = Status::OK();
+  // Restart point: whatever was in the open flush run died with the cached
+  // frames; the next write-back starts a fresh run.
+  unsynced_writebacks_ = 0;
+  dirty_segments_.clear();
 }
 
 void BufferManager::ExportMetrics(obs::MetricsRegistry* registry,
@@ -163,6 +198,8 @@ void BufferManager::ExportMetrics(obs::MetricsRegistry* registry,
   registry->Set(prefix + ".evictions", evictions_.value());
   registry->Set(prefix + ".writebacks", writebacks_.value());
   registry->Set(prefix + ".capacity", capacity_);
+  registry->Set(prefix + ".group_flushes", group_flushes_);
+  registry->SetHistogram(prefix + ".flush_run_sizes", flush_run_sizes_);
 #if ASR_METRICS_ENABLED
   for (uint32_t seg = 0; seg < seg_counters_.size(); ++seg) {
     const SegmentCounters& c = seg_counters_[seg];

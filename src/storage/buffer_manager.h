@@ -62,9 +62,18 @@ class PageGuard {
 class BufferManager {
  public:
   // `capacity` is the number of unpinned frames retained; 0 means unbuffered
-  // (metering mode). Pinned frames are always resident regardless.
+  // (metering mode). Pinned frames are always resident regardless. The
+  // write-back sync policy comes from the disk's options (DurabilityMode):
+  // kOff issues no syncs (bit-identical to a durability-unaware pool), kPage
+  // syncs the segment after every dirty write-back, kGroup batches
+  // flush_batch write-backs and syncs each touched segment once per run.
   BufferManager(Disk* disk, size_t capacity)
-      : disk_(disk), capacity_(capacity) {}
+      : disk_(disk),
+        capacity_(capacity),
+        durability_(disk->options().durability),
+        flush_batch_(disk->options().flush_batch < 1
+                         ? 1
+                         : disk->options().flush_batch) {}
   // Destruction is best-effort teardown; a caller that needs durability (or
   // wants to observe write-back faults) calls FlushAll() itself first.
   ~BufferManager() { (void)FlushAll(); }
@@ -107,6 +116,8 @@ class BufferManager {
   uint64_t misses() const { return misses_; }
   uint64_t evictions() const { return evictions_.value(); }
   uint64_t writebacks() const { return writebacks_.value(); }
+  DurabilityMode durability() const { return durability_; }
+  uint64_t group_flushes() const { return group_flushes_; }
 
   // Pushes this pool's counters into `registry` under `prefix`: totals
   // (hits/misses/evictions/writebacks) plus, when metrics are compiled in,
@@ -131,6 +142,14 @@ class BufferManager {
   void EnforceCapacity();
   void EvictFrame(PageId id);
 
+  // Durability hook after every dirty write-back: kPage syncs the segment
+  // immediately; kGroup marks it touched and syncs the whole run when
+  // flush_batch write-backs accumulated. Sync failures stick in
+  // write_error_ like write-back failures (commit points consult it).
+  void NoteWriteBack(uint32_t segment);
+  // Syncs every touched segment and closes the current run.
+  void FlushRun();
+
 #if ASR_METRICS_ENABLED
   // Per-segment attribution of buffer behavior (hit/miss/eviction), indexed
   // by segment id. Same single-writer discipline as the pool itself: one
@@ -149,6 +168,12 @@ class BufferManager {
 
   Disk* disk_;
   size_t capacity_;
+  // Write-back sync policy (snapshot of the disk's options at construction).
+  DurabilityMode durability_ = DurabilityMode::kOff;
+  uint32_t flush_batch_ = 64;
+  uint32_t unsynced_writebacks_ = 0;
+  std::vector<uint32_t> dirty_segments_;  // touched since the last sync run
+  uint64_t group_flushes_ = 0;  // plain (not HotCounter): benches assert it
   std::unordered_map<PageId, Frame> frames_;
   std::list<PageId> lru_;  // front = oldest unpinned frame
   uint64_t hits_ = 0;
@@ -156,6 +181,7 @@ class BufferManager {
   Status write_error_;
   obs::HotCounter evictions_;
   obs::HotCounter writebacks_;
+  obs::HotHistogram flush_run_sizes_;  // write-backs covered per sync run
 };
 
 }  // namespace asr::storage

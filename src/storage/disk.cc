@@ -34,7 +34,18 @@ uint64_t ZeroPageChecksum() {
 
 }  // namespace
 
-Disk::Disk(const DiskOptions& options) : backend_(MakeBackend(options)) {}
+Disk::Disk(const DiskOptions& options)
+    : options_(options), backend_(MakeBackend(options)) {}
+
+Status Disk::SyncSegment(uint32_t segment) {
+  sync_requests_.fetch_add(1, std::memory_order_relaxed);
+  return backend_->Sync(segment);
+}
+
+Status Disk::SyncAll() {
+  sync_requests_.fetch_add(1, std::memory_order_relaxed);
+  return backend_->SyncAll();
+}
 
 Disk::Segment& Disk::GetSegment(uint32_t segment) {
   std::shared_lock<std::shared_mutex> lock(mu_);
@@ -211,6 +222,8 @@ void Disk::ExportMetrics(obs::MetricsRegistry* registry,
     registry->Set(prefix + ".writes", total.page_writes);
     registry->Set(prefix + ".segments", segments_.size());
     registry->Set(prefix + ".pages", pages);
+    registry->Set(prefix + ".sync_requests",
+                  sync_requests_.load(std::memory_order_relaxed));
   }
   backend_->ExportMetrics(registry, prefix + ".backend");
 }

@@ -34,6 +34,7 @@
 #ifndef ASR_STORAGE_DISK_H_
 #define ASR_STORAGE_DISK_H_
 
+#include <atomic>
 #include <deque>
 #include <istream>
 #include <memory>
@@ -65,6 +66,13 @@ class Disk {
   const char* backend_name() const {
     return BackendKindName(backend_->kind());
   }
+  // The options this disk was built with — the BufferManager reads its
+  // write-back sync policy (durability mode, flush batch) from here so that
+  // policy travels with the disk instead of with every pool constructor.
+  const DiskOptions& options() const { return options_; }
+  // The raw backend (borrowed). Tests and degradation drills reach through
+  // for backend-specific state (e.g. FileBackend::EnterReadOnly).
+  StorageBackend* backend() { return backend_.get(); }
 
   // Creates an empty segment and returns its id. `name` is for diagnostics.
   uint32_t CreateSegment(std::string name);
@@ -83,6 +91,16 @@ class Disk {
   // Uncounted read hint: tells the backend `id` is about to be pinned (the
   // B+ tree batched probe announces sibling leaves). Never required.
   void PrefetchPage(PageId id);
+
+  // Durability points, forwarded to the backend (no-op on the memory
+  // backend). Uncounted in AccessStats — the page-count model has no fsync
+  // term — but tallied in sync_requests() and the metrics export so the
+  // bench can report the fsync currency alongside page counts.
+  Status SyncSegment(uint32_t segment);
+  Status SyncAll();
+  uint64_t sync_requests() const {
+    return sync_requests_.load(std::memory_order_relaxed);
+  }
 
   // Checksum triage (counted as reads — recovery pays for its verification
   // pass in the same unit as everything else). VerifySegment returns the
@@ -149,9 +167,13 @@ class Disk {
 
   mutable std::shared_mutex mu_;  // guards the segment table structure
   std::deque<Segment> segments_;
+  DiskOptions options_;
   std::unique_ptr<StorageBackend> backend_;
   FaultInjector* injector_ = nullptr;
   std::vector<TornPage> pending_torn_;
+  // Relaxed atomic: sync requests can arrive from several pools (each
+  // partition builder owns one) while metering stays per-segment.
+  std::atomic<uint64_t> sync_requests_{0};
 };
 
 }  // namespace asr::storage

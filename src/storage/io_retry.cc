@@ -1,0 +1,127 @@
+#include "storage/io_retry.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+namespace asr::storage::io {
+
+namespace {
+
+// Transient-errno retry budget. EINTR is retried without limit (it is the
+// caller's own signal traffic, not a device condition); the budget only
+// bounds EAGAIN/ENOMEM loops so a persistently starved system eventually
+// surfaces an error instead of hanging.
+constexpr int kMaxTransientRetries = 8;
+constexpr useconds_t kBackoffBaseUs = 100;
+
+std::atomic<uint64_t> g_transient_retries{0};
+
+std::string ErrnoMessage(const char* what, int err) {
+  return std::string(what) + ": " + std::strerror(err);
+}
+
+// Sleeps for the attempt's backoff slot (100us, 200us, 400us, ...).
+void Backoff(int attempt) {
+  g_transient_retries.fetch_add(1, std::memory_order_relaxed);
+  ::usleep(kBackoffBaseUs << attempt);
+}
+
+}  // namespace
+
+bool IsTransientErrno(int err) {
+  return err == EINTR || err == EAGAIN || err == EWOULDBLOCK || err == ENOMEM;
+}
+
+uint64_t transient_retries() {
+  return g_transient_retries.load(std::memory_order_relaxed);
+}
+
+Result<size_t> ReadAtMost(int fd, void* buf, size_t n, off_t off,
+                          const char* what) {
+  size_t done = 0;
+  int transient = 0;
+  while (done < n) {
+    ssize_t got = ::pread(fd, static_cast<char*>(buf) + done, n - done,
+                          off + static_cast<off_t>(done));
+    if (got > 0) {
+      done += static_cast<size_t>(got);
+      continue;
+    }
+    if (got == 0) break;  // EOF
+    if (errno == EINTR) continue;
+    if (IsTransientErrno(errno) && transient < kMaxTransientRetries) {
+      Backoff(transient++);
+      continue;
+    }
+    return Status::IOError(ErrnoMessage(what, errno));
+  }
+  return done;
+}
+
+Status ReadFull(int fd, void* buf, size_t n, off_t off, const char* what) {
+  Result<size_t> got = ReadAtMost(fd, buf, n, off, what);
+  ASR_RETURN_IF_ERROR(got.status());
+  if (*got != n) {
+    return Status::IOError(std::string(what) + ": short read (" +
+                           std::to_string(*got) + " of " + std::to_string(n) +
+                           " bytes)");
+  }
+  return Status::OK();
+}
+
+Status WriteFull(int fd, const void* buf, size_t n, off_t off,
+                 const char* what) {
+  size_t done = 0;
+  int transient = 0;
+  while (done < n) {
+    ssize_t put = ::pwrite(fd, static_cast<const char*>(buf) + done, n - done,
+                           off + static_cast<off_t>(done));
+    if (put > 0) {
+      done += static_cast<size_t>(put);
+      continue;
+    }
+    // pwrite returning 0 for a nonzero count is a non-advancing anomaly;
+    // treat it like a transient condition rather than spinning forever.
+    int err = put == 0 ? EAGAIN : errno;
+    if (err == EINTR) continue;
+    if (IsTransientErrno(err) && transient < kMaxTransientRetries) {
+      Backoff(transient++);
+      continue;
+    }
+    return Status::IOError(ErrnoMessage(what, err));
+  }
+  return Status::OK();
+}
+
+Status Fdatasync(int fd, const char* what) {
+  while (::fdatasync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IOError(ErrnoMessage(what, errno));
+  }
+  return Status::OK();
+}
+
+Status Fsync(int fd, const char* what) {
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IOError(ErrnoMessage(what, errno));
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IOError(ErrnoMessage(("open dir " + dir).c_str(), errno));
+  }
+  Status st = Fsync(fd, ("fsync dir " + dir).c_str());
+  ::close(fd);
+  return st;
+}
+
+}  // namespace asr::storage::io

@@ -1,0 +1,58 @@
+// Hardened POSIX I/O: full-transfer pread/pwrite loops and transient-error
+// classification.
+//
+// The one-shot ::pread/::pwrite calls the file backend started with treat a
+// short transfer or an EINTR as a hard IOError, which turns an ordinary
+// signal delivery into a spurious "disk failure". These helpers implement
+// the standard discipline instead: continue a short transfer from where it
+// stopped, retry EINTR immediately, retry transient errnos (EAGAIN/ENOMEM)
+// a bounded number of times with exponential microsleep backoff, and only
+// then surface an error. The errno of a surfaced failure is classified as
+// transient or permanent so callers can decide between "try again later"
+// and "degrade to read-only".
+#ifndef ASR_STORAGE_IO_RETRY_H_
+#define ASR_STORAGE_IO_RETRY_H_
+
+#include <sys/types.h>
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace asr::storage::io {
+
+// Errnos worth retrying (EINTR, EAGAIN, ENOMEM): the condition can clear on
+// its own. Everything else (EIO, ENOSPC, EBADF, EROFS, ...) is permanent —
+// retrying cannot fix a broken device or a full disk.
+bool IsTransientErrno(int err);
+
+// Reads exactly `n` bytes at `off`, retrying EINTR and continuing short
+// transfers. Returns the bytes actually read: `n` normally, less when EOF
+// arrived first (0 when `off` is at or past EOF). Errors become IOError
+// tagged with `what` and the errno text.
+Result<size_t> ReadAtMost(int fd, void* buf, size_t n, off_t off,
+                          const char* what);
+
+// ReadAtMost that treats EOF before `n` bytes as an IOError ("short read").
+Status ReadFull(int fd, void* buf, size_t n, off_t off, const char* what);
+
+// Writes exactly `n` bytes at `off` with the same retry discipline.
+Status WriteFull(int fd, const void* buf, size_t n, off_t off,
+                 const char* what);
+
+// fdatasync/fsync with EINTR retry.
+Status Fdatasync(int fd, const char* what);
+Status Fsync(int fd, const char* what);
+
+// Opens `dir`, fsyncs it, closes it — makes a just-created (or just-renamed)
+// directory entry durable.
+Status FsyncDir(const std::string& dir);
+
+// Process-wide count of transient-errno retries that the loops above
+// performed (relaxed; exported into backend metrics).
+uint64_t transient_retries();
+
+}  // namespace asr::storage::io
+
+#endif  // ASR_STORAGE_IO_RETRY_H_

@@ -1,0 +1,101 @@
+// Persistent write-ahead log: CRC-framed, append-only records in one file.
+//
+// This is the durable half of the intent-journal protocol. The in-memory
+// MaintenanceJournal models WHAT a real system logs (intent, commit, lost);
+// this file is WHERE it survives a process death. Records are opaque
+// payloads framed as
+//
+//   [u32 length][u32 crc32(payload)][payload bytes]
+//
+// little-endian, appended at the tail. Durability points are explicit:
+// Append buffers nothing but syncs nothing either; Sync() issues fdatasync,
+// and callers place it at their commit points (the journal fdatasyncs on
+// commit, the checkpoint path after the snapshot rename).
+//
+// Open() replays the existing file through a callback with truncated-tail
+// tolerance: a record whose header or payload is cut short — exactly what a
+// SIGKILL mid-append leaves behind — ends the replay cleanly, and a record
+// whose CRC does not match quarantines the entire suffix from that point
+// (once one frame is untrustworthy, every later frame boundary is too). In
+// both cases the file is truncated back to the last valid record so the
+// next Append starts from a well-formed tail.
+#ifndef ASR_STORAGE_WAL_H_
+#define ASR_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/macros.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+
+namespace asr::storage {
+
+// Computes the CRC-32 (IEEE 802.3 polynomial, as in zip/zlib) of `data`.
+// Exposed for tests that forge corrupt frames.
+uint32_t Crc32(const void* data, size_t n);
+
+class WriteAheadLog {
+ public:
+  // Sanity bound on one record; a length field beyond it is treated as
+  // corruption, not an allocation request.
+  static constexpr uint32_t kMaxRecordBytes = 1u << 20;
+
+  // What Open() found in a pre-existing log file.
+  struct ReplayStats {
+    uint64_t records = 0;        // valid records delivered to the callback
+    uint64_t valid_bytes = 0;    // file prefix covered by valid records
+    uint64_t dropped_bytes = 0;  // torn or corrupt suffix discarded
+    bool torn_tail = false;      // suffix was a cut-short frame (crash tail)
+    bool corrupt_suffix = false; // suffix began with a CRC mismatch
+  };
+
+  using ReplayFn = std::function<void(std::string_view payload)>;
+
+  // Opens (creating if absent) the log at `path`, replays every valid
+  // record in order through `replay` (may be null), truncates any torn or
+  // corrupt suffix, and leaves the log positioned for Append. `stats_out`
+  // (may be null) reports what the scan found.
+  static Result<std::unique_ptr<WriteAheadLog>> Open(
+      const std::string& path, const ReplayFn& replay = nullptr,
+      ReplayStats* stats_out = nullptr);
+
+  ~WriteAheadLog();
+  ASR_DISALLOW_COPY_AND_ASSIGN(WriteAheadLog);
+
+  // Appends one framed record at the tail. The bytes reach the OS but NOT
+  // the platter — call Sync() at the commit point that needs them durable.
+  Status Append(std::string_view payload);
+
+  // fdatasync of the log file: everything appended so far is durable.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+  uint64_t tail_offset() const { return tail_; }
+  uint64_t records_appended() const { return records_appended_.value(); }
+  uint64_t bytes_appended() const { return bytes_appended_.value(); }
+  uint64_t syncs() const { return syncs_.value(); }
+  const ReplayStats& replay_stats() const { return replay_; }
+
+  void ExportMetrics(obs::MetricsRegistry* registry,
+                     const std::string& prefix) const;
+
+ private:
+  WriteAheadLog(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t tail_ = 0;  // append offset == file size
+  ReplayStats replay_;
+
+  obs::HotCounter records_appended_;
+  obs::HotCounter bytes_appended_;
+  obs::HotCounter syncs_;
+};
+
+}  // namespace asr::storage
+
+#endif  // ASR_STORAGE_WAL_H_

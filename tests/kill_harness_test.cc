@@ -1,0 +1,505 @@
+// Kill-based process-crash harness: the durability contract proven against
+// real SIGKILL, not simulated faults.
+//
+// Per iteration, a forked child opens the durable base snapshot on the file
+// backend (group-flush durability), attaches a WAL, builds an ASR, and runs
+// a deterministic edge-toggle maintenance loop — logging each logical op as
+// an 'O' intent record, running the journaled maintenance (whose own
+// 'I'/'C' records share the log), and sealing the op with a 'K' commit
+// record + fdatasync, checkpointing a durable snapshot every few ops. The
+// parent SIGKILLs the child at a randomized progress point, then proves the
+// contract from the surviving files alone:
+//
+//   1. the checkpoint snapshot, if present, opens cleanly (atomic rename),
+//   2. the WAL replays with at worst a torn tail (never a corrupt suffix),
+//   3. checkpoint + committed-op replay + journal replay + Recover() yields
+//      an ASR that passes the full InvariantChecker and answers every
+//      supported query exactly like a fault-free twin built from the same
+//      checkpoint and committed ops.
+//
+// ASR_KILL_POINTS picks the number of randomized kill points (CI runs 50).
+#include <gtest/gtest.h>
+
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "asr/access_support_relation.h"
+#include "check/check_report.h"
+#include "check/invariant_checker.h"
+#include "common/macros.h"
+#include "gom/database.h"
+#include "storage/backend.h"
+#include "storage/wal.h"
+
+namespace asr {
+namespace {
+
+using storage::DiskOptions;
+using storage::DurabilityMode;
+using storage::WriteAheadLog;
+
+// --- The company base inside a Database -----------------------------------
+
+struct CompanyDb {
+  TypeId division, prodset, product, basepartset, basepart, meta;
+  Oid auto_div, truck_div, space_div;
+  Oid prodset_auto, prodset_truck;
+  Oid sec560, mbtrak, sausage;
+  Oid parts_560, parts_sausage;
+  Oid door, pepper;
+  Oid watermark;  // Meta object whose Name holds the applied-op count
+};
+
+CompanyDb BuildCompany(gom::Database* db) {
+  gom::Schema& s = *db->schema();
+  gom::ObjectStore& st = *db->store();
+  CompanyDb c;
+  c.basepart = s.DefineTupleType(
+                    "BasePart", {},
+                    {{"Name", gom::Schema::kStringType, kInvalidTypeId},
+                     {"Price", gom::Schema::kDecimalType, kInvalidTypeId}})
+                   .value();
+  c.basepartset = s.DefineSetType("BasePartSET", c.basepart).value();
+  c.product = s.DefineTupleType(
+                   "Product", {},
+                   {{"Name", gom::Schema::kStringType, kInvalidTypeId},
+                    {"Composition", c.basepartset, kInvalidTypeId}})
+                  .value();
+  c.prodset = s.DefineSetType("ProdSET", c.product).value();
+  c.division = s.DefineTupleType(
+                    "Division", {},
+                    {{"Name", gom::Schema::kStringType, kInvalidTypeId},
+                     {"Manufactures", c.prodset, kInvalidTypeId}})
+                   .value();
+  c.meta = s.DefineTupleType(
+                "Meta", {},
+                {{"Name", gom::Schema::kStringType, kInvalidTypeId}})
+               .value();
+
+  auto obj = [&](TypeId t) { return st.CreateObject(t).value(); };
+  auto set = [&](TypeId t) { return st.CreateSet(t).value(); };
+  auto key = [](Oid o) { return AsrKey::FromOid(o); };
+
+  c.auto_div = obj(c.division);
+  c.truck_div = obj(c.division);
+  c.space_div = obj(c.division);
+  c.prodset_auto = set(c.prodset);
+  c.prodset_truck = set(c.prodset);
+  c.sec560 = obj(c.product);
+  c.mbtrak = obj(c.product);
+  c.sausage = obj(c.product);
+  c.parts_560 = set(c.basepartset);
+  c.parts_sausage = set(c.basepartset);
+  c.door = obj(c.basepart);
+  c.pepper = obj(c.basepart);
+  c.watermark = obj(c.meta);
+
+  ASR_CHECK(st.SetString(c.auto_div, "Name", "Auto").ok());
+  ASR_CHECK(st.SetString(c.truck_div, "Name", "Truck").ok());
+  ASR_CHECK(st.SetString(c.space_div, "Name", "Space").ok());
+  ASR_CHECK(st.SetRef(c.auto_div, "Manufactures", c.prodset_auto).ok());
+  ASR_CHECK(st.SetRef(c.truck_div, "Manufactures", c.prodset_truck).ok());
+  ASR_CHECK(st.AddToSet(c.prodset_auto, key(c.sec560)).ok());
+  ASR_CHECK(st.AddToSet(c.prodset_truck, key(c.sec560)).ok());
+  ASR_CHECK(st.AddToSet(c.prodset_truck, key(c.mbtrak)).ok());
+  ASR_CHECK(st.SetString(c.sec560, "Name", "560 SEC").ok());
+  ASR_CHECK(st.SetString(c.mbtrak, "Name", "MB Trak").ok());
+  ASR_CHECK(st.SetString(c.sausage, "Name", "Sausage").ok());
+  ASR_CHECK(st.SetRef(c.sec560, "Composition", c.parts_560).ok());
+  ASR_CHECK(st.SetRef(c.sausage, "Composition", c.parts_sausage).ok());
+  ASR_CHECK(st.AddToSet(c.parts_560, key(c.door)).ok());
+  ASR_CHECK(st.AddToSet(c.parts_sausage, key(c.pepper)).ok());
+  ASR_CHECK(st.SetString(c.door, "Name", "Door").ok());
+  ASR_CHECK(st.SetDecimal(c.door, "Price", 1205.50).ok());
+  ASR_CHECK(st.SetString(c.pepper, "Name", "Pepper").ok());
+  ASR_CHECK(st.SetDecimal(c.pepper, "Price", 0.12).ok());
+  ASR_CHECK(st.SetString(c.watermark, "Name", "0").ok());
+  return c;
+}
+
+PathExpression CompanyPath(gom::Database* db, const CompanyDb& c) {
+  return PathExpression::Parse(*db->schema(), c.division,
+                               "Manufactures.Composition.Name")
+      .value();
+}
+
+std::unique_ptr<AccessSupportRelation> BuildAsr(gom::Database* db,
+                                                const CompanyDb& c) {
+  return AccessSupportRelation::Build(db->store(), CompanyPath(db, c),
+                                      ExtensionKind::kFull,
+                                      Decomposition::Binary(3))
+      .value();
+}
+
+// --- The deterministic edge-toggle schedule -------------------------------
+
+// Each op toggles one of these edges: entry = op % 4, direction = whatever
+// flips the current membership. The direction is recorded in the op's WAL
+// intent so replay never has to guess.
+struct EdgeTarget {
+  Oid set;   // the base collection the edge lives in
+  Oid u;     // maintenance: source object
+  uint32_t p;  // maintenance: path position
+  Oid w;     // maintenance: target
+};
+
+std::vector<EdgeTarget> EdgeTargets(const CompanyDb& c) {
+  return {
+      {c.prodset_auto, c.auto_div, 0, c.sausage},
+      {c.prodset_truck, c.truck_div, 0, c.sausage},
+      {c.parts_560, c.sec560, 1, c.pepper},
+      {c.prodset_auto, c.auto_div, 0, c.mbtrak},
+  };
+}
+
+// Applies logical op `op_idx` (direction `insert`) to base + ASR. The base
+// mutation must succeed; the returned status is the maintenance one.
+Status ApplyOp(gom::Database* db, AccessSupportRelation* asr,
+               const CompanyDb& c, uint32_t op_idx, bool insert) {
+  const EdgeTarget t = EdgeTargets(c)[op_idx % 4];
+  const AsrKey w = AsrKey::FromOid(t.w);
+  if (insert) {
+    ASR_CHECK(db->store()->AddToSet(t.set, w).ok());
+    return asr->OnEdgeInserted(t.u, t.p, w);
+  }
+  ASR_CHECK(db->store()->RemoveFromSet(t.set, w).ok());
+  return asr->OnEdgeRemoved(t.u, t.p, w);
+}
+
+// --- Harness WAL records ---------------------------------------------------
+//
+// The harness shares the database WAL with the maintenance journal. Its own
+// record types (routed back by MaintenanceJournal::ApplyWalRecord):
+//   'O' [u32 op_idx][u8 insert]   logical-op intent, appended unsynced
+//   'K' [u32 op_idx]              logical-op commit, appended + fdatasync
+
+std::string OpIntentRecord(uint32_t op_idx, bool insert) {
+  std::string rec(1, 'O');
+  for (int i = 0; i < 4; ++i) {
+    rec.push_back(static_cast<char>((op_idx >> (8 * i)) & 0xFF));
+  }
+  rec.push_back(insert ? 1 : 0);
+  return rec;
+}
+
+std::string OpCommitRecord(uint32_t op_idx) {
+  std::string rec(1, 'K');
+  for (int i = 0; i < 4; ++i) {
+    rec.push_back(static_cast<char>((op_idx >> (8 * i)) & 0xFF));
+  }
+  return rec;
+}
+
+uint32_t DecodeOpIdx(const std::string& rec) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<unsigned char>(rec[1 + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint32_t ReadWatermark(gom::Database* db, const CompanyDb& c) {
+  return static_cast<uint32_t>(
+      std::stoul(db->store()->GetString(c.watermark, "Name").value()));
+}
+
+// --- Child: live maintenance until SIGKILL --------------------------------
+
+constexpr uint32_t kMaxChildOps = 400;
+constexpr uint32_t kCheckpointEvery = 16;
+
+// Runs in the forked child; must never return into gtest. Exit codes mark
+// unexpected failures (0 is unreachable in practice — the parent kills us).
+[[noreturn]] void ChildRun(const std::string& snapshot,
+                           const std::string& iter_dir, const CompanyDb& c,
+                           int progress_fd) {
+  DiskOptions options = DiskOptions::File(iter_dir, /*mmap=*/false);
+  options.durability = DurabilityMode::kGroup;
+  options.flush_batch = 4;
+  auto db_or = gom::Database::Open(snapshot, /*buffer_capacity=*/4, options);
+  if (!db_or.ok()) _exit(10);
+  std::unique_ptr<gom::Database> db = std::move(*db_or);
+  if (!db->AttachWal(iter_dir + "/journal.wal").ok()) _exit(11);
+  auto asr_or = AccessSupportRelation::Build(db->store(), CompanyPath(db.get(), c),
+                                             ExtensionKind::kFull,
+                                             Decomposition::Binary(3));
+  if (!asr_or.ok()) _exit(12);
+  std::unique_ptr<AccessSupportRelation> asr = std::move(*asr_or);
+  // From here on, every journal transition also lands in the WAL.
+  asr->mutable_journal()->AttachWal(db->wal());
+
+  for (uint32_t op = 0; op < kMaxChildOps; ++op) {
+    const EdgeTarget t = EdgeTargets(c)[op % 4];
+    Result<bool> present =
+        db->store()->SetContains(t.set, AsrKey::FromOid(t.w));
+    if (!present.ok()) _exit(13);
+    const bool insert = !*present;
+    if (!db->wal()->Append(OpIntentRecord(op, insert)).ok()) _exit(14);
+    if (!ApplyOp(db.get(), asr.get(), c, op, insert).ok()) _exit(15);
+    if (!db->wal()->Append(OpCommitRecord(op)).ok()) _exit(16);
+    if (!db->wal()->Sync().ok()) _exit(17);
+    // The op is durable — only now is the parent told it happened.
+    if (::write(progress_fd, "x", 1) != 1) _exit(18);
+    if ((op + 1) % kCheckpointEvery == 0) {
+      if (!db->store()
+               ->SetString(c.watermark, "Name", std::to_string(op + 1))
+               .ok()) {
+        _exit(19);
+      }
+      if (!db->SaveDurable(iter_dir + "/ckpt.asrdb").ok()) _exit(20);
+    }
+  }
+  _exit(0);
+}
+
+// --- Parent: reopen, recover, verify --------------------------------------
+
+std::vector<AsrKey> Sorted(std::vector<AsrKey> keys) {
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+std::vector<AsrKey> AnchorsAt(gom::Database* db, const CompanyDb& c,
+                              uint32_t pos) {
+  auto key = [](Oid o) { return AsrKey::FromOid(o); };
+  switch (pos) {
+    case 0:
+      return {key(c.auto_div), key(c.truck_div), key(c.space_div)};
+    case 1:
+      return {key(c.sec560), key(c.mbtrak), key(c.sausage)};
+    case 2:
+      return {key(c.door), key(c.pepper)};
+    default:
+      return {db->store()->GetAttributeByName(c.door, "Name").value(),
+              db->store()->GetAttributeByName(c.pepper, "Name").value()};
+  }
+}
+
+void ExpectSameAnswers(gom::Database* want_db, AccessSupportRelation* want,
+                       AccessSupportRelation* got, const CompanyDb& c,
+                       const std::string& ctx) {
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = i + 1; j <= 3; ++j) {
+      if (!want->SupportsQuery(i, j)) continue;
+      for (AsrKey start : AnchorsAt(want_db, c, i)) {
+        Result<std::vector<AsrKey>> w = want->EvalForward(start, i, j);
+        Result<std::vector<AsrKey>> g = got->EvalForward(start, i, j);
+        ASSERT_TRUE(w.ok()) << ctx << ": " << w.status().ToString();
+        ASSERT_TRUE(g.ok()) << ctx << ": " << g.status().ToString();
+        EXPECT_EQ(Sorted(*w), Sorted(*g))
+            << ctx << ": fwd Q_{" << i << "," << j << "} diverges";
+      }
+      for (AsrKey target : AnchorsAt(want_db, c, j)) {
+        Result<std::vector<AsrKey>> w = want->EvalBackward(target, i, j);
+        Result<std::vector<AsrKey>> g = got->EvalBackward(target, i, j);
+        ASSERT_TRUE(w.ok()) << ctx << ": " << w.status().ToString();
+        ASSERT_TRUE(g.ok()) << ctx << ": " << g.status().ToString();
+        EXPECT_EQ(Sorted(*w), Sorted(*g))
+            << ctx << ": bwd Q_{" << i << "," << j << "} diverges";
+      }
+    }
+  }
+}
+
+struct IterationOutcome {
+  uint32_t ops_committed = 0;   // 'K' records found in the WAL
+  uint32_t ops_replayed = 0;    // committed ops past the checkpoint
+  bool used_checkpoint = false;
+  bool needed_recovery = false;  // journal came back with unresolved intent
+};
+
+void VerifyAfterKill(const std::string& snapshot, const std::string& iter_dir,
+                     const CompanyDb& c, const std::string& ctx,
+                     IterationOutcome* outcome) {
+  // (1) The checkpoint, if published, must open cleanly: SaveDurable's
+  // atomic rename means there is no state in which a torn checkpoint exists
+  // under the final name.
+  std::string base = snapshot;
+  const std::string ckpt = iter_dir + "/ckpt.asrdb";
+  if (std::filesystem::exists(ckpt)) {
+    ASSERT_TRUE(gom::Database::Open(ckpt).ok())
+        << ctx << ": published checkpoint does not open";
+    base = ckpt;
+    outcome->used_checkpoint = true;
+  }
+
+  // (2) The WAL replays; SIGKILL can only tear the tail, never corrupt the
+  // interior (each frame is one pwrite, appends are sequential).
+  WriteAheadLog::ReplayStats stats;
+  std::vector<std::string> records;
+  {
+    auto wal = WriteAheadLog::Open(
+        iter_dir + "/journal.wal",
+        [&](std::string_view payload) { records.emplace_back(payload); },
+        &stats);
+    ASSERT_TRUE(wal.ok()) << ctx << ": " << wal.status().ToString();
+  }
+  EXPECT_FALSE(stats.corrupt_suffix) << ctx;
+
+  // (3) Reconstruct: checkpoint pages, then journal records, then committed
+  // logical ops, then Recover() if anything is unresolved.
+  auto open_and_replay = [&](bool with_journal,
+                             std::unique_ptr<gom::Database>* db_out,
+                             std::unique_ptr<AccessSupportRelation>* asr_out) {
+    auto db = gom::Database::Open(base).value();
+    auto asr = BuildAsr(db.get(), c);
+    std::vector<std::pair<uint32_t, bool>> intents;  // op_idx -> direction
+    std::vector<uint32_t> commits;
+    for (const std::string& rec : records) {
+      if (with_journal && asr->mutable_journal()->ApplyWalRecord(rec)) {
+        continue;
+      }
+      if (rec.size() == 6 && rec[0] == 'O') {
+        intents.emplace_back(DecodeOpIdx(rec), rec[5] != 0);
+      } else if (rec.size() == 5 && rec[0] == 'K') {
+        commits.push_back(DecodeOpIdx(rec));
+      }
+    }
+    const uint32_t watermark = ReadWatermark(db.get(), c);
+    uint32_t replayed = 0;
+    for (const auto& [op_idx, insert] : intents) {
+      if (std::find(commits.begin(), commits.end(), op_idx) == commits.end()) {
+        continue;  // intent without commit: the op never happened
+      }
+      if (op_idx < watermark) continue;  // already inside the checkpoint
+      Status st = ApplyOp(db.get(), asr.get(), c, op_idx, insert);
+      ASSERT_TRUE(st.ok()) << ctx << ": replay op " << op_idx << ": "
+                           << st.ToString();
+      ++replayed;
+    }
+    // The replayed base state is re-established durable state, not
+    // crash-lost cache: flush it down so Recover()'s DropAll (which models
+    // losing RAM) cannot take the replayed mutations with it.
+    ASSERT_TRUE(db->buffers()->FlushAll().ok()) << ctx;
+    outcome->ops_committed = static_cast<uint32_t>(commits.size());
+    if (with_journal) outcome->ops_replayed = replayed;
+    *db_out = std::move(db);
+    *asr_out = std::move(asr);
+  };
+
+  std::unique_ptr<gom::Database> rec_db, twin_db;
+  std::unique_ptr<AccessSupportRelation> rec_asr, twin_asr;
+  open_and_replay(/*with_journal=*/true, &rec_db, &rec_asr);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  if (rec_asr->journal().unresolved() > 0) {
+    outcome->needed_recovery = true;
+    RecoveryReport report;
+    Status st = rec_asr->Recover(&report);
+    ASSERT_TRUE(st.ok()) << ctx << ": " << st.ToString();
+    EXPECT_EQ(rec_asr->journal().unresolved(), 0u) << ctx;
+  }
+
+  // (4) Post-recovery invariants: the full checker, semantic checks on.
+  check::CheckReport check_report;
+  check::InvariantChecker checker;
+  checker.CheckAsr(rec_asr.get(), &check_report);
+  EXPECT_TRUE(check_report.clean()) << ctx << "\n" << check_report.ToString();
+
+  // (5) Answer-equality against the fault-free twin: same checkpoint, same
+  // committed ops, no crash machinery.
+  open_and_replay(/*with_journal=*/false, &twin_db, &twin_asr);
+  if (::testing::Test::HasFatalFailure()) return;
+  ExpectSameAnswers(twin_db.get(), twin_asr.get(), rec_asr.get(), c, ctx);
+}
+
+TEST(KillHarnessTest, RandomizedSigkillPointsRecoverToTwinEquality) {
+  const char* env = std::getenv("ASR_KILL_POINTS");
+  const int iterations = env != nullptr ? std::atoi(env) : 10;
+  ASSERT_GT(iterations, 0);
+
+  const std::string workdir =
+      ::testing::TempDir() + "/kill_harness." + std::to_string(::getpid());
+  std::filesystem::remove_all(workdir);
+  ASSERT_TRUE(std::filesystem::create_directories(workdir));
+  const std::string snapshot = workdir + "/base.asrdb";
+
+  CompanyDb c;
+  {
+    auto db = gom::Database::Create();
+    c = BuildCompany(db.get());
+    ASSERT_TRUE(db->SaveDurable(snapshot).ok());
+  }
+
+  uint32_t kills = 0, recoveries = 0, checkpoints_used = 0;
+  uint64_t total_committed = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const std::string ctx = "iter " + std::to_string(iter);
+    const std::string iter_dir = workdir + "/iter_" + std::to_string(iter);
+    ASSERT_TRUE(std::filesystem::create_directories(iter_dir));
+    // Deterministic per-iteration randomization: the kill lands after a
+    // random number of committed ops, plus a microsecond jitter so it can
+    // strike mid-append, mid-maintenance, or mid-checkpoint.
+    std::mt19937 rng(0xC0FFEEu + static_cast<uint32_t>(iter));
+    const uint32_t target_ops = 1 + rng() % 48;
+    const useconds_t jitter_us = rng() % 2000;
+
+    int pipefd[2];
+    ASSERT_EQ(::pipe(pipefd), 0);
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      ChildRun(snapshot, iter_dir, c, pipefd[1]);  // never returns
+    }
+    ::close(pipefd[1]);
+    uint32_t progressed = 0;
+    char byte;
+    while (progressed < target_ops) {
+      ssize_t n = ::read(pipefd[0], &byte, 1);
+      if (n == 1) {
+        ++progressed;
+      } else {
+        break;  // EOF: the child died on its own
+      }
+    }
+    if (progressed < target_ops) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      ::close(pipefd[0]);
+      FAIL() << ctx << ": child exited early (status " << status
+             << ") after " << progressed << " ops";
+    }
+    ::usleep(jitter_us);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0) << ctx;
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid) << ctx;
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << ctx << ": child was not killed (status " << status << ")";
+    ::close(pipefd[0]);
+    ++kills;
+
+    IterationOutcome outcome;
+    VerifyAfterKill(snapshot, iter_dir, c, ctx, &outcome);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Durability floor: every op the parent saw progress for was sealed by
+    // a synced 'K' record, so it must still be visible after the kill.
+    EXPECT_GE(outcome.ops_committed, target_ops) << ctx;
+    total_committed += outcome.ops_committed;
+    recoveries += outcome.needed_recovery ? 1 : 0;
+    checkpoints_used += outcome.used_checkpoint ? 1 : 0;
+
+    std::filesystem::remove_all(iter_dir);
+  }
+
+  EXPECT_EQ(kills, static_cast<uint32_t>(iterations));
+  EXPECT_GT(total_committed, 0u);
+  ::testing::Test::RecordProperty("kills", static_cast<int>(kills));
+  ::testing::Test::RecordProperty("recoveries", static_cast<int>(recoveries));
+  ::testing::Test::RecordProperty("checkpoints_used",
+                                  static_cast<int>(checkpoints_used));
+  std::filesystem::remove_all(workdir);
+}
+
+}  // namespace
+}  // namespace asr

@@ -1,0 +1,424 @@
+// Tests for the durability layer: WAL framing (round-trip, torn tail,
+// corrupt suffix), journal persistence through the WAL, durable snapshots,
+// and read-only degradation after a permanent backend write failure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "asr/access_support_relation.h"
+#include "asr/journal.h"
+#include "check/check_report.h"
+#include "check/invariant_checker.h"
+#include "gom/database.h"
+#include "storage/file_backend.h"
+#include "storage/wal.h"
+#include "paper_example.h"
+
+namespace asr {
+namespace {
+
+using storage::Crc32;
+using storage::DiskOptions;
+using storage::WriteAheadLog;
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<std::string> ReplayAll(const std::string& path,
+                                   WriteAheadLog::ReplayStats* stats = nullptr,
+                                   std::unique_ptr<WriteAheadLog>* keep =
+                                       nullptr) {
+  std::vector<std::string> records;
+  auto wal = WriteAheadLog::Open(
+      path, [&](std::string_view payload) { records.emplace_back(payload); },
+      stats);
+  ASR_CHECK(wal.ok());
+  if (keep != nullptr) *keep = std::move(*wal);
+  return records;
+}
+
+// --- Frame format ---------------------------------------------------------
+
+TEST(WalCrcTest, MatchesTheIeeeReferenceVector) {
+  // The standard zlib/zip check value for "123456789".
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(WalTest, RoundTripsRandomRecordsAcrossReopen) {
+  const std::string path = TempPath("wal_roundtrip.wal");
+  std::remove(path.c_str());
+  std::mt19937 rng(20260808);
+  std::vector<std::string> written;
+  {
+    auto wal = WriteAheadLog::Open(path).value();
+    for (int i = 0; i < 200; ++i) {
+      // Lengths from 0 to a few KiB, arbitrary bytes (including '\0' and
+      // bytes that look like frame headers).
+      std::string rec(rng() % 4096, '\0');
+      for (char& c : rec) c = static_cast<char>(rng() & 0xFF);
+      ASSERT_TRUE(wal->Append(rec).ok());
+      written.push_back(std::move(rec));
+    }
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  WriteAheadLog::ReplayStats stats;
+  std::vector<std::string> replayed = ReplayAll(path, &stats);
+  EXPECT_EQ(replayed, written);
+  EXPECT_EQ(stats.records, written.size());
+  EXPECT_EQ(stats.dropped_bytes, 0u);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_FALSE(stats.corrupt_suffix);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, OpenCreatesEmptyLogAndAppendsAfterReopen) {
+  const std::string path = TempPath("wal_empty.wal");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path).value();
+    EXPECT_EQ(wal->tail_offset(), 0u);
+    ASSERT_TRUE(wal->Append("one").ok());
+  }
+  {
+    std::unique_ptr<WriteAheadLog> wal;
+    std::vector<std::string> records = ReplayAll(path, nullptr, &wal);
+    ASSERT_EQ(records.size(), 1u);
+    ASSERT_TRUE(wal->Append("two").ok());
+  }
+  std::vector<std::string> records = ReplayAll(path);
+  EXPECT_EQ(records, (std::vector<std::string>{"one", "two"}));
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, RejectsOversizeRecords) {
+  const std::string path = TempPath("wal_oversize.wal");
+  std::remove(path.c_str());
+  auto wal = WriteAheadLog::Open(path).value();
+  std::string huge(WriteAheadLog::kMaxRecordBytes + 1, 'x');
+  EXPECT_TRUE(wal->Append(huge).IsInvalidArgument());
+  EXPECT_EQ(wal->tail_offset(), 0u);
+  std::remove(path.c_str());
+}
+
+// Cuts the file at every possible byte offset inside the final frame; each
+// cut is exactly what a SIGKILL mid-append leaves, and every one must replay
+// the intact prefix and truncate the tail.
+TEST(WalTest, TornTailAtEveryOffsetRecoversThePrefix) {
+  const std::string path = TempPath("wal_torn.wal");
+  const std::string base = TempPath("wal_torn_base.wal");
+  std::remove(base.c_str());
+  uint64_t full_size;
+  uint64_t prefix_size;  // frames 0 and 1
+  {
+    auto wal = WriteAheadLog::Open(base).value();
+    ASSERT_TRUE(wal->Append("first record").ok());
+    ASSERT_TRUE(wal->Append("second record").ok());
+    prefix_size = wal->tail_offset();
+    ASSERT_TRUE(wal->Append("the record the crash tears").ok());
+    full_size = wal->tail_offset();
+  }
+  std::string image(full_size, '\0');
+  {
+    std::ifstream in(base, std::ios::binary);
+    in.read(image.data(), static_cast<std::streamsize>(full_size));
+    ASSERT_TRUE(in.good());
+  }
+  // cut == prefix_size would be a clean frame boundary, not a torn tail.
+  for (uint64_t cut = prefix_size + 1; cut < full_size; ++cut) {
+    std::remove(path.c_str());
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(image.data(), static_cast<std::streamsize>(cut));
+    }
+    WriteAheadLog::ReplayStats stats;
+    std::unique_ptr<WriteAheadLog> wal;
+    std::vector<std::string> records = ReplayAll(path, &stats, &wal);
+    ASSERT_EQ(records.size(), 2u) << "cut at " << cut;
+    EXPECT_EQ(records[1], "second record");
+    EXPECT_TRUE(stats.torn_tail) << "cut at " << cut;
+    EXPECT_FALSE(stats.corrupt_suffix);
+    EXPECT_EQ(stats.valid_bytes, prefix_size);
+    EXPECT_EQ(stats.dropped_bytes, cut - prefix_size);
+    // The tail was truncated: a new append lands at the prefix boundary and
+    // survives the next reopen.
+    EXPECT_EQ(wal->tail_offset(), prefix_size);
+    ASSERT_TRUE(wal->Append("after recovery").ok());
+    wal.reset();
+    std::vector<std::string> again = ReplayAll(path);
+    ASSERT_EQ(again.size(), 3u) << "cut at " << cut;
+    EXPECT_EQ(again[2], "after recovery");
+  }
+  std::remove(path.c_str());
+  std::remove(base.c_str());
+}
+
+TEST(WalTest, CorruptCrcQuarantinesTheEntireSuffix) {
+  const std::string path = TempPath("wal_corrupt.wal");
+  std::remove(path.c_str());
+  uint64_t second_frame_off;
+  {
+    auto wal = WriteAheadLog::Open(path).value();
+    ASSERT_TRUE(wal->Append("kept record").ok());
+    second_frame_off = wal->tail_offset();
+    ASSERT_TRUE(wal->Append("stomped record").ok());
+    ASSERT_TRUE(wal->Append("valid but untrustworthy").ok());
+  }
+  {
+    // Flip one payload byte of the middle record; its CRC now fails.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(static_cast<std::streamoff>(second_frame_off + 8));
+    char byte;
+    f.seekg(static_cast<std::streamoff>(second_frame_off + 8));
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(static_cast<std::streamoff>(second_frame_off + 8));
+    f.write(&byte, 1);
+  }
+  WriteAheadLog::ReplayStats stats;
+  std::vector<std::string> records = ReplayAll(path, &stats);
+  // Only the prefix before the corruption survives — the third record is
+  // bit-valid but lives beyond an untrustworthy frame boundary, so it is
+  // quarantined with the rest of the suffix.
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0], "kept record");
+  EXPECT_TRUE(stats.corrupt_suffix);
+  EXPECT_FALSE(stats.torn_tail);
+  EXPECT_EQ(stats.valid_bytes, second_frame_off);
+  EXPECT_GT(stats.dropped_bytes, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(WalTest, AbsurdLengthHeaderIsCorruptionNotAnAllocation) {
+  const std::string path = TempPath("wal_absurd.wal");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path).value();
+    ASSERT_TRUE(wal->Append("good").ok());
+  }
+  {
+    // Forge a frame whose length field claims 4 GiB.
+    std::ofstream f(path, std::ios::binary | std::ios::app);
+    const char header[8] = {'\xFF', '\xFF', '\xFF', '\xFF', 0, 0, 0, 0};
+    f.write(header, 8);
+    f.write("junk", 4);
+  }
+  WriteAheadLog::ReplayStats stats;
+  std::vector<std::string> records = ReplayAll(path, &stats);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(stats.corrupt_suffix);
+  std::remove(path.c_str());
+}
+
+// --- Journal persistence --------------------------------------------------
+
+TEST(JournalWalTest, TransitionsSurviveReopenThroughApplyWalRecord) {
+  const std::string path = TempPath("journal.wal");
+  std::remove(path.c_str());
+  uint64_t committed_seq, lost_seq, pending_seq, rebuild_seq;
+  {
+    auto wal = WriteAheadLog::Open(path).value();
+    MaintenanceJournal journal;
+    journal.AttachWal(wal.get());
+    committed_seq = journal.BeginEdge(MaintOp::kEdgeInsert, Oid::FromRaw(7),
+                                      1, AsrKey::FromRaw(9));
+    journal.Commit(committed_seq);
+    lost_seq = journal.BeginEdge(MaintOp::kEdgeRemove, Oid::FromRaw(8), 2,
+                                 AsrKey::FromRaw(10));
+    journal.MarkLost(lost_seq);
+    rebuild_seq = journal.BeginRebuild();
+    journal.Commit(rebuild_seq);
+    // The crash tail: an intent whose commit never happened.
+    pending_seq = journal.BeginEdge(MaintOp::kEdgeInsert, Oid::FromRaw(11),
+                                    0, AsrKey::FromRaw(12));
+    EXPECT_TRUE(journal.wal_error().ok());
+  }  // process dies
+
+  MaintenanceJournal restored;
+  std::unique_ptr<WriteAheadLog> wal;
+  for (const std::string& rec : ReplayAll(path, nullptr, &wal)) {
+    EXPECT_TRUE(restored.ApplyWalRecord(rec));
+  }
+  EXPECT_EQ(restored.committed(), 2u);
+  EXPECT_EQ(restored.lost(), 1u);
+  EXPECT_EQ(restored.pending(), 1u);
+  EXPECT_EQ(restored.unresolved(), 2u);  // the lost + the trailing intent
+  EXPECT_EQ(restored.next_seq(), pending_seq + 1);
+  // The trailing intent came back with its payload intact.
+  const JournalEntry& tail = restored.entries().back();
+  EXPECT_EQ(tail.seq, pending_seq);
+  EXPECT_EQ(tail.state, JournalState::kPending);
+  EXPECT_EQ(tail.u.raw(), 11u);
+  EXPECT_EQ(tail.p, 0u);
+  EXPECT_EQ(tail.w.raw(), 12u);
+  // Recovery resolves everything, and the resolution is itself logged.
+  restored.AttachWal(wal.get());
+  EXPECT_EQ(restored.MarkAllRecovered(), 2u);
+  wal.reset();
+
+  MaintenanceJournal final_state;
+  for (const std::string& rec : ReplayAll(path)) {
+    EXPECT_TRUE(final_state.ApplyWalRecord(rec));
+  }
+  EXPECT_EQ(final_state.unresolved(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(JournalWalTest, ForeignRecordsAreRoutedBack) {
+  MaintenanceJournal journal;
+  EXPECT_FALSE(journal.ApplyWalRecord(""));
+  EXPECT_FALSE(journal.ApplyWalRecord("O application redo record"));
+  EXPECT_FALSE(journal.ApplyWalRecord("X"));
+  // A journal-typed record of the wrong size is rejected, not misparsed.
+  EXPECT_FALSE(journal.ApplyWalRecord("C123"));
+  EXPECT_EQ(journal.next_seq(), 1u);
+  EXPECT_EQ(journal.unresolved(), 0u);
+}
+
+TEST(JournalWalTest, DetachedJournalBehavesAsBefore) {
+  MaintenanceJournal journal;
+  uint64_t seq = journal.BeginEdge(MaintOp::kEdgeInsert, Oid::FromRaw(1), 0,
+                                   AsrKey::FromRaw(2));
+  journal.Commit(seq);
+  EXPECT_EQ(journal.committed(), 1u);
+  EXPECT_TRUE(journal.wal_error().ok());
+  EXPECT_EQ(journal.wal(), nullptr);
+}
+
+// --- Durable snapshots ----------------------------------------------------
+
+TEST(DatabaseDurabilityTest, SaveDurablePublishesAtomically) {
+  const std::string file = TempPath("durable.asrdb");
+  std::remove(file.c_str());
+  Oid obj;
+  TypeId t;
+  {
+    auto db = gom::Database::Create();
+    t = db->schema()->DefineTupleType(
+                        "T", {},
+                        {{"Name", gom::Schema::kStringType, kInvalidTypeId}})
+            .value();
+    obj = db->store()->CreateObject(t).value();
+    ASSERT_TRUE(db->store()->SetString(obj, "Name", "v1").ok());
+    ASSERT_TRUE(db->SaveDurable(file).ok());
+    // No temporary sibling is left behind after the rename.
+    std::ifstream tmp(file + ".tmp");
+    EXPECT_FALSE(tmp.good());
+    // A second durable save replaces the first in place.
+    ASSERT_TRUE(db->store()->SetString(obj, "Name", "v2").ok());
+    ASSERT_TRUE(db->SaveDurable(file).ok());
+  }
+  auto db = gom::Database::Open(file).value();
+  EXPECT_EQ(*db->store()->GetString(obj, "Name"), "v2");
+  std::remove(file.c_str());
+}
+
+TEST(DatabaseDurabilityTest, AttachWalReplaysPriorRecords) {
+  const std::string path = TempPath("db_attach.wal");
+  std::remove(path.c_str());
+  {
+    auto wal = WriteAheadLog::Open(path).value();
+    ASSERT_TRUE(wal->Append("alpha").ok());
+    ASSERT_TRUE(wal->Append("beta").ok());
+    ASSERT_TRUE(wal->Sync().ok());
+  }
+  auto db = gom::Database::Create();
+  ASSERT_TRUE(db->AttachWal(path).ok());
+  EXPECT_EQ(db->replayed_wal(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  ASSERT_NE(db->wal(), nullptr);
+  ASSERT_TRUE(db->wal()->Append("gamma").ok());
+  std::remove(path.c_str());
+}
+
+// --- Read-only degradation ------------------------------------------------
+
+std::vector<AsrKey> Sorted(std::vector<AsrKey> keys) {
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+// After a permanent write failure the file backend demotes itself to
+// read-only. Maintenance marks its op lost, Recover() quarantines the
+// partitions it cannot persist, and every query still answers correctly via
+// degraded navigation over the (readable) object base.
+TEST(ReadOnlyDegradationTest, PermanentWriteFailureDegradesGracefully) {
+  auto faulty = asr::testing::MakeCompanyBase(DiskOptions::File("", false));
+  auto twin = asr::testing::MakeCompanyBase(DiskOptions::Memory());
+  auto faulty_asr = AccessSupportRelation::Build(
+                        faulty->store.get(),
+                        asr::testing::MakeCompanyPath(*faulty),
+                        ExtensionKind::kFull, Decomposition::Binary(3))
+                        .value();
+  auto twin_asr = AccessSupportRelation::Build(
+                      twin->store.get(), asr::testing::MakeCompanyPath(*twin),
+                      ExtensionKind::kFull, Decomposition::Binary(3))
+                      .value();
+
+  // The update both sides apply: Auto also manufactures the Sausage. The
+  // base mutation lands BEFORE the disk fails (base-first protocol).
+  AsrKey sausage = faulty->Key(faulty->sausage);
+  ASSERT_TRUE(faulty->store->AddToSet(faulty->prodset_auto, sausage).ok());
+  ASSERT_TRUE(twin->store->AddToSet(twin->prodset_auto, sausage).ok());
+  ASSERT_TRUE(twin_asr->OnEdgeInserted(twin->auto_division, 0, sausage).ok());
+
+  auto* backend =
+      static_cast<storage::FileBackend*>(faulty->disk.backend());
+  backend->EnterReadOnly(Status::IOError("simulated media failure"));
+  ASSERT_TRUE(backend->read_only());
+  EXPECT_TRUE(backend->write_error().IsIOError());
+
+  // Maintenance cannot persist its tree updates: the op is marked lost.
+  Status st = faulty_asr->OnEdgeInserted(faulty->auto_division, 0, sausage);
+  EXPECT_TRUE(st.IsIOError()) << st.ToString();
+  EXPECT_EQ(faulty_asr->journal().lost(), 1u);
+
+  // Recovery completes despite the unwritable backend, by quarantining what
+  // it cannot reconcile.
+  RecoveryReport report;
+  Status rst = faulty_asr->Recover(&report);
+  EXPECT_TRUE(rst.ok()) << rst.ToString();
+  EXPECT_FALSE(report.clean);
+  EXPECT_GE(report.partitions_quarantined, 1u);
+  EXPECT_TRUE(faulty_asr->degraded());
+  EXPECT_EQ(faulty_asr->journal().unresolved(), 0u);
+
+  check::CheckReport check_report;
+  check::InvariantChecker checker;
+  checker.CheckAsr(faulty_asr.get(), &check_report);
+  EXPECT_TRUE(check_report.clean()) << check_report.ToString();
+
+  // Reads still work: every supported query answers exactly like the twin.
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = i + 1; j <= 3; ++j) {
+      if (!twin_asr->SupportsQuery(i, j)) continue;
+      AsrKey start = twin->Key(twin->auto_division);
+      if (i != 0) continue;
+      Result<std::vector<AsrKey>> want = twin_asr->EvalForward(start, i, j);
+      Result<std::vector<AsrKey>> got = faulty_asr->EvalForward(start, i, j);
+      ASSERT_TRUE(want.ok()) << want.status().ToString();
+      ASSERT_TRUE(got.ok()) << got.status().ToString();
+      EXPECT_EQ(Sorted(*want), Sorted(*got))
+          << "Q_{" << i << "," << j << "} diverges";
+    }
+  }
+
+  // Repair needs a writable disk: it fails and keeps the quarantine.
+  EXPECT_FALSE(faulty_asr->Repair().ok());
+  EXPECT_TRUE(faulty_asr->degraded());
+
+  // Writes fail fast with the original cause.
+  storage::Page page;
+  Status wst = faulty->disk.WritePage(storage::PageId{0, 0}, page);
+  EXPECT_TRUE(wst.IsIOError());
+  EXPECT_NE(wst.ToString().find("media failure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace asr
