@@ -15,6 +15,7 @@
 
 #include "cost/cost_model.h"
 #include "cost/opmix.h"
+#include "obs/metrics.h"
 #include "obs/report.h"
 
 namespace asr::bench {
@@ -248,6 +249,16 @@ class JsonWriter {
   std::FILE* file_;
   std::vector<Scope> scopes_;
 };
+
+// Emits a wall-clock latency histogram's summary on the current JSON
+// object as <name>_count / <name>_p50_us / <name>_p99_us. Benches that run
+// the metering backend emit zeros (its seam is never wall-clock timed).
+inline void LatencyFields(JsonWriter* json, const std::string& name,
+                          const obs::HistogramSnapshot& h) {
+  json->Field((name + "_count").c_str(), h.count);
+  json->Field((name + "_p50_us").c_str(), h.Percentile(0.5));
+  json->Field((name + "_p99_us").c_str(), h.Percentile(0.99));
+}
 
 // --- Table rendering -----------------------------------------------------
 

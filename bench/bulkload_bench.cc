@@ -19,6 +19,7 @@
 
 #include "asr/access_support_relation.h"
 #include "bench_util.h"
+#include "obs/latency.h"
 #include "workload/meter.h"
 #include "workload/synthetic_base.h"
 
@@ -36,6 +37,11 @@ struct BuildResult {
   uint64_t page_writes = 0;
   double millis = 0;
   uint64_t pages = 0;
+  // Storage-seam wall-clock latency over this build (file backend only;
+  // the metering backend's seam is never timed, so these stay empty).
+  asr::obs::HistogramSnapshot read_us;
+  asr::obs::HistogramSnapshot write_us;
+  asr::obs::HistogramSnapshot sync_us;
 };
 
 BuildResult RunBuild(const std::string& label,
@@ -44,6 +50,13 @@ BuildResult RunBuild(const std::string& label,
   BuildResult r;
   r.label = label;
   r.backend = base->disk()->backend_name();
+  asr::obs::LiveTelemetry& hub = asr::obs::LiveTelemetry::Instance();
+  const asr::obs::HistogramSnapshot read_before =
+      hub.storage_read_us.snapshot();
+  const asr::obs::HistogramSnapshot write_before =
+      hub.storage_write_us.snapshot();
+  const asr::obs::HistogramSnapshot sync_before =
+      hub.storage_sync_us.snapshot();
   asr::bench::WallTimer timer;
   asr::storage::AccessStats cost = asr::workload::Meter(base->disk(), [&] {
     auto asr = asr::AccessSupportRelation::Build(
@@ -59,6 +72,9 @@ BuildResult RunBuild(const std::string& label,
   r.millis = timer.ElapsedMs();
   r.page_reads = cost.page_reads;
   r.page_writes = cost.page_writes;
+  r.read_us = hub.storage_read_us.snapshot().DeltaSince(read_before);
+  r.write_us = hub.storage_write_us.snapshot().DeltaSince(write_before);
+  r.sync_us = hub.storage_sync_us.snapshot().DeltaSince(sync_before);
   return r;
 }
 
@@ -170,8 +186,11 @@ int main() {
             .Field("page_reads", r.page_reads)
             .Field("page_writes", r.page_writes)
             .Field("pages", r.pages)
-            .Field("wall_ms", r.millis)
-            .EndObject();
+            .Field("wall_ms", r.millis);
+        LatencyFields(&json, "read", r.read_us);
+        LatencyFields(&json, "write", r.write_us);
+        LatencyFields(&json, "sync", r.sync_us);
+        json.EndObject();
       }
     }
     json.EndArray().EndObject();

@@ -52,6 +52,9 @@ struct DurabilityCost {
   uint64_t page_writes = 0;  // write-backs that reached the backend
   uint64_t fsyncs = 0;       // real fdatasync/fsync calls issued
   double wall_ms = 0;
+  // Seam latency over the workload, from the backend's own histograms.
+  asr::obs::HistogramSnapshot write_us;
+  asr::obs::HistogramSnapshot sync_us;
 };
 
 DurabilityCost RunDurabilityWorkload(asr::storage::DurabilityMode mode,
@@ -88,6 +91,8 @@ DurabilityCost RunDurabilityWorkload(asr::storage::DurabilityMode mode,
     cost.page_writes = disk.segment_stats(seg).page_writes;
     auto* fb = static_cast<FileBackend*>(disk.backend());
     cost.fsyncs = fb->fsyncs();
+    cost.write_us = fb->write_latency();
+    cost.sync_us = fb->sync_latency();
   }
   fs::remove_all(dir);
   return cost;
@@ -335,16 +340,36 @@ int main() {
     std::fprintf(json, "  \"durability\": {\n");
     std::fprintf(json,
                  "    \"page\": {\"page_writes\": %llu, \"fsyncs\": %llu, "
-                 "\"wall_ms\": %.3f},\n",
+                 "\"wall_ms\": %.3f, \"write_p50_us\": %llu, "
+                 "\"write_p99_us\": %llu, \"sync_p50_us\": %llu, "
+                 "\"sync_p99_us\": %llu},\n",
                  static_cast<unsigned long long>(page_cost.page_writes),
                  static_cast<unsigned long long>(page_cost.fsyncs),
-                 page_cost.wall_ms);
+                 page_cost.wall_ms,
+                 static_cast<unsigned long long>(
+                     page_cost.write_us.Percentile(0.5)),
+                 static_cast<unsigned long long>(
+                     page_cost.write_us.Percentile(0.99)),
+                 static_cast<unsigned long long>(
+                     page_cost.sync_us.Percentile(0.5)),
+                 static_cast<unsigned long long>(
+                     page_cost.sync_us.Percentile(0.99)));
     std::fprintf(json,
                  "    \"group\": {\"flush_batch\": 64, \"page_writes\": %llu, "
-                 "\"fsyncs\": %llu, \"wall_ms\": %.3f},\n",
+                 "\"fsyncs\": %llu, \"wall_ms\": %.3f, "
+                 "\"write_p50_us\": %llu, \"write_p99_us\": %llu, "
+                 "\"sync_p50_us\": %llu, \"sync_p99_us\": %llu},\n",
                  static_cast<unsigned long long>(group_cost.page_writes),
                  static_cast<unsigned long long>(group_cost.fsyncs),
-                 group_cost.wall_ms);
+                 group_cost.wall_ms,
+                 static_cast<unsigned long long>(
+                     group_cost.write_us.Percentile(0.5)),
+                 static_cast<unsigned long long>(
+                     group_cost.write_us.Percentile(0.99)),
+                 static_cast<unsigned long long>(
+                     group_cost.sync_us.Percentile(0.5)),
+                 static_cast<unsigned long long>(
+                     group_cost.sync_us.Percentile(0.99)));
     std::fprintf(json, "    \"fsync_reduction\": %.1f\n",
                  group_cost.fsyncs > 0
                      ? static_cast<double>(page_cost.fsyncs) /

@@ -16,6 +16,12 @@
 #               without tripping a single UB check
 #   no-metrics  smoke build with -DASR_METRICS=OFF to prove the
 #               instrumentation compiles out
+#   telemetry   the live-telemetry suite re-run in the TSan tree with the
+#               background sampler forced on (ASR_TELEMETRY_MS=1): the
+#               sampler thread hammers the LiveTelemetry hub while every
+#               test runs, so a racy Observe/snapshot pair is a hard
+#               failure — plus a metrics-off parity check that the metered
+#               page counts are bit-identical with telemetry compiled out
 #   paranoid    suite with -DASR_PARANOID=ON: every maintenance commit
 #               point revalidates the ASR structural invariants inline
 #   file-backend  the full default-tree ctest run again with
@@ -27,8 +33,8 @@
 #               WAL-logged maintenance with group-flush durability; every
 #               point must recover to invariant-clean, twin-equal answers
 #   bench-smoke   runs the dual-report bench and fails unless the JSON
-#               artifact carries wall_ms fields (the raw-speed half of the
-#               reporting contract)
+#               artifact carries wall_ms and read_p99_us fields (the
+#               raw-speed half of the reporting contract)
 #
 # Usage: scripts/ci.sh [jobs]
 set -euo pipefail
@@ -59,6 +65,28 @@ UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
   build-ci-ubsan/tests/fault_test
 
 run_job no-metrics  build-ci-nometrics -DASR_METRICS=OFF
+
+echo "==== [telemetry] live sampler under TSan ===="
+TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 ASR_TELEMETRY_MS=1 \
+  build-ci-tsan/tests/telemetry_test
+
+echo "==== [telemetry] metrics-off parity of metered page counts ===="
+REPO_ROOT="$PWD"
+PARITY_DIR="$(mktemp -d)"
+mkdir "$PARITY_DIR/on" "$PARITY_DIR/off"
+(cd "$PARITY_DIR/on" && "$REPO_ROOT"/build-ci/bench/bulkload_bench >/dev/null)
+(cd "$PARITY_DIR/off" &&
+  "$REPO_ROOT"/build-ci-nometrics/bench/bulkload_bench >/dev/null)
+for f in on off; do
+  grep -o '"page_\(reads\|writes\)": [0-9]*' \
+    "$PARITY_DIR/$f/BENCH_bulkload.json" > "$PARITY_DIR/$f.counts"
+done
+diff -u "$PARITY_DIR/on.counts" "$PARITY_DIR/off.counts" || {
+  echo "telemetry: metered page counts differ between ASR_METRICS=ON/OFF" >&2
+  exit 1
+}
+rm -rf "$PARITY_DIR"
+
 run_job paranoid    build-ci-paranoid  -DASR_PARANOID=ON
 
 echo "==== [file-backend] tier-1 suite on the file backend ===="
@@ -75,6 +103,10 @@ BENCH_DIR="$(mktemp -d)"
 (cd "$BENCH_DIR" && "$REPO_ROOT"/build-ci/bench/bulkload_bench)
 grep -q '"wall_ms"' "$BENCH_DIR/BENCH_bulkload.json" || {
   echo "bench-smoke: BENCH_bulkload.json carries no wall_ms field" >&2
+  exit 1
+}
+grep -q '"read_p99_us"' "$BENCH_DIR/BENCH_bulkload.json" || {
+  echo "bench-smoke: BENCH_bulkload.json carries no read_p99_us field" >&2
   exit 1
 }
 rm -rf "$BENCH_DIR"

@@ -6,6 +6,8 @@
 #include <unordered_set>
 #include <utility>
 
+#include "obs/events.h"
+#include "obs/latency.h"
 #include "obs/span.h"
 
 namespace asr {
@@ -352,6 +354,9 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalForward(AsrKey start,
       // Degrade to object-base navigation for this path slice (§4.1): same
       // answers, navigation page counts — metered separately.
       degraded_hops_.Inc();
+      obs::LiveTelemetry::Instance().degraded_hops.Inc();
+      ASR_EVENT(obs::EventKind::kDegradedNavigation,
+                "dir=fwd partition=" + part.store->name);
       obs::ScopedSpan hop("hop");
       if (hop.active()) {
         hop.Attr("dir", std::string("fwd"));
@@ -431,6 +436,9 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
     frontier_sizes_.Observe(frontier.size());
     if (part.store->quarantined) {
       degraded_hops_.Inc();
+      obs::LiveTelemetry::Instance().degraded_hops.Inc();
+      ASR_EVENT(obs::EventKind::kDegradedNavigation,
+                "dir=bwd partition=" + part.store->name);
       obs::ScopedSpan hop("hop");
       if (hop.active()) {
         hop.Attr("dir", std::string("bwd"));

@@ -3,6 +3,8 @@
 #include <cstring>
 #include <utility>
 
+#include "obs/events.h"
+
 namespace asr {
 
 namespace {
@@ -149,6 +151,9 @@ void MaintenanceJournal::MarkLost(uint64_t seq) {
   entry->state = JournalState::kLost;
   --pending_;
   ++lost_;
+  ASR_EVENT(obs::EventKind::kMaintenanceLost,
+            "seq=" + std::to_string(seq) +
+                " op=" + std::string(MaintOpName(entry->op)));
   AppendWal(SeqRecord('L', seq), /*sync=*/true);
 }
 

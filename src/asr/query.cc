@@ -164,6 +164,12 @@ Result<ExplainResult> QueryEvaluator::Explain(QueryDir dir, AsrKey anchor,
     ctx.RootAttr("degraded", std::to_string(asr->quarantined_count()) +
                                  " partition(s) quarantined");
   }
+  // Durability context: which sync policy was active and how many sync
+  // requests the plan issued (0 for pure reads — anything else means the
+  // query rode on a maintenance or flush path worth explaining).
+  ctx.RootAttr("durability",
+               storage::DurabilityModeName(disk->options().durability));
+  const uint64_t syncs_before = disk->sync_requests();
   Result<std::vector<AsrKey>> keys =
       use_asr ? (forward ? asr->EvalForward(anchor, i, j)
                          : asr->EvalBackward(anchor, i, j))
@@ -171,6 +177,8 @@ Result<ExplainResult> QueryEvaluator::Explain(QueryDir dir, AsrKey anchor,
                          : BackwardNoSupport(anchor, i, j));
   ASR_RETURN_IF_ERROR(keys.status());
   ctx.RootAttr("results", std::to_string(keys->size()));
+  ctx.RootAttr("sync_requests",
+               std::to_string(disk->sync_requests() - syncs_before));
 
   ExplainResult out;
   out.keys = std::move(*keys);

@@ -16,6 +16,7 @@
 #include <utility>
 
 #include "asr/access_support_relation.h"
+#include "obs/events.h"
 #include "obs/span.h"
 
 namespace asr {
@@ -161,6 +162,9 @@ Status AccessSupportRelation::Recover(RecoveryReport* report_out) {
   report = RecoveryReport{};
   recoveries_.Inc();
   obs::ScopedSpan span("recover");
+  ASR_EVENT(obs::EventKind::kRecoveryStart,
+            "unresolved=" + std::to_string(journal_.unresolved()) +
+                " partitions=" + std::to_string(partitions_.size()));
 
   // Restart point: torn sectors become visible, the injector disarms, and
   // every cached frame — RAM that did not survive the crash — is dropped
@@ -175,19 +179,24 @@ Status AccessSupportRelation::Recover(RecoveryReport* report_out) {
 
   // Physical triage.
   bool any_damage = false;
-  for (Partition& part : partitions_) {
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
     ++report.partitions_checked;
     Status st = TriagePartitionStore(part.store.get());
     part.store->quarantined = !st.ok();
     if (part.store->quarantined) {
       ++report.partitions_quarantined;
       any_damage = true;
+      ASR_EVENT(obs::EventKind::kPartitionQuarantine,
+                "partition=" + std::to_string(p) +
+                    " phase=triage reason=" + st.message());
     }
   }
 
   if (journal_.unresolved() == 0 && !any_damage) {
     report.clean = true;
     if (span.active()) span.Attr("clean", uint64_t{1});
+    ASR_EVENT(obs::EventKind::kRecoveryFinish, "clean=1");
     return ParanoidValidate();
   }
 
@@ -201,7 +210,8 @@ Status AccessSupportRelation::Recover(RecoveryReport* report_out) {
   old_rows.swap(full_rows_);
   for (const rel::Row& row : extension->rows()) full_rows_.insert(row);
 
-  for (Partition& part : partitions_) {
+  for (size_t p = 0; p < partitions_.size(); ++p) {
+    Partition& part = partitions_[p];
     std::map<rel::Row, uint32_t> fresh =
         ProjectContribution(full_rows_, part.first, part.last);
     if (part.store->owners <= 1) {
@@ -248,6 +258,9 @@ Status AccessSupportRelation::Recover(RecoveryReport* report_out) {
       // answer its slice. Recovery itself still completes.
       part.store->quarantined = true;
       ++report.partitions_quarantined;
+      ASR_EVENT(obs::EventKind::kPartitionQuarantine,
+                "partition=" + std::to_string(p) +
+                    " phase=reconcile reason=" + st.message());
       continue;
     }
     if (inserted + erased > 0) ++report.partitions_reconciled;
@@ -256,6 +269,12 @@ Status AccessSupportRelation::Recover(RecoveryReport* report_out) {
   }
 
   report.journal_resolved = journal_.MarkAllRecovered();
+  ASR_EVENT(obs::EventKind::kRecoveryFinish,
+            "clean=0 quarantined=" +
+                std::to_string(report.partitions_quarantined) +
+                " rows_recomputed=" + std::to_string(report.rows_recomputed) +
+                " journal_resolved=" +
+                std::to_string(report.journal_resolved));
   if (span.active()) {
     span.Attr("quarantined", static_cast<uint64_t>(
                                  report.partitions_quarantined));

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "obs/events.h"
 #include "storage/io_retry.h"
 
 namespace asr::gom {
@@ -65,7 +66,9 @@ Status Database::SaveDurable(const std::string& file) {
   const size_t slash = file.find_last_of('/');
   const std::string dir = slash == std::string::npos ? std::string(".")
                                                      : file.substr(0, slash);
-  return storage::io::FsyncDir(dir.empty() ? "/" : dir);
+  ASR_RETURN_IF_ERROR(storage::io::FsyncDir(dir.empty() ? "/" : dir));
+  ASR_EVENT(obs::EventKind::kCheckpointSaved, "file=" + file);
+  return Status::OK();
 }
 
 Status Database::AttachWal(const std::string& path) {

@@ -1,0 +1,139 @@
+#include "obs/events.h"
+
+#include <utility>
+
+#include "obs/json.h"
+#include "obs/latency.h"
+
+namespace asr::obs {
+
+const char* EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kRecoveryStart:
+      return "recovery_start";
+    case EventKind::kRecoveryFinish:
+      return "recovery_finish";
+    case EventKind::kPartitionQuarantine:
+      return "partition_quarantine";
+    case EventKind::kReadOnlyDemotion:
+      return "read_only_demotion";
+    case EventKind::kWalTornTail:
+      return "wal_torn_tail";
+    case EventKind::kWalCorruptSuffix:
+      return "wal_corrupt_suffix";
+    case EventKind::kCheckpointSaved:
+      return "checkpoint_saved";
+    case EventKind::kDegradedNavigation:
+      return "degraded_navigation";
+    case EventKind::kMaintenanceLost:
+      return "maintenance_lost";
+    case EventKind::kAlert:
+      return "alert";
+  }
+  return "unknown";
+}
+
+EventLog::EventLog(size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+EventLog& EventLog::Instance() {
+  static EventLog log;
+  return log;
+}
+
+void EventLog::Record(EventKind kind, std::string detail) {
+#if ASR_METRICS_ENABLED
+  Event e;
+  e.t_us = MonotonicMicros();
+  e.kind = kind;
+  e.detail = std::move(detail);
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
+  if (ring_.size() == capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+  ring_.push_back(std::move(e));
+#else
+  (void)kind;
+  (void)detail;
+#endif
+}
+
+std::vector<Event> EventLog::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::vector<Event> EventLog::Since(uint64_t after_seq) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (const Event& e : ring_) {
+    if (e.seq > after_seq) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<Event> EventLog::OfKind(EventKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Event> out;
+  for (const Event& e : ring_) {
+    if (e.kind == kind) out.push_back(e);
+  }
+  return out;
+}
+
+uint64_t EventLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - 1;
+}
+
+uint64_t EventLog::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+size_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void EventLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  // seq keeps advancing across Clear() so "Since" cursors stay valid.
+  dropped_ = 0;
+}
+
+void EventLog::WriteJson(JsonWriter* json) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  json->BeginObject();
+  json->Key("total");
+  json->UInt(next_seq_ - 1);
+  json->Key("dropped");
+  json->UInt(dropped_);
+  json->Key("events");
+  json->BeginArray();
+  for (const Event& e : ring_) {
+    json->BeginObject();
+    json->Key("seq");
+    json->UInt(e.seq);
+    json->Key("t_us");
+    json->UInt(e.t_us);
+    json->Key("kind");
+    json->String(EventKindName(e.kind));
+    json->Key("detail");
+    json->String(e.detail);
+    json->EndObject();
+  }
+  json->EndArray();
+  json->EndObject();
+}
+
+std::string EventLog::ToJson() const {
+  JsonWriter json;
+  WriteJson(&json);
+  return json.TakeString();
+}
+
+}  // namespace asr::obs

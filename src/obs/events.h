@@ -1,0 +1,103 @@
+// Operational event journal: a bounded ring of typed, timestamped events.
+//
+// Metrics say how much; events say what happened and when. The storage and
+// recovery layers emit one event per operational state change — recovery
+// start/finish, partition quarantine, read-only demotion, WAL torn-tail
+// truncation, checkpoint saved, degraded-navigation entry — into a
+// process-global ring that tools (examples/stats, the sampler's alert
+// hook, post-crash assertions in the kill harness) can snapshot and render
+// as JSON. Every emission site is already a cold path (these things happen
+// per incident, not per page), so a mutex-guarded ring is the right tool.
+//
+// Call sites use the ASR_EVENT macro so that -DASR_METRICS=OFF compiles
+// both the call and its detail-string construction out entirely.
+#ifndef ASR_OBS_EVENTS_H_
+#define ASR_OBS_EVENTS_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace asr::obs {
+
+class JsonWriter;
+
+// Event taxonomy. Keep in sync with EventKindName().
+enum class EventKind : uint8_t {
+  kRecoveryStart = 0,
+  kRecoveryFinish,
+  kPartitionQuarantine,
+  kReadOnlyDemotion,
+  kWalTornTail,
+  kWalCorruptSuffix,
+  kCheckpointSaved,
+  kDegradedNavigation,
+  kMaintenanceLost,
+  kAlert,
+};
+
+const char* EventKindName(EventKind kind);
+
+struct Event {
+  uint64_t seq = 0;      // monotonically increasing, never reused
+  uint64_t t_us = 0;     // monotonic clock at emission (MonotonicMicros)
+  EventKind kind = EventKind::kRecoveryStart;
+  std::string detail;    // "key=value key=value" context, may be empty
+};
+
+// Bounded ring. Overflow drops the oldest event but keeps counting: seq and
+// total_recorded() keep advancing, dropped() says how many fell off, so a
+// reader can always tell a quiet system from a noisy one it only saw the
+// tail of.
+class EventLog {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit EventLog(size_t capacity = kDefaultCapacity);
+
+  // Process-global instance used by the ASR_EVENT macro and all exports.
+  static EventLog& Instance();
+
+  void Record(EventKind kind, std::string detail = "");
+
+  // Oldest-first copy of the retained window.
+  std::vector<Event> Snapshot() const;
+  // Events with seq > after_seq (for incremental tailing).
+  std::vector<Event> Since(uint64_t after_seq) const;
+  // Retained events of one kind, oldest first.
+  std::vector<Event> OfKind(EventKind kind) const;
+
+  uint64_t total_recorded() const;
+  uint64_t dropped() const;
+  size_t capacity() const { return capacity_; }
+  size_t size() const;
+  void Clear();
+
+  // {"total": N, "dropped": D, "events": [{seq, t_us, kind, detail}...]}
+  void WriteJson(JsonWriter* json) const;
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<Event> ring_;
+  uint64_t next_seq_ = 1;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace asr::obs
+
+#if ASR_METRICS_ENABLED
+// Records into the global log; `detail` may be an arbitrary expression and
+// is not evaluated when metrics are compiled out.
+#define ASR_EVENT(kind, detail) \
+  ::asr::obs::EventLog::Instance().Record((kind), (detail))
+#else
+#define ASR_EVENT(kind, detail) ((void)0)
+#endif
+
+#endif  // ASR_OBS_EVENTS_H_

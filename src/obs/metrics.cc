@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <bit>
+#include <cmath>
 
 #include "obs/json.h"
 
@@ -9,6 +10,38 @@ namespace asr::obs {
 uint64_t HistogramBucketBound(size_t b) {
   if (b + 1 >= kHistogramBuckets) return UINT64_MAX;
   return 1ull << b;
+}
+
+uint64_t HistogramSnapshot::Percentile(double q) const {
+  if (count == 0) return 0;
+  if (q <= 0.0) q = 0.0;
+  if (q >= 1.0) return max;
+  // Smallest rank whose cumulative bucket count covers quantile q.
+  auto rank =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  if (rank > count) rank = count;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) {
+      uint64_t bound = HistogramBucketBound(b);
+      return bound < max ? bound : max;
+    }
+  }
+  return max;
+}
+
+HistogramSnapshot HistogramSnapshot::DeltaSince(
+    const HistogramSnapshot& earlier) const {
+  HistogramSnapshot d;
+  d.count = count - earlier.count;
+  d.sum = sum - earlier.sum;
+  d.max = max;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    d.buckets[b] = buckets[b] - earlier.buckets[b];
+  }
+  return d;
 }
 
 HistogramSnapshot& HistogramSnapshot::operator+=(
@@ -97,6 +130,12 @@ std::vector<std::pair<std::string, uint64_t>> MetricsRegistry::Counters()
     const {
   std::lock_guard<std::mutex> lock(mu_);
   return {counters_.begin(), counters_.end()};
+}
+
+std::vector<std::pair<std::string, HistogramSnapshot>>
+MetricsRegistry::Histograms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {histograms_.begin(), histograms_.end()};
 }
 
 std::string MetricsRegistry::ToText() const {

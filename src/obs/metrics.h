@@ -50,7 +50,20 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0 : static_cast<double>(sum) / count;
   }
 
+  // Upper-bound estimate of the q-quantile (0 < q <= 1) from the
+  // power-of-two buckets: the bound of the first bucket whose cumulative
+  // count reaches ceil(q * count), capped at the observed max. p50/p95/p99
+  // for benches and exports share this one definition.
+  uint64_t Percentile(double q) const;
+  uint64_t P50() const { return Percentile(0.50); }
+  uint64_t P95() const { return Percentile(0.95); }
+  uint64_t P99() const { return Percentile(0.99); }
+
   HistogramSnapshot& operator+=(const HistogramSnapshot& other);
+  // Bucket-wise difference against an earlier snapshot of the same
+  // histogram (monotone fields only; max carries the later value since a
+  // windowed max is not recoverable from two cumulative points).
+  HistogramSnapshot DeltaSince(const HistogramSnapshot& earlier) const;
 };
 
 #if ASR_METRICS_ENABLED
@@ -142,6 +155,7 @@ class MetricsRegistry {
 
   size_t counter_count() const;
   std::vector<std::pair<std::string, uint64_t>> Counters() const;
+  std::vector<std::pair<std::string, HistogramSnapshot>> Histograms() const;
 
   // Rendering: one "name value" line per counter plus histogram summaries,
   // and a {"counters": {...}, "histograms": {...}} JSON object.

@@ -1,0 +1,45 @@
+#include "obs/prometheus.h"
+
+namespace asr::obs {
+
+std::string PrometheusMetricName(const std::string& name) {
+  std::string out = "asr_";
+  out.reserve(name.size() + 4);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPrometheusHistogram(const std::string& metric,
+                               const HistogramSnapshot& snap,
+                               std::string* out) {
+  *out += "# TYPE " + metric + " histogram\n";
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kHistogramBuckets; ++b) {
+    cumulative += snap.buckets[b];
+    uint64_t bound = HistogramBucketBound(b);
+    *out += metric + "_bucket{le=\"";
+    *out += bound == UINT64_MAX ? "+Inf" : std::to_string(bound);
+    *out += "\"} " + std::to_string(cumulative) + "\n";
+  }
+  *out += metric + "_sum " + std::to_string(snap.sum) + "\n";
+  *out += metric + "_count " + std::to_string(snap.count) + "\n";
+}
+
+std::string ToPrometheusText(const MetricsRegistry& registry) {
+  std::string out;
+  for (const auto& [name, value] : registry.Counters()) {
+    std::string metric = PrometheusMetricName(name);
+    out += "# TYPE " + metric + " counter\n";
+    out += metric + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snap] : registry.Histograms()) {
+    AppendPrometheusHistogram(PrometheusMetricName(name), snap, &out);
+  }
+  return out;
+}
+
+}  // namespace asr::obs

@@ -1,0 +1,34 @@
+// Prometheus text exposition (format 0.0.4) beside the JSON export.
+//
+// Renders a MetricsRegistry as scrape-ready text: every counter becomes an
+// `asr_`-prefixed counter sample, every HistogramSnapshot becomes the
+// standard cumulative `_bucket{le="..."}` series plus `_sum`/`_count`,
+// with bucket bounds taken from the registry's power-of-two geometry.
+// Metric names are sanitized (dots and other non-identifier characters
+// become underscores) so registry names like "storage.read.pages" expose
+// as "asr_storage_read_pages".
+#ifndef ASR_OBS_PROMETHEUS_H_
+#define ASR_OBS_PROMETHEUS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace asr::obs {
+
+// "asr_" + name with every character outside [a-zA-Z0-9_] replaced by '_'.
+std::string PrometheusMetricName(const std::string& name);
+
+// Appends the exposition for one histogram under the (already sanitized)
+// metric name.
+void AppendPrometheusHistogram(const std::string& metric,
+                               const HistogramSnapshot& snap,
+                               std::string* out);
+
+// Full registry -> exposition text, counters then histograms, each with a
+// # TYPE header.
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+}  // namespace asr::obs
+
+#endif  // ASR_OBS_PROMETHEUS_H_

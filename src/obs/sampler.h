@@ -1,0 +1,164 @@
+// Background telemetry sampler: periodic snapshots, windowed rates, alerts.
+//
+// A TelemetrySampler owns one background thread that snapshots a metrics
+// source (by default the LiveTelemetry hub — the only store that is safe to
+// read while the workload runs) every `interval_ms`, differences each
+// snapshot against the previous one into windowed deltas and per-second
+// rates, keeps a bounded time-series ring of samples, and evaluates
+// threshold alert rules over each window. Rule transitions from quiet to
+// firing are edge-triggered: each firing is appended to a bounded list,
+// recorded as an EventKind::kAlert event, and handed to any subscribed
+// callback — the hook the ROADMAP's online auto-tuner attaches to.
+//
+// `SampleOnce()` is public and synchronous so unit tests (and single-shot
+// tools) can drive the pipeline without a thread. `ASR_TELEMETRY_MS` in the
+// environment picks the interval; unset or 0 leaves Start() a no-op.
+//
+// Compile-out contract: under ASR_METRICS_ENABLED=0 Start() never spawns a
+// thread, SampleOnce() returns an empty sample, and no rule ever fires.
+#ifndef ASR_OBS_SAMPLER_H_
+#define ASR_OBS_SAMPLER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace asr::obs {
+
+class JsonWriter;
+
+// One periodic observation: cumulative values plus the window since the
+// previous sample.
+struct TelemetrySample {
+  uint64_t seq = 0;
+  uint64_t t_us = 0;   // monotonic clock at the sample
+  uint64_t dt_us = 0;  // window length (0 for the first sample)
+  std::map<std::string, uint64_t> counters;                  // cumulative
+  std::map<std::string, uint64_t> counter_deltas;            // this window
+  std::map<std::string, double> rates;                       // per second
+  std::map<std::string, HistogramSnapshot> histograms;       // cumulative
+  std::map<std::string, HistogramSnapshot> histogram_deltas; // this window
+
+  uint64_t counter(const std::string& name) const;
+  uint64_t delta(const std::string& name) const;
+  double rate(const std::string& name) const;
+  HistogramSnapshot histogram_delta(const std::string& name) const;
+};
+
+// Threshold rule evaluated against each sample's window. `predicate`
+// returns true while the alerting condition holds; the sampler fires on
+// the false->true edge and re-arms on true->false.
+struct AlertRule {
+  std::string name;
+  std::function<bool(const TelemetrySample&)> predicate;
+  // Renders the observed value for the firing's detail string.
+  std::function<std::string(const TelemetrySample&)> describe;
+};
+
+// Rule factories for the stock conditions.
+// Fires while counter `name`'s windowed per-second rate exceeds
+// `per_second` (use 0.0 for "any activity at all", e.g. degraded hops).
+AlertRule CounterRateAbove(const std::string& rule, const std::string& name,
+                           double per_second);
+// Fires while num/(num+den) over the window drops below `ratio`, ignoring
+// windows with fewer than `min_events` in num+den (e.g. buffer hit-ratio).
+AlertRule RatioBelow(const std::string& rule, const std::string& num,
+                     const std::string& den, double ratio,
+                     uint64_t min_events);
+// Fires while the windowed p99 of histogram `name` exceeds `ceiling_us`,
+// ignoring windows with fewer than `min_count` observations.
+AlertRule HistogramP99Above(const std::string& rule, const std::string& name,
+                            uint64_t ceiling_us, uint64_t min_count);
+
+// The stock rule set over the LiveTelemetry names: degraded-hop rate > 0,
+// buffer hit-ratio below `hit_ratio_floor`, sync-latency p99 above
+// `sync_p99_ceiling_us`.
+std::vector<AlertRule> DefaultAlertRules(double hit_ratio_floor,
+                                         uint64_t sync_p99_ceiling_us);
+
+struct AlertFiring {
+  uint64_t sample_seq = 0;
+  uint64_t t_us = 0;
+  std::string rule;
+  std::string detail;
+};
+
+// Fills a registry with the current cumulative values of the source being
+// sampled. The default reads the LiveTelemetry hub under "live." names.
+using TelemetryCollector = std::function<void(MetricsRegistry*)>;
+void CollectLive(MetricsRegistry* registry);
+
+class TelemetrySampler {
+ public:
+  struct Options {
+    uint64_t interval_ms = 250;   // 0 = Start() is a no-op
+    size_t ring_capacity = 240;   // samples retained
+    size_t firing_capacity = 64;  // alert firings retained
+    TelemetryCollector collector; // default: CollectLive
+
+    // Reads ASR_TELEMETRY_MS (unset/0/invalid => interval_ms 0).
+    static Options FromEnv();
+  };
+
+  TelemetrySampler();
+  explicit TelemetrySampler(Options options);
+  ~TelemetrySampler();
+
+  TelemetrySampler(const TelemetrySampler&) = delete;
+  TelemetrySampler& operator=(const TelemetrySampler&) = delete;
+
+  void AddRule(AlertRule rule);
+  // Subscriber hook; called from the sampling thread (or the SampleOnce
+  // caller) after the sample is committed, outside the sampler lock.
+  void OnAlert(std::function<void(const AlertFiring&)> callback);
+
+  // Spawns the background thread. Returns running(); false when the
+  // interval is 0 or metrics are compiled out.
+  bool Start();
+  void Stop();
+  bool running() const;
+
+  // Collect + diff + evaluate + record, synchronously. The thread calls
+  // this on each tick; tests call it directly.
+  TelemetrySample SampleOnce();
+
+  std::vector<TelemetrySample> Samples() const;  // oldest first
+  bool Latest(TelemetrySample* out) const;       // false when empty
+  std::vector<AlertFiring> Firings() const;
+  uint64_t samples_taken() const;
+
+  // {"interval_ms":..,"samples":[..],"alerts":[..]}
+  void WriteJson(JsonWriter* json) const;
+  std::string ToJson() const;
+
+ private:
+  void ThreadMain();
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_requested_ = false;
+  bool running_ = false;
+  std::thread thread_;
+
+  std::vector<AlertRule> rules_;
+  std::vector<bool> rule_active_;
+  std::vector<std::function<void(const AlertFiring&)>> callbacks_;
+
+  std::vector<TelemetrySample> ring_;  // oldest first
+  std::vector<AlertFiring> firings_;
+  uint64_t next_seq_ = 1;
+  bool have_prev_ = false;
+  TelemetrySample prev_;
+};
+
+}  // namespace asr::obs
+
+#endif  // ASR_OBS_SAMPLER_H_

@@ -59,6 +59,7 @@ Result<PageGuard> BufferManager::TryPin(PageId id) {
     ++misses_;
 #if ASR_METRICS_ENABLED
     ++SegCounters(id.segment).misses;
+    obs::LiveTelemetry::Instance().buffer_misses.Inc();
 #endif
     Frame frame;
     ASR_RETURN_IF_ERROR(disk_->ReadPage(id, &frame.page));
@@ -67,6 +68,7 @@ Result<PageGuard> BufferManager::TryPin(PageId id) {
     ++hits_;
 #if ASR_METRICS_ENABLED
     ++SegCounters(id.segment).hits;
+    obs::LiveTelemetry::Instance().buffer_hits.Inc();
 #endif
     if (it->second.in_lru) {
       lru_.erase(it->second.lru_pos);
@@ -118,7 +120,11 @@ void BufferManager::EvictFrame(PageId id) {
 #endif
   if (frame.dirty) {
     writebacks_.Inc();
-    Status st = disk_->WritePage(id, frame.page);
+    Status st;
+    {
+      obs::LatencyTimer timer(time_io_, &evict_writeback_us_);
+      st = disk_->WritePage(id, frame.page);
+    }
     // The unpin that triggered this eviction cannot receive a Status, so the
     // first failure sticks; the frame is dropped regardless (its content is
     // what the crash lost).
@@ -144,9 +150,12 @@ void BufferManager::NoteWriteBack(uint32_t segment) {
 
 void BufferManager::FlushRun() {
   if (unsynced_writebacks_ == 0) return;
-  for (uint32_t segment : dirty_segments_) {
-    Status st = disk_->SyncSegment(segment);
-    if (!st.ok() && write_error_.ok()) write_error_ = st;
+  {
+    obs::LatencyTimer timer(time_io_, &flush_run_us_);
+    for (uint32_t segment : dirty_segments_) {
+      Status st = disk_->SyncSegment(segment);
+      if (!st.ok() && write_error_.ok()) write_error_ = st;
+    }
   }
   flush_run_sizes_.Observe(unsynced_writebacks_);
   ++group_flushes_;
@@ -200,6 +209,9 @@ void BufferManager::ExportMetrics(obs::MetricsRegistry* registry,
   registry->Set(prefix + ".capacity", capacity_);
   registry->Set(prefix + ".group_flushes", group_flushes_);
   registry->SetHistogram(prefix + ".flush_run_sizes", flush_run_sizes_);
+  registry->SetHistogram(prefix + ".evict_writeback_us",
+                         evict_writeback_us_.snapshot());
+  registry->SetHistogram(prefix + ".flush_run_us", flush_run_us_.snapshot());
 #if ASR_METRICS_ENABLED
   for (uint32_t seg = 0; seg < seg_counters_.size(); ++seg) {
     const SegmentCounters& c = seg_counters_[seg];

@@ -18,6 +18,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
 #include "storage/page.h"
@@ -73,7 +74,8 @@ class BufferManager {
         durability_(disk->options().durability),
         flush_batch_(disk->options().flush_batch < 1
                          ? 1
-                         : disk->options().flush_batch) {}
+                         : disk->options().flush_batch),
+        time_io_(disk->options().backend == BackendKind::kFile) {}
   // Destruction is best-effort teardown; a caller that needs durability (or
   // wants to observe write-back faults) calls FlushAll() itself first.
   ~BufferManager() { (void)FlushAll(); }
@@ -118,6 +120,16 @@ class BufferManager {
   uint64_t writebacks() const { return writebacks_.value(); }
   DurabilityMode durability() const { return durability_; }
   uint64_t group_flushes() const { return group_flushes_; }
+
+  // Wall-clock latency of dirty-eviction write-backs and group-flush sync
+  // runs, microseconds. Timed only on the file backend (time_io_), so the
+  // metered memory-backend hot path never reads the clock.
+  obs::HistogramSnapshot writeback_latency() const {
+    return evict_writeback_us_.snapshot();
+  }
+  obs::HistogramSnapshot flush_run_latency() const {
+    return flush_run_us_.snapshot();
+  }
 
   // Pushes this pool's counters into `registry` under `prefix`: totals
   // (hits/misses/evictions/writebacks) plus, when metrics are compiled in,
@@ -182,6 +194,10 @@ class BufferManager {
   obs::HotCounter evictions_;
   obs::HotCounter writebacks_;
   obs::HotHistogram flush_run_sizes_;  // write-backs covered per sync run
+  // Whether seam operations are wall-clock timed (file backend only).
+  bool time_io_ = false;
+  obs::SharedHistogram evict_writeback_us_;
+  obs::SharedHistogram flush_run_us_;
 };
 
 }  // namespace asr::storage

@@ -10,6 +10,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/events.h"
 #include "storage/io_retry.h"
 
 namespace asr::storage {
@@ -56,11 +57,18 @@ FileBackend::~FileBackend() {
 }
 
 void FileBackend::EnterReadOnly(const Status& why) {
+  bool first = false;
   {
     std::lock_guard<std::mutex> lock(error_mu_);
-    if (write_error_.ok()) write_error_ = why;
+    if (write_error_.ok()) {
+      write_error_ = why;
+      first = true;
+    }
   }
   read_only_.store(true, std::memory_order_release);
+  if (first) {
+    ASR_EVENT(obs::EventKind::kReadOnlyDemotion, "reason=" + why.message());
+  }
 }
 
 Status FileBackend::write_error() const {
@@ -159,6 +167,8 @@ Status FileBackend::Read(uint32_t segment, uint32_t page_no, Page* out) {
                            " has no backing file (read-only backend)");
   }
   const off_t off = static_cast<off_t>(page_no) * kPageSize;
+  obs::LatencyTimer timer(
+      true, &read_us_, &obs::LiveTelemetry::Instance().storage_read_us);
   // The mapping covers capacity_pages; a page allocated past a failed
   // growth (degraded regime) must go through pread.
   if (seg.map != nullptr && page_no < seg.capacity_pages) {
@@ -186,6 +196,8 @@ Status FileBackend::Write(uint32_t segment, uint32_t page_no,
                            " has no backing file (read-only backend)");
   }
   const off_t off = static_cast<off_t>(page_no) * kPageSize;
+  obs::LatencyTimer timer(
+      true, &write_us_, &obs::LiveTelemetry::Instance().storage_write_us);
   Status st = io::WriteFull(
       seg.fd, page.data(), kPageSize, off,
       ("pwrite " + seg.path + " page " + std::to_string(page_no)).c_str());
@@ -217,7 +229,12 @@ Status FileBackend::Sync(uint32_t segment) {
     return Status::IOError("segment " + std::to_string(segment) +
                            " has no backing file (read-only backend)");
   }
-  Status st = io::Fdatasync(seg.fd, ("fdatasync " + seg.path).c_str());
+  Status st;
+  {
+    obs::LatencyTimer timer(
+        true, &sync_us_, &obs::LiveTelemetry::Instance().storage_sync_us);
+    st = io::Fdatasync(seg.fd, ("fdatasync " + seg.path).c_str());
+  }
   if (!st.ok()) {
     // A failed fsync means the kernel may have dropped dirty pages whose
     // write already "succeeded" — the classic reason fsync errors must be
@@ -266,7 +283,15 @@ void FileBackend::ExportMetrics(obs::MetricsRegistry* registry,
   registry->Set(prefix + ".mmap_fallbacks",
                 mmap_fallbacks_.load(std::memory_order_relaxed));
   registry->Set(prefix + ".io_transient_retries", io::transient_retries());
+  registry->Set(prefix + ".io_eintr_retries", io::eintr_retries());
+  registry->Set(prefix + ".io_resumed_short_reads",
+                io::resumed_short_reads());
+  registry->Set(prefix + ".io_resumed_short_writes",
+                io::resumed_short_writes());
   registry->Set(prefix + ".read_only", read_only() ? 1 : 0);
+  registry->SetHistogram(prefix + ".read_us", read_us_.snapshot());
+  registry->SetHistogram(prefix + ".write_us", write_us_.snapshot());
+  registry->SetHistogram(prefix + ".sync_us", sync_us_.snapshot());
 }
 
 }  // namespace asr::storage

@@ -42,6 +42,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "obs/latency.h"
 #include "storage/backend.h"
 
 namespace asr::storage {
@@ -83,6 +84,16 @@ class FileBackend : public StorageBackend {
   // First permanent write failure (OK while healthy).
   Status write_error() const;
 
+  // Wall-clock latency of the seam operations, microseconds. The file
+  // backend is the wall-clock currency, so these are always on; they are
+  // mirrored into the LiveTelemetry hub for the sampler and exported as
+  // histograms next to the byte counters.
+  obs::HistogramSnapshot read_latency() const { return read_us_.snapshot(); }
+  obs::HistogramSnapshot write_latency() const {
+    return write_us_.snapshot();
+  }
+  obs::HistogramSnapshot sync_latency() const { return sync_us_.snapshot(); }
+
   // Demotes the backend to read-only as if `why` had been a permanent write
   // failure (test hook for the degradation paths; also called internally).
   void EnterReadOnly(const Status& why);
@@ -123,6 +134,12 @@ class FileBackend : public StorageBackend {
   std::atomic<uint64_t> fsyncs_{0};
   std::atomic<uint64_t> dir_fsyncs_{0};
   std::atomic<uint64_t> mmap_fallbacks_{0};
+
+  // Storage-seam latency histograms (shared-safe: per-segment accessor
+  // threads observe, the telemetry sampler reads concurrently).
+  obs::SharedHistogram read_us_;
+  obs::SharedHistogram write_us_;
+  obs::SharedHistogram sync_us_;
 };
 
 }  // namespace asr::storage

@@ -20,6 +20,9 @@ constexpr int kMaxTransientRetries = 8;
 constexpr useconds_t kBackoffBaseUs = 100;
 
 std::atomic<uint64_t> g_transient_retries{0};
+std::atomic<uint64_t> g_eintr_retries{0};
+std::atomic<uint64_t> g_resumed_short_reads{0};
+std::atomic<uint64_t> g_resumed_short_writes{0};
 
 std::string ErrnoMessage(const char* what, int err) {
   return std::string(what) + ": " + std::strerror(err);
@@ -41,6 +44,18 @@ uint64_t transient_retries() {
   return g_transient_retries.load(std::memory_order_relaxed);
 }
 
+uint64_t eintr_retries() {
+  return g_eintr_retries.load(std::memory_order_relaxed);
+}
+
+uint64_t resumed_short_reads() {
+  return g_resumed_short_reads.load(std::memory_order_relaxed);
+}
+
+uint64_t resumed_short_writes() {
+  return g_resumed_short_writes.load(std::memory_order_relaxed);
+}
+
 Result<size_t> ReadAtMost(int fd, void* buf, size_t n, off_t off,
                           const char* what) {
   size_t done = 0;
@@ -49,11 +64,18 @@ Result<size_t> ReadAtMost(int fd, void* buf, size_t n, off_t off,
     ssize_t got = ::pread(fd, static_cast<char*>(buf) + done, n - done,
                           off + static_cast<off_t>(done));
     if (got > 0) {
+      if (done > 0) {
+        // A short transfer is being continued from where it stopped.
+        g_resumed_short_reads.fetch_add(1, std::memory_order_relaxed);
+      }
       done += static_cast<size_t>(got);
       continue;
     }
     if (got == 0) break;  // EOF
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      g_eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (IsTransientErrno(errno) && transient < kMaxTransientRetries) {
       Backoff(transient++);
       continue;
@@ -82,13 +104,19 @@ Status WriteFull(int fd, const void* buf, size_t n, off_t off,
     ssize_t put = ::pwrite(fd, static_cast<const char*>(buf) + done, n - done,
                            off + static_cast<off_t>(done));
     if (put > 0) {
+      if (done > 0) {
+        g_resumed_short_writes.fetch_add(1, std::memory_order_relaxed);
+      }
       done += static_cast<size_t>(put);
       continue;
     }
     // pwrite returning 0 for a nonzero count is a non-advancing anomaly;
     // treat it like a transient condition rather than spinning forever.
     int err = put == 0 ? EAGAIN : errno;
-    if (err == EINTR) continue;
+    if (err == EINTR) {
+      g_eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     if (IsTransientErrno(err) && transient < kMaxTransientRetries) {
       Backoff(transient++);
       continue;
@@ -100,7 +128,10 @@ Status WriteFull(int fd, const void* buf, size_t n, off_t off,
 
 Status Fdatasync(int fd, const char* what) {
   while (::fdatasync(fd) != 0) {
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      g_eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     return Status::IOError(ErrnoMessage(what, errno));
   }
   return Status::OK();
@@ -108,7 +139,10 @@ Status Fdatasync(int fd, const char* what) {
 
 Status Fsync(int fd, const char* what) {
   while (::fsync(fd) != 0) {
-    if (errno == EINTR) continue;
+    if (errno == EINTR) {
+      g_eintr_retries.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
     return Status::IOError(ErrnoMessage(what, errno));
   }
   return Status::OK();

@@ -49,9 +49,14 @@ Status Fsync(int fd, const char* what);
 // directory entry durable.
 Status FsyncDir(const std::string& dir);
 
-// Process-wide count of transient-errno retries that the loops above
-// performed (relaxed; exported into backend metrics).
+// Process-wide counts (relaxed; exported into backend metrics) of what the
+// loops above absorbed before the caller saw a clean transfer:
+// transient-errno backoff retries, immediate EINTR retries, and short
+// pread/pwrite transfers that were resumed from where they stopped.
 uint64_t transient_retries();
+uint64_t eintr_retries();
+uint64_t resumed_short_reads();
+uint64_t resumed_short_writes();
 
 }  // namespace asr::storage::io
 

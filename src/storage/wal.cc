@@ -8,6 +8,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/events.h"
 #include "storage/io_retry.h"
 
 namespace asr::storage {
@@ -114,6 +115,11 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
       return Status::IOError("ftruncate wal " + path + ": " +
                              std::strerror(errno));
     }
+    ASR_EVENT(stats.corrupt_suffix ? obs::EventKind::kWalCorruptSuffix
+                                   : obs::EventKind::kWalTornTail,
+              "path=" + path +
+                  " dropped_bytes=" + std::to_string(stats.dropped_bytes) +
+                  " valid_records=" + std::to_string(stats.records));
   }
   wal->tail_ = off;
   wal->replay_ = stats;
@@ -136,8 +142,13 @@ Status WriteAheadLog::Append(std::string_view payload) {
   std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
   // One pwrite per record: a crash can tear the frame but never interleave
   // two Appends (single-writer contract, same as every storage component).
-  ASR_RETURN_IF_ERROR(io::WriteFull(fd_, frame.data(), frame.size(),
-                                    static_cast<off_t>(tail_), "wal append"));
+  {
+    obs::LatencyTimer timer(
+        true, &append_us_, &obs::LiveTelemetry::Instance().wal_append_us);
+    ASR_RETURN_IF_ERROR(io::WriteFull(fd_, frame.data(), frame.size(),
+                                      static_cast<off_t>(tail_),
+                                      "wal append"));
+  }
   tail_ += frame.size();
   records_appended_.Inc();
   bytes_appended_.Inc(frame.size());
@@ -145,7 +156,11 @@ Status WriteAheadLog::Append(std::string_view payload) {
 }
 
 Status WriteAheadLog::Sync() {
-  ASR_RETURN_IF_ERROR(io::Fdatasync(fd_, "wal fdatasync"));
+  {
+    obs::LatencyTimer timer(true, &sync_us_,
+                            &obs::LiveTelemetry::Instance().wal_sync_us);
+    ASR_RETURN_IF_ERROR(io::Fdatasync(fd_, "wal fdatasync"));
+  }
   syncs_.Inc();
   return Status::OK();
 }
@@ -158,6 +173,8 @@ void WriteAheadLog::ExportMetrics(obs::MetricsRegistry* registry,
   registry->Set(prefix + ".replayed_records", replay_.records);
   registry->Set(prefix + ".replay_dropped_bytes", replay_.dropped_bytes);
   registry->Set(prefix + ".tail_offset", tail_);
+  registry->SetHistogram(prefix + ".append_us", append_us_.snapshot());
+  registry->SetHistogram(prefix + ".sync_us", sync_us_.snapshot());
 }
 
 }  // namespace asr::storage

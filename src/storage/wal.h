@@ -30,6 +30,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "obs/latency.h"
 #include "obs/metrics.h"
 
 namespace asr::storage {
@@ -80,6 +81,13 @@ class WriteAheadLog {
   uint64_t syncs() const { return syncs_.value(); }
   const ReplayStats& replay_stats() const { return replay_; }
 
+  // Wall-clock latency of the durability operations, microseconds (also
+  // mirrored into the LiveTelemetry hub for the sampler).
+  obs::HistogramSnapshot append_latency() const {
+    return append_us_.snapshot();
+  }
+  obs::HistogramSnapshot sync_latency() const { return sync_us_.snapshot(); }
+
   void ExportMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix) const;
 
@@ -94,6 +102,8 @@ class WriteAheadLog {
   obs::HotCounter records_appended_;
   obs::HotCounter bytes_appended_;
   obs::HotCounter syncs_;
+  obs::SharedHistogram append_us_;
+  obs::SharedHistogram sync_us_;
 };
 
 }  // namespace asr::storage

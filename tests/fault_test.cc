@@ -503,9 +503,13 @@ TEST(DegradeTest, QuarantinedPartitionAnswersByNavigationAndMetersIt) {
   // drift report row carrying the extra page reads.
   obs::MetricsRegistry metrics;
   p.faulty_asr->ExportMetrics(&metrics, "asr");
+#if ASR_METRICS_ENABLED
+  // Hot counters are no-op types under -DASR_METRICS=OFF; the navigation
+  // behavior above is asserted in every mode, the attribution only here.
   EXPECT_GT(metrics.counter("asr.hops.degraded"), 0u);
   EXPECT_EQ(metrics.counter("asr.quarantined"), report.partitions_quarantined);
   EXPECT_GT(metrics.counter("asr.recoveries"), 0u);
+#endif
 
   obs::DriftReport drift("fault_degrade", "company");
   drift.AddRow("nav_page_reads", static_cast<double>(healthy_nav_reads),

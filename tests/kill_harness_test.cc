@@ -37,6 +37,7 @@
 #include "check/invariant_checker.h"
 #include "common/macros.h"
 #include "gom/database.h"
+#include "obs/events.h"
 #include "storage/backend.h"
 #include "storage/wal.h"
 
@@ -394,10 +395,25 @@ void VerifyAfterKill(const std::string& snapshot, const std::string& iter_dir,
 
   if (rec_asr->journal().unresolved() > 0) {
     outcome->needed_recovery = true;
+#if ASR_METRICS_ENABLED
+    const uint64_t events_before = obs::EventLog::Instance().total_recorded();
+#endif
     RecoveryReport report;
     Status st = rec_asr->Recover(&report);
     ASSERT_TRUE(st.ok()) << ctx << ": " << st.ToString();
     EXPECT_EQ(rec_asr->journal().unresolved(), 0u) << ctx;
+#if ASR_METRICS_ENABLED
+    // The restart must leave an audit trail: recovery start and finish land
+    // in the operational event journal.
+    bool saw_start = false, saw_finish = false;
+    for (const obs::Event& e : obs::EventLog::Instance().Snapshot()) {
+      if (e.seq <= events_before) continue;
+      saw_start |= e.kind == obs::EventKind::kRecoveryStart;
+      saw_finish |= e.kind == obs::EventKind::kRecoveryFinish;
+    }
+    EXPECT_TRUE(saw_start && saw_finish)
+        << ctx << ": Recover() left no recovery_start/recovery_finish events";
+#endif
   }
 
   // (4) Post-recovery invariants: the full checker, semantic checks on.
