@@ -1,0 +1,905 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace asrlint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+struct Token {
+  std::string text;
+  int line = 0;
+  bool ident = false;
+};
+
+struct SourceFile {
+  std::string path;
+  std::vector<Token> toks;
+  // line -> concatenated comment text on that line (block comments contribute
+  // to every line they span). Drives suppression lookup.
+  std::map<int, std::string> comments;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Tokenizes C++ source: strips comments (recording their text per line),
+// string/char literals, and whole preprocessor lines (so macro *definitions*
+// are never mistaken for uses). Only `::` and `->` survive as multi-char
+// punctuators; the rules below never need the rest.
+void Lex(const std::string& text, SourceFile* out) {
+  const size_t n = text.size();
+  size_t i = 0;
+  int line = 1;
+  bool line_start = true;  // nothing but whitespace so far on this line
+
+  auto add_comment = [&](int at, const std::string& body) {
+    std::string& slot = out->comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += body;
+  };
+
+  while (i < n) {
+    char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      size_t start = i + 2;
+      while (i < n && text[i] != '\n') ++i;
+      add_comment(line, text.substr(start, i - start));
+      continue;
+    }
+    // Block comment: contributes its text to every line it spans.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      i += 2;
+      size_t seg = i;
+      while (i + 1 < n && !(text[i] == '*' && text[i + 1] == '/')) {
+        if (text[i] == '\n') {
+          add_comment(line, text.substr(seg, i - seg));
+          ++line;
+          seg = i + 1;
+        }
+        ++i;
+      }
+      add_comment(line, text.substr(seg, i - seg));
+      i = i + 1 < n ? i + 2 : n;
+      continue;
+    }
+    // Preprocessor line: skip entirely, honoring backslash continuations.
+    // Macro bodies (e.g. the ASR_GUARDED_BY definition itself, or the
+    // ((void)0) arm of ASR_EVENT) must not feed the rules.
+    if (c == '#' && line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    line_start = false;
+    // Raw string literal.
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      size_t d = i + 2;
+      while (d < n && text[d] != '(') ++d;
+      std::string close = ")" + text.substr(i + 2, d - (i + 2)) + "\"";
+      size_t end = text.find(close, d);
+      end = end == std::string::npos ? n : end + close.size();
+      for (size_t k = i; k < end; ++k) {
+        if (text[k] == '\n') ++line;
+      }
+      i = end;
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      char quote = c;
+      ++i;
+      while (i < n && text[i] != quote) {
+        if (text[i] == '\\' && i + 1 < n) ++i;
+        if (text[i] == '\n') ++line;  // unterminated; stay sane
+        ++i;
+      }
+      if (i < n) ++i;
+      continue;
+    }
+    // Identifier / keyword.
+    if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(text[i])) ++i;
+      out->toks.push_back({text.substr(start, i - start), line, true});
+      continue;
+    }
+    // Number (pp-number: digits, idents, dots, sign after exponent char).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(text[i + 1])))) {
+      size_t start = i;
+      ++i;
+      while (i < n) {
+        char p = text[i];
+        if (IsIdentChar(p) || p == '.' || p == '\'') {
+          ++i;
+        } else if ((p == '+' || p == '-') &&
+                   (text[i - 1] == 'e' || text[i - 1] == 'E' ||
+                    text[i - 1] == 'p' || text[i - 1] == 'P')) {
+          ++i;
+        } else {
+          break;
+        }
+      }
+      out->toks.push_back({text.substr(start, i - start), line, false});
+      continue;
+    }
+    // Punctuation: keep :: and -> whole.
+    if (c == ':' && i + 1 < n && text[i + 1] == ':') {
+      out->toks.push_back({"::", line, false});
+      i += 2;
+      continue;
+    }
+    if (c == '-' && i + 1 < n && text[i + 1] == '>') {
+      out->toks.push_back({"->", line, false});
+      i += 2;
+      continue;
+    }
+    out->toks.push_back({std::string(1, c), line, false});
+    ++i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Structural pass: classes, annotated fields, function bodies
+// ---------------------------------------------------------------------------
+
+struct FunctionRec {
+  const SourceFile* src = nullptr;
+  std::string cls;   // innermost class (scope or out-of-line qualifier), or ""
+  std::string name;  // "" when unknown (e.g. operator with odd spelling)
+  bool ctor_dtor = false;
+  size_t body_begin = 0;  // index of '{'
+  size_t body_end = 0;    // index of matching '}'
+  std::set<std::string> requires_mutexes;  // ASR_REQUIRES on the definition
+};
+
+struct ParseResult {
+  // class -> field -> mutex that guards it.
+  std::map<std::string, std::map<std::string, std::string>> guarded;
+  // "Class::method" -> mutexes from ASR_REQUIRES on a *declaration*.
+  std::map<std::string, std::set<std::string>> requires_decl;
+  std::vector<FunctionRec> functions;
+};
+
+const std::set<std::string>& AnnotationMacros() {
+  static const std::set<std::string> kSet = {
+      "ASR_GUARDED_BY", "ASR_PT_GUARDED_BY", "ASR_REQUIRES", "ASR_EXCLUDES",
+      "ASR_DISALLOW_COPY_AND_ASSIGN"};
+  return kSet;
+}
+
+bool IsControlKeyword(const std::string& t) {
+  static const std::set<std::string> kSet = {
+      "if", "while", "for", "switch", "catch", "return", "sizeof",
+      "alignof", "alignas", "decltype", "static_assert", "new", "delete",
+      "throw", "case", "do", "else"};
+  return kSet.count(t) > 0;
+}
+
+class Parser {
+ public:
+  Parser(const SourceFile& src, ParseResult* out) : src_(src), out_(out) {}
+
+  void Parse() { ParseScope(/*in_class=*/false, ""); }
+
+ private:
+  const SourceFile& src_;
+  ParseResult* out_;
+  size_t i_ = 0;
+
+  const std::string& Text(size_t k) const {
+    static const std::string kEmpty;
+    return k < src_.toks.size() ? src_.toks[k].text : kEmpty;
+  }
+  bool Ident(size_t k) const {
+    return k < src_.toks.size() && src_.toks[k].ident;
+  }
+  bool AtEnd() const { return i_ >= src_.toks.size(); }
+
+  // Advances past a balanced pair starting at the opener `open` (i_ points at
+  // it); tolerant of EOF.
+  void SkipBalanced(const std::string& open, const std::string& close) {
+    int depth = 0;
+    while (!AtEnd()) {
+      if (Text(i_) == open) ++depth;
+      if (Text(i_) == close && --depth == 0) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  void SkipTemplateHeader() {
+    ++i_;  // "template"
+    if (Text(i_) != "<") return;
+    int depth = 0;
+    while (!AtEnd()) {
+      if (Text(i_) == "<") ++depth;
+      if (Text(i_) == ">" && --depth == 0) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  void SkipToSemicolon() {
+    int paren = 0, brace = 0;
+    while (!AtEnd()) {
+      const std::string& t = Text(i_);
+      if (t == "(") ++paren;
+      if (t == ")") --paren;
+      if (t == "{") ++brace;
+      if (t == "}") {
+        if (brace == 0) return;  // scope closer; leave it to the caller
+        --brace;
+      }
+      if (t == ";" && paren == 0 && brace == 0) {
+        ++i_;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  void ParseEnum() {
+    ++i_;  // "enum"
+    if (Text(i_) == "class" || Text(i_) == "struct") ++i_;
+    if (Ident(i_)) ++i_;
+    while (!AtEnd() && Text(i_) != "{" && Text(i_) != ";") ++i_;
+    if (Text(i_) == "{") SkipBalanced("{", "}");
+    if (Text(i_) == ";") ++i_;
+  }
+
+  void ParseClassHead() {
+    ++i_;  // "class" / "struct" / "union"
+    std::string name;
+    int paren = 0;
+    while (!AtEnd()) {
+      const std::string& t = Text(i_);
+      if (t == "(") ++paren;  // alignas(...) etc.
+      if (t == ")") --paren;
+      if (paren == 0) {
+        if (t == ";") {  // forward declaration
+          ++i_;
+          return;
+        }
+        if (t == "{") break;
+        if (t == ":") {  // base clause: scan on to the body
+          while (!AtEnd() && Text(i_) != "{" && Text(i_) != ";") ++i_;
+          break;
+        }
+        if (Ident(i_) && t != "final" && t != "alignas") name = t;
+      }
+      ++i_;
+    }
+    if (Text(i_) != "{") {
+      if (Text(i_) == ";") ++i_;
+      return;
+    }
+    ++i_;  // '{'
+    ParseScope(/*in_class=*/true, name);
+    if (Text(i_) == ";") ++i_;
+  }
+
+  void ParseNamespace() {
+    ++i_;  // "namespace"
+    while (!AtEnd() && Text(i_) != "{" && Text(i_) != ";" && Text(i_) != "=") {
+      ++i_;  // name / :: / inline
+    }
+    if (Text(i_) == "{") {
+      ++i_;
+      ParseScope(/*in_class=*/false, "");
+      return;
+    }
+    SkipToSemicolon();  // alias or ;
+  }
+
+  void ParseScope(bool in_class, const std::string& class_name) {
+    while (!AtEnd()) {
+      const std::string& t = Text(i_);
+      if (t == "}") {
+        ++i_;
+        return;
+      }
+      if (t == ";") {
+        ++i_;
+        continue;
+      }
+      if (t == "template") {
+        SkipTemplateHeader();
+        continue;
+      }
+      if (t == "namespace" && !in_class) {
+        ParseNamespace();
+        continue;
+      }
+      if (t == "class" || t == "struct" || t == "union") {
+        ParseClassHead();
+        continue;
+      }
+      if (t == "enum") {
+        ParseEnum();
+        continue;
+      }
+      if ((t == "public" || t == "private" || t == "protected") &&
+          Text(i_ + 1) == ":") {
+        i_ += 2;
+        continue;
+      }
+      if (t == "using" || t == "typedef" || t == "friend" ||
+          t == "static_assert" || t == "extern") {
+        SkipToSemicolon();
+        continue;
+      }
+      ParseDeclaration(in_class, class_name);
+    }
+  }
+
+  // One declaration at namespace/class scope: a field, a prototype, or a
+  // function definition (whose body is recorded as a raw token range).
+  void ParseDeclaration(bool in_class, const std::string& class_name) {
+    int paren = 0;
+    bool saw_eq = false;           // top-level '=': an initializer follows
+    bool saw_init_colon = false;   // ctor-init-list ':' after the param list
+    size_t group_name_idx = static_cast<size_t>(-1);  // ident before '('
+    bool pending_operator = false;
+    std::set<std::string> requires_here;
+    // field name -> mutex, from ASR_GUARDED_BY on this declaration.
+    std::map<std::string, std::string> guarded_here;
+
+    auto macro_args_last_idents = [&](size_t open) {
+      // For ASR_REQUIRES(a, b.mu_): the last identifier of each top-level
+      // comma-separated argument.
+      std::set<std::string> names;
+      size_t k = open + 1;
+      int depth = 1;
+      std::string last;
+      while (k < src_.toks.size() && depth > 0) {
+        const std::string& a = Text(k);
+        if (a == "(") ++depth;
+        if (a == ")") {
+          --depth;
+          if (depth == 0) break;
+        }
+        if (a == "," && depth == 1) {
+          if (!last.empty()) names.insert(last);
+          last.clear();
+        } else if (Ident(k)) {
+          last = a;
+        }
+        ++k;
+      }
+      if (!last.empty()) names.insert(last);
+      return names;
+    };
+
+    while (!AtEnd()) {
+      const std::string& t = Text(i_);
+      if (t == "}" && paren == 0) return;  // scope closer; stray
+      if (t == "template") {
+        SkipTemplateHeader();
+        continue;
+      }
+      if (t == "operator" && paren == 0) {
+        pending_operator = true;
+        group_name_idx = i_;  // a function for sure; name = "operator"
+        ++i_;
+        // operator()() : the symbol pair comes before the param list.
+        if (Text(i_) == "(" && Text(i_ + 1) == ")") i_ += 2;
+        while (!AtEnd() && !Ident(i_) && Text(i_) != "(" && Text(i_) != ";") {
+          ++i_;  // the operator symbol tokens (<, ==, [], ...)
+        }
+        continue;
+      }
+      if (t == "ASR_GUARDED_BY" || t == "ASR_PT_GUARDED_BY") {
+        std::string field = i_ > 0 && Ident(i_ - 1) ? Text(i_ - 1) : "";
+        if (Text(i_ + 1) == "(") {
+          std::set<std::string> names = macro_args_last_idents(i_ + 1);
+          if (!field.empty() && !names.empty()) {
+            guarded_here[field] = *names.begin();
+          }
+          ++i_;
+          SkipBalanced("(", ")");
+        } else {
+          ++i_;
+        }
+        continue;
+      }
+      if (t == "ASR_REQUIRES" || t == "ASR_EXCLUDES") {
+        if (Text(i_ + 1) == "(") {
+          if (t == "ASR_REQUIRES") {
+            std::set<std::string> names = macro_args_last_idents(i_ + 1);
+            requires_here.insert(names.begin(), names.end());
+          }
+          ++i_;
+          SkipBalanced("(", ")");
+        } else {
+          ++i_;
+        }
+        continue;
+      }
+      if (t == "(") {
+        if (paren == 0 && group_name_idx == static_cast<size_t>(-1) &&
+            !saw_eq) {
+          // Candidate parameter list: the token before must be a plausible
+          // function name (or we are right after `operator`).
+          if (pending_operator) {
+            // group already attributed to the operator
+          } else if (i_ > 0 && Ident(i_ - 1) && !IsControlKeyword(Text(i_ - 1)) &&
+                     AnnotationMacros().count(Text(i_ - 1)) == 0) {
+            group_name_idx = i_ - 1;
+          }
+          if (pending_operator || group_name_idx == i_ - 1 ||
+              group_name_idx != static_cast<size_t>(-1)) {
+            pending_operator = false;
+          }
+        }
+        ++paren;
+        ++i_;
+        continue;
+      }
+      if (t == ")") {
+        --paren;
+        ++i_;
+        continue;
+      }
+      if (paren > 0) {
+        ++i_;
+        continue;
+      }
+      if (t == "=") {
+        saw_eq = true;
+        ++i_;
+        continue;
+      }
+      if (t == ":" && group_name_idx != static_cast<size_t>(-1)) {
+        saw_init_colon = true;
+        ++i_;
+        continue;
+      }
+      if (t == ";") {
+        ++i_;
+        FinishPrototype(in_class, class_name, group_name_idx, requires_here,
+                        guarded_here);
+        return;
+      }
+      if (t == "{") {
+        bool is_body = false;
+        if (group_name_idx != static_cast<size_t>(-1) && !saw_eq) {
+          const std::string& prev = i_ > 0 ? Text(i_ - 1) : std::string();
+          if (prev == ")" || prev == "}" || prev == "const" ||
+              prev == "noexcept" || prev == "override" || prev == "final" ||
+              prev == "mutable" || prev == "&" || prev == "try") {
+            is_body = true;
+          } else if (Ident(i_ - 1)) {
+            // `-> Type {` trailing return vs `field_{init}` in a ctor
+            // init list: only the latter follows a top-level ':'.
+            is_body = !saw_init_colon;
+          }
+        }
+        if (!is_body) {
+          SkipBalanced("{", "}");
+          continue;  // e.g. a brace initializer; keep scanning for ';'
+        }
+        RecordFunction(in_class, class_name, group_name_idx, requires_here);
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  void FinishPrototype(bool in_class, const std::string& class_name,
+                       size_t name_idx, const std::set<std::string>& req,
+                       const std::map<std::string, std::string>& guarded) {
+    for (const auto& [field, mutex] : guarded) {
+      if (in_class) out_->guarded[class_name][field] = mutex;
+    }
+    if (!req.empty() && name_idx != static_cast<size_t>(-1)) {
+      std::string cls = in_class ? class_name : QualifierBefore(name_idx);
+      out_->requires_decl[cls + "::" + Text(name_idx)].insert(req.begin(),
+                                                              req.end());
+    }
+  }
+
+  std::string QualifierBefore(size_t name_idx) const {
+    // Foo::Bar::name -> "Bar"; ~ belongs to the name, not the qualifier.
+    size_t k = name_idx;
+    if (k > 0 && Text(k - 1) == "~") --k;
+    if (k >= 2 && Text(k - 1) == "::" && Ident(k - 2)) return Text(k - 2);
+    return "";
+  }
+
+  void RecordFunction(bool in_class, const std::string& class_name,
+                      size_t name_idx, const std::set<std::string>& req) {
+    FunctionRec fn;
+    fn.src = &src_;
+    fn.name = Text(name_idx);
+    fn.requires_mutexes = req;
+    fn.cls = in_class ? class_name : QualifierBefore(name_idx);
+    const bool dtor = name_idx > 0 && Text(name_idx - 1) == "~";
+    fn.ctor_dtor = dtor || (!fn.cls.empty() && fn.name == fn.cls);
+    fn.body_begin = i_;
+    int depth = 0;
+    while (!AtEnd()) {
+      if (Text(i_) == "{") ++depth;
+      if (Text(i_) == "}" && --depth == 0) break;
+      ++i_;
+    }
+    fn.body_end = i_;
+    if (!AtEnd()) ++i_;
+    out_->functions.push_back(std::move(fn));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Rule helpers
+// ---------------------------------------------------------------------------
+
+bool PathMatchesAny(const std::string& path,
+                    const std::vector<std::string>& fragments) {
+  for (const std::string& f : fragments) {
+    if (path.find(f) != std::string::npos) return true;
+  }
+  return false;
+}
+
+// True when the token at `k` is a *call* of a POSIX-style function: followed
+// by '(', not a member call (`.`/`->`), and if qualified, only `::f` or
+// `std::f` count (Class::Open etc. do not).
+bool IsPosixCall(const SourceFile& src, size_t k) {
+  if (k + 1 >= src.toks.size() || src.toks[k + 1].text != "(") return false;
+  if (k == 0) return true;
+  const std::string& prev = src.toks[k - 1].text;
+  if (prev == "." || prev == "->" || prev == "~") return false;
+  if (prev == "::") {
+    // SomeClass::open is not the libc symbol, but `return ::rename(...)` is:
+    // a keyword before the `::` is not a qualifier.
+    if (k >= 2 && src.toks[k - 2].ident && src.toks[k - 2].text != "std" &&
+        !IsControlKeyword(src.toks[k - 2].text)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::set<std::string>& SeamBannedCalls() {
+  static const std::set<std::string> kSet = {
+      "open",  "openat",   "pread", "pwrite",    "fsync", "fdatasync",
+      "mmap",  "munmap",   "ftruncate", "rename", "renameat"};
+  return kSet;
+}
+
+const std::set<std::string>& ClockTokens() {
+  static const std::set<std::string> kSet = {
+      "steady_clock",  "system_clock", "high_resolution_clock",
+      "clock_gettime", "gettimeofday", "MonotonicMicros",
+      "rdtsc",         "__rdtsc",      "_rdtsc"};
+  return kSet;
+}
+
+const std::set<std::string>& FsyncTokens() {
+  static const std::set<std::string> kSet = {"fsync", "fdatasync", "Fsync",
+                                             "Fdatasync", "FsyncPath"};
+  return kSet;
+}
+
+const std::set<std::string>& LockConstructs() {
+  static const std::set<std::string> kSet = {"lock_guard", "unique_lock",
+                                             "shared_lock", "scoped_lock"};
+  return kSet;
+}
+
+// Mutexes this function body demonstrably locks: identifiers appearing in the
+// constructor arguments of a lock_guard/unique_lock/shared_lock/scoped_lock,
+// plus `m` for any direct `m.lock()` call. Flow-insensitive on purpose.
+std::set<std::string> LockedMutexes(const SourceFile& src, size_t begin,
+                                    size_t end) {
+  std::set<std::string> locked;
+  for (size_t k = begin; k <= end && k < src.toks.size(); ++k) {
+    const std::string& t = src.toks[k].text;
+    if (src.toks[k].ident && LockConstructs().count(t) > 0) {
+      size_t j = k + 1;
+      if (src.toks[j].text == "<") {  // template argument list
+        int depth = 0;
+        while (j < src.toks.size()) {
+          if (src.toks[j].text == "<") ++depth;
+          if (src.toks[j].text == ">" && --depth == 0) {
+            ++j;
+            break;
+          }
+          ++j;
+        }
+      }
+      if (j < src.toks.size() && src.toks[j].ident) ++j;  // variable name
+      const std::string open = src.toks[j].text;
+      if (open == "(" || open == "{") {
+        const std::string close = open == "(" ? ")" : "}";
+        int depth = 0;
+        while (j < src.toks.size()) {
+          if (src.toks[j].text == open) ++depth;
+          if (src.toks[j].text == close && --depth == 0) break;
+          if (src.toks[j].ident) locked.insert(src.toks[j].text);
+          ++j;
+        }
+      }
+    }
+    if (t == "lock" && k >= 2 && src.toks[k - 1].text == "." &&
+        src.toks[k - 2].ident && src.toks[k + 1].text == "(") {
+      locked.insert(src.toks[k - 2].text);
+    }
+  }
+  return locked;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Analyzer
+// ---------------------------------------------------------------------------
+
+struct Analyzer::Impl {
+  Policy policy;
+  std::vector<std::unique_ptr<SourceFile>> files;
+  std::vector<Diagnostic> diags;
+
+  // A suppression counts on the diagnostic's own line or anywhere in the
+  // contiguous run of comment-bearing lines directly above it (annotations
+  // are usually multi-line sentences).
+  bool Suppressed(const SourceFile& src, int line, const std::string& rule,
+                  bool accept_justified = false) const {
+    const std::string allow = "asrlint:allow(" + rule + ")";
+    auto matches = [&](int l) {
+      auto it = src.comments.find(l);
+      if (it == src.comments.end()) return false;
+      if (it->second.find(allow) != std::string::npos) return true;
+      return accept_justified &&
+             it->second.find("justified:") != std::string::npos;
+    };
+    if (matches(line)) return true;
+    for (int l = line - 1; l >= 1 && src.comments.count(l) > 0; --l) {
+      if (matches(l)) return true;
+    }
+    return false;
+  }
+
+  void Report(const SourceFile& src, int line, const std::string& rule,
+              std::string message, bool accept_justified = false) {
+    if (Suppressed(src, line, rule, accept_justified)) return;
+    diags.push_back({rule, src.path, line, std::move(message)});
+  }
+
+  void CheckLockDiscipline(const ParseResult& pr) {
+    for (const FunctionRec& fn : pr.functions) {
+      if (fn.cls.empty() || fn.ctor_dtor) continue;
+      auto cls_it = pr.guarded.find(fn.cls);
+      if (cls_it == pr.guarded.end()) continue;
+      const auto& fields = cls_it->second;
+
+      std::set<std::string> held =
+          LockedMutexes(*fn.src, fn.body_begin, fn.body_end);
+      held.insert(fn.requires_mutexes.begin(), fn.requires_mutexes.end());
+      auto req_it = pr.requires_decl.find(fn.cls + "::" + fn.name);
+      if (req_it != pr.requires_decl.end()) {
+        held.insert(req_it->second.begin(), req_it->second.end());
+      }
+
+      std::set<std::string> reported;  // one diagnostic per field per function
+      for (size_t k = fn.body_begin; k <= fn.body_end; ++k) {
+        const Token& t = fn.src->toks[k];
+        if (!t.ident) continue;
+        auto f = fields.find(t.text);
+        if (f == fields.end() || held.count(f->second) > 0) continue;
+        if (reported.count(t.text) > 0) continue;
+        reported.insert(t.text);
+        Report(*fn.src, t.line, "lock-discipline",
+               fn.cls + "::" + fn.name + " accesses '" + t.text +
+                   "' (ASR_GUARDED_BY(" + f->second + ")) without locking " +
+                   f->second + " or declaring ASR_REQUIRES(" + f->second +
+                   ")");
+      }
+    }
+  }
+
+  void CheckSeamPurity(const SourceFile& src) {
+    if (PathMatchesAny(src.path, policy.seam_allowed)) return;
+    for (size_t k = 0; k < src.toks.size(); ++k) {
+      const Token& t = src.toks[k];
+      if (!t.ident || SeamBannedCalls().count(t.text) == 0) continue;
+      if (!IsPosixCall(src, k)) continue;
+      Report(src, t.line, "seam-purity",
+             "raw POSIX I/O '" + t.text +
+                 "' outside the storage seam; route through storage/io_retry "
+                 "or the StorageBackend interface");
+    }
+  }
+
+  void CheckMeteringPurity(const SourceFile& src) {
+    if (!PathMatchesAny(src.path, policy.metering_paths)) return;
+    for (const Token& t : src.toks) {
+      if (!t.ident || ClockTokens().count(t.text) == 0) continue;
+      Report(src, t.line, "metering-purity",
+             "metering-path file reads the clock ('" + t.text +
+                 "'); timing belongs behind obs::LatencyTimer at the "
+                 "gated seam sites only");
+    }
+  }
+
+  void CheckStatusDiscipline(const SourceFile& src) {
+    for (size_t k = 0; k + 2 < src.toks.size(); ++k) {
+      if (src.toks[k].text != "(" || src.toks[k + 1].text != "void" ||
+          src.toks[k + 2].text != ")") {
+        continue;
+      }
+      // A discarded *call*: (void) ident[::./->ident]* '(' — a plain
+      // `(void)param;` silencer is legal.
+      size_t j = k + 3;
+      bool saw_ident = false;
+      while (j < src.toks.size()) {
+        const std::string& t = src.toks[j].text;
+        if (src.toks[j].ident && !IsControlKeyword(t)) {
+          saw_ident = true;
+          ++j;
+        } else if (t == "::" || t == "." || t == "->" || t == "*" ||
+                   t == "~") {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      if (!saw_ident || j >= src.toks.size() || src.toks[j].text != "(") {
+        continue;
+      }
+      Report(src, src.toks[k].line, "status-discipline",
+             "(void)-discarded call result; add a '// justified: <reason>' "
+             "comment or handle the Status",
+             /*accept_justified=*/true);
+    }
+  }
+
+  void CheckDurabilityOrder(const ParseResult& pr) {
+    for (const FunctionRec& fn : pr.functions) {
+      const SourceFile& src = *fn.src;
+      bool fsynced = false;
+      for (size_t k = fn.body_begin; k <= fn.body_end && k < src.toks.size();
+           ++k) {
+        const Token& t = src.toks[k];
+        if (!t.ident) continue;
+        if (FsyncTokens().count(t.text) > 0) {
+          fsynced = true;
+          continue;
+        }
+        if ((t.text == "rename" || t.text == "renameat") &&
+            IsPosixCall(src, k) && !fsynced) {
+          Report(src, t.line, "durability-order",
+                 "rename() publishes a file that was not fsync'd earlier in "
+                 "this function; only an fsynced file has atomic contents");
+        }
+      }
+    }
+  }
+};
+
+Analyzer::Analyzer(Policy policy) : impl_(new Impl) {
+  impl_->policy = std::move(policy);
+}
+
+Analyzer::~Analyzer() = default;
+
+bool Analyzer::AddFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  AddSource(path, buf.str());
+  return true;
+}
+
+void Analyzer::AddSource(const std::string& path, std::string content) {
+  auto src = std::make_unique<SourceFile>();
+  src->path = path;
+  Lex(content, src.get());
+  impl_->files.push_back(std::move(src));
+}
+
+std::vector<Diagnostic> Analyzer::Run() {
+  impl_->diags.clear();
+  // Annotations are collected globally (fields live in headers, bodies in
+  // .cc files), so parse everything before checking anything.
+  ParseResult pr;
+  for (const auto& src : impl_->files) {
+    Parser(*src, &pr).Parse();
+  }
+  for (const auto& src : impl_->files) {
+    impl_->CheckSeamPurity(*src);
+    impl_->CheckMeteringPurity(*src);
+    impl_->CheckStatusDiscipline(*src);
+  }
+  impl_->CheckLockDiscipline(pr);
+  impl_->CheckDurabilityOrder(pr);
+  std::sort(impl_->diags.begin(), impl_->diags.end());
+  return impl_->diags;
+}
+
+std::vector<std::string> FilesFromCompileCommands(const std::string& path) {
+  std::vector<std::string> out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return out;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  size_t pos = 0;
+  while ((pos = text.find("\"file\"", pos)) != std::string::npos) {
+    pos += 6;
+    while (pos < text.size() &&
+           (std::isspace(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == ':')) {
+      ++pos;
+    }
+    if (pos >= text.size() || text[pos] != '"') continue;
+    ++pos;
+    std::string file;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
+      file.push_back(text[pos]);
+      ++pos;
+    }
+    out.push_back(std::move(file));
+  }
+  return out;
+}
+
+std::vector<std::string> GlobSources(const std::string& root) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const std::string p = it->path().string();
+    if (p.size() > 3 && p.compare(p.size() - 3, 3, ".cc") == 0) {
+      out.push_back(p);
+    } else if (p.size() > 2 && p.compare(p.size() - 2, 2, ".h") == 0) {
+      out.push_back(p);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace asrlint

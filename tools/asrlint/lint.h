@@ -1,0 +1,110 @@
+// asrlint: in-repo discipline analyzer for the project's own sources.
+//
+// A compile-command-driven static-analysis pass with no compiler-library
+// dependency: a hand-rolled lexer plus a brace/scope tracker recover just
+// enough structure (classes, fields, member-function bodies) to enforce the
+// project's hand-written disciplines as named, testable rules:
+//
+//   lock-discipline   fields tagged ASR_GUARDED_BY(m) may only be touched in
+//                     methods of their class that lock m (lock_guard /
+//                     unique_lock / shared_lock / scoped_lock) or are
+//                     declared ASR_REQUIRES(m). Constructors and destructors
+//                     are exempt (the object is not yet / no longer shared).
+//   seam-purity       raw POSIX I/O (open/pread/pwrite/fsync/fdatasync/
+//                     mmap/munmap/ftruncate/rename) may only appear below
+//                     the storage seam: file_backend.cc, wal.cc, io_retry.cc.
+//   metering-purity   metering-path files (btree/, asr/, storage/disk.cc,
+//                     storage/buffer_manager.cc) never read the clock
+//                     (steady_clock/system_clock/clock_gettime/gettimeofday/
+//                     MonotonicMicros) — the bit-identical-counts contract.
+//   status-discipline a (void)-cast call expression (the escape hatch from
+//                     [[nodiscard]] Status/Result) must carry a
+//                     "// justified:" comment explaining the discard.
+//   durability-order  a function that renames a file into place must issue
+//                     an fsync/fdatasync earlier in the same function —
+//                     rename is atomic in the namespace, but only an fsynced
+//                     file has atomic contents.
+//
+// Any diagnostic can be suppressed on its own line, or anywhere in the
+// contiguous comment block directly above it, with
+//   // asrlint:allow(<rule>) <reason>
+//
+// The analyzer is deliberately lexical and flow-insensitive: it trades deep
+// soundness for zero dependencies, full-tree speed, and diagnostics stable
+// enough to gate CI on. clang-tidy / clang -Wthread-safety remain the
+// heavyweight second opinion where clang is installed.
+#ifndef ASR_TOOLS_ASRLINT_LINT_H_
+#define ASR_TOOLS_ASRLINT_LINT_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace asrlint {
+
+struct Diagnostic {
+  std::string rule;     // e.g. "lock-discipline"
+  std::string file;     // path as given to AddFile/AddSource
+  int line = 0;         // 1-based
+  std::string message;  // human-readable defect description
+
+  bool operator<(const Diagnostic& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return rule < o.rule;
+  }
+};
+
+// Which paths each path-scoped rule applies to. Matching is by substring on
+// the path as given (fixtures mirror the src/ layout to opt into a rule).
+struct Policy {
+  // seam-purity: path fragments allowed to issue raw POSIX I/O.
+  std::vector<std::string> seam_allowed = {
+      "storage/file_backend.cc",
+      "storage/wal.cc",
+      "storage/io_retry.cc",
+  };
+  // metering-purity: path fragments whose files must never read the clock.
+  std::vector<std::string> metering_paths = {
+      "/btree/",
+      "/asr/",
+      "storage/disk.cc",
+      "storage/buffer_manager.cc",
+  };
+};
+
+class Analyzer {
+ public:
+  explicit Analyzer(Policy policy = Policy());
+  ~Analyzer();
+
+  // Reads `path` from disk; returns false (and records no source) when the
+  // file cannot be read.
+  bool AddFile(const std::string& path);
+  // Registers in-memory source under `path` (tests; path drives the
+  // path-scoped rules).
+  void AddSource(const std::string& path, std::string content);
+
+  // Runs every rule over everything added so far. Annotation collection is
+  // global (a field annotated in a header is enforced in the .cc), so all
+  // sources must be added before the first Run(). Sorted by file/line.
+  std::vector<Diagnostic> Run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+// The "file" entries of a compile_commands.json (CMAKE_EXPORT_COMPILE_COMMANDS
+// ON), in file order. A minimal extractor — it only needs the file list, not
+// the flags.
+std::vector<std::string> FilesFromCompileCommands(const std::string& path);
+
+// All *.cc / *.h under `root`, recursively, sorted.
+std::vector<std::string> GlobSources(const std::string& root);
+
+}  // namespace asrlint
+
+#endif  // ASR_TOOLS_ASRLINT_LINT_H_

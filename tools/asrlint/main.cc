@@ -1,0 +1,104 @@
+// asrlint CLI.
+//
+//   asrlint [--compile-commands <json>] [--root <dir>] [file...]
+//
+// The TU list comes from compile_commands.json (filtered to --root when both
+// are given); --root additionally contributes headers, which never appear in
+// compile commands but hold the annotations and inline method bodies.
+// Prints "file:line: [rule] message" per diagnostic; exit 1 if any fired.
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+std::string Canonical(const std::string& p) {
+  std::error_code ec;
+  std::filesystem::path c = std::filesystem::weakly_canonical(p, ec);
+  return ec ? p : c.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string compile_commands;
+  std::vector<std::string> roots;
+  std::vector<std::string> explicit_files;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--compile-commands" && i + 1 < argc) {
+      compile_commands = argv[++i];
+    } else if (arg == "--root" && i + 1 < argc) {
+      roots.push_back(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: asrlint [--compile-commands <json>] "
+                   "[--root <dir>]... [file...]\n");
+      return 2;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  // Gather the file set, deduplicated by canonical path.
+  std::set<std::string> seen;
+  std::vector<std::string> files;
+  auto add = [&](const std::string& f) {
+    const std::string key = Canonical(f);
+    if (seen.insert(key).second) files.push_back(f);
+  };
+
+  if (!compile_commands.empty()) {
+    std::vector<std::string> canonical_roots;
+    canonical_roots.reserve(roots.size());
+    for (const std::string& r : roots) canonical_roots.push_back(Canonical(r));
+    for (const std::string& f :
+         asrlint::FilesFromCompileCommands(compile_commands)) {
+      if (!canonical_roots.empty()) {
+        const std::string c = Canonical(f);
+        bool under = false;
+        for (const std::string& r : canonical_roots) {
+          if (c.size() > r.size() && c.compare(0, r.size(), r) == 0) {
+            under = true;
+            break;
+          }
+        }
+        if (!under) continue;
+      }
+      add(f);
+    }
+  }
+  for (const std::string& r : roots) {
+    for (const std::string& f : asrlint::GlobSources(r)) add(f);
+  }
+  for (const std::string& f : explicit_files) add(f);
+
+  if (files.empty()) {
+    std::fprintf(stderr, "asrlint: no input files (see --help)\n");
+    return 2;
+  }
+
+  asrlint::Analyzer analyzer;
+  int unreadable = 0;
+  for (const std::string& f : files) {
+    if (!analyzer.AddFile(f)) {
+      std::fprintf(stderr, "asrlint: cannot read '%s'\n", f.c_str());
+      ++unreadable;
+    }
+  }
+
+  const std::vector<asrlint::Diagnostic> diags = analyzer.Run();
+  for (const asrlint::Diagnostic& d : diags) {
+    std::printf("%s:%d: [%s] %s\n", d.file.c_str(), d.line, d.rule.c_str(),
+                d.message.c_str());
+  }
+  std::fprintf(stderr, "asrlint: %zu file(s), %zu diagnostic(s)\n",
+               files.size() - unreadable, diags.size());
+  return (diags.empty() && unreadable == 0) ? 0 : 1;
+}
