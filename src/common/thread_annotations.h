@@ -1,0 +1,42 @@
+// Thread-safety annotations: which mutex protects which state, in a form
+// both compilers and tools/asrlint can check.
+//
+// Under clang the macros expand to the thread-safety-analysis attributes
+// (-Wthread-safety); under gcc they expand to nothing. Either way the macro
+// names themselves stay in the source text, which is what tools/asrlint's
+// lock-discipline rule keys on — so the discipline is machine-checked even
+// on the gcc-only CI image.
+//
+// Usage:
+//   std::deque<Event> ring_ ASR_GUARDED_BY(mu_);   // field needs mu_ held
+//   void EvictFrame(PageId id) ASR_REQUIRES(mu_);  // caller must hold mu_
+//   void Stop() ASR_EXCLUDES(mu_);                 // caller must NOT hold it
+//
+// A method that accesses an ASR_GUARDED_BY(m) field must either construct a
+// lock on m (lock_guard/unique_lock/shared_lock/scoped_lock) or be declared
+// ASR_REQUIRES(m). Constructors and destructors are exempt (no concurrent
+// access before the object is published or after teardown begins).
+#ifndef ASR_COMMON_THREAD_ANNOTATIONS_H_
+#define ASR_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ASR_THREAD_ANNOTATION_IMPL(x) __attribute__((x))
+#else
+#define ASR_THREAD_ANNOTATION_IMPL(x)
+#endif
+
+// Field is protected by the given mutex.
+#define ASR_GUARDED_BY(m) ASR_THREAD_ANNOTATION_IMPL(guarded_by(m))
+
+// Pointer field: the pointee (not the pointer) is protected by the mutex.
+#define ASR_PT_GUARDED_BY(m) ASR_THREAD_ANNOTATION_IMPL(pt_guarded_by(m))
+
+// Function requires the listed mutexes to be held by the caller.
+#define ASR_REQUIRES(...) \
+  ASR_THREAD_ANNOTATION_IMPL(exclusive_locks_required(__VA_ARGS__))
+
+// Function must be called with the listed mutexes NOT held (it acquires
+// them itself; calling with one held would self-deadlock).
+#define ASR_EXCLUDES(...) ASR_THREAD_ANNOTATION_IMPL(locks_excluded(__VA_ARGS__))
+
+#endif  // ASR_COMMON_THREAD_ANNOTATIONS_H_

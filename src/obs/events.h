@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace asr::obs {
@@ -82,11 +83,11 @@ class EventLog {
   std::string ToJson() const;
 
  private:
-  const size_t capacity_;
+  const size_t capacity_;  // immutable after construction; no lock needed
   mutable std::mutex mu_;
-  std::deque<Event> ring_;
-  uint64_t next_seq_ = 1;
-  uint64_t dropped_ = 0;
+  std::deque<Event> ring_ ASR_GUARDED_BY(mu_);
+  uint64_t next_seq_ ASR_GUARDED_BY(mu_) = 1;
+  uint64_t dropped_ ASR_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace asr::obs

@@ -27,6 +27,8 @@
 #define ASR_METRICS_ENABLED 1
 #endif
 
+#include "common/thread_annotations.h"
+
 namespace asr::obs {
 
 class JsonWriter;
@@ -165,8 +167,8 @@ class MetricsRegistry {
 
  private:
   mutable std::mutex mu_;
-  std::map<std::string, uint64_t> counters_;
-  std::map<std::string, HistogramSnapshot> histograms_;
+  std::map<std::string, uint64_t> counters_ ASR_GUARDED_BY(mu_);
+  std::map<std::string, HistogramSnapshot> histograms_ ASR_GUARDED_BY(mu_);
 };
 
 }  // namespace asr::obs

@@ -28,6 +28,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace asr::obs {
@@ -141,22 +142,25 @@ class TelemetrySampler {
  private:
   void ThreadMain();
 
-  Options options_;
+  Options options_;  // immutable after construction; no lock needed
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  bool stop_requested_ = false;
-  bool running_ = false;
+  bool stop_requested_ ASR_GUARDED_BY(mu_) = false;
+  bool running_ ASR_GUARDED_BY(mu_) = false;
+  // Joined only by Stop()/~TelemetrySampler after running_ is cleared;
+  // never touched by the sampling thread itself.
   std::thread thread_;
 
-  std::vector<AlertRule> rules_;
-  std::vector<bool> rule_active_;
-  std::vector<std::function<void(const AlertFiring&)>> callbacks_;
+  std::vector<AlertRule> rules_ ASR_GUARDED_BY(mu_);
+  std::vector<bool> rule_active_ ASR_GUARDED_BY(mu_);
+  std::vector<std::function<void(const AlertFiring&)>> callbacks_
+      ASR_GUARDED_BY(mu_);
 
-  std::vector<TelemetrySample> ring_;  // oldest first
-  std::vector<AlertFiring> firings_;
-  uint64_t next_seq_ = 1;
-  bool have_prev_ = false;
-  TelemetrySample prev_;
+  std::vector<TelemetrySample> ring_ ASR_GUARDED_BY(mu_);  // oldest first
+  std::vector<AlertFiring> firings_ ASR_GUARDED_BY(mu_);
+  uint64_t next_seq_ ASR_GUARDED_BY(mu_) = 1;
+  bool have_prev_ ASR_GUARDED_BY(mu_) = false;
+  TelemetrySample prev_ ASR_GUARDED_BY(mu_);
 };
 
 }  // namespace asr::obs

@@ -23,6 +23,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/page.h"
 
@@ -163,7 +164,7 @@ class MemoryBackend : public StorageBackend {
   // Guards the deque structure only; per-segment page vectors follow the
   // single-accessor-per-segment contract (deque references are stable).
   mutable std::shared_mutex mu_;
-  std::deque<std::vector<Page>> segments_;
+  std::deque<std::vector<Page>> segments_ ASR_GUARDED_BY(mu_);
 };
 
 // Creates the backend described by `options`.

@@ -45,6 +45,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/access_stats.h"
 #include "storage/backend.h"
@@ -121,7 +122,10 @@ class Disk {
 
   uint32_t SegmentPageCount(uint32_t segment) const;
   const std::string& SegmentName(uint32_t segment) const;
-  size_t segment_count() const { return segments_.size(); }
+  size_t segment_count() const {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return segments_.size();
+  }
 
   // Snapshot support: raw segment/page image (access statistics are not
   // persisted; checksums are recomputed on load). Deserialize requires an
@@ -166,11 +170,11 @@ class Disk {
   const Segment& GetSegment(uint32_t segment) const;
 
   mutable std::shared_mutex mu_;  // guards the segment table structure
-  std::deque<Segment> segments_;
+  std::deque<Segment> segments_ ASR_GUARDED_BY(mu_);
   DiskOptions options_;
   std::unique_ptr<StorageBackend> backend_;
   FaultInjector* injector_ = nullptr;
-  std::vector<TornPage> pending_torn_;
+  std::vector<TornPage> pending_torn_ ASR_GUARDED_BY(mu_);
   // Relaxed atomic: sync requests can arrive from several pools (each
   // partition builder owns one) while metering stays per-segment.
   std::atomic<uint64_t> sync_requests_{0};

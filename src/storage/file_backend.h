@@ -42,6 +42,7 @@
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/latency.h"
 #include "storage/backend.h"
 
@@ -114,7 +115,7 @@ class FileBackend : public StorageBackend {
   void Reserve(Segment* seg, uint32_t pages);
 
   mutable std::shared_mutex mu_;  // guards the segment table structure
-  std::deque<Segment> segments_;
+  std::deque<Segment> segments_ ASR_GUARDED_BY(mu_);
   std::string dir_;
   bool owns_dir_ = false;
   bool mmap_reads_ = false;
@@ -122,7 +123,7 @@ class FileBackend : public StorageBackend {
 
   std::atomic<bool> read_only_{false};
   mutable std::mutex error_mu_;  // guards write_error_ (cold path)
-  Status write_error_;
+  Status write_error_ ASR_GUARDED_BY(error_mu_);
 
   // Relaxed atomics: bumped from per-segment accessor threads, read only at
   // quiescent export points. (Unlike AccessStats these cross segments, so
