@@ -121,6 +121,8 @@ Result<std::unique_ptr<WriteAheadLog>> WriteAheadLog::Open(
                   " dropped_bytes=" + std::to_string(stats.dropped_bytes) +
                   " valid_records=" + std::to_string(stats.records));
   }
+  // asrlint:allow(lock-discipline) pre-publication init: no other thread can
+  // hold a reference to `wal` before Open() returns it.
   wal->tail_ = off;
   wal->replay_ = stats;
   if (stats_out != nullptr) *stats_out = stats;
@@ -140,8 +142,9 @@ Status WriteAheadLog::Append(std::string_view payload) {
   PutU32(frame.data(), static_cast<uint32_t>(payload.size()));
   PutU32(frame.data() + 4, Crc32(payload.data(), payload.size()));
   std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
-  // One pwrite per record: a crash can tear the frame but never interleave
-  // two Appends (single-writer contract, same as every storage component).
+  // One pwrite per record, issued under the tail lock: a crash can tear the
+  // frame but two Appends can never interleave or reuse an offset.
+  std::lock_guard<std::mutex> lock(mu_);
   {
     obs::LatencyTimer timer(
         true, &append_us_, &obs::LiveTelemetry::Instance().wal_append_us);
@@ -156,6 +159,7 @@ Status WriteAheadLog::Append(std::string_view payload) {
 }
 
 Status WriteAheadLog::Sync() {
+  std::lock_guard<std::mutex> lock(mu_);
   {
     obs::LatencyTimer timer(true, &sync_us_,
                             &obs::LiveTelemetry::Instance().wal_sync_us);
@@ -167,6 +171,7 @@ Status WriteAheadLog::Sync() {
 
 void WriteAheadLog::ExportMetrics(obs::MetricsRegistry* registry,
                                   const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   registry->Set(prefix + ".records_appended", records_appended_.value());
   registry->Set(prefix + ".bytes_appended", bytes_appended_.value());
   registry->Set(prefix + ".syncs", syncs_.value());

@@ -25,11 +25,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
 
@@ -75,10 +77,22 @@ class WriteAheadLog {
   Status Sync();
 
   const std::string& path() const { return path_; }
-  uint64_t tail_offset() const { return tail_; }
-  uint64_t records_appended() const { return records_appended_.value(); }
-  uint64_t bytes_appended() const { return bytes_appended_.value(); }
-  uint64_t syncs() const { return syncs_.value(); }
+  uint64_t tail_offset() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return tail_;
+  }
+  uint64_t records_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return records_appended_.value();
+  }
+  uint64_t bytes_appended() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return bytes_appended_.value();
+  }
+  uint64_t syncs() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return syncs_.value();
+  }
   const ReplayStats& replay_stats() const { return replay_; }
 
   // Wall-clock latency of the durability operations, microseconds (also
@@ -94,14 +108,20 @@ class WriteAheadLog {
  private:
   WriteAheadLog(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
 
-  std::string path_;
-  int fd_ = -1;
-  uint64_t tail_ = 0;  // append offset == file size
-  ReplayStats replay_;
+  std::string path_;   // immutable after construction
+  int fd_ = -1;        // immutable after Open() returns
+  ReplayStats replay_; // written by Open() pre-publication, const after
 
-  obs::HotCounter records_appended_;
-  obs::HotCounter bytes_appended_;
-  obs::HotCounter syncs_;
+  // Guards the append tail and the single-writer counters so concurrent
+  // journal writers (the ROADMAP's multi-writer ASR maintenance) serialize
+  // on the frame boundary instead of interleaving half-frames.
+  mutable std::mutex mu_;
+  uint64_t tail_ ASR_GUARDED_BY(mu_) = 0;  // append offset == file size
+
+  obs::HotCounter records_appended_ ASR_GUARDED_BY(mu_);
+  obs::HotCounter bytes_appended_ ASR_GUARDED_BY(mu_);
+  obs::HotCounter syncs_ ASR_GUARDED_BY(mu_);
+  // Shared-safe atomics; sampled concurrently by the telemetry thread.
   obs::SharedHistogram append_us_;
   obs::SharedHistogram sync_us_;
 };
