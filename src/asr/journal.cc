@@ -1,6 +1,7 @@
 #include "asr/journal.h"
 
 #include <cstring>
+#include <mutex>
 #include <utility>
 
 #include "obs/events.h"
@@ -116,12 +117,14 @@ uint64_t MaintenanceJournal::BeginEdge(MaintOp op, Oid u, uint32_t p,
   entry.u = u;
   entry.p = p;
   entry.w = w;
+  std::lock_guard<std::mutex> lock(mu_);
   return Append(entry);
 }
 
 uint64_t MaintenanceJournal::BeginRebuild() {
   JournalEntry entry;
   entry.op = MaintOp::kRebuild;
+  std::lock_guard<std::mutex> lock(mu_);
   return Append(entry);
 }
 
@@ -134,6 +137,7 @@ JournalEntry* MaintenanceJournal::Find(uint64_t seq) {
 }
 
 void MaintenanceJournal::Commit(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   JournalEntry* entry = Find(seq);
   ASR_CHECK(entry != nullptr && entry->state == JournalState::kPending);
   entry->state = JournalState::kCommitted;
@@ -146,6 +150,7 @@ void MaintenanceJournal::Commit(uint64_t seq) {
 }
 
 void MaintenanceJournal::MarkLost(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
   JournalEntry* entry = Find(seq);
   ASR_CHECK(entry != nullptr && entry->state == JournalState::kPending);
   entry->state = JournalState::kLost;
@@ -158,6 +163,7 @@ void MaintenanceJournal::MarkLost(uint64_t seq) {
 }
 
 uint64_t MaintenanceJournal::MarkAllRecovered() {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t resolved = 0;
   for (JournalEntry& entry : entries_) {
     if (entry.state == JournalState::kPending ||
@@ -182,6 +188,7 @@ void MaintenanceJournal::AppendWal(const std::string& record, bool sync) {
 }
 
 bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (payload.empty()) return false;
   switch (payload[0]) {
     case 'I': {
@@ -260,6 +267,7 @@ void MaintenanceJournal::TruncateResolved() {
 }
 
 std::string MaintenanceJournal::ToString() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::string out = "journal: pending=" + std::to_string(pending_) +
                     " lost=" + std::to_string(lost_) +
                     " committed=" + std::to_string(committed_) +
@@ -278,6 +286,7 @@ std::string MaintenanceJournal::ToString() const {
 
 void MaintenanceJournal::ExportMetrics(obs::MetricsRegistry* registry,
                                        const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   registry->Set(prefix + ".pending", pending_);
   registry->Set(prefix + ".lost", lost_);
   registry->Set(prefix + ".committed", committed_);

@@ -36,11 +36,13 @@
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/asr_key.h"
 #include "common/macros.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "storage/wal.h"
 
@@ -94,6 +96,7 @@ class MaintenanceJournal {
   // --- Persistence (optional) --------------------------------------------
   // Attaches `wal` (borrowed; nullptr detaches): every subsequent
   // transition is appended as a record, with fdatasync at commit points.
+  // Setup-time call; attach before maintenance threads start.
   void AttachWal(storage::WriteAheadLog* wal) { wal_ = wal; }
   storage::WriteAheadLog* wal() const { return wal_; }
 
@@ -106,38 +109,70 @@ class MaintenanceJournal {
   // First WAL append/sync failure since attach (sticky). The in-memory
   // protocol proceeds regardless — a lost log entry is recovered from the
   // authoritative base like a lost page write.
-  const Status& wal_error() const { return wal_error_; }
+  Status wal_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return wal_error_;
+  }
 
   // Entries still pending or lost — the dirty signal for recovery.
-  uint64_t unresolved() const { return pending_ + lost_; }
-  uint64_t pending() const { return pending_; }
-  uint64_t lost() const { return lost_; }
-  uint64_t committed() const { return committed_; }
-  uint64_t recovered() const { return recovered_; }
-  uint64_t next_seq() const { return next_seq_; }
+  uint64_t unresolved() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_ + lost_;
+  }
+  uint64_t pending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pending_;
+  }
+  uint64_t lost() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return lost_;
+  }
+  uint64_t committed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return committed_;
+  }
+  uint64_t recovered() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return recovered_;
+  }
+  uint64_t next_seq() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return next_seq_;
+  }
 
-  const std::deque<JournalEntry>& entries() const { return entries_; }
+  // Snapshot copy: the deque mutates under concurrent maintenance, so
+  // callers get a stable view instead of a reference into guarded state.
+  std::deque<JournalEntry> entries() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_;
+  }
 
   std::string ToString() const;
   void ExportMetrics(obs::MetricsRegistry* registry,
                      const std::string& prefix) const;
 
  private:
-  JournalEntry* Find(uint64_t seq);
-  uint64_t Append(JournalEntry entry);
-  void TruncateResolved();
+  JournalEntry* Find(uint64_t seq) ASR_REQUIRES(mu_);
+  uint64_t Append(JournalEntry entry) ASR_REQUIRES(mu_);
+  void TruncateResolved() ASR_REQUIRES(mu_);
   // Appends `record` to the attached WAL (no-op when detached); `sync` adds
-  // the fdatasync commit point. Failures stick in wal_error_.
-  void AppendWal(const std::string& record, bool sync);
+  // the fdatasync commit point. Failures stick in wal_error_. Lock order:
+  // the journal lock is held across the WAL call (journal -> wal, never the
+  // reverse).
+  void AppendWal(const std::string& record, bool sync) ASR_REQUIRES(mu_);
 
-  std::deque<JournalEntry> entries_;
-  uint64_t next_seq_ = 1;
-  uint64_t pending_ = 0;
-  uint64_t lost_ = 0;
-  uint64_t committed_ = 0;
-  uint64_t recovered_ = 0;
-  storage::WriteAheadLog* wal_ = nullptr;
-  Status wal_error_;
+  // One lock for the whole protocol state: intent, resolution, and the WAL
+  // append are a single atomic transition — the precondition for the
+  // ROADMAP's multi-writer ASR maintenance.
+  mutable std::mutex mu_;
+  std::deque<JournalEntry> entries_ ASR_GUARDED_BY(mu_);
+  uint64_t next_seq_ ASR_GUARDED_BY(mu_) = 1;
+  uint64_t pending_ ASR_GUARDED_BY(mu_) = 0;
+  uint64_t lost_ ASR_GUARDED_BY(mu_) = 0;
+  uint64_t committed_ ASR_GUARDED_BY(mu_) = 0;
+  uint64_t recovered_ ASR_GUARDED_BY(mu_) = 0;
+  storage::WriteAheadLog* wal_ = nullptr;  // set at attach time, then stable
+  Status wal_error_ ASR_GUARDED_BY(mu_);
 };
 
 }  // namespace asr

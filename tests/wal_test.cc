@@ -250,8 +250,9 @@ TEST(JournalWalTest, TransitionsSurviveReopenThroughApplyWalRecord) {
   EXPECT_EQ(restored.pending(), 1u);
   EXPECT_EQ(restored.unresolved(), 2u);  // the lost + the trailing intent
   EXPECT_EQ(restored.next_seq(), pending_seq + 1);
-  // The trailing intent came back with its payload intact.
-  const JournalEntry& tail = restored.entries().back();
+  // The trailing intent came back with its payload intact. (entries() now
+  // returns a snapshot copy, so take the element by value.)
+  const JournalEntry tail = restored.entries().back();
   EXPECT_EQ(tail.seq, pending_seq);
   EXPECT_EQ(tail.state, JournalState::kPending);
   EXPECT_EQ(tail.u.raw(), 11u);
