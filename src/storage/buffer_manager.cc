@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <mutex>
 #include <utility>
 
 namespace asr::storage {
@@ -54,6 +55,7 @@ PageGuard BufferManager::Pin(PageId id) {
 }
 
 Result<PageGuard> BufferManager::TryPin(PageId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   if (it == frames_.end()) {
     ++misses_;
@@ -81,6 +83,7 @@ Result<PageGuard> BufferManager::TryPin(PageId id) {
 
 PageGuard BufferManager::AllocatePinned(uint32_t segment) {
   PageId id = disk_->AllocatePage(segment);
+  std::lock_guard<std::mutex> lock(mu_);
   Frame frame;
   frame.dirty = true;
   auto it = frames_.emplace(id, std::move(frame)).first;
@@ -89,6 +92,7 @@ PageGuard BufferManager::AllocatePinned(uint32_t segment) {
 }
 
 void BufferManager::Unpin(PageId id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = frames_.find(id);
   ASR_CHECK(it != frames_.end());
   Frame& frame = it->second;
@@ -164,6 +168,7 @@ void BufferManager::FlushRun() {
 }
 
 Status BufferManager::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   // Write back all dirty frames (pinned frames stay resident but clean),
   // best-effort: a failed write-back does not stop the remaining flushes.
   for (auto& [id, frame] : frames_) {
@@ -184,6 +189,7 @@ Status BufferManager::FlushAll() {
 }
 
 void BufferManager::DropAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = frames_.begin(); it != frames_.end();) {
     Frame& frame = it->second;
     if (frame.pin_count > 0) {
@@ -202,6 +208,7 @@ void BufferManager::DropAll() {
 
 void BufferManager::ExportMetrics(obs::MetricsRegistry* registry,
                                   const std::string& prefix) const {
+  std::lock_guard<std::mutex> lock(mu_);
   registry->Set(prefix + ".hits", hits_);
   registry->Set(prefix + ".misses", misses_);
   registry->Set(prefix + ".evictions", evictions_.value());

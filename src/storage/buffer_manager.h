@@ -12,12 +12,14 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/macros.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "obs/latency.h"
 #include "obs/metrics.h"
 #include "storage/disk.h"
@@ -78,6 +80,8 @@ class BufferManager {
         time_io_(disk->options().backend == BackendKind::kFile) {}
   // Destruction is best-effort teardown; a caller that needs durability (or
   // wants to observe write-back faults) calls FlushAll() itself first.
+  // justified: the destructor has no way to surface a Status, and the sticky
+  // write_error_ already recorded any failure for commit points to consult.
   ~BufferManager() { (void)FlushAll(); }
   ASR_DISALLOW_COPY_AND_ASSIGN(BufferManager);
 
@@ -108,18 +112,40 @@ class BufferManager {
   // First write-back failure since the last DropAll(), from any eviction or
   // flush. Evictions cannot propagate a Status to the unpin that triggered
   // them, so the error sticks here; maintenance commit points consult it
-  // before declaring an operation durable.
-  const Status& write_error() const { return write_error_; }
-  bool has_write_error() const { return !write_error_.ok(); }
+  // before declaring an operation durable. (By value: a reference into
+  // guarded state would dangle once the lock is released.)
+  Status write_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return write_error_;
+  }
+  bool has_write_error() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return !write_error_.ok();
+  }
 
   Disk* disk() { return disk_; }
   size_t capacity() const { return capacity_; }
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
-  uint64_t evictions() const { return evictions_.value(); }
-  uint64_t writebacks() const { return writebacks_.value(); }
+  uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_.value();
+  }
+  uint64_t writebacks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return writebacks_.value();
+  }
   DurabilityMode durability() const { return durability_; }
-  uint64_t group_flushes() const { return group_flushes_; }
+  uint64_t group_flushes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return group_flushes_;
+  }
 
   // Wall-clock latency of dirty-eviction write-backs and group-flush sync
   // runs, microseconds. Timed only on the file backend (time_io_), so the
@@ -151,31 +177,30 @@ class BufferManager {
   };
 
   void Unpin(PageId id, bool dirty);
-  void EnforceCapacity();
-  void EvictFrame(PageId id);
+  void EnforceCapacity() ASR_REQUIRES(mu_);
+  void EvictFrame(PageId id) ASR_REQUIRES(mu_);
 
   // Durability hook after every dirty write-back: kPage syncs the segment
   // immediately; kGroup marks it touched and syncs the whole run when
   // flush_batch write-backs accumulated. Sync failures stick in
   // write_error_ like write-back failures (commit points consult it).
-  void NoteWriteBack(uint32_t segment);
+  void NoteWriteBack(uint32_t segment) ASR_REQUIRES(mu_);
   // Syncs every touched segment and closes the current run.
-  void FlushRun();
+  void FlushRun() ASR_REQUIRES(mu_);
 
 #if ASR_METRICS_ENABLED
   // Per-segment attribution of buffer behavior (hit/miss/eviction), indexed
-  // by segment id. Same single-writer discipline as the pool itself: one
-  // accessor thread per BufferManager instance.
+  // by segment id.
   struct SegmentCounters {
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
   };
-  SegmentCounters& SegCounters(uint32_t segment) {
+  SegmentCounters& SegCounters(uint32_t segment) ASR_REQUIRES(mu_) {
     if (segment >= seg_counters_.size()) seg_counters_.resize(segment + 1);
     return seg_counters_[segment];
   }
-  std::vector<SegmentCounters> seg_counters_;
+  std::vector<SegmentCounters> seg_counters_ ASR_GUARDED_BY(mu_);
 #endif
 
   Disk* disk_;
@@ -183,19 +208,30 @@ class BufferManager {
   // Write-back sync policy (snapshot of the disk's options at construction).
   DurabilityMode durability_ = DurabilityMode::kOff;
   uint32_t flush_batch_ = 64;
-  uint32_t unsynced_writebacks_ = 0;
-  std::vector<uint32_t> dirty_segments_;  // touched since the last sync run
-  uint64_t group_flushes_ = 0;  // plain (not HotCounter): benches assert it
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // front = oldest unpinned frame
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-  Status write_error_;
-  obs::HotCounter evictions_;
-  obs::HotCounter writebacks_;
-  obs::HotHistogram flush_run_sizes_;  // write-backs covered per sync run
+
+  // One lock for the pool: frame table, LRU, flush-run state, counters.
+  // Uncontended in today's single-accessor workloads; the precondition for
+  // the ROADMAP's multi-writer ASR maintenance sharing one pool. Lock order:
+  // mu_ is held across Disk calls (pool -> disk, never the reverse).
+  mutable std::mutex mu_;
+  uint32_t unsynced_writebacks_ ASR_GUARDED_BY(mu_) = 0;
+  // Segments touched since the last sync run.
+  std::vector<uint32_t> dirty_segments_ ASR_GUARDED_BY(mu_);
+  // Plain (not HotCounter): benches assert it.
+  uint64_t group_flushes_ ASR_GUARDED_BY(mu_) = 0;
+  std::unordered_map<PageId, Frame> frames_ ASR_GUARDED_BY(mu_);
+  // front = oldest unpinned frame
+  std::list<PageId> lru_ ASR_GUARDED_BY(mu_);
+  uint64_t hits_ ASR_GUARDED_BY(mu_) = 0;
+  uint64_t misses_ ASR_GUARDED_BY(mu_) = 0;
+  Status write_error_ ASR_GUARDED_BY(mu_);
+  obs::HotCounter evictions_ ASR_GUARDED_BY(mu_);
+  obs::HotCounter writebacks_ ASR_GUARDED_BY(mu_);
+  // Write-backs covered per sync run.
+  obs::HotHistogram flush_run_sizes_ ASR_GUARDED_BY(mu_);
   // Whether seam operations are wall-clock timed (file backend only).
   bool time_io_ = false;
+  // Shared-safe atomics; sampled concurrently by the telemetry thread.
   obs::SharedHistogram evict_writeback_us_;
   obs::SharedHistogram flush_run_us_;
 };
