@@ -1,9 +1,5 @@
 #include "gom/database.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cstdio>
 #include <fstream>
 #include <utility>
 
@@ -46,27 +42,8 @@ Status Database::Save(const std::string& file) {
 Status Database::SaveDurable(const std::string& file) {
   const std::string tmp = file + ".tmp";
   ASR_RETURN_IF_ERROR(Save(tmp));
-  // fsync the temporary before the rename publishes it: rename is atomic in
-  // the namespace, but only an fsynced file has atomic *contents*.
-  int fd = ::open(tmp.c_str(), O_RDONLY | O_CLOEXEC);
-  if (fd < 0) {
-    return Status::IOError("open for fsync of '" + tmp + "' failed");
-  }
-  Status st = storage::io::Fsync(fd, tmp.c_str());
-  ::close(fd);
-  if (!st.ok()) {
-    (void)std::remove(tmp.c_str());
-    return st;
-  }
-  if (std::rename(tmp.c_str(), file.c_str()) != 0) {
-    (void)std::remove(tmp.c_str());
-    return Status::IOError("rename '" + tmp + "' -> '" + file + "' failed");
-  }
-  // The rename lives in the directory; fsync it so the new name survives too.
-  const size_t slash = file.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? std::string(".")
-                                                     : file.substr(0, slash);
-  ASR_RETURN_IF_ERROR(storage::io::FsyncDir(dir.empty() ? "/" : dir));
+  // The fsync-before-rename publish order lives below the storage seam.
+  ASR_RETURN_IF_ERROR(storage::io::PublishDurable(tmp, file));
   ASR_EVENT(obs::EventKind::kCheckpointSaved, "file=" + file);
   return Status::OK();
 }

@@ -158,4 +158,33 @@ Status FsyncDir(const std::string& dir) {
   return st;
 }
 
+Status FsyncPath(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError(
+        ErrnoMessage(("open for fsync " + path).c_str(), errno));
+  }
+  Status st = Fsync(fd, ("fsync " + path).c_str());
+  ::close(fd);
+  return st;
+}
+
+Status PublishDurable(const std::string& tmp, const std::string& final_path) {
+  Status st = FsyncPath(tmp);
+  if (st.ok() && ::rename(tmp.c_str(), final_path.c_str()) != 0) {
+    st = Status::IOError(
+        ErrnoMessage(("rename " + tmp + " -> " + final_path).c_str(), errno));
+  }
+  if (!st.ok()) {
+    // justified: best-effort cleanup of the unpublished temporary; the
+    // Status being returned already carries the publish failure.
+    (void)::unlink(tmp.c_str());
+    return st;
+  }
+  const size_t slash = final_path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? std::string(".") : final_path.substr(0, slash);
+  return FsyncDir(dir.empty() ? "/" : dir);
+}
+
 }  // namespace asr::storage::io

@@ -49,6 +49,18 @@ Status Fsync(int fd, const char* what);
 // directory entry durable.
 Status FsyncDir(const std::string& dir);
 
+// Opens `path` read-only, fsyncs it, closes it — makes already-written file
+// contents durable without the caller holding a descriptor.
+Status FsyncPath(const std::string& path);
+
+// Atomically publishes `tmp` at `final_path` with the full durability order:
+// fsync(tmp), rename(tmp, final_path), fsync(parent directory). rename is
+// atomic in the namespace but only an fsynced file has atomic contents, and
+// the new name itself lives in the directory — hence both syncs. On failure
+// the temporary is removed (best-effort) so no half-published file lingers.
+// This is the one sanctioned checkpoint-publish path above the seam.
+Status PublishDurable(const std::string& tmp, const std::string& final_path);
+
 // Process-wide counts (relaxed; exported into backend metrics) of what the
 // loops above absorbed before the caller saw a clean transfer:
 // transient-errno backoff retries, immediate EINTR retries, and short
