@@ -1,0 +1,28 @@
+// metering-purity fixture: clock reads in a metering-path file (the path
+// contains /btree/). Every clock token fires, call or not — the rule guards
+// the bit-identical-counts contract, so even a stray mention is suspect.
+#include <chrono>
+#include <ctime>
+
+namespace fixture {
+
+long TimedScan() {
+  auto t0 = std::chrono::steady_clock::now();  // expect: metering-purity
+  long rows = 0;
+  for (int i = 0; i < 64; ++i) rows += i;
+  auto t1 = std::chrono::steady_clock::now();  // expect: metering-purity
+  return rows + (t1 - t0).count();
+}
+
+long WallClock() {
+  timespec ts;
+  clock_gettime(0, &ts);  // expect: metering-purity
+  return ts.tv_nsec;
+}
+
+long Allowed() {
+  // asrlint:allow(metering-purity) fixture: demonstrates suppression.
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// lock-discipline fixture, out-of-line half: definitions whose ASR_REQUIRES
+// lives on the header declaration, plus a bare m.lock() body and a seeded
+// unlocked access.
+#include "counter.h"
+
+namespace fixture {
+
+void Counter::Flush() {
+  value_ = 0;  // clean: the declaration in counter.h carries ASR_REQUIRES(mu_)
+}
+
+void Counter::LockedByHand() {
+  mu_.lock();
+  ++value_;  // clean: a direct mu_.lock() counts as holding the mutex
+  mu_.unlock();
+}
+
+void Counter::BadReset() {
+  value_ = 0;  // expect: lock-discipline
+}
+
+}  // namespace fixture

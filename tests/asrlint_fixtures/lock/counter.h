@@ -1,0 +1,46 @@
+// lock-discipline fixture: a class with ASR_GUARDED_BY fields exercised by
+// methods that do and do not hold the mutex. Fixtures are linted, never
+// compiled — each seeded defect line carries a trailing "expect: <rule>"
+// marker that asrlint_test recovers as the golden diagnostic set.
+#ifndef ASR_TESTS_ASRLINT_FIXTURES_LOCK_COUNTER_H_
+#define ASR_TESTS_ASRLINT_FIXTURES_LOCK_COUNTER_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class Counter {
+ public:
+  void Good() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++value_;
+  }
+
+  void BadIncrement() {
+    ++value_;  // expect: lock-discipline
+  }
+
+  uint64_t Read() const ASR_REQUIRES(mu_) { return value_; }
+
+  // Out-of-line definition in counter.cc inherits this declaration's
+  // ASR_REQUIRES — the cross-file half of the rule.
+  void Flush() ASR_REQUIRES(mu_);
+  void BadReset();
+  void LockedByHand();
+
+  void Allowed() {
+    // asrlint:allow(lock-discipline) fixture: demonstrates suppression.
+    value_ = 0;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t value_ ASR_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // ASR_TESTS_ASRLINT_FIXTURES_LOCK_COUNTER_H_

@@ -1,0 +1,32 @@
+// status-discipline fixture: (void)-discarded call results with and without
+// the "// justified:" escape hatch. A plain (void)value unused-parameter
+// silencer is legal and must stay clean.
+namespace fixture {
+
+struct Status {
+  bool ok() const;
+};
+
+Status Write();
+
+struct Sink {
+  Status Flush();
+};
+
+void Discards(Sink* sink, int fd) {
+  (void)Write();         // expect: status-discipline
+  (void)sink->Flush();   // expect: status-discipline
+  (void)fd;              // clean: plain value silencer, not a call
+}
+
+void Justified() {
+  // justified: fixture demonstrates the justification escape hatch.
+  (void)Write();
+}
+
+void Allowed(Sink* sink) {
+  // asrlint:allow(status-discipline) fixture: demonstrates suppression.
+  (void)sink->Flush();
+}
+
+}  // namespace fixture

@@ -1,0 +1,27 @@
+// seam-purity fixture: raw POSIX I/O in a file that is NOT on the seam
+// allow-list (only file_backend.cc / wal.cc / io_retry.cc may issue it).
+// Member calls and suppressed lines must stay clean. rename is deliberately
+// absent here — it would additionally trip durability-order, which has its
+// own fixture under storage/wal.cc.
+#include <string>
+
+namespace fixture {
+
+struct File;
+
+long ReadHeader(int fd, char* buf, long n) {
+  return ::pread(fd, buf, n, 0);  // expect: seam-purity
+}
+
+int OpenRaw(const std::string& path) {
+  return open(path.c_str(), 0);  // expect: seam-purity
+}
+
+int OpenMember(File* f, const std::string& path);
+
+void SyncAllowed(int fd) {
+  // asrlint:allow(seam-purity) fixture: demonstrates suppression.
+  fsync(fd);
+}
+
+}  // namespace fixture

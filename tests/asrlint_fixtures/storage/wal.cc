@@ -1,0 +1,22 @@
+// durability-order fixture. The path mirrors a seam-allowed file
+// (storage/wal.cc) so raw rename/fsync are legal here and durability-order
+// is exercised in isolation from seam-purity.
+#include <string>
+
+namespace fixture {
+
+int PublishUnsynced(const std::string& tmp, const std::string& dst) {
+  return ::rename(tmp.c_str(), dst.c_str());  // expect: durability-order
+}
+
+int PublishSynced(int fd, const std::string& tmp, const std::string& dst) {
+  fsync(fd);
+  return ::rename(tmp.c_str(), dst.c_str());  // clean: fsync came first
+}
+
+int PublishAllowed(const std::string& tmp, const std::string& dst) {
+  // asrlint:allow(durability-order) fixture: demonstrates suppression.
+  return ::rename(tmp.c_str(), dst.c_str());
+}
+
+}  // namespace fixture

@@ -1,0 +1,158 @@
+// Self-test for tools/asrlint.
+//
+// The fixtures under tests/asrlint_fixtures/ mirror the src/ layout (the
+// path-scoped rules match by path fragment) and seed one set of known
+// violations; every seeded line carries a trailing "expect: <rule>" marker.
+// The golden set is recovered from the fixtures themselves, so the test
+// asserts the exact (rule, file, line) of every diagnostic — each planted
+// defect must be reported exactly once, and nothing else may fire (the
+// fixtures also contain near-miss clean code and suppressed lines).
+//
+// The second half runs the analyzer over the real src/ tree and requires it
+// to be clean — the same gate scripts/ci.sh enforces.
+#include "lint.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace asrlint {
+namespace {
+
+using Golden = std::set<std::pair<int, std::string>>;  // (line, rule)
+
+const std::set<std::string>& KnownRules() {
+  static const std::set<std::string> kSet = {
+      "lock-discipline", "seam-purity", "metering-purity",
+      "status-discipline", "durability-order"};
+  return kSet;
+}
+
+// Scans a fixture for "expect: <rule>" markers; only the five known rule
+// names count (so prose mentioning the marker syntax does not).
+Golden ExpectedIn(const std::string& path) {
+  Golden out;
+  std::ifstream in(path);
+  std::string line;
+  int ln = 0;
+  while (std::getline(in, line)) {
+    ++ln;
+    size_t pos = line.find("expect: ");
+    if (pos == std::string::npos) continue;
+    size_t start = pos + 8;
+    size_t end = start;
+    while (end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[end])) ||
+            line[end] == '-')) {
+      ++end;
+    }
+    const std::string rule = line.substr(start, end - start);
+    if (KnownRules().count(rule) > 0) out.insert({ln, rule});
+  }
+  return out;
+}
+
+std::string Render(const std::string& file, const Golden& set) {
+  std::string out;
+  for (const auto& [line, rule] : set) {
+    out += "  " + file + ":" + std::to_string(line) + " [" + rule + "]\n";
+  }
+  return out.empty() ? "  (none)\n" : out;
+}
+
+TEST(AsrlintFixtures, EverySeededDefectReportedExactlyOnce) {
+  const std::vector<std::string> fixtures = GlobSources(ASR_LINT_FIXTURE_DIR);
+  ASSERT_GE(fixtures.size(), 6u) << "fixture tree missing";
+
+  Analyzer analyzer;
+  std::map<std::string, Golden> expected;
+  for (const std::string& path : fixtures) {
+    ASSERT_TRUE(analyzer.AddFile(path)) << path;
+    expected[path] = ExpectedIn(path);
+  }
+
+  std::map<std::string, Golden> actual;
+  for (const std::string& path : fixtures) actual[path];  // empty default
+  for (const Diagnostic& d : analyzer.Run()) {
+    // A repeated (line, rule) pair would collapse in a set; fail loudly.
+    EXPECT_TRUE(actual[d.file].insert({d.line, d.rule}).second)
+        << "duplicate diagnostic: " << d.file << ":" << d.line << " ["
+        << d.rule << "]";
+  }
+
+  for (const std::string& path : fixtures) {
+    EXPECT_EQ(expected[path], actual[path])
+        << path << "\nexpected:\n"
+        << Render(path, expected[path]) << "actual:\n"
+        << Render(path, actual[path]);
+  }
+}
+
+TEST(AsrlintFixtures, AllFiveRulesAreExercised) {
+  std::set<std::string> seeded;
+  for (const std::string& path : GlobSources(ASR_LINT_FIXTURE_DIR)) {
+    for (const auto& [line, rule] : ExpectedIn(path)) seeded.insert(rule);
+  }
+  EXPECT_EQ(seeded, KnownRules());
+}
+
+TEST(AsrlintCleanTree, SrcHasNoDiagnostics) {
+  const std::vector<std::string> sources = GlobSources(ASR_LINT_SOURCE_DIR);
+  ASSERT_GT(sources.size(), 50u) << "src/ glob came back suspiciously small";
+
+  Analyzer analyzer;
+  for (const std::string& path : sources) {
+    ASSERT_TRUE(analyzer.AddFile(path)) << path;
+  }
+  std::vector<Diagnostic> diags = analyzer.Run();
+  std::string rendered;
+  for (const Diagnostic& d : diags) {
+    rendered +=
+        d.file + ":" + std::to_string(d.line) + " [" + d.rule + "] " +
+        d.message + "\n";
+  }
+  EXPECT_TRUE(diags.empty()) << rendered;
+}
+
+TEST(AsrlintInputs, FilesFromCompileCommandsExtractsFileKeys) {
+  const std::string path = ::testing::TempDir() + "/asrlint_cc.json";
+  {
+    std::ofstream out(path);
+    out << R"([
+      {"directory": "/b", "command": "c++ -c a.cc", "file": "/b/a.cc"},
+      {"directory": "/b", "file": "/b/dir with space/x.cc",
+       "command": "c++ -c x.cc"},
+      {"file": "/b/esc\"aped.cc"}
+    ])";
+  }
+  const std::vector<std::string> files = FilesFromCompileCommands(path);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(files[0], "/b/a.cc");
+  EXPECT_EQ(files[1], "/b/dir with space/x.cc");
+  EXPECT_EQ(files[2], "/b/esc\"aped.cc");
+  std::remove(path.c_str());
+}
+
+TEST(AsrlintInputs, SuppressionCoversContiguousCommentBlockOnly) {
+  Analyzer analyzer;
+  analyzer.AddSource("mem/one.cc",
+                     "// asrlint:allow(seam-purity) reaching past the seam\n"
+                     "// is fine in this probe.\n"
+                     "int a(int fd) { return fsync(fd); }\n"
+                     "\n"
+                     "int b(int fd) { return fsync(fd); }\n");
+  std::vector<Diagnostic> diags = analyzer.Run();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "seam-purity");
+  EXPECT_EQ(diags[0].line, 5);  // the blank line broke the comment block
+}
+
+}  // namespace
+}  // namespace asrlint
