@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Static analysis + idiom lint over src/.
 #
-# clang-tidy (profile in .clang-tidy) runs when the binary is available —
-# the minimal CI image ships only gcc, so its absence is a skip, not a
-# failure. The idiom greps below always run and are hard failures:
+# Always runs tools/asrlint — the in-repo discipline analyzer (lock
+# annotations, seam purity, metering purity, status discipline, durability
+# ordering; rules documented in DESIGN.md §13). asrlint is built from this
+# tree, so it exists wherever the code compiles; its diagnostics are hard
+# failures. clang-tidy (profile in .clang-tidy) additionally runs when the
+# binary is available — the minimal CI image ships only gcc, so its absence
+# degrades to the asrlint-only pass, not a failure.
+#
+# The idiom greps below always run and are hard failures:
 #
 #   1. no raw `new` / `delete` outside src/storage — ownership lives in
 #      smart pointers (a factory wrapping `new` in a unique_ptr/shared_ptr
@@ -19,16 +25,28 @@ cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 fail=0
 
+# --- asrlint (always) --------------------------------------------------------
+echo "==== [lint] asrlint discipline analyzer ===="
+cmake -B build-lint -S . >/dev/null  # exports compile_commands.json
+if cmake --build build-lint -j "$JOBS" --target asrlint >/dev/null; then
+  if ! build-lint/tools/asrlint/asrlint \
+    --compile-commands build-lint/compile_commands.json --root src; then
+    fail=1
+  fi
+else
+  echo "asrlint failed to build"
+  fail=1
+fi
+
 # --- clang-tidy (optional) ---------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==== [lint] clang-tidy ===="
-  cmake -B build-lint -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   if ! find src -name '*.cc' -print0 |
     xargs -0 -P "$JOBS" -n 8 clang-tidy -p build-lint --quiet; then
     fail=1
   fi
 else
-  echo "==== [lint] clang-tidy not installed; skipping static analysis ===="
+  echo "==== [lint] clang-tidy not installed; asrlint-only pass ===="
 fi
 
 # --- idiom: no raw new/delete outside src/storage ----------------------------
