@@ -41,6 +41,11 @@
 #               backend: 50 randomized SIGKILL points against a child doing
 #               WAL-logged maintenance with group-flush durability; every
 #               point must recover to invariant-clean, twin-equal answers
+#   crash-harness-interleaved  the same harness in two-writer mode: each
+#               child runs two transactional writers on disjoint anchored
+#               partitions (own WAL stream each), the SIGKILL lands with
+#               the writers in different commit phases, and recovery must
+#               leave both writers' answers twin-equal and invariant-clean
 #   bench-smoke   runs the dual-report bench and fails unless the JSON
 #               artifact carries wall_ms and read_p99_us fields (the
 #               raw-speed half of the reporting contract)
@@ -121,7 +126,13 @@ ASR_STORAGE_BACKEND=file \
 
 echo "==== [crash-harness] 50 SIGKILL points on the file backend ===="
 ASR_STORAGE_BACKEND=file ASR_KILL_POINTS=50 \
-  build-ci/tests/kill_harness_test
+  build-ci/tests/kill_harness_test \
+  --gtest_filter='-KillHarnessTest.Interleaved*'
+
+echo "==== [crash-harness-interleaved] 50 two-writer SIGKILL points ===="
+ASR_STORAGE_BACKEND=file ASR_KILL_POINTS=50 \
+  build-ci/tests/kill_harness_test \
+  --gtest_filter='KillHarnessTest.Interleaved*'
 
 echo "==== [bench-smoke] dual-report artifact check ===="
 REPO_ROOT="$PWD"

@@ -38,6 +38,24 @@ else
   fail=1
 fi
 
+# --- clang -Wthread-safety (optional) ----------------------------------------
+# The ASR_GUARDED_BY/ASR_REQUIRES macros expand to clang's thread-safety
+# attributes (common/thread_annotations.h), so where clang++ exists the
+# whole tree gets the real flow-sensitive analysis on top of asrlint's
+# flow-insensitive lock-discipline rule. -Werror makes every thread-safety
+# diagnostic a hard failure. The gcc-only CI image skips the sweep; asrlint
+# still enforces the discipline there.
+if command -v clang++ >/dev/null 2>&1; then
+  echo "==== [lint] clang -Wthread-safety ===="
+  if ! find src -name '*.cc' -print0 |
+    xargs -0 -P "$JOBS" -n 8 clang++ -std=c++20 -fsyntax-only -Isrc \
+      -Wthread-safety -Werror=thread-safety; then
+    fail=1
+  fi
+else
+  echo "==== [lint] clang++ not installed; skipping -Wthread-safety sweep ===="
+fi
+
 # --- clang-tidy (optional) ---------------------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==== [lint] clang-tidy ===="

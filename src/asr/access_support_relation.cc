@@ -172,12 +172,22 @@ Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
             std::to_string(part.store->width) + ", partition needs " +
             std::to_string(w));
       }
+      if (options.transactional && part.store->private_buffers == nullptr) {
+        // A transactional writer stages its commit by flushing the store's
+        // pool; sharing the object store's pool would sweep foreign dirty
+        // pages into the transaction.
+        return Status::InvalidArgument(
+            "transactional ASRs require shared partition stores with "
+            "private buffer pools (create the sibling ASR transactional "
+            "too)");
+      }
     } else {
       std::string pname =
           base + ":" + std::to_string(first) + "-" + std::to_string(last);
       part.store = PartitionStore::Create(
           store->buffers(), pname, w,
-          /*own_buffers=*/options.bulk_load && options.build_threads > 1);
+          /*own_buffers=*/options.transactional ||
+              (options.bulk_load && options.build_threads > 1));
     }
     ++part.store->owners;
     fresh.push_back(is_fresh);
@@ -188,10 +198,15 @@ Result<std::unique_ptr<AccessSupportRelation>> AccessSupportRelation::Build(
     for (const rel::Row& row : extension->rows()) {
       asr->InsertRow(row);
     }
-    ASR_RETURN_IF_ERROR(asr->ParanoidValidate());
-    return asr;
+  } else {
+    ASR_RETURN_IF_ERROR(asr->LoadRows(extension->rows(), fresh));
   }
-  ASR_RETURN_IF_ERROR(asr->LoadRows(extension->rows(), fresh));
+  if (options.transactional) {
+    // Version-manage the tree segments from here on: snapshot readers can
+    // pin epochs and maintenance writes stage through transactions. The
+    // build itself ran on the legacy path (no snapshot can predate us).
+    ASR_RETURN_IF_ERROR(asr->RegisterTreeSegments());
+  }
   ASR_RETURN_IF_ERROR(asr->ParanoidValidate());
   return asr;
 }
@@ -245,10 +260,24 @@ Status AccessSupportRelation::LoadRows(const std::vector<rel::Row>& rows,
 void AccessSupportRelation::InsertRow(const rel::Row& row) {
   ASR_DCHECK(row.size() == width_);
   if (!full_rows_.insert(row).second) return;  // already present
+  if (undo_active_) {
+    undo_log_.push_back([this, row] { full_rows_.erase(row); });
+  }
   for (size_t p = 0; p < partitions_.size(); ++p) {
     Partition& part = partitions_[p];
     rel::Row slice = Slice(row, part.first, part.last);
     if (AllNull(slice)) continue;
+    if (undo_active_) {
+      // Reverse only the refcount effect; the tree insert rolls back
+      // physically (staged pages dropped, meta restored).
+      PartitionStore* ps = part.store.get();
+      undo_log_.push_back([ps, slice] {
+        auto it = ps->refcounts.find(slice);
+        if (it != ps->refcounts.end() && --it->second == 0) {
+          ps->refcounts.erase(it);
+        }
+      });
+    }
     uint32_t& count = part.store->refcounts[slice];
     if (count++ == 0 && !part.store->quarantined) {
       // Quarantined trees are untrusted and untouched; the refcounts stay
@@ -262,12 +291,19 @@ void AccessSupportRelation::InsertRow(const rel::Row& row) {
 void AccessSupportRelation::EraseRow(const rel::Row& row) {
   ASR_DCHECK(row.size() == width_);
   if (full_rows_.erase(row) == 0) return;  // row was not present
+  if (undo_active_) {
+    undo_log_.push_back([this, row] { full_rows_.insert(row); });
+  }
   for (size_t p = 0; p < partitions_.size(); ++p) {
     Partition& part = partitions_[p];
     rel::Row slice = Slice(row, part.first, part.last);
     if (AllNull(slice)) continue;
     auto it = part.store->refcounts.find(slice);
     if (it == part.store->refcounts.end()) continue;  // row was not present
+    if (undo_active_) {
+      PartitionStore* ps = part.store.get();
+      undo_log_.push_back([ps, slice] { ++ps->refcounts[slice]; });
+    }
     if (--it->second == 0) {
       if (!part.store->quarantined) {
         part.store->forward->Erase(slice);
@@ -492,6 +528,18 @@ Result<std::vector<AsrKey>> AccessSupportRelation::EvalBackward(AsrKey target,
 }
 
 Status AccessSupportRelation::Rebuild() {
+  // Transactional mode: hold every partition claim for the whole rebuild so
+  // concurrent edge writers serialize against it (blocking, in the same
+  // address order the try-lockers use — deadlock-free because try-lockers
+  // never hold-and-wait). Snapshot readers are unaffected: solely-owned
+  // stores rebuild into fresh segments, and retractions from shared stores
+  // auto-version, so a snapshot's epoch keeps reading the old images.
+  std::vector<std::unique_lock<std::mutex>> claims;
+  if (options_.transactional) {
+    for (PartitionStore* ps : DistinctStores()) {
+      claims.emplace_back(ps->claim_mu);
+    }
+  }
   // Journal envelope: log intent, rebuild, commit only if every tree write
   // reached the disk (AnyWriteError is the durability signal — sticky write
   // errors on the shared and private pools).
@@ -539,6 +587,10 @@ Status AccessSupportRelation::RebuildImpl() {
     for (const rel::Row& row : extension->rows()) {
       InsertRow(row);
     }
+    if (options_.transactional) {
+      // Quarantined stores above got fresh segments; re-register.
+      ASR_RETURN_IF_ERROR(RegisterTreeSegments());
+    }
     return ParanoidValidate();
   }
   // Bulk path: solely-owned partition stores are reset to empty trees (their
@@ -575,6 +627,13 @@ Status AccessSupportRelation::RebuildImpl() {
   }
   full_rows_.clear();
   ASR_RETURN_IF_ERROR(LoadRows(extension->rows(), fresh));
+  if (options_.transactional) {
+    // ResetTrees/RebuildTrees gave stores fresh segments; their bulk-loaded
+    // pages were written pre-registration (unversioned — no snapshot can
+    // reference a segment that did not exist), and from here on they are
+    // version-managed again.
+    ASR_RETURN_IF_ERROR(RegisterTreeSegments());
+  }
   return ParanoidValidate();
 }
 

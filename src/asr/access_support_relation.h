@@ -13,6 +13,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <unordered_set>
@@ -29,6 +30,8 @@
 #include "rel/relation.h"
 
 namespace asr {
+
+class AsrSnapshot;
 
 struct AsrOptions {
   // Drop set-instance OID columns (the paper's no-set-sharing
@@ -63,6 +66,29 @@ struct AsrOptions {
   // always loaded serially. 1 = build in the calling thread (metered runs
   // stay single-threaded and bit-identical).
   uint32_t build_threads = 1;
+
+  // --- Transactional maintenance (beyond the paper) ----------------------
+  // Route every edge-maintenance operation through a page transaction
+  // (storage/mvcc.h): tree writes stage privately, commit as one epoch, and
+  // roll back cleanly on conflict. Enables multi-writer maintenance of ASRs
+  // over disjoint partitions (writers sharing a partition store serialize on
+  // its claim) and OpenSnapshot() readers that see a consistent committed
+  // epoch while maintenance is mid-flight. Requires the disk to have an
+  // MvccManager attached (Database::EnableMvcc) and forces private buffer
+  // pools per partition store so one writer's dirty pages never ride another
+  // writer's commit. Off (the default) keeps every path — and its metering —
+  // bit-identical to the single-writer library.
+  bool transactional = false;
+
+  // Commit-conflict retry policy: attempts per operation and the base of the
+  // exponential (jittered) backoff between them. Env overrides:
+  // ASR_TXN_RETRIES, ASR_TXN_BACKOFF_US.
+  uint32_t txn_max_retries = 8;
+  uint32_t txn_backoff_us = 100;
+
+  // Applies the environment overrides above (call sites that want env
+  // configuration do so explicitly; defaults stay env-independent).
+  static AsrOptions FromEnv();
 };
 
 // Storage of one partition, shareable between access support relations over
@@ -96,6 +122,15 @@ struct PartitionStore {
   // The pool the trees actually use: private_buffers when present, else the
   // object store's shared pool. Needed to recreate trees on ResetTrees.
   storage::BufferManager* buffers = nullptr;
+
+  // Transactional-mode writer claim. An edge operation try-locks the claim
+  // of every store it spans (address order) before touching refcounts or
+  // trees; failure to acquire means another writer is mid-operation on a
+  // shared store and the op aborts for backoff — the ASR-level conflict
+  // surface, with storage-level OCC as the safety net. Snapshot capture and
+  // rebuilds take the same claims blocking (deadlock-free because try-lockers
+  // never hold-and-wait).
+  std::mutex claim_mu;
 
   // Creates a store with two empty trees named `name`:fwd/:bwd, width
   // `width`, clustered on the first and last column. With `own_buffers`,
@@ -232,6 +267,16 @@ class AccessSupportRelation {
   bool degraded() const;
   size_t quarantined_count() const;
 
+  // --- Consistent-epoch readers (transactional mode) ----------------------
+  // Captures a read-only view of every partition tree at the current
+  // committed epoch (snapshot.h). The returned snapshot answers EvalForward/
+  // EvalBackward with the exact rows the live ASR held at capture time, even
+  // while later maintenance operations or a Rebuild are mid-flight —
+  // retained page versions, not locks, isolate the reader. Requires
+  // AsrOptions::transactional and a non-degraded ASR; capture briefly takes
+  // every partition claim so it never lands mid-operation.
+  Result<std::unique_ptr<AsrSnapshot>> OpenSnapshot();
+
   const MaintenanceJournal& journal() const { return journal_; }
   // Mutable access for persistence wiring: Database attaches its WAL here
   // and replays journal records through ApplyWalRecord() at reopen.
@@ -293,6 +338,8 @@ class AccessSupportRelation {
                      const std::string& prefix) const;
 
  private:
+  friend class AsrSnapshot;
+
   struct Partition {
     uint32_t first = 0;
     uint32_t last = 0;
@@ -346,6 +393,24 @@ class AccessSupportRelation {
   Status OnEdgeRemovedImpl(Oid u, uint32_t p, AsrKey w);
   Status RebuildImpl();
 
+  // --- transactional maintenance (txn.cc) ------------------------------
+  // Journal envelope + claim/attempt/backoff retry loop around one edge
+  // operation; the transactional counterpart of the wrappers above.
+  Status RunEdgeTxn(MaintOp op, Oid u, uint32_t p, AsrKey w);
+  // One optimistic attempt: claim stores (try-lock, address order), stage
+  // tree writes in a PageTransaction, commit; on claim failure or commit
+  // conflict roll everything back (staged pages dropped, tree metas
+  // restored, in-memory rows/refcounts undone) and return Aborted.
+  Status AttemptEdgeTxn(MaintOp op, Oid u, uint32_t p, AsrKey w);
+  // Distinct partition stores, address-sorted (the canonical claim order).
+  std::vector<PartitionStore*> DistinctStores() const;
+  // Registers every partition tree segment with the disk's MvccManager.
+  // FailedPrecondition when none is attached. Idempotent; re-run after any
+  // path that gives a store fresh segments (ResetTrees/RebuildTrees).
+  Status RegisterTreeSegments();
+  // The MvccManager behind this ASR's disk, or nullptr.
+  storage::MvccManager* mvcc() const;
+
   // True when any buffer pool this ASR writes through has recorded a
   // write-back failure — the signal that an operation's tree updates did
   // not all reach the disk and its journal entry must be marked lost.
@@ -394,6 +459,14 @@ class AccessSupportRelation {
   // full-width rows is exact set semantics; re-inserting an existing row or
   // erasing an absent one is a no-op that must not disturb the partitions.
   std::set<rel::Row> full_rows_;
+
+  // Undo log for transactional attempts: while undo_active_, InsertRow/
+  // EraseRow push closures reversing their full_rows_/refcount effects (tree
+  // effects roll back physically — staged pages dropped, metas restored — so
+  // the closures touch only the in-memory side). Replayed in reverse on
+  // abort. Owned by the thread holding every claim; never concurrent.
+  std::vector<std::function<void()>> undo_log_;
+  bool undo_active_ = false;
 
   // Observability (compiled out under ASR_METRICS=OFF). Single-writer: the
   // thread evaluating queries / applying maintenance owns these.

@@ -15,9 +15,29 @@ namespace {
 //   'R' [u64 seq]                                       intent, rebuild
 //   'C' [u64 seq]                                       commit
 //   'L' [u64 seq]                                       lost
+//   'A' [u64 seq]                                       aborted (no effect)
 //   'V' [u64 count]                                     Recover() resolved all
 // Fixed-width fields keep every record self-describing from its type byte
 // alone, so replay can reject a record whose size does not match its type.
+// A journal writing a nonzero wal_stream() appends one trailing stream-id
+// byte to every record (base size + 1, still unambiguous by size); stream 0
+// writes the bare format above, byte-identical to the single-journal log.
+
+// Base (stream-0) record size per type byte; 0 = not a journal record.
+size_t BaseRecordSize(char type) {
+  switch (type) {
+    case 'I':
+      return 1 + 1 + 8 + 8 + 4 + 8;
+    case 'R':
+    case 'C':
+    case 'L':
+    case 'A':
+    case 'V':
+      return 1 + 8;
+    default:
+      return 0;
+  }
+}
 
 void PutU32(std::string* out, uint32_t v) {
   char buf[4];
@@ -79,6 +99,8 @@ const char* JournalStateName(JournalState state) {
       return "lost";
     case JournalState::kRecovered:
       return "recovered";
+    case JournalState::kAborted:
+      return "aborted";
   }
   return "unknown";
 }
@@ -149,6 +171,18 @@ void MaintenanceJournal::Commit(uint64_t seq) {
   AppendWal(SeqRecord('C', seq), /*sync=*/true);
 }
 
+void MaintenanceJournal::MarkAborted(uint64_t seq) {
+  std::lock_guard<std::mutex> lock(mu_);
+  JournalEntry* entry = Find(seq);
+  ASR_CHECK(entry != nullptr && entry->state == JournalState::kPending);
+  entry->state = JournalState::kAborted;
+  --pending_;
+  ++aborted_;
+  // Synced like the other resolutions: a trailing unresolved intent forces
+  // Recover() on reopen, and an abort that rolled back cleanly should not.
+  AppendWal(SeqRecord('A', seq), /*sync=*/true);
+}
+
 void MaintenanceJournal::MarkLost(uint64_t seq) {
   std::lock_guard<std::mutex> lock(mu_);
   JournalEntry* entry = Find(seq);
@@ -180,8 +214,9 @@ uint64_t MaintenanceJournal::MarkAllRecovered() {
   return resolved;
 }
 
-void MaintenanceJournal::AppendWal(const std::string& record, bool sync) {
+void MaintenanceJournal::AppendWal(std::string record, bool sync) {
   if (wal_ == nullptr) return;
+  if (stream_ != 0) record.push_back(static_cast<char>(stream_));
   Status st = wal_->Append(record);
   if (st.ok() && sync) st = wal_->Sync();
   if (!st.ok() && wal_error_.ok()) wal_error_ = st;
@@ -190,9 +225,21 @@ void MaintenanceJournal::AppendWal(const std::string& record, bool sync) {
 bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
   std::lock_guard<std::mutex> lock(mu_);
   if (payload.empty()) return false;
+  // Stream routing: the record must be sized for its type exactly (stream 0)
+  // or with one trailing id byte (nonzero streams), and the id must be ours.
+  // Foreign streams report "not mine" so a sibling journal can claim them.
+  const size_t base = BaseRecordSize(payload[0]);
+  if (base == 0) return false;
+  uint8_t rec_stream = 0;
+  if (payload.size() == base + 1) {
+    rec_stream = static_cast<uint8_t>(payload.back());
+    if (rec_stream == 0) return false;  // stream byte is never written as 0
+  } else if (payload.size() != base) {
+    return false;
+  }
+  if (rec_stream != stream_) return false;
   switch (payload[0]) {
     case 'I': {
-      if (payload.size() != 1 + 1 + 8 + 8 + 4 + 8) return false;
       JournalEntry entry;
       entry.op = payload[1] == 0 ? MaintOp::kEdgeInsert : MaintOp::kEdgeRemove;
       entry.seq = GetU64(payload, 2);
@@ -206,7 +253,6 @@ bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
       return true;
     }
     case 'R': {
-      if (payload.size() != 1 + 8) return false;
       JournalEntry entry;
       entry.op = MaintOp::kRebuild;
       entry.seq = GetU64(payload, 1);
@@ -217,8 +263,8 @@ bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
       return true;
     }
     case 'C':
-    case 'L': {
-      if (payload.size() != 1 + 8) return false;
+    case 'L':
+    case 'A': {
       const uint64_t seq = GetU64(payload, 1);
       JournalEntry* entry = Find(seq);
       // A resolution whose intent was truncated away (checkpointed prefix)
@@ -230,6 +276,9 @@ bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
       if (payload[0] == 'C') {
         entry->state = JournalState::kCommitted;
         ++committed_;
+      } else if (payload[0] == 'A') {
+        entry->state = JournalState::kAborted;
+        ++aborted_;
       } else {
         entry->state = JournalState::kLost;
         ++lost_;
@@ -238,7 +287,6 @@ bool MaintenanceJournal::ApplyWalRecord(std::string_view payload) {
       return true;
     }
     case 'V': {
-      if (payload.size() != 1 + 8) return false;
       uint64_t resolved = 0;
       for (JournalEntry& entry : entries_) {
         if (entry.state == JournalState::kPending ||
@@ -291,6 +339,7 @@ void MaintenanceJournal::ExportMetrics(obs::MetricsRegistry* registry,
   registry->Set(prefix + ".lost", lost_);
   registry->Set(prefix + ".committed", committed_);
   registry->Set(prefix + ".recovered", recovered_);
+  registry->Set(prefix + ".aborted", aborted_);
 }
 
 }  // namespace asr

@@ -61,6 +61,10 @@ enum class JournalState {
   kCommitted,
   kLost,
   kRecovered,
+  // Resolved with no effect: a transactional attempt lost every conflict
+  // retry and rolled back cleanly. Unlike kLost, nothing on disk is in
+  // doubt, so an aborted entry carries no recovery obligation.
+  kAborted,
 };
 
 const char* JournalStateName(JournalState state);
@@ -88,6 +92,10 @@ class MaintenanceJournal {
   // Resolution of the entry `seq` (must be pending).
   void Commit(uint64_t seq);
   void MarkLost(uint64_t seq);
+  // Clean no-effect resolution: the operation aborted (transactional
+  // conflict) with every staged write discarded — the disk never saw it, so
+  // recovery owes it nothing.
+  void MarkAborted(uint64_t seq);
 
   // Recover() resolved every outstanding intent by re-deriving from the
   // object base; returns how many entries it covered.
@@ -99,6 +107,17 @@ class MaintenanceJournal {
   // Setup-time call; attach before maintenance threads start.
   void AttachWal(storage::WriteAheadLog* wal) { wal_ = wal; }
   storage::WriteAheadLog* wal() const { return wal_; }
+
+  // Stream id for multi-journal WALs: several ASRs (one journal each, e.g.
+  // one per writer) can share one log file when each journal tags its
+  // records with a distinct nonzero stream. Stream 0 — the default — writes
+  // the exact legacy record format, byte-identical to a single-journal log;
+  // a nonzero stream appends one trailing id byte to every record, and
+  // ApplyWalRecord() accepts only records of its own stream (foreign streams
+  // report false so the sibling journal can claim them). Setup-time call,
+  // like AttachWal.
+  void SetWalStream(uint8_t stream) { stream_ = stream; }
+  uint8_t wal_stream() const { return stream_; }
 
   // Applies one record replayed from a WAL to reconstruct pre-crash state
   // (never appends). Returns true when the payload was a journal record;
@@ -131,6 +150,10 @@ class MaintenanceJournal {
     std::lock_guard<std::mutex> lock(mu_);
     return committed_;
   }
+  uint64_t aborted() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return aborted_;
+  }
   uint64_t recovered() const {
     std::lock_guard<std::mutex> lock(mu_);
     return recovered_;
@@ -155,11 +178,12 @@ class MaintenanceJournal {
   JournalEntry* Find(uint64_t seq) ASR_REQUIRES(mu_);
   uint64_t Append(JournalEntry entry) ASR_REQUIRES(mu_);
   void TruncateResolved() ASR_REQUIRES(mu_);
-  // Appends `record` to the attached WAL (no-op when detached); `sync` adds
-  // the fdatasync commit point. Failures stick in wal_error_. Lock order:
-  // the journal lock is held across the WAL call (journal -> wal, never the
-  // reverse).
-  void AppendWal(const std::string& record, bool sync) ASR_REQUIRES(mu_);
+  // Appends `record` to the attached WAL (no-op when detached), tagging it
+  // with the stream byte when this journal writes a nonzero stream; `sync`
+  // adds the fdatasync commit point. Failures stick in wal_error_. Lock
+  // order: the journal lock is held across the WAL call (journal -> wal,
+  // never the reverse).
+  void AppendWal(std::string record, bool sync) ASR_REQUIRES(mu_);
 
   // One lock for the whole protocol state: intent, resolution, and the WAL
   // append are a single atomic transition — the precondition for the
@@ -171,7 +195,9 @@ class MaintenanceJournal {
   uint64_t lost_ ASR_GUARDED_BY(mu_) = 0;
   uint64_t committed_ ASR_GUARDED_BY(mu_) = 0;
   uint64_t recovered_ ASR_GUARDED_BY(mu_) = 0;
+  uint64_t aborted_ ASR_GUARDED_BY(mu_) = 0;
   storage::WriteAheadLog* wal_ = nullptr;  // set at attach time, then stable
+  uint8_t stream_ = 0;                     // set at attach time, then stable
   Status wal_error_ ASR_GUARDED_BY(mu_);
 };
 

@@ -421,6 +421,9 @@ Status AccessSupportRelation::OnEdgeInserted(Oid u, uint32_t p, AsrKey w) {
   if (!store_->schema().IsSubtypeOf(u.type_id(), path_.type_at(p))) {
     return Status::TypeError("u is not an instance of t_" + std::to_string(p));
   }
+  if (options_.transactional) {
+    return RunEdgeTxn(MaintOp::kEdgeInsert, u, p, w);
+  }
   // Journal envelope (§WAL discipline): intent precedes the first tree
   // write; commit requires every write to have reached the disk.
   const uint64_t seq = journal_.BeginEdge(MaintOp::kEdgeInsert, u, p, w);
@@ -562,6 +565,9 @@ Status AccessSupportRelation::OnEdgeRemoved(Oid u, uint32_t p, AsrKey w) {
   }
   if (!store_->schema().IsSubtypeOf(u.type_id(), path_.type_at(p))) {
     return Status::TypeError("u is not an instance of t_" + std::to_string(p));
+  }
+  if (options_.transactional) {
+    return RunEdgeTxn(MaintOp::kEdgeRemove, u, p, w);
   }
   const uint64_t seq = journal_.BeginEdge(MaintOp::kEdgeRemove, u, p, w);
   Status st = OnEdgeRemovedImpl(u, p, w);

@@ -1,0 +1,78 @@
+// Consistent-epoch ASR readers: query a transactional ASR while maintenance
+// is mid-flight, without locks on the query path.
+//
+// An AsrSnapshot is the ASR-level face of a storage::PageSnapshot: capture
+// pins the current committed page-version epoch and copies each partition
+// tree's in-memory Meta; queries then run the ordinary hop loop over trees
+// attached to a read-only snapshot-mode buffer pool, so every page resolves
+// to its image as of the pinned epoch — retained old versions where a later
+// commit has since overwritten the backend. Writers never block the reader
+// and the reader never blocks writers; the copy-on-write retention in
+// storage/mvcc.h is the isolation mechanism.
+//
+// The alternative — evaluating queries against the live trees concurrently
+// with maintenance — is unsound regardless of page versioning: a writer
+// mutates the live BTree objects' in-memory state (root, height, counts)
+// mid-descent. Snapshots sidestep that by attaching private BTree instances
+// to the captured Metas.
+//
+// Capture takes every partition claim briefly (blocking, address order), so
+// a snapshot never lands in the middle of an edge operation or rebuild:
+// what it sees is exactly a committed prefix of the maintenance history.
+#ifndef ASR_ASR_SNAPSHOT_H_
+#define ASR_ASR_SNAPSHOT_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/asr_key.h"
+#include "common/status.h"
+#include "storage/buffer_manager.h"
+#include "storage/mvcc.h"
+
+namespace asr {
+
+class AccessSupportRelation;
+
+class AsrSnapshot {
+ public:
+  ASR_DISALLOW_COPY_AND_ASSIGN(AsrSnapshot);
+
+  // The committed epoch this snapshot reads at.
+  storage::MvccEpoch epoch() const { return snap_.epoch(); }
+
+  // Supported queries against the captured state: same contract and same
+  // answers as the live EvalForward/EvalBackward at capture time, minus the
+  // degraded-navigation path (capture requires a non-degraded ASR) and the
+  // live telemetry. The source ASR must outlive the snapshot.
+  Result<std::vector<AsrKey>> EvalForward(AsrKey start, uint32_t i,
+                                          uint32_t j);
+  Result<std::vector<AsrKey>> EvalBackward(AsrKey target, uint32_t i,
+                                           uint32_t j);
+
+ private:
+  friend class AccessSupportRelation;
+
+  struct SnapPartition {
+    uint32_t first = 0;
+    uint32_t last = 0;
+    std::unique_ptr<btree::BTree> forward;
+    std::unique_ptr<btree::BTree> backward;
+  };
+
+  explicit AsrSnapshot(const AccessSupportRelation* asr) : asr_(asr) {}
+
+  // Immutable-after-Build configuration (path, kind, decomposition) is read
+  // through the source ASR; everything that mutates is captured below.
+  const AccessSupportRelation* asr_;
+  // Declaration order is the teardown contract reversed: partitions_ (trees)
+  // pin through pool_, and pool_ reads through snap_.
+  storage::PageSnapshot snap_;
+  std::unique_ptr<storage::BufferManager> pool_;
+  std::vector<SnapPartition> partitions_;
+};
+
+}  // namespace asr
+
+#endif  // ASR_ASR_SNAPSHOT_H_

@@ -316,6 +316,46 @@ BTree::BTree(storage::BufferManager* buffers, std::string name,
   root_page_ = root.id().page_no;
 }
 
+BTree::BTree(storage::BufferManager* buffers, const Meta& meta)
+    : buffers_(buffers),
+      segment_(meta.segment),
+      width_(meta.width),
+      key_column_(meta.key_column),
+      root_page_(meta.root_page),
+      height_(meta.height),
+      leaf_pages_(meta.leaf_pages),
+      inner_pages_(meta.inner_pages),
+      tuple_count_(meta.tuple_count) {
+  ASR_CHECK(width_ >= 1 && key_column_ < width_);
+  leaf_entry_bytes_ = 8 + 8 * width_;
+  leaf_capacity_ = (kPageSize - kHeaderBytes) / leaf_entry_bytes_;
+  inner_capacity_ = (kPageSize - kHeaderBytes) / kInnerEntryBytes;
+  ASR_CHECK(leaf_capacity_ >= 4);
+}
+
+BTree::Meta BTree::meta() const {
+  Meta m;
+  m.segment = segment_;
+  m.width = width_;
+  m.key_column = key_column_;
+  m.root_page = root_page_;
+  m.height = height_;
+  m.leaf_pages = leaf_pages_;
+  m.inner_pages = inner_pages_;
+  m.tuple_count = tuple_count_;
+  return m;
+}
+
+void BTree::RestoreMeta(const Meta& meta) {
+  ASR_CHECK(meta.segment == segment_ && meta.width == width_ &&
+            meta.key_column == key_column_);
+  root_page_ = meta.root_page;
+  height_ = meta.height;
+  leaf_pages_ = meta.leaf_pages;
+  inner_pages_ = meta.inner_pages;
+  tuple_count_ = meta.tuple_count;
+}
+
 void BTree::InitLeaf(Page* page) {
   page->Zero();
   page->Write<uint8_t>(0, 1);

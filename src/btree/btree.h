@@ -55,6 +55,34 @@ class BTree {
   // `width` is the tuple arity; `key_column` the clustered column index.
   BTree(storage::BufferManager* buffers, std::string name, uint32_t width,
         uint32_t key_column);
+
+  // The in-memory half of a tree's state: everything not recoverable from
+  // its pages alone. Captured by meta(), carried across process and
+  // transaction boundaries, and re-attached with the constructor below —
+  // the handle that lets a snapshot reader (or a rolled-back writer) open
+  // the same segment through a different buffer pool.
+  struct Meta {
+    uint32_t segment = 0;
+    uint32_t width = 0;
+    uint32_t key_column = 0;
+    uint32_t root_page = 0;
+    uint32_t height = 0;
+    uint32_t leaf_pages = 0;
+    uint32_t inner_pages = 0;
+    uint64_t tuple_count = 0;
+  };
+  Meta meta() const;
+
+  // Attaches to an existing segment described by `meta` without touching
+  // any page (capacities are recomputed from width). The caller is
+  // responsible for `meta` matching the segment's actual contents.
+  BTree(storage::BufferManager* buffers, const Meta& meta);
+
+  // Rolls the in-memory state back to an earlier meta() of this same tree —
+  // the abort half of a transactional maintenance op, paired with the
+  // discard of its staged page versions. The segment must match.
+  void RestoreMeta(const Meta& meta);
+
   ASR_DISALLOW_COPY_AND_ASSIGN(BTree);
 
   uint32_t width() const { return width_; }

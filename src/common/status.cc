@@ -24,6 +24,8 @@ const char* CodeName(Status::Code code) {
       return "OutOfRange";
     case Status::Code::kIOError:
       return "IOError";
+    case Status::Code::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -27,6 +27,7 @@ class [[nodiscard]] Status {
     kNotSupported,
     kOutOfRange,
     kIOError,
+    kAborted,
   };
 
   Status() : code_(Code::kOk) {}
@@ -56,6 +57,11 @@ class [[nodiscard]] Status {
   static Status IOError(std::string msg) {
     return Status(Code::kIOError, std::move(msg));
   }
+  // A transaction lost its optimistic race (page-version conflict or store
+  // claim): nothing was applied, and the operation is safe to retry.
+  static Status Aborted(std::string msg) {
+    return Status(Code::kAborted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -66,6 +72,7 @@ class [[nodiscard]] Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
   bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

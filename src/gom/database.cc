@@ -57,6 +57,7 @@ Status Database::AttachWal(const std::string& path) {
       });
   ASR_RETURN_IF_ERROR(wal.status());
   wal_ = std::move(*wal);
+  if (mvcc_ != nullptr) mvcc_->AttachWal(wal_.get());
   return Status::OK();
 }
 

@@ -24,6 +24,7 @@
 #include "gom/type_system.h"
 #include "storage/buffer_manager.h"
 #include "storage/disk.h"
+#include "storage/mvcc.h"
 #include "storage/wal.h"
 
 namespace asr::gom {
@@ -70,6 +71,23 @@ class Database {
   storage::Disk* disk() { return &disk_; }
   storage::BufferManager* buffers() { return &buffers_; }
 
+  // Creates the page-version manager and attaches it to the disk — the
+  // prerequisite for transactional ASR maintenance and consistent-epoch
+  // snapshot reads (storage/mvcc.h). Idempotent. Segments stay on the
+  // byte-identical legacy path until something registers them
+  // (AsrOptions::transactional does this for partition tree segments). When
+  // a WAL is attached (before or after this call), transaction commits
+  // append their epoch record to it.
+  storage::MvccManager* EnableMvcc() {
+    if (mvcc_ == nullptr) {
+      mvcc_ = std::make_unique<storage::MvccManager>();
+      disk_.AttachMvcc(mvcc_.get());
+      if (wal_ != nullptr) mvcc_->AttachWal(wal_.get());
+    }
+    return mvcc_.get();
+  }
+  storage::MvccManager* mvcc() { return mvcc_.get(); }
+
  private:
   Database(size_t buffer_capacity, const storage::DiskOptions& disk)
       : disk_(disk), buffers_(&disk_, buffer_capacity),
@@ -81,6 +99,7 @@ class Database {
   ObjectStore store_;
   std::unique_ptr<storage::WriteAheadLog> wal_;
   std::vector<std::string> replayed_wal_;
+  std::unique_ptr<storage::MvccManager> mvcc_;
 };
 
 }  // namespace asr::gom

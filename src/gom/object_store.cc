@@ -45,7 +45,69 @@ void WriteU32(std::vector<std::byte>* rec, uint32_t off, uint32_t v) {
   std::memcpy(rec->data() + off, &v, 4);
 }
 
+// Which store (if any) the current thread already holds locked, and how.
+// Saved/restored by the guards, so nested guards across different stores
+// behave like a stack without materializing one.
+enum class LockMode { kNone, kShared, kExclusive };
+struct ThreadLockState {
+  const void* store = nullptr;
+  LockMode mode = LockMode::kNone;
+};
+thread_local ThreadLockState t_store_lock;
+
 }  // namespace
+
+// Shared (reader) side of the store lock; no-op when this thread already
+// holds the store in either mode (a read nested in a scan callback or
+// inside a mutation is served by the outer lock).
+class ObjectStore::ReadGuard {
+ public:
+  explicit ReadGuard(const ObjectStore* store) : prev_(t_store_lock) {
+    if (t_store_lock.store != store) {
+      store->mu_.lock_shared();
+      locked_ = store;
+      t_store_lock = {store, LockMode::kShared};
+    }
+  }
+  ~ReadGuard() {
+    if (locked_ != nullptr) {
+      t_store_lock = prev_;
+      locked_->mu_.unlock_shared();
+    }
+  }
+  ASR_DISALLOW_COPY_AND_ASSIGN(ReadGuard);
+
+ private:
+  ThreadLockState prev_;
+  const ObjectStore* locked_ = nullptr;
+};
+
+// Exclusive (writer) side. Re-entrant under an exclusive hold; escalating
+// from inside a shared hold (a mutation called from a read callback) would
+// deadlock or race, so it aborts instead.
+class ObjectStore::WriteGuard {
+ public:
+  explicit WriteGuard(ObjectStore* store) : prev_(t_store_lock) {
+    if (t_store_lock.store == store) {
+      ASR_CHECK(t_store_lock.mode == LockMode::kExclusive);
+      return;
+    }
+    store->mu_.lock();
+    locked_ = store;
+    t_store_lock = {store, LockMode::kExclusive};
+  }
+  ~WriteGuard() {
+    if (locked_ != nullptr) {
+      t_store_lock = prev_;
+      locked_->mu_.unlock();
+    }
+  }
+  ASR_DISALLOW_COPY_AND_ASSIGN(WriteGuard);
+
+ private:
+  ThreadLockState prev_;
+  ObjectStore* locked_ = nullptr;
+};
 
 ObjectStore::ObjectStore(const Schema* schema,
                          storage::BufferManager* buffers)
@@ -53,12 +115,16 @@ ObjectStore::ObjectStore(const Schema* schema,
 
 ObjectStore::TypeState& ObjectStore::State(TypeId type) {
   ASR_CHECK(schema_->IsValidType(type));
-  if (states_.size() <= type) states_.resize(schema_->type_count());
-  ASR_CHECK(states_.size() > type);
+  // Growth happens under its own lock so read paths (shared holders of mu_)
+  // can materialize a type's slot concurrently; deque references stay
+  // stable across emplace_back, so outstanding TypeState& remain valid.
+  std::lock_guard<std::mutex> lock(states_mu_);
+  while (states_.size() <= type) states_.emplace_back();
   return states_[type];
 }
 
 const ObjectStore::TypeState* ObjectStore::StateOrNull(TypeId type) const {
+  std::lock_guard<std::mutex> lock(states_mu_);
   if (type >= states_.size()) return nullptr;
   return &states_[type];
 }
@@ -77,6 +143,7 @@ uint32_t ObjectStore::EnsureSegment(TypeId type) {
 }
 
 void ObjectStore::ColocateType(TypeId type, TypeId with) {
+  WriteGuard store_guard(this);
   TypeState& state = State(type);
   ASR_CHECK(state.locations.empty() && state.segment == UINT32_MAX);
   ASR_CHECK(type != with);
@@ -84,6 +151,7 @@ void ObjectStore::ColocateType(TypeId type, TypeId with) {
 }
 
 void ObjectStore::SetObjectSize(TypeId type, uint32_t bytes) {
+  WriteGuard store_guard(this);
   TypeState& state = State(type);
   ASR_CHECK(state.locations.empty());
   ASR_CHECK(bytes <= kMaxRecordBytes);
@@ -127,6 +195,7 @@ ObjectStore::Location ObjectStore::PlaceRecord(
 }
 
 Result<Oid> ObjectStore::CreateObject(TypeId tuple_type) {
+  WriteGuard store_guard(this);
   if (!schema_->IsValidType(tuple_type) || !schema_->IsTuple(tuple_type)) {
     return Status::TypeError("CreateObject requires a tuple type");
   }
@@ -144,6 +213,7 @@ Result<Oid> ObjectStore::CreateObject(TypeId tuple_type) {
 }
 
 Result<Oid> ObjectStore::CreateList(TypeId list_type) {
+  WriteGuard store_guard(this);
   if (!schema_->IsValidType(list_type) || !schema_->IsList(list_type)) {
     return Status::TypeError("CreateList requires a list type");
   }
@@ -163,6 +233,7 @@ Result<Oid> ObjectStore::CreateList(TypeId list_type) {
 }
 
 Result<Oid> ObjectStore::CreateSet(TypeId set_type) {
+  WriteGuard store_guard(this);
   if (!schema_->IsValidType(set_type) || !schema_->IsSet(set_type)) {
     return Status::TypeError("CreateSet requires a set type");
   }
@@ -193,9 +264,13 @@ Result<ObjectStore::Location> ObjectStore::Locate(Oid oid) const {
   return loc;
 }
 
-bool ObjectStore::Exists(Oid oid) const { return Locate(oid).ok(); }
+bool ObjectStore::Exists(Oid oid) const {
+  ReadGuard store_guard(this);
+  return Locate(oid).ok();
+}
 
 Status ObjectStore::DeleteObject(Oid oid) {
+  WriteGuard store_guard(this);
   Result<Location> loc = Locate(oid);
   ASR_RETURN_IF_ERROR(loc.status());
   TypeState& state = State(oid.type_id());
@@ -220,6 +295,7 @@ Status ObjectStore::DeleteObject(Oid oid) {
 }
 
 Result<AsrKey> ObjectStore::GetAttribute(Oid oid, uint32_t attr_index) {
+  ReadGuard store_guard(this);
   if (oid.IsNull()) return Status::InvalidArgument("NULL OID");
   TypeId type = oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsTuple(type)) {
@@ -286,6 +362,7 @@ Status ObjectStore::CheckAttributeValue(TypeId /*tuple_type*/,
 }
 
 Status ObjectStore::SetAttribute(Oid oid, uint32_t attr_index, AsrKey value) {
+  WriteGuard store_guard(this);
   if (oid.IsNull()) return Status::InvalidArgument("NULL OID");
   TypeId type = oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsTuple(type)) {
@@ -319,11 +396,15 @@ Status ObjectStore::SetAttributeByName(Oid oid, const std::string& attr_name,
 
 Status ObjectStore::SetString(Oid oid, const std::string& attr_name,
                               std::string_view value) {
+  // Exclusive before dict_.Intern (a mutation); the nested SetAttribute
+  // piggybacks on this hold.
+  WriteGuard store_guard(this);
   return SetAttributeByName(oid, attr_name, AsrKey::FromString(value, &dict_));
 }
 
 Result<std::string> ObjectStore::GetString(Oid oid,
                                            const std::string& attr_name) {
+  ReadGuard store_guard(this);
   Result<AsrKey> key = GetAttributeByName(oid, attr_name);
   ASR_RETURN_IF_ERROR(key.status());
   if (!key->IsString()) {
@@ -348,6 +429,7 @@ Status ObjectStore::SetRef(Oid oid, const std::string& attr_name, Oid target) {
 }
 
 Result<TupleView> ObjectStore::GetTuple(Oid oid) {
+  ReadGuard store_guard(this);
   if (oid.IsNull()) return Status::InvalidArgument("NULL OID");
   TypeId type = oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsTuple(type)) {
@@ -372,6 +454,7 @@ Result<TupleView> ObjectStore::GetTuple(Oid oid) {
 }
 
 Result<std::vector<TupleView>> ObjectStore::GetTuples(std::vector<Oid> oids) {
+  ReadGuard store_guard(this);
   // Sort by physical placement so each page is pinned exactly once.
   struct Placement {
     Oid oid;
@@ -425,6 +508,7 @@ Result<std::vector<TupleView>> ObjectStore::GetTuples(std::vector<Oid> oids) {
 }
 
 Result<std::vector<SetView>> ObjectStore::GetSets(std::vector<Oid> oids) {
+  ReadGuard store_guard(this);
   struct Placement {
     Oid oid;
     Location loc;
@@ -489,6 +573,7 @@ Result<std::vector<SetView>> ObjectStore::GetSets(std::vector<Oid> oids) {
 Result<std::vector<std::pair<Oid, std::vector<AsrKey>>>>
 ObjectStore::GetAttributeTargets(std::vector<Oid> oids,
                                  const std::string& attr_name) {
+  ReadGuard store_guard(this);
   struct Placement {
     Oid oid;
     Location loc;
@@ -589,6 +674,7 @@ ObjectStore::GetAttributeTargets(std::vector<Oid> oids,
 Status ObjectStore::ScanWithTargets(
     TypeId type, const std::string& attr_name,
     const std::function<Status(Oid, const std::vector<AsrKey>&)>& fn) {
+  ReadGuard store_guard(this);
   if (!schema_->IsValidType(type) || !schema_->IsTuple(type)) {
     return Status::TypeError("ScanWithTargets requires a tuple type");
   }
@@ -660,6 +746,7 @@ Status ObjectStore::ScanWithTargets(
 }
 
 Status ObjectStore::AddToSet(Oid set_oid, AsrKey member) {
+  WriteGuard store_guard(this);
   if (set_oid.IsNull()) return Status::InvalidArgument("NULL set OID");
   TypeId type = set_oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsSet(type)) {
@@ -771,6 +858,7 @@ Status ObjectStore::AddToSet(Oid set_oid, AsrKey member) {
 }
 
 Status ObjectStore::RemoveFromSet(Oid set_oid, AsrKey member) {
+  WriteGuard store_guard(this);
   if (set_oid.IsNull()) return Status::InvalidArgument("NULL set OID");
   TypeId type = set_oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsSet(type)) {
@@ -811,6 +899,7 @@ Status ObjectStore::RemoveFromSet(Oid set_oid, AsrKey member) {
 }
 
 Status ObjectStore::ListAppend(Oid list_oid, AsrKey element) {
+  WriteGuard store_guard(this);
   if (list_oid.IsNull()) return Status::InvalidArgument("NULL list OID");
   TypeId type = list_oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsList(type)) {
@@ -893,6 +982,7 @@ Status ObjectStore::ListAppend(Oid list_oid, AsrKey element) {
 }
 
 Status ObjectStore::ListRemoveAt(Oid list_oid, uint32_t index) {
+  WriteGuard store_guard(this);
   if (list_oid.IsNull()) return Status::InvalidArgument("NULL list OID");
   TypeId type = list_oid.type_id();
   if (!schema_->IsValidType(type) || !schema_->IsList(type)) {
@@ -934,6 +1024,7 @@ Status ObjectStore::ListRemoveAt(Oid list_oid, uint32_t index) {
 }
 
 Result<uint64_t> ObjectStore::ListLength(Oid list_oid) {
+  ReadGuard store_guard(this);
   if (list_oid.IsNull()) return Status::InvalidArgument("NULL list OID");
   if (!schema_->IsValidType(list_oid.type_id()) ||
       !schema_->IsList(list_oid.type_id())) {
@@ -976,6 +1067,7 @@ Result<std::vector<AsrKey>> ObjectStore::ReadSetChain(Oid set_oid) {
 }
 
 Result<SetView> ObjectStore::GetSet(Oid collection_oid) {
+  ReadGuard store_guard(this);
   Oid set_oid = collection_oid;
   if (set_oid.IsNull()) return Status::InvalidArgument("NULL set OID");
   TypeId type = set_oid.type_id();
@@ -992,6 +1084,7 @@ Result<SetView> ObjectStore::GetSet(Oid collection_oid) {
 }
 
 Result<bool> ObjectStore::SetContains(Oid collection_oid, AsrKey member) {
+  ReadGuard store_guard(this);
   Result<SetView> view = GetSet(collection_oid);
   ASR_RETURN_IF_ERROR(view.status());
   for (AsrKey m : view->members) {
@@ -1002,6 +1095,7 @@ Result<bool> ObjectStore::SetContains(Oid collection_oid, AsrKey member) {
 
 Status ObjectStore::ScanTuples(
     TypeId type, const std::function<Status(const TupleView&)>& fn) {
+  ReadGuard store_guard(this);
   if (!schema_->IsValidType(type) || !schema_->IsTuple(type)) {
     return Status::TypeError("ScanTuples requires a tuple type");
   }
@@ -1034,6 +1128,7 @@ Status ObjectStore::ScanTuples(
 
 Status ObjectStore::ScanSets(TypeId type,
                              const std::function<Status(const SetView&)>& fn) {
+  ReadGuard store_guard(this);
   if (!schema_->IsValidType(type) || !schema_->IsCollection(type)) {
     return Status::TypeError("ScanSets requires a set or list type");
   }
@@ -1071,6 +1166,7 @@ Status ObjectStore::ScanSets(TypeId type,
 }
 
 Status ObjectStore::CheckConsistency() {
+  ReadGuard store_guard(this);
   for (TypeId type = 0; type < states_.size(); ++type) {
     const TypeState& state = states_[type];
     if (state.segment == UINT32_MAX) {
@@ -1138,6 +1234,7 @@ Status ObjectStore::CheckConsistency() {
 }
 
 void ObjectStore::SerializeMetadata(std::ostream* out) const {
+  ReadGuard store_guard(this);
   dict_.Serialize(out);
   io::WriteScalar<uint32_t>(out, static_cast<uint32_t>(states_.size()));
   for (const TypeState& state : states_) {
@@ -1169,6 +1266,7 @@ void ObjectStore::SerializeMetadata(std::ostream* out) const {
 }
 
 Status ObjectStore::DeserializeMetadata(std::istream* in) {
+  WriteGuard store_guard(this);
   ASR_CHECK(states_.empty() && dict_.size() == 0);
   ASR_RETURN_IF_ERROR(dict_.Deserialize(in));
   Result<uint32_t> state_count = io::ReadScalar<uint32_t>(in);
@@ -1234,17 +1332,20 @@ Status ObjectStore::DeserializeMetadata(std::istream* in) {
 }
 
 uint64_t ObjectStore::ObjectCount(TypeId type) const {
+  ReadGuard store_guard(this);
   const TypeState* state = StateOrNull(type);
   return state == nullptr ? 0 : state->live_count;
 }
 
 uint32_t ObjectStore::PageCount(TypeId type) const {
+  ReadGuard store_guard(this);
   const TypeState* state = StateOrNull(type);
   if (state == nullptr || state->segment == UINT32_MAX) return 0;
   return buffers_->disk()->SegmentPageCount(state->segment);
 }
 
 int64_t ObjectStore::SegmentOf(TypeId type) const {
+  ReadGuard store_guard(this);
   const TypeState* state = StateOrNull(type);
   if (state == nullptr || state->segment == UINT32_MAX) return -1;
   return state->segment;

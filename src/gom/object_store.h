@@ -17,9 +17,12 @@
 #ifndef ASR_GOM_OBJECT_STORE_H_
 #define ASR_GOM_OBJECT_STORE_H_
 
+#include <deque>
 #include <functional>
 #include <istream>
+#include <mutex>
 #include <ostream>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -46,6 +49,16 @@ struct SetView {
   std::vector<AsrKey> members;
 };
 
+// Concurrency: the store is a shared conflict surface for the multi-writer
+// ASR maintenance path, so public operations take an internal reader/writer
+// lock for their full duration (content access included — disjoint objects
+// share pages). The lock is re-entrancy-aware through a thread-local mode:
+// a public method called from inside another's callback (e.g. SetContains
+// inside a ScanWithTargets visitor) piggybacks on the already-held lock
+// instead of self-deadlocking. Escalating from inside a read (a mutation
+// called from a scan callback) is a programming error and aborts. The
+// fields below are guarded by this discipline rather than per-field
+// ASR_GUARDED_BY annotations, which cannot express a re-entrant guard.
 class ObjectStore {
  public:
   ObjectStore(const Schema* schema, storage::BufferManager* buffers);
@@ -170,6 +183,9 @@ class ObjectStore {
   Status DeserializeMetadata(std::istream* in);
 
  private:
+  class ReadGuard;
+  class WriteGuard;
+
   struct Location {
     uint32_t page_no = UINT32_MAX;
     uint16_t slot = 0;
@@ -212,8 +228,17 @@ class ObjectStore {
 
   const Schema* schema_;
   storage::BufferManager* buffers_;
+  // Reader/writer lock over dict_, the TypeState contents, segment_fill_,
+  // and the pages they describe; see the class comment for the re-entrancy
+  // discipline.
+  mutable std::shared_mutex mu_;
+  // Guards only the deque's *growth* (lazy per-type slots): readers index
+  // concurrently under mu_'s shared side, and deque references are stable
+  // across emplace_back, so growth needs its own tiny lock, not exclusivity
+  // over the whole store.
+  mutable std::mutex states_mu_;
   StringDict dict_;
-  mutable std::vector<TypeState> states_;  // indexed by TypeId
+  mutable std::deque<TypeState> states_;  // indexed by TypeId
   // Last page with potential free space, per segment (segments may be
   // shared by co-located types).
   std::unordered_map<uint32_t, uint32_t> segment_fill_;

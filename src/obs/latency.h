@@ -52,6 +52,18 @@ class SharedCounter {
   std::atomic<uint64_t> value_{0};
 };
 
+// A level, not an accumulator: Set overwrites (snapshot age, queue depth).
+// Same discipline as SharedCounter — one writer, many relaxed readers.
+class SharedGauge {
+ public:
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
 // Relaxed-atomic histogram with the registry's bucket geometry. Observe is
 // one writer; snapshot() may run concurrently from the sampler thread and
 // sees each field near-current (fields may be mutually skewed by an
@@ -135,6 +147,13 @@ class SharedCounter {
   void Reset() {}
 };
 
+class SharedGauge {
+ public:
+  void Set(uint64_t) {}
+  uint64_t value() const { return 0; }
+  void Reset() {}
+};
+
 class SharedHistogram {
  public:
   void Observe(uint64_t) {}
@@ -164,6 +183,13 @@ struct LiveTelemetry {
   SharedHistogram storage_sync_us;
   SharedHistogram wal_append_us;
   SharedHistogram wal_sync_us;
+  // Transaction layer (mirrored from MvccManager and the ASR txn retry
+  // loop): commit/conflict counts, retries-per-op, and the distance in
+  // epochs between the oldest live snapshot and the committed epoch.
+  SharedCounter txn_commits;
+  SharedCounter txn_conflicts;
+  SharedHistogram txn_retries;
+  SharedGauge snapshot_age_epochs;
 
   void Reset() {
     buffer_hits.Reset();
@@ -174,6 +200,10 @@ struct LiveTelemetry {
     storage_sync_us.Reset();
     wal_append_us.Reset();
     wal_sync_us.Reset();
+    txn_commits.Reset();
+    txn_conflicts.Reset();
+    txn_retries.Reset();
+    snapshot_age_epochs.Reset();
   }
 
   static LiveTelemetry& Instance() {

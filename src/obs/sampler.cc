@@ -95,6 +95,28 @@ AlertRule HistogramP99Above(const std::string& rule, const std::string& name,
   return r;
 }
 
+AlertRule TxnConflictRatioAbove(const std::string& rule, double ratio,
+                                uint64_t min_events) {
+  AlertRule r;
+  r.name = rule;
+  r.predicate = [ratio, min_events](const TelemetrySample& s) {
+    uint64_t conflicts = s.delta("live.txn.conflicts");
+    uint64_t total = conflicts + s.delta("live.txn.commits");
+    if (total < min_events) return false;
+    return static_cast<double>(conflicts) / static_cast<double>(total) > ratio;
+  };
+  r.describe = [](const TelemetrySample& s) {
+    uint64_t conflicts = s.delta("live.txn.conflicts");
+    uint64_t total = conflicts + s.delta("live.txn.commits");
+    double observed =
+        total == 0 ? 0.0
+                   : static_cast<double>(conflicts) / static_cast<double>(total);
+    return "conflict_ratio=" + FormatDouble(observed) +
+           " window_attempts=" + std::to_string(total);
+  };
+  return r;
+}
+
 std::vector<AlertRule> DefaultAlertRules(double hit_ratio_floor,
                                          uint64_t sync_p99_ceiling_us) {
   std::vector<AlertRule> rules;
@@ -105,6 +127,7 @@ std::vector<AlertRule> DefaultAlertRules(double hit_ratio_floor,
   rules.push_back(HistogramP99Above("sync_latency_p99",
                                     "live.storage.sync_us",
                                     sync_p99_ceiling_us, 4));
+  rules.push_back(TxnConflictRatioAbove("txn_conflict_ratio", 0.5, 16));
   return rules;
 }
 
@@ -121,6 +144,10 @@ void CollectLive(MetricsRegistry* registry) {
                          hub.storage_sync_us.snapshot());
   registry->SetHistogram("live.wal.append_us", hub.wal_append_us.snapshot());
   registry->SetHistogram("live.wal.sync_us", hub.wal_sync_us.snapshot());
+  registry->Set("live.txn.commits", hub.txn_commits.value());
+  registry->Set("live.txn.conflicts", hub.txn_conflicts.value());
+  registry->Set("live.txn.snapshot_age", hub.snapshot_age_epochs.value());
+  registry->SetHistogram("live.txn.retries", hub.txn_retries.snapshot());
 }
 
 TelemetrySampler::Options TelemetrySampler::Options::FromEnv() {

@@ -77,10 +77,17 @@ AlertRule RatioBelow(const std::string& rule, const std::string& num,
 // ignoring windows with fewer than `min_count` observations.
 AlertRule HistogramP99Above(const std::string& rule, const std::string& name,
                             uint64_t ceiling_us, uint64_t min_count);
+// Fires while conflicts/(commits+conflicts) over the window exceeds `ratio`,
+// ignoring windows with fewer than `min_events` commit attempts — a
+// sustained-contention signal over the MVCC first-committer-wins path
+// (live.txn.commits / live.txn.conflicts).
+AlertRule TxnConflictRatioAbove(const std::string& rule, double ratio,
+                                uint64_t min_events);
 
 // The stock rule set over the LiveTelemetry names: degraded-hop rate > 0,
 // buffer hit-ratio below `hit_ratio_floor`, sync-latency p99 above
-// `sync_p99_ceiling_us`.
+// `sync_p99_ceiling_us`, and txn conflict ratio above 1/2 sustained over at
+// least 16 commit attempts per window.
 std::vector<AlertRule> DefaultAlertRules(double hit_ratio_floor,
                                          uint64_t sync_p99_ceiling_us);
 

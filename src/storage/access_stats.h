@@ -5,35 +5,53 @@
 // disk is counted here so empirical runs are directly comparable with the
 // analytical cost model.
 //
-// The struct itself is deliberately plain (no atomics): concurrency is
-// handled by aggregation discipline instead. Each disk segment keeps its own
-// AccessStats written by at most one thread — parallel ASR builders meter
-// into the counters of the segments they own — and disk-wide totals are the
-// merge of the per-segment counters, taken at quiescent points (after
-// worker join). This keeps single-threaded metered runs bit-identical with
-// zero synchronization cost on the counting fast path.
+// The fields are relaxed atomics with value-copy semantics. Most segments
+// still follow the aggregation discipline — one accessor thread, disk-wide
+// totals merged at quiescent points — but the multi-writer transaction path
+// lets several writers read the *shared* object-base segments concurrently,
+// and their metering lands on the same per-segment counters. Relaxed
+// increments keep that sound without ordering cost, and single-threaded
+// metered runs count bit-identically to the plain-field version.
 #ifndef ASR_STORAGE_ACCESS_STATS_H_
 #define ASR_STORAGE_ACCESS_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
 namespace asr::storage {
 
 struct AccessStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> page_writes{0};
 
-  uint64_t total() const { return page_reads + page_writes; }
+  AccessStats() = default;
+  AccessStats(uint64_t reads, uint64_t writes)
+      : page_reads(reads), page_writes(writes) {}
+  AccessStats(const AccessStats& other) { *this = other; }
+  AccessStats& operator=(const AccessStats& other) {
+    page_reads.store(other.page_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    page_writes.store(other.page_writes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t reads() const {
+    return page_reads.load(std::memory_order_relaxed);
+  }
+  uint64_t writes() const {
+    return page_writes.load(std::memory_order_relaxed);
+  }
+  uint64_t total() const { return reads() + writes(); }
 
   AccessStats operator-(const AccessStats& other) const {
-    return AccessStats{page_reads - other.page_reads,
-                       page_writes - other.page_writes};
+    return AccessStats(reads() - other.reads(), writes() - other.writes());
   }
 
   AccessStats& operator+=(const AccessStats& other) {
-    page_reads += other.page_reads;
-    page_writes += other.page_writes;
+    page_reads.fetch_add(other.reads(), std::memory_order_relaxed);
+    page_writes.fetch_add(other.writes(), std::memory_order_relaxed);
     return *this;
   }
 
@@ -44,8 +62,8 @@ struct AccessStats {
   }
 
   std::string ToString() const {
-    return "reads=" + std::to_string(page_reads) +
-           " writes=" + std::to_string(page_writes);
+    return "reads=" + std::to_string(reads()) +
+           " writes=" + std::to_string(writes());
   }
 };
 

@@ -64,7 +64,11 @@ Result<PageGuard> BufferManager::TryPin(PageId id) {
     obs::LiveTelemetry::Instance().buffer_misses.Inc();
 #endif
     Frame frame;
-    ASR_RETURN_IF_ERROR(disk_->ReadPage(id, &frame.page));
+    if (snapshot_ != nullptr) {
+      ASR_RETURN_IF_ERROR(disk_->ReadPageSnapshot(id, *snapshot_, &frame.page));
+    } else {
+      ASR_RETURN_IF_ERROR(disk_->ReadPage(id, &frame.page));
+    }
     it = frames_.emplace(id, std::move(frame)).first;
   } else {
     ++hits_;
@@ -82,6 +86,7 @@ Result<PageGuard> BufferManager::TryPin(PageId id) {
 }
 
 PageGuard BufferManager::AllocatePinned(uint32_t segment) {
+  ASR_CHECK(snapshot_ == nullptr);  // snapshot pools are read-only
   PageId id = disk_->AllocatePage(segment);
   std::lock_guard<std::mutex> lock(mu_);
   Frame frame;
@@ -97,6 +102,7 @@ void BufferManager::Unpin(PageId id, bool dirty) {
   ASR_CHECK(it != frames_.end());
   Frame& frame = it->second;
   ASR_CHECK(frame.pin_count > 0);
+  ASR_CHECK(!(dirty && snapshot_ != nullptr));  // snapshot pools are read-only
   if (dirty) frame.dirty = true;
   if (--frame.pin_count == 0) {
     lru_.push_back(id);

@@ -78,6 +78,15 @@ class BufferManager {
                          ? 1
                          : disk->options().flush_batch),
         time_io_(disk->options().backend == BackendKind::kFile) {}
+  // Snapshot-mode pool: every miss reads the page image as of `snapshot`'s
+  // epoch (Disk::ReadPageSnapshot) instead of the live state, and the pool
+  // is read-only — dirtying a frame or allocating through it is a
+  // programming error. The snapshot handle is borrowed and must outlive
+  // the pool.
+  BufferManager(Disk* disk, size_t capacity, const PageSnapshot* snapshot)
+      : BufferManager(disk, capacity) {
+    snapshot_ = snapshot;
+  }
   // Destruction is best-effort teardown; a caller that needs durability (or
   // wants to observe write-back faults) calls FlushAll() itself first.
   // justified: the destructor has no way to surface a Status, and the sticky
@@ -205,6 +214,8 @@ class BufferManager {
 
   Disk* disk_;
   size_t capacity_;
+  // Read-only epoch pinned by this pool; nullptr = live pool.
+  const PageSnapshot* snapshot_ = nullptr;
   // Write-back sync policy (snapshot of the disk's options at construction).
   DurabilityMode durability_ = DurabilityMode::kOff;
   uint32_t flush_batch_ = 64;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/binary_io.h"
+#include "storage/mvcc.h"
 
 namespace asr::storage {
 
@@ -68,6 +69,11 @@ uint32_t Disk::CreateSegment(std::string name) {
 }
 
 PageId Disk::AllocatePage(uint32_t segment) {
+  // Registered segments grow their checksum vector under the mvcc commit
+  // lock: snapshot readers index into it under the shared side, and a
+  // vector relocation mid-read is exactly the race the lock exists for.
+  TxnCommitLock mvcc_guard;
+  if (mvcc_ != nullptr) mvcc_guard = mvcc_->LockForAllocate(segment);
   Segment& seg = GetSegment(segment);
   PageId id{segment, static_cast<uint32_t>(seg.checksums.size())};
   backend_->AddPage(segment);
@@ -75,7 +81,40 @@ PageId Disk::AllocatePage(uint32_t segment) {
   return id;
 }
 
+void Disk::AttachMvcc(MvccManager* mvcc) {
+  mvcc_ = mvcc;
+  if (mvcc_ != nullptr) mvcc_->disk_ = this;
+}
+
 Status Disk::ReadPage(PageId id, Page* out) {
+  if (mvcc_ != nullptr) {
+    // Read-your-writes: a covered page staged by this thread's transaction
+    // wins over the committed image. Uncounted — the staged image lives in
+    // memory, and the commit write is the metered access.
+    if (mvcc_->TryReadStaged(id, out)) return Status::OK();
+    // Registered segments read under the shared version-table lock so a
+    // concurrent commit cannot rewrite the backend image mid-read.
+    Status routed;
+    if (mvcc_->RouteRead(this, id, out, &routed)) return routed;
+  }
+  return ReadPageUnversioned(id, out);
+}
+
+Status Disk::ReadPageSnapshot(PageId id, const PageSnapshot& snap,
+                              Page* out) {
+  ASR_CHECK(mvcc_ != nullptr);
+  return mvcc_->ReadSnapshotPage(this, id, snap, out);
+}
+
+Status Disk::ReadPageRaw(PageId id, Page* out) {
+  return backend_->Read(id.segment, id.page_no, out);
+}
+
+void Disk::CountSnapshotRead(PageId id) {
+  ++GetSegment(id.segment).stats.page_reads;
+}
+
+Status Disk::ReadPageUnversioned(PageId id, Page* out) {
   Segment& seg = GetSegment(id.segment);
   ASR_CHECK(id.page_no < seg.checksums.size());
   if (injector_ != nullptr &&
@@ -98,6 +137,14 @@ Status Disk::ReadPage(PageId id, Page* out) {
 }
 
 Status Disk::WritePage(PageId id, const Page& page) {
+  if (mvcc_ != nullptr) {
+    Status routed;
+    if (mvcc_->RouteWrite(this, id, page, &routed)) return routed;
+  }
+  return WritePageUnversioned(id, page);
+}
+
+Status Disk::WritePageUnversioned(PageId id, const Page& page) {
   Segment& seg = GetSegment(id.segment);
   ASR_CHECK(id.page_no < seg.checksums.size());
   if (injector_ != nullptr) {

@@ -54,6 +54,9 @@
 
 namespace asr::storage {
 
+class MvccManager;
+class PageSnapshot;
+
 class Disk {
  public:
   // The default backend comes from the environment (DiskOptions::FromEnv),
@@ -92,6 +95,21 @@ class Disk {
   // Uncounted read hint: tells the backend `id` is about to be pinned (the
   // B+ tree batched probe announces sibling leaves). Never required.
   void PrefetchPage(PageId id);
+
+  // Attaches a page-version manager (borrowed; nullptr detaches). With a
+  // manager attached, reads and writes to its registered segments route
+  // through the MVCC layer: a thread with an active PageTransaction stages
+  // covered writes privately and reads them back, direct writes to
+  // registered segments are auto-versioned, and snapshot handles read a
+  // pinned epoch via ReadPageSnapshot. Unregistered segments — and every
+  // disk without a manager — take the legacy path, byte-identical in
+  // behavior and metering.
+  void AttachMvcc(MvccManager* mvcc);
+  MvccManager* mvcc() { return mvcc_; }
+
+  // The image of `id` as of snap.epoch(); requires an attached manager and
+  // a registered segment. Counted as a page read like any query access.
+  Status ReadPageSnapshot(PageId id, const PageSnapshot& snap, Page* out);
 
   // Durability points, forwarded to the backend (no-op on the memory
   // backend). Uncounted in AccessStats — the page-count model has no fsync
@@ -150,6 +168,19 @@ class Disk {
                      const std::string& prefix) const;
 
  private:
+  friend class MvccManager;
+
+  // The pre-MVCC read/write paths: counted, checksummed, fault-injected.
+  // The public ReadPage/WritePage delegate here after (possibly) routing
+  // through the attached manager; the manager calls back in under its own
+  // lock for snapshot reads and commit write-through.
+  Status ReadPageUnversioned(PageId id, Page* out);
+  Status WritePageUnversioned(PageId id, const Page& page);
+  // Uncounted, unverified backend read — version-retention bookkeeping.
+  Status ReadPageRaw(PageId id, Page* out);
+  // Meters a snapshot read served from a retained in-memory image.
+  void CountSnapshotRead(PageId id);
+
   // Per-segment bookkeeping above the seam; page bytes live in backend_.
   struct Segment {
     std::string name;
@@ -174,6 +205,7 @@ class Disk {
   DiskOptions options_;
   std::unique_ptr<StorageBackend> backend_;
   FaultInjector* injector_ = nullptr;
+  MvccManager* mvcc_ = nullptr;  // borrowed; see AttachMvcc
   std::vector<TornPage> pending_torn_ ASR_GUARDED_BY(mu_);
   // Relaxed atomic: sync requests can arrive from several pools (each
   // partition builder owns one) while metering stays per-segment.

@@ -1,0 +1,50 @@
+// lock-discipline fixture for the storage/mvcc.h lock aliases: TxnCommitLock
+// (exclusive) and SnapshotReadLock (shared) count as holding the mutex named
+// in their constructor arguments, exactly like the std:: lock handles. The
+// clean methods prove the aliases are recognised; each alias also gets one
+// seeded violation where the handle is missing. Fixtures are linted, never
+// compiled — seeded lines carry a trailing "expect: <rule>" marker.
+#ifndef ASR_TESTS_ASRLINT_FIXTURES_MVCC_VERSION_TABLE_H_
+#define ASR_TESTS_ASRLINT_FIXTURES_MVCC_VERSION_TABLE_H_
+
+#include <cstdint>
+#include <shared_mutex>
+
+#include "common/thread_annotations.h"
+#include "storage/mvcc.h"
+
+namespace fixture {
+
+class VersionTable {
+ public:
+  // Clean: TxnCommitLock names table_mu_ in its constructor arguments, so
+  // the exclusive side of the commit path holds the mutex.
+  void Commit() {
+    storage::TxnCommitLock commit(table_mu_);
+    ++epoch_;
+  }
+
+  // Clean: SnapshotReadLock is the shared side of the same mutex.
+  uint64_t SnapshotEpoch() const {
+    storage::SnapshotReadLock read(table_mu_);
+    return epoch_;
+  }
+
+  // Seeded: the commit path mutates the epoch without its TxnCommitLock.
+  void BadCommit() {
+    ++epoch_;  // expect: lock-discipline
+  }
+
+  // Seeded: the read path drops its SnapshotReadLock.
+  uint64_t BadSnapshotEpoch() const {
+    return epoch_;  // expect: lock-discipline
+  }
+
+ private:
+  mutable std::shared_mutex table_mu_;
+  uint64_t epoch_ ASR_GUARDED_BY(table_mu_) = 0;
+};
+
+}  // namespace fixture
+
+#endif  // ASR_TESTS_ASRLINT_FIXTURES_MVCC_VERSION_TABLE_H_

@@ -17,6 +17,14 @@
 //      supported query exactly like a fault-free twin built from the same
 //      checkpoint and committed ops.
 //
+// The interleaved-writer mode (InterleavedWritersRecoverToTwinEquality) runs
+// the same contract with TWO concurrent transactional writers in the child:
+// each maintains its own anchored ASR over a disjoint subgraph, journals to
+// its own WAL stream of the shared log, and commits page transactions
+// through the MVCC layer. SIGKILL lands with the writers in arbitrary —
+// usually different — commit phases; recovery must resolve both journals
+// independently and leave both ASRs twin-equal.
+//
 // ASR_KILL_POINTS picks the number of randomized kill points (CI runs 50).
 #include <gtest/gtest.h>
 
@@ -30,6 +38,7 @@
 #include <filesystem>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "asr/access_support_relation.h"
@@ -514,6 +523,414 @@ TEST(KillHarnessTest, RandomizedSigkillPointsRecoverToTwinEquality) {
   ::testing::Test::RecordProperty("recoveries", static_cast<int>(recoveries));
   ::testing::Test::RecordProperty("checkpoints_used",
                                   static_cast<int>(checkpoints_used));
+  std::filesystem::remove_all(workdir);
+}
+
+// === Interleaved two-writer mode ===========================================
+
+// Each writer owns a private chain hanging off the shared schema — fully
+// disjoint object subgraphs, so the two anchored canonical ASRs never cover
+// each other's edges and the §5.4 maintain-all contract stays satisfied
+// per writer.
+struct WriterChain {
+  Oid division, prodset;
+  Oid product_a, partset_a, part_a, part_b;  // part_b toggles at p=1
+  Oid product_b, partset_b, part_c;          // product_b toggles at p=0
+  Oid anchor;                                // singleton {division}
+};
+
+struct InterleavedDb {
+  CompanyDb c;
+  WriterChain chains[2];
+};
+
+InterleavedDb BuildInterleavedCompany(gom::Database* db) {
+  InterleavedDb idb;
+  idb.c = BuildCompany(db);
+  gom::Schema& s = *db->schema();
+  gom::ObjectStore& st = *db->store();
+  TypeId division_set =
+      s.DefineSetType("DivisionSET", idb.c.division).value();
+  for (int k = 0; k < 2; ++k) {
+    WriterChain& w = idb.chains[k];
+    const std::string tag = std::to_string(k);
+    w.division = st.CreateObject(idb.c.division).value();
+    w.prodset = st.CreateSet(idb.c.prodset).value();
+    w.product_a = st.CreateObject(idb.c.product).value();
+    w.partset_a = st.CreateSet(idb.c.basepartset).value();
+    w.part_a = st.CreateObject(idb.c.basepart).value();
+    w.part_b = st.CreateObject(idb.c.basepart).value();
+    w.product_b = st.CreateObject(idb.c.product).value();
+    w.partset_b = st.CreateSet(idb.c.basepartset).value();
+    w.part_c = st.CreateObject(idb.c.basepart).value();
+    ASR_CHECK(st.SetString(w.division, "Name", "WDiv" + tag).ok());
+    ASR_CHECK(st.SetRef(w.division, "Manufactures", w.prodset).ok());
+    ASR_CHECK(st.AddToSet(w.prodset, AsrKey::FromOid(w.product_a)).ok());
+    ASR_CHECK(st.SetString(w.product_a, "Name", "WProdA" + tag).ok());
+    ASR_CHECK(st.SetRef(w.product_a, "Composition", w.partset_a).ok());
+    ASR_CHECK(st.AddToSet(w.partset_a, AsrKey::FromOid(w.part_a)).ok());
+    ASR_CHECK(st.SetString(w.part_a, "Name", "WPartA" + tag).ok());
+    ASR_CHECK(st.SetString(w.part_b, "Name", "WPartB" + tag).ok());
+    ASR_CHECK(st.SetString(w.product_b, "Name", "WProdB" + tag).ok());
+    ASR_CHECK(st.SetRef(w.product_b, "Composition", w.partset_b).ok());
+    ASR_CHECK(st.AddToSet(w.partset_b, AsrKey::FromOid(w.part_c)).ok());
+    ASR_CHECK(st.SetString(w.part_c, "Name", "WPartC" + tag).ok());
+    w.anchor = st.CreateSet(division_set).value();
+    ASR_CHECK(st.AddToSet(w.anchor, AsrKey::FromOid(w.division)).ok());
+  }
+  return idb;
+}
+
+// Writer k's two toggled edges: op % 2 picks the p=1 edge (part_b into
+// product_a's composition) or the p=0 edge (product_b into the prodset).
+EdgeTarget WriterEdge(const WriterChain& w, uint32_t op_idx) {
+  if (op_idx % 2 == 0) {
+    return {w.partset_a, w.product_a, 1, w.part_b};
+  }
+  return {w.prodset, w.division, 0, w.product_b};
+}
+
+Status ApplyWriterOp(gom::Database* db, AccessSupportRelation* asr,
+                     const WriterChain& w, uint32_t op_idx, bool insert) {
+  const EdgeTarget t = WriterEdge(w, op_idx);
+  const AsrKey key = AsrKey::FromOid(t.w);
+  if (insert) {
+    ASR_CHECK(db->store()->AddToSet(t.set, key).ok());
+    return asr->OnEdgeInserted(t.u, t.p, key);
+  }
+  ASR_CHECK(db->store()->RemoveFromSet(t.set, key).ok());
+  return asr->OnEdgeRemoved(t.u, t.p, key);
+}
+
+// Interleaved-mode harness records carry a trailing writer byte:
+//   'O' [u32 op_idx][u8 insert][u8 writer]   intent      (7 bytes)
+//   'K' [u32 op_idx][u8 writer]              commit+sync (6 bytes)
+// Sizes are disjoint from the single-writer records (6/5), so a replayer
+// can tell the modes apart from the bytes alone.
+
+std::string WriterOpIntent(uint32_t op_idx, bool insert, uint8_t writer) {
+  std::string rec = OpIntentRecord(op_idx, insert);
+  rec.push_back(static_cast<char>(writer));
+  return rec;
+}
+
+std::string WriterOpCommit(uint32_t op_idx, uint8_t writer) {
+  std::string rec = OpCommitRecord(op_idx);
+  rec.push_back(static_cast<char>(writer));
+  return rec;
+}
+
+std::unique_ptr<AccessSupportRelation> BuildWriterAsr(gom::Database* db,
+                                                      const WriterChain& w,
+                                                      bool transactional) {
+  AsrOptions options;
+  options.anchor_collection = w.anchor;
+  options.transactional = transactional;
+  options.txn_max_retries = 64;
+  options.txn_backoff_us = 20;
+  PathExpression path =
+      PathExpression::Parse(*db->schema(),
+                            db->schema()->FindType("Division").value(),
+                            "Manufactures.Composition.Name")
+          .value();
+  return AccessSupportRelation::Build(db->store(), path,
+                                      ExtensionKind::kCanonical,
+                                      Decomposition::Binary(3), options)
+      .value();
+}
+
+constexpr uint32_t kMaxWriterOps = 200;
+
+// The forked child for interleaved mode: one MVCC-enabled database, two
+// writer threads free-running their own transactional edge-toggle loops.
+// Each writer journals to WAL stream (writer+1) and seals every logical op
+// with a synced 'K' before reporting progress ('0'+writer on the pipe).
+[[noreturn]] void InterleavedChildRun(const std::string& snapshot,
+                                      const std::string& iter_dir,
+                                      const InterleavedDb& idb,
+                                      int progress_fd) {
+  DiskOptions options = DiskOptions::File(iter_dir, /*mmap=*/false);
+  options.durability = DurabilityMode::kGroup;
+  options.flush_batch = 4;
+  auto db_or = gom::Database::Open(snapshot, /*buffer_capacity=*/8, options);
+  if (!db_or.ok()) _exit(30);
+  std::unique_ptr<gom::Database> db = std::move(*db_or);
+  if (!db->AttachWal(iter_dir + "/journal.wal").ok()) _exit(31);
+  db->EnableMvcc();
+
+  std::unique_ptr<AccessSupportRelation> asrs[2];
+  for (int k = 0; k < 2; ++k) {
+    asrs[k] = BuildWriterAsr(db.get(), idb.chains[k], /*transactional=*/true);
+    if (asrs[k] == nullptr) _exit(32);
+    asrs[k]->mutable_journal()->SetWalStream(static_cast<uint8_t>(k + 1));
+    asrs[k]->mutable_journal()->AttachWal(db->wal());
+  }
+
+  std::thread writers[2];
+  for (int k = 0; k < 2; ++k) {
+    writers[k] = std::thread([&, k] {
+      const WriterChain& w = idb.chains[k];
+      AccessSupportRelation* asr = asrs[k].get();
+      for (uint32_t op = 0; op < kMaxWriterOps; ++op) {
+        const EdgeTarget t = WriterEdge(w, op);
+        Result<bool> present =
+            db->store()->SetContains(t.set, AsrKey::FromOid(t.w));
+        if (!present.ok()) _exit(33);
+        const bool insert = !*present;
+        if (!db->wal()
+                 ->Append(WriterOpIntent(op, insert,
+                                         static_cast<uint8_t>(k)))
+                 .ok()) {
+          _exit(34);
+        }
+        if (!ApplyWriterOp(db.get(), asr, w, op, insert).ok()) _exit(35);
+        if (!db->wal()
+                 ->Append(WriterOpCommit(op, static_cast<uint8_t>(k)))
+                 .ok()) {
+          _exit(36);
+        }
+        if (!db->wal()->Sync().ok()) _exit(37);
+        const char tag = static_cast<char>('0' + k);
+        if (::write(progress_fd, &tag, 1) != 1) _exit(38);
+      }
+    });
+  }
+  for (int k = 0; k < 2; ++k) writers[k].join();
+  _exit(0);
+}
+
+std::vector<AsrKey> WriterAnchorsAt(gom::Database* db, const WriterChain& w,
+                                    uint32_t pos) {
+  auto key = [](Oid o) { return AsrKey::FromOid(o); };
+  switch (pos) {
+    case 0:
+      return {key(w.division)};
+    case 1:
+      return {key(w.product_a), key(w.product_b)};
+    case 2:
+      return {key(w.part_a), key(w.part_b), key(w.part_c)};
+    default: {
+      std::vector<AsrKey> names;
+      for (Oid part : {w.part_a, w.part_b, w.part_c}) {
+        names.push_back(
+            db->store()->GetAttributeByName(part, "Name").value());
+      }
+      return names;
+    }
+  }
+}
+
+void ExpectSameWriterAnswers(gom::Database* want_db,
+                             AccessSupportRelation* want,
+                             AccessSupportRelation* got,
+                             const WriterChain& w, const std::string& ctx) {
+  for (uint32_t i = 0; i < 3; ++i) {
+    for (uint32_t j = i + 1; j <= 3; ++j) {
+      if (!want->SupportsQuery(i, j)) continue;
+      for (AsrKey start : WriterAnchorsAt(want_db, w, i)) {
+        Result<std::vector<AsrKey>> a = want->EvalForward(start, i, j);
+        Result<std::vector<AsrKey>> b = got->EvalForward(start, i, j);
+        ASSERT_TRUE(a.ok() && b.ok()) << ctx;
+        EXPECT_EQ(Sorted(*a), Sorted(*b))
+            << ctx << ": fwd Q_{" << i << "," << j << "} diverges";
+      }
+      for (AsrKey target : WriterAnchorsAt(want_db, w, j)) {
+        Result<std::vector<AsrKey>> a = want->EvalBackward(target, i, j);
+        Result<std::vector<AsrKey>> b = got->EvalBackward(target, i, j);
+        ASSERT_TRUE(a.ok() && b.ok()) << ctx;
+        EXPECT_EQ(Sorted(*a), Sorted(*b))
+            << ctx << ": bwd Q_{" << i << "," << j << "} diverges";
+      }
+    }
+  }
+}
+
+struct InterleavedOutcome {
+  uint32_t ops_committed[2] = {0, 0};
+  uint32_t recoveries = 0;  // writers whose journal needed Recover()
+};
+
+void VerifyInterleavedAfterKill(const std::string& snapshot,
+                                const std::string& iter_dir,
+                                const InterleavedDb& idb,
+                                const std::string& ctx,
+                                InterleavedOutcome* outcome) {
+  // The WAL is the only surviving artifact (no checkpoints in this mode);
+  // SIGKILL may tear its tail but never corrupt the interior.
+  WriteAheadLog::ReplayStats stats;
+  std::vector<std::string> records;
+  {
+    auto wal = WriteAheadLog::Open(
+        iter_dir + "/journal.wal",
+        [&](std::string_view payload) { records.emplace_back(payload); },
+        &stats);
+    ASSERT_TRUE(wal.ok()) << ctx << ": " << wal.status().ToString();
+  }
+  EXPECT_FALSE(stats.corrupt_suffix) << ctx;
+
+  // Reconstruct one shared base + both ASRs: journal records route to their
+  // stream's journal, harness records replay the committed logical ops.
+  auto open_and_replay =
+      [&](bool with_journal, std::unique_ptr<gom::Database>* db_out,
+          std::unique_ptr<AccessSupportRelation>* asr0_out,
+          std::unique_ptr<AccessSupportRelation>* asr1_out) {
+        auto db = gom::Database::Open(snapshot).value();
+        std::unique_ptr<AccessSupportRelation> asrs[2];
+        for (int k = 0; k < 2; ++k) {
+          asrs[k] = BuildWriterAsr(db.get(), idb.chains[k],
+                                   /*transactional=*/false);
+          if (with_journal) {
+            asrs[k]->mutable_journal()->SetWalStream(
+                static_cast<uint8_t>(k + 1));
+          }
+        }
+        struct PendingOp {
+          uint8_t writer;
+          uint32_t op_idx;
+          bool insert;
+        };
+        std::vector<PendingOp> intents;
+        std::vector<uint32_t> commits[2];
+        for (const std::string& rec : records) {
+          if (with_journal &&
+              (asrs[0]->mutable_journal()->ApplyWalRecord(rec) ||
+               asrs[1]->mutable_journal()->ApplyWalRecord(rec))) {
+            continue;
+          }
+          if (rec.size() == 7 && rec[0] == 'O') {
+            const uint8_t writer = static_cast<uint8_t>(rec[6]);
+            if (writer < 2) {
+              intents.push_back({writer, DecodeOpIdx(rec), rec[5] != 0});
+            }
+          } else if (rec.size() == 6 && rec[0] == 'K') {
+            const uint8_t writer = static_cast<uint8_t>(rec[5]);
+            if (writer < 2) commits[writer].push_back(DecodeOpIdx(rec));
+          }
+        }
+        for (const PendingOp& op : intents) {
+          if (std::find(commits[op.writer].begin(), commits[op.writer].end(),
+                        op.op_idx) == commits[op.writer].end()) {
+            continue;  // intent without commit: the op never happened
+          }
+          Status st = ApplyWriterOp(db.get(), asrs[op.writer].get(),
+                                    idb.chains[op.writer], op.op_idx,
+                                    op.insert);
+          ASSERT_TRUE(st.ok()) << ctx << ": replay writer "
+                               << int{op.writer} << " op " << op.op_idx
+                               << ": " << st.ToString();
+        }
+        ASSERT_TRUE(db->buffers()->FlushAll().ok()) << ctx;
+        outcome->ops_committed[0] = static_cast<uint32_t>(commits[0].size());
+        outcome->ops_committed[1] = static_cast<uint32_t>(commits[1].size());
+        *db_out = std::move(db);
+        *asr0_out = std::move(asrs[0]);
+        *asr1_out = std::move(asrs[1]);
+      };
+
+  std::unique_ptr<gom::Database> rec_db, twin_db;
+  std::unique_ptr<AccessSupportRelation> rec_asr[2], twin_asr[2];
+  open_and_replay(true, &rec_db, &rec_asr[0], &rec_asr[1]);
+  if (::testing::Test::HasFatalFailure()) return;
+  open_and_replay(false, &twin_db, &twin_asr[0], &twin_asr[1]);
+  if (::testing::Test::HasFatalFailure()) return;
+
+  for (int k = 0; k < 2; ++k) {
+    const std::string wctx = ctx + " writer " + std::to_string(k);
+    if (rec_asr[k]->journal().unresolved() > 0) {
+      ++outcome->recoveries;
+      RecoveryReport report;
+      Status st = rec_asr[k]->Recover(&report);
+      ASSERT_TRUE(st.ok()) << wctx << ": " << st.ToString();
+      EXPECT_EQ(rec_asr[k]->journal().unresolved(), 0u) << wctx;
+    }
+    check::CheckReport check_report;
+    check::InvariantChecker checker;
+    checker.CheckAsr(rec_asr[k].get(), &check_report);
+    EXPECT_TRUE(check_report.clean())
+        << wctx << "\n" << check_report.ToString();
+    ExpectSameWriterAnswers(twin_db.get(), twin_asr[k].get(),
+                            rec_asr[k].get(), idb.chains[k], wctx);
+  }
+}
+
+TEST(KillHarnessTest, InterleavedWritersRecoverToTwinEquality) {
+  const char* env = std::getenv("ASR_KILL_POINTS");
+  const int iterations = env != nullptr ? std::atoi(env) : 10;
+  ASSERT_GT(iterations, 0);
+
+  const std::string workdir = ::testing::TempDir() + "/kill_interleaved." +
+                              std::to_string(::getpid());
+  std::filesystem::remove_all(workdir);
+  ASSERT_TRUE(std::filesystem::create_directories(workdir));
+  const std::string snapshot = workdir + "/base.asrdb";
+
+  InterleavedDb idb;
+  {
+    auto db = gom::Database::Create();
+    idb = BuildInterleavedCompany(db.get());
+    ASSERT_TRUE(db->SaveDurable(snapshot).ok());
+  }
+
+  uint32_t kills = 0, recoveries = 0;
+  uint64_t total_committed = 0;
+  for (int iter = 0; iter < iterations; ++iter) {
+    const std::string ctx = "interleaved iter " + std::to_string(iter);
+    const std::string iter_dir = workdir + "/iter_" + std::to_string(iter);
+    ASSERT_TRUE(std::filesystem::create_directories(iter_dir));
+    std::mt19937 rng(0xBADC0DEu + static_cast<uint32_t>(iter));
+    const uint32_t target_ops = 2 + rng() % 60;  // across both writers
+    const useconds_t jitter_us = rng() % 2000;
+
+    int pipefd[2];
+    ASSERT_EQ(::pipe(pipefd), 0);
+    pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      ::close(pipefd[0]);
+      InterleavedChildRun(snapshot, iter_dir, idb, pipefd[1]);
+    }
+    ::close(pipefd[1]);
+    uint32_t progressed[2] = {0, 0};
+    char byte;
+    while (progressed[0] + progressed[1] < target_ops) {
+      ssize_t n = ::read(pipefd[0], &byte, 1);
+      if (n != 1) break;  // EOF: the child died on its own
+      if (byte == '0' || byte == '1') ++progressed[byte - '0'];
+    }
+    if (progressed[0] + progressed[1] < target_ops) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+      ::close(pipefd[0]);
+      FAIL() << ctx << ": child exited early (status " << status << ") after "
+             << progressed[0] << "+" << progressed[1] << " ops";
+    }
+    ::usleep(jitter_us);
+    ASSERT_EQ(::kill(pid, SIGKILL), 0) << ctx;
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid) << ctx;
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+        << ctx << ": child was not killed (status " << status << ")";
+    ::close(pipefd[0]);
+    ++kills;
+
+    InterleavedOutcome outcome;
+    VerifyInterleavedAfterKill(snapshot, iter_dir, idb, ctx, &outcome);
+    if (::testing::Test::HasFatalFailure()) return;
+    // Durability floor, per writer: every op whose progress byte the parent
+    // saw was sealed with a synced 'K' record first.
+    EXPECT_GE(outcome.ops_committed[0], progressed[0]) << ctx;
+    EXPECT_GE(outcome.ops_committed[1], progressed[1]) << ctx;
+    total_committed += outcome.ops_committed[0] + outcome.ops_committed[1];
+    recoveries += outcome.recoveries;
+
+    std::filesystem::remove_all(iter_dir);
+  }
+
+  EXPECT_EQ(kills, static_cast<uint32_t>(iterations));
+  EXPECT_GT(total_committed, 0u);
+  ::testing::Test::RecordProperty("kills", static_cast<int>(kills));
+  ::testing::Test::RecordProperty("writer_recoveries",
+                                  static_cast<int>(recoveries));
   std::filesystem::remove_all(workdir);
 }
 

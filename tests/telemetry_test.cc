@@ -346,10 +346,67 @@ TEST(TelemetrySamplerTest, HistogramP99RuleFiresOnSlowWindow) {
 
 TEST(TelemetrySamplerTest, DefaultRulesCoverTheStockConditions) {
   std::vector<obs::AlertRule> rules = obs::DefaultAlertRules(0.95, 100000);
-  ASSERT_EQ(rules.size(), 3u);
+  ASSERT_EQ(rules.size(), 4u);
   EXPECT_EQ(rules[0].name, "degraded_navigation");
   EXPECT_EQ(rules[1].name, "buffer_hit_ratio");
   EXPECT_EQ(rules[2].name, "sync_latency_p99");
+  EXPECT_EQ(rules[3].name, "txn_conflict_ratio");
+}
+
+TEST(TelemetrySamplerTest, TxnConflictRatioRespectsMinimumAttempts) {
+  uint64_t commits = 0, conflicts = 0;
+  obs::TelemetrySampler::Options opts;
+  opts.interval_ms = 0;
+  opts.collector = [&](obs::MetricsRegistry* registry) {
+    registry->Set("live.txn.commits", commits);
+    registry->Set("live.txn.conflicts", conflicts);
+  };
+  obs::TelemetrySampler sampler(opts);
+  sampler.AddRule(obs::TxnConflictRatioAbove("txn_conflict_ratio", 0.5, 16));
+  sampler.SampleOnce();  // baseline
+
+  // High conflict ratio, but only 8 attempts in the window: below min_events.
+  commits += 2;
+  conflicts += 6;
+  sampler.SampleOnce();
+  EXPECT_TRUE(sampler.Firings().empty());
+
+  // 20 attempts at 80% conflicts: fires, and the detail names the ratio.
+  commits += 4;
+  conflicts += 16;
+  sampler.SampleOnce();
+  ASSERT_EQ(sampler.Firings().size(), 1u);
+  EXPECT_EQ(sampler.Firings()[0].rule, "txn_conflict_ratio");
+  EXPECT_NE(sampler.Firings()[0].detail.find("conflict_ratio="),
+            std::string::npos);
+
+  // A healthy window re-arms the edge trigger.
+  commits += 32;
+  sampler.SampleOnce();
+  EXPECT_EQ(sampler.Firings().size(), 1u);
+}
+
+TEST(TelemetrySamplerTest, CollectLiveExportsTheTxnSurface) {
+  obs::LiveTelemetry& hub = obs::LiveTelemetry::Instance();
+  hub.Reset();
+  hub.txn_commits.Inc();
+  hub.txn_commits.Inc();
+  hub.txn_conflicts.Inc();
+  hub.txn_retries.Observe(3);
+  hub.snapshot_age_epochs.Set(7);
+  obs::MetricsRegistry registry;
+  obs::CollectLive(&registry);
+  EXPECT_EQ(registry.counter("live.txn.commits"), 2u);
+  EXPECT_EQ(registry.counter("live.txn.conflicts"), 1u);
+  EXPECT_EQ(registry.counter("live.txn.snapshot_age"), 7u);
+  EXPECT_EQ(registry.histogram("live.txn.retries").count, 1u);
+  // The whole surface rides the existing Prometheus exposition.
+  std::string text = obs::ToPrometheusText(registry);
+  EXPECT_NE(text.find("asr_live_txn_commits 2\n"), std::string::npos);
+  EXPECT_NE(text.find("asr_live_txn_conflicts 1\n"), std::string::npos);
+  EXPECT_NE(text.find("asr_live_txn_snapshot_age 7\n"), std::string::npos);
+  EXPECT_NE(text.find("asr_live_txn_retries_count 1\n"), std::string::npos);
+  hub.Reset();
 }
 
 TEST(TelemetrySamplerTest, BackgroundThreadSamplesAndStops) {

@@ -619,8 +619,11 @@ const std::set<std::string>& FsyncTokens() {
 }
 
 const std::set<std::string>& LockConstructs() {
-  static const std::set<std::string> kSet = {"lock_guard", "unique_lock",
-                                             "shared_lock", "scoped_lock"};
+  // TxnCommitLock / SnapshotReadLock are the storage/mvcc.h handle aliases
+  // (exclusive and shared sides of the version-table mutex).
+  static const std::set<std::string> kSet = {
+      "lock_guard",    "unique_lock",  "shared_lock",
+      "scoped_lock",   "TxnCommitLock", "SnapshotReadLock"};
   return kSet;
 }
 
